@@ -1,0 +1,57 @@
+// Ablation A — attack outcome under every defense preset (DESIGN.md).
+// The paper argues three holes enable the attack; each preset closes one,
+// and the matrix attributes the attack's failure to the right hole.
+#include "bench_common.h"
+
+#include "defense/evaluator.h"
+
+namespace {
+
+using namespace msa;
+
+attack::ScenarioConfig base_config() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();  // fast trials
+  cfg.image_width = 64;
+  cfg.image_height = 64;
+  return cfg;
+}
+
+void print_table() {
+  bench::print_header("Abl. A", "attack success under each defense preset");
+  defense::DefenseEvaluator evaluator{base_config()};
+  const auto outcomes = evaluator.evaluate_all(/*trials=*/5);
+  std::printf("%s\n", defense::DefenseEvaluator::format_table(outcomes).c_str());
+  std::puts("expected shape: baseline/zero_on_alloc/ASLR/fw_live_only rows");
+  std::puts("succeed fully (half measures don't help); zero_on_free zeroes");
+  std::puts("the residue; ACL rows and the owner-or-residue firewall deny");
+  std::puts("the attack outright.\n");
+}
+
+void BM_ScenarioBaseline(benchmark::State& state) {
+  const auto cfg = defense::preset("baseline").apply(base_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::run_scenario(cfg));
+  }
+}
+BENCHMARK(BM_ScenarioBaseline);
+
+void BM_ScenarioZeroOnFree(benchmark::State& state) {
+  const auto cfg = defense::preset("zero_on_free").apply(base_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::run_scenario(cfg));
+  }
+}
+BENCHMARK(BM_ScenarioZeroOnFree);
+
+void BM_ScenarioDebuggerDenied(benchmark::State& state) {
+  const auto cfg = defense::preset("dbg_owner_only").apply(base_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::run_scenario(cfg));
+  }
+}
+BENCHMARK(BM_ScenarioDebuggerDenied);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_table)

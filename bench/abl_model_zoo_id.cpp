@@ -1,0 +1,63 @@
+// Ablation F — model identification accuracy across the zoo: for every
+// victim model, which model does the attack name? (Confusion matrix; the
+// paper identifies resnet50_pt from strings — we verify the method never
+// confuses the library's models with one another.)
+#include "bench_common.h"
+
+#include "attack/signature_db.h"
+#include "vitis/model_zoo.h"
+
+namespace {
+
+using namespace msa;
+
+void print_table() {
+  bench::print_header("Abl. F", "model identification confusion matrix");
+
+  const auto& names = vitis::zoo_model_names();
+  std::printf("%-18s", "victim \\ result");
+  for (const auto& n : names) std::printf(" %-16.16s", n.c_str());
+  std::printf(" %-8s\n", "deep-id");
+
+  std::size_t correct = 0;
+  for (const auto& victim_model : names) {
+    attack::ScenarioConfig cfg;
+    cfg.system = os::SystemConfig::test_small();
+    cfg.model_name = victim_model;
+    cfg.image_width = 64;
+    cfg.image_height = 64;
+    const attack::ScenarioResult r = attack::run_scenario(cfg);
+
+    std::printf("%-18s", victim_model.c_str());
+    for (const auto& candidate : names) {
+      const bool hit = r.report.identified_model == candidate;
+      if (hit && candidate == victim_model) ++correct;
+      std::printf(" %-16s", hit ? "      X" : "      .");
+    }
+    std::printf(" %-8s\n",
+                r.report.deep_match &&
+                        r.report.deep_match->model_name == victim_model
+                    ? "yes"
+                    : "no");
+  }
+  std::printf("\nidentification accuracy: %zu/%zu\n\n", correct, names.size());
+}
+
+void BM_EndToEndPerModel(benchmark::State& state) {
+  const std::string model =
+      vitis::zoo_model_names()[static_cast<std::size_t>(state.range(0))];
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.model_name = model;
+  cfg.image_width = 64;
+  cfg.image_height = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::run_scenario(cfg));
+  }
+  state.SetLabel(model);
+}
+BENCHMARK(BM_EndToEndPerModel)->DenseRange(0, 4);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_table)

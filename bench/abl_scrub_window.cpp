@@ -1,0 +1,78 @@
+// Ablation G — window of vulnerability under deferred scrubbing.
+// Synchronous zero-on-free stops the attack but taxes every exit; the
+// deployable variant is a background scrubber daemon. This bench sweeps
+// (attacker reaction time × scrubber throughput) and reports what
+// survives — quantifying how fast a daemon must be to make the paper's
+// attack impractical.
+#include "bench_common.h"
+
+#include "os/scrubber.h"
+
+namespace {
+
+using namespace msa;
+
+attack::ScenarioConfig base_config() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 64;
+  cfg.image_height = 64;
+  return cfg;
+}
+
+void print_table() {
+  bench::print_header(
+      "Abl. G", "attack success vs reaction time x scrubber throughput");
+
+  std::printf("%12s %14s %11s %12s %14s\n", "delay(s)", "scrub(B/s)",
+              "model-id", "pixel-match", "via-descriptor");
+  for (const double rate : {4.0 * 1024, 16.0 * 1024, 256.0 * 1024}) {
+    for (const double delay : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+      attack::ScenarioConfig cfg = base_config();
+      cfg.attack_delay_s = delay;
+      cfg.scrubber_bytes_per_s = rate;
+      const attack::ScenarioResult r = attack::run_scenario(cfg);
+      std::printf("%12.1f %14.0f %11s %12.4f %14.4f\n", delay, rate,
+                  r.model_identified_correctly ? "identified" : "missed",
+                  r.pixel_match, r.descriptor_pixel_match);
+    }
+  }
+  std::puts("\nexpected shape: recovery collapses once rate x delay covers");
+  std::puts("the victim's first heap pages (the strings/descriptor prefix");
+  std::puts("dies first, lowest-PFN-first); only a sub-page budget — fast");
+  std::puts("attacker and/or severely throttled scrubber — leaves the");
+  std::puts("attack intact.\n");
+}
+
+void BM_ScenarioWithScrubber(benchmark::State& state) {
+  attack::ScenarioConfig cfg = base_config();
+  cfg.attack_delay_s = 1.0;
+  cfg.scrubber_bytes_per_s = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::run_scenario(cfg));
+  }
+}
+BENCHMARK(BM_ScenarioWithScrubber)->Arg(16 * 1024)->Arg(16 * 1024 * 1024);
+
+void BM_ScrubberDrainRate(benchmark::State& state) {
+  // Raw daemon throughput over a large dirty backlog.
+  for (auto _ : state) {
+    state.PauseTiming();
+    os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+    const os::Pid pid = sys.spawn(0, {"app"}, "pts/0");
+    const mem::VirtAddr base = sys.sbrk(pid, 256 * mem::kPageSize);
+    std::vector<std::uint8_t> junk(256 * mem::kPageSize, 0xEE);
+    sys.write_virt(pid, base, junk);
+    sys.terminate(pid);
+    os::ScrubberDaemon daemon{sys, 1e12};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(daemon.run_for(1.0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(256 * mem::kPageSize) *
+                          state.iterations());
+}
+BENCHMARK(BM_ScrubberDrainRate)->Iterations(50);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_table)

@@ -1,0 +1,76 @@
+// Shared fixtures for the figure-reproduction benchmarks: a ZCU104 board
+// populated the way the paper's terminals show it (kworker thread, shells,
+// pids in the 1389+ range) and helpers to launch the resnet50_pt victim.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "attack/orchestrator.h"
+#include "attack/scenario.h"
+#include "dbg/debugger.h"
+#include "os/system.h"
+#include "vitis/runtime.h"
+
+namespace msa::bench {
+
+struct PaperBoard {
+  std::unique_ptr<os::PetaLinuxSystem> sys;
+  std::unique_ptr<vitis::VitisAiRuntime> runtime;
+  os::Pid kworker_pid = 0;
+  os::Pid victim_shell_pid = 0;
+  os::Pid attacker_shell_pid = 0;
+
+  PaperBoard() {
+    sys = std::make_unique<os::PetaLinuxSystem>(os::SystemConfig::zcu104());
+    sys->add_user(0, "root");
+    sys->add_user(1000, "victim");
+    sys->add_user(1001, "attacker");
+    runtime = std::make_unique<vitis::VitisAiRuntime>(*sys);
+
+    // Background processes visible in the paper's Figs. 5/6/9.
+    sys->set_next_pid(843);
+    attacker_shell_pid = sys->spawn(1001, {"-sh"}, "pts/0", 1);
+    sys->set_next_pid(1389);
+    kworker_pid = sys->spawn(0, {"[kworker/3:0-events]"}, "", 2);
+    sys->set_next_pid(2430);
+    victim_shell_pid = sys->spawn(1000, {"-sh"}, "pts/1", 1);
+  }
+
+  /// Launches resnet50_pt as pid 1391 at 12:33, exactly like Fig. 6.
+  vitis::VictimRun launch_victim(const img::Image& input) {
+    sys->advance_time(8 * 3600 + 42 * 60);  // 03:51 board time -> 12:33
+    sys->set_next_pid(1391);
+    return runtime->launch(1000, "resnet50_pt", input, "pts/1",
+                           victim_shell_pid);
+  }
+
+  dbg::SystemDebugger attacker_debugger() {
+    return dbg::SystemDebugger{*sys, 1001};
+  }
+};
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("==================================================================\n");
+}
+
+/// Small victim input used across figure benches.
+inline img::Image victim_image() { return img::make_test_image(96, 96, 7); }
+
+}  // namespace msa::bench
+
+/// Shared main: print the figure artifact, then run the benchmarks.
+#define MSA_BENCH_MAIN(print_fn)                      \
+  int main(int argc, char** argv) {                   \
+    print_fn();                                       \
+    benchmark::Initialize(&argc, argv);               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();              \
+    benchmark::Shutdown();                            \
+    return 0;                                         \
+  }

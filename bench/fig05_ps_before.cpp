@@ -1,0 +1,57 @@
+// Fig. 5 — (Step 1) process list before the victim model runs.
+// The attacker's terminal shows only background processes and their own
+// "ps -ef". We reproduce the listing and benchmark the polling primitive.
+#include "bench_common.h"
+
+#include "attack/pid_poller.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 5", "(Step 1) ps -ef before the victim runs");
+
+  bench::PaperBoard board;
+  // The attacker runs ps -ef; it appears in its own listing (pid 2431+).
+  const os::Pid ps_pid =
+      board.sys->spawn(1001, {"ps", "-ef"}, "pts/0", board.attacker_shell_pid);
+  std::printf("%s\n", board.sys->ps_ef().c_str());
+  board.sys->terminate(ps_pid);
+
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+  std::printf("attacker poll for \"resnet50\": %s\n\n",
+              poller.find("resnet50") ? "FOUND (unexpected!)" : "not running");
+}
+
+void BM_PsEf(benchmark::State& state) {
+  bench::PaperBoard board;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board.sys->ps_ef());
+  }
+}
+BENCHMARK(BM_PsEf);
+
+void BM_PollForVictim(benchmark::State& state) {
+  bench::PaperBoard board;
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poller.find("resnet50"));
+  }
+}
+BENCHMARK(BM_PollForVictim);
+
+void BM_ParsePs(benchmark::State& state) {
+  bench::PaperBoard board;
+  const std::string ps = board.sys->ps_ef();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::parse_ps(ps));
+  }
+}
+BENCHMARK(BM_ParsePs);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

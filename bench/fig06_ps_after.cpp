@@ -1,0 +1,68 @@
+// Fig. 6 — (Step 1) process list after the victim model was run.
+// The victim's pid (1391 in the paper) appears with the full resnet50_pt
+// command line; the attacker's poll extracts it.
+#include "bench_common.h"
+
+#include "attack/pid_poller.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 6", "(Step 1) ps -ef after the victim launches");
+
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  board.sys->process(run.pid).set_cpu_percent(18);  // mid-inference snapshot
+  const os::Pid ps_pid =
+      board.sys->spawn(1001, {"ps", "-ef"}, "pts/0", board.attacker_shell_pid);
+  std::printf("%s\n", board.sys->ps_ef().c_str());
+  board.sys->terminate(ps_pid);
+
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+  const auto hit = poller.find("resnet50");
+  std::printf("attacker poll for \"resnet50\": pid %lld\n",
+              hit ? static_cast<long long>(hit->pid) : -1);
+  std::printf("victim cmdline: %s\n\n", hit ? hit->cmd.c_str() : "<none>");
+}
+
+void BM_VictimLaunchAndTerminate(benchmark::State& state) {
+  // Full victim lifecycle: spawn, stage, infer, terminate.
+  bench::PaperBoard board;
+  const img::Image input = bench::victim_image();
+  for (auto _ : state) {
+    const vitis::VictimRun run =
+        board.runtime->launch(1000, "resnet50_pt", input, "pts/1");
+    board.sys->terminate(run.pid);
+  }
+}
+BENCHMARK(BM_VictimLaunchAndTerminate);
+
+void BM_PollFindsLiveVictim(benchmark::State& state) {
+  bench::PaperBoard board;
+  (void)board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poller.find("resnet50"));
+  }
+}
+BENCHMARK(BM_PollFindsLiveVictim);
+
+void BM_DpuInferenceOnly(benchmark::State& state) {
+  // The victim-side compute the attacker's window rides on.
+  bench::PaperBoard board;
+  const vitis::XModel& model = board.runtime->model("resnet50_pt");
+  const img::Image input = img::resize_nearest(bench::victim_image(), 64, 64);
+  const vitis::Tensor t = vitis::tensor_from_image(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.infer(t));
+  }
+}
+BENCHMARK(BM_DpuInferenceOnly);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

@@ -1,0 +1,56 @@
+// Fig. 7 — (Step 2) the victim's /proc/<pid>/maps showing the heap VA
+// range (0xaaaaee775000-... rw-p [heap]) and the /dev/dri/renderD128
+// mapping, read from the attacker's user space.
+#include "bench_common.h"
+
+#include "os/proc_fs.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 7", "(Step 2) victim /proc/<pid>/maps heap range");
+
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  const std::string maps = dbg.maps(run.pid);
+  std::printf("attacker$ vim /proc/%lld/maps\n%s\n",
+              static_cast<long long>(run.pid), maps.c_str());
+
+  for (const auto& line : os::parse_maps(maps)) {
+    if (line.name == "[heap]") {
+      std::printf("=> heap virtual range: 0x%llx .. 0x%llx (%llu bytes)\n\n",
+                  static_cast<unsigned long long>(line.start),
+                  static_cast<unsigned long long>(line.end),
+                  static_cast<unsigned long long>(line.end - line.start));
+    }
+  }
+}
+
+void BM_ReadMapsCrossUser(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbg.maps(run.pid));
+  }
+}
+BENCHMARK(BM_ReadMapsCrossUser);
+
+void BM_ParseMapsText(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  const std::string maps = dbg.maps(run.pid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(os::parse_maps(maps));
+  }
+}
+BENCHMARK(BM_ParseMapsText);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

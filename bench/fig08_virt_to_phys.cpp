@@ -1,0 +1,72 @@
+// Fig. 8 — (Step 2) virtual_to_physical: converting the heap's endpoint
+// virtual addresses to physical DRAM addresses through the pagemap.
+#include "bench_common.h"
+
+#include "attack/address_resolver.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 8",
+                      "(Step 2) virtual_to_physical over the heap endpoints");
+
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+
+  const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+  const mem::VirtAddr first_va = target.heap_start;
+  const mem::VirtAddr last_va = target.heap_end - 4;
+
+  for (const mem::VirtAddr va : {first_va, last_va}) {
+    const auto pa = resolver.virt_to_phys(run.pid, va);
+    std::printf("xilinx-zcu104$ ./virtual_to_physical.out %lld %s\n%s\n",
+                static_cast<long long>(run.pid), util::hex_0x(va).c_str(),
+                pa ? util::hex_0x(*pa).c_str() : "<unmapped>");
+  }
+  std::printf("\nheap pages resolved: %zu / %zu\n\n", target.pages_resolved(),
+              target.page_pa.size());
+}
+
+void BM_SingleVirtToPhys(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  const mem::VirtAddr va = run.heap_base + 0x730;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.virt_to_phys(run.pid, va));
+  }
+}
+BENCHMARK(BM_SingleVirtToPhys);
+
+void BM_ResolveFullHeap(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve_heap(run.pid));
+  }
+  state.counters["heap_pages"] = static_cast<double>(
+      resolver.resolve_heap(run.pid).page_pa.size());
+}
+BENCHMARK(BM_ResolveFullHeap);
+
+void BM_PagemapEntryRead(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbg.pagemap_entry(run.pid, run.heap_base));
+  }
+}
+BENCHMARK(BM_PagemapEntryRead);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

@@ -1,0 +1,76 @@
+// Fig. 9 — (Step 3) the victim's pid disappears from ps after it
+// terminates; the attacker's poll confirms and the scrape window opens.
+#include "bench_common.h"
+
+#include "attack/pid_poller.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 9", "(Step 3) ps -ef after victim termination");
+
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+
+  std::printf("victim pid %lld alive: %s\n",
+              static_cast<long long>(run.pid),
+              poller.is_alive(run.pid) ? "yes" : "no");
+
+  board.sys->terminate(run.pid);
+  const os::Pid ps_pid =
+      board.sys->spawn(1001, {"ps", "-ef"}, "pts/0", board.attacker_shell_pid);
+  std::printf("\n%s\n", board.sys->ps_ef().c_str());
+  board.sys->terminate(ps_pid);
+
+  std::printf("victim pid %lld alive: %s -> scrape window open\n\n",
+              static_cast<long long>(run.pid),
+              poller.is_alive(run.pid) ? "yes" : "no");
+}
+
+void BM_LivenessPoll(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::PidPoller poller{dbg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poller.is_alive(run.pid));
+  }
+}
+BENCHMARK(BM_LivenessPoll);
+
+void BM_LifecycleWithResidue(benchmark::State& state) {
+  // Full victim lifecycle under the vulnerable no-sanitize policy.
+  bench::PaperBoard board;
+  const img::Image input = bench::victim_image();
+  for (auto _ : state) {
+    const vitis::VictimRun run =
+        board.runtime->launch(1000, "resnet50_pt", input, "pts/1");
+    board.sys->terminate(run.pid);
+  }
+}
+BENCHMARK(BM_LifecycleWithResidue);
+
+void BM_LifecycleWithZeroOnFree(benchmark::State& state) {
+  // Same lifecycle under the zero-on-free defense: the extra time is the
+  // scrubbing cost the defense pays at every exit.
+  os::SystemConfig cfg = os::SystemConfig::zcu104();
+  cfg.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1000, "victim");
+  vitis::VitisAiRuntime runtime{sys};
+  const img::Image input = bench::victim_image();
+  for (auto _ : state) {
+    const vitis::VictimRun run =
+        runtime.launch(1000, "resnet50_pt", input, "pts/1");
+    sys.terminate(run.pid);
+  }
+}
+BENCHMARK(BM_LifecycleWithZeroOnFree);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

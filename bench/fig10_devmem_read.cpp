@@ -1,0 +1,81 @@
+// Fig. 10 — (Step 3) devmem reads of the terminated victim's physical
+// addresses. The paper shows one zero word and one data word; we replay
+// both against the resolved heap endpoints.
+#include "bench_common.h"
+
+#include "attack/address_resolver.h"
+#include "attack/scraper.h"
+
+namespace {
+
+using namespace msa;
+
+void print_figure() {
+  bench::print_header("Fig. 10", "(Step 3) devmem reads of residue");
+
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+  board.sys->terminate(run.pid);
+
+  // First heap word (heap metadata starts zeroed) and a word inside the
+  // staged image (nonzero pixel data), like the paper's two examples.
+  const dram::PhysAddr pa_zero = *target.page_pa.front();
+  const dram::PhysAddr pa_data =
+      *target.page_pa[static_cast<std::size_t>(run.layout.image_off /
+                                               mem::kPageSize)] +
+      (run.layout.image_off % mem::kPageSize) + 64;
+  for (const dram::PhysAddr pa : {pa_zero, pa_data}) {
+    std::printf("xilinx-zcu104$ %s", dbg.devmem_command(pa).c_str());
+  }
+  std::printf("\n(automated attack issues one devmem per 32-bit word over "
+              "the full heap)\n\n");
+}
+
+void BM_Devmem32(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+  board.sys->terminate(run.pid);
+  const dram::PhysAddr pa = *target.page_pa.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbg.devmem32(pa));
+  }
+}
+BENCHMARK(BM_Devmem32);
+
+void BM_DevmemCommandFormatted(benchmark::State& state) {
+  bench::PaperBoard board;
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbg.devmem_command(0x61c6d730));
+  }
+}
+BENCHMARK(BM_DevmemCommandFormatted);
+
+void BM_FullHeapScrape(benchmark::State& state) {
+  bench::PaperBoard board;
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+  board.sys->terminate(run.pid);
+  attack::MemoryScraper scraper{dbg};
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const attack::ScrapedDump dump = scraper.scrape(target);
+    bytes = dump.bytes.size();
+    benchmark::DoNotOptimize(dump);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_FullHeapScrape);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

@@ -1,0 +1,100 @@
+// Fig. 11 — (Step 4.a) identifying the model from strings: the hexdump of
+// the scraped residue greps "resnet50" and the library-path fragments
+// appear, naming the model the victim ran.
+#include "bench_common.h"
+
+#include "attack/hexdump_analyzer.h"
+#include "attack/signature_db.h"
+
+namespace {
+
+using namespace msa;
+
+attack::ScrapedDump scrape_victim(bench::PaperBoard& board) {
+  const vitis::VictimRun run = board.launch_victim(bench::victim_image());
+  dbg::SystemDebugger dbg = board.attacker_debugger();
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+  board.sys->terminate(run.pid);
+  attack::MemoryScraper scraper{dbg};
+  return scraper.scrape(target);
+}
+
+void print_figure() {
+  bench::print_header("Fig. 11",
+                      "(Step 4.a) grep \"resnet50\" over the residue hexdump");
+
+  bench::PaperBoard board;
+  const attack::ScrapedDump dump = scrape_victim(board);
+
+  attack::HexDumpAnalyzer analyzer{dump.bytes};
+  std::printf("attacker$ grep \"resnet50\" %lld_hexdump.log\n",
+              static_cast<long long>(dump.pid));
+  const auto hits = analyzer.grep("resnet50");
+  for (std::size_t i = 0; i < hits.size() && i < 4; ++i) {
+    std::printf("%s\n", hits[i].row_text.c_str());
+  }
+  std::printf("(%zu matching rows total)\n\n", hits.size());
+
+  const attack::SignatureDb db = attack::SignatureDb::for_zoo();
+  const auto matches = db.scan(dump.bytes);
+  std::printf("signature ranking:\n");
+  for (const auto& m : matches) {
+    std::printf("  %-18s hits=%-3zu distinct-needles=%zu\n",
+                m.model_name.c_str(), m.hits, m.distinct_needles);
+  }
+  const auto deep = attack::SignatureDb::identify_deep(dump.bytes);
+  if (deep) {
+    std::printf("deep identification: parsed full xmodel '%s' at offset %zu "
+                "(%zu weight bytes recovered)\n\n",
+                deep->model_name.c_str(), deep->container_offset,
+                deep->param_bytes);
+  }
+}
+
+void BM_HexDumpRender(benchmark::State& state) {
+  bench::PaperBoard board;
+  const attack::ScrapedDump dump = scrape_victim(board);
+  for (auto _ : state) {
+    attack::HexDumpAnalyzer analyzer{dump.bytes};
+    benchmark::DoNotOptimize(analyzer.dump_text());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(dump.bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HexDumpRender);
+
+void BM_GrepResidue(benchmark::State& state) {
+  bench::PaperBoard board;
+  const attack::ScrapedDump dump = scrape_victim(board);
+  attack::HexDumpAnalyzer analyzer{dump.bytes};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.grep("resnet50"));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(dump.bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_GrepResidue);
+
+void BM_SignatureScan(benchmark::State& state) {
+  bench::PaperBoard board;
+  const attack::ScrapedDump dump = scrape_victim(board);
+  const attack::SignatureDb db = attack::SignatureDb::for_zoo();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.scan(dump.bytes));
+  }
+}
+BENCHMARK(BM_SignatureScan);
+
+void BM_DeepIdentify(benchmark::State& state) {
+  bench::PaperBoard board;
+  const attack::ScrapedDump dump = scrape_victim(board);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::SignatureDb::identify_deep(dump.bytes));
+  }
+}
+BENCHMARK(BM_DeepIdentify);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

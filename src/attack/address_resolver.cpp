@@ -1,0 +1,43 @@
+#include "attack/address_resolver.h"
+
+#include <stdexcept>
+
+#include "os/proc_fs.h"
+
+namespace msa::attack {
+
+ResolvedTarget AddressResolver::resolve_heap(os::Pid pid) {
+  ResolvedTarget t;
+  t.pid = pid;
+  t.maps_text = debugger_.maps(pid);
+
+  // Parse the text exactly as the shell-side attacker does.
+  const auto lines = os::parse_maps(t.maps_text);
+  const os::MapsLine* heap = nullptr;
+  for (const auto& l : lines) {
+    if (l.name == "[heap]") {
+      heap = &l;
+      break;
+    }
+  }
+  if (!heap) {
+    throw std::runtime_error("resolve_heap: no [heap] region for pid " +
+                             std::to_string(pid));
+  }
+  t.heap_start = heap->start;
+  t.heap_end = heap->end;
+
+  t.page_pa.reserve(static_cast<std::size_t>(
+      (t.heap_end - t.heap_start + mem::kPageSize - 1) / mem::kPageSize));
+  for (mem::VirtAddr va = t.heap_start; va < t.heap_end; va += mem::kPageSize) {
+    t.page_pa.push_back(debugger_.virt_to_phys(pid, va));
+  }
+  return t;
+}
+
+std::optional<dram::PhysAddr> AddressResolver::virt_to_phys(os::Pid pid,
+                                                            mem::VirtAddr va) {
+  return debugger_.virt_to_phys(pid, va);
+}
+
+}  // namespace msa::attack

@@ -1,0 +1,60 @@
+// Attack Step 2: fetch the victim's heap virtual addresses and convert
+// them to physical addresses.
+//
+// While the victim is still alive, the adversary reads
+// /proc/<pid>/maps (text), locates the [heap] line, and translates every
+// page of the heap range through /proc/<pid>/pagemap — the paper's
+// virtual_to_physical helper. The resulting VA-ordered physical page list
+// is saved; it stays valid after termination because nothing relocates
+// dead data.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbg/debugger.h"
+
+namespace msa::attack {
+
+struct ResolvedTarget {
+  os::Pid pid = 0;
+  mem::VirtAddr heap_start = 0;
+  mem::VirtAddr heap_end = 0;  ///< exclusive
+  /// Physical address of each heap page in VA order; nullopt for pages the
+  /// pagemap reported absent.
+  std::vector<std::optional<dram::PhysAddr>> page_pa;
+  /// Raw maps text as captured (Fig. 7 artifact).
+  std::string maps_text;
+
+  [[nodiscard]] std::uint64_t heap_bytes() const noexcept {
+    return heap_end - heap_start;
+  }
+  [[nodiscard]] std::size_t pages_resolved() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : page_pa) {
+      if (p) ++n;
+    }
+    return n;
+  }
+};
+
+class AddressResolver {
+ public:
+  explicit AddressResolver(dbg::SystemDebugger& debugger) : debugger_{debugger} {}
+
+  /// Full Step 2 for one pid. Throws std::runtime_error if the maps text
+  /// has no [heap] region. Propagates DebuggerAccessDenied/PermissionError
+  /// when a defense blocks the reads.
+  [[nodiscard]] ResolvedTarget resolve_heap(os::Pid pid);
+
+  /// Single-address translation, the paper's
+  /// "./virtual_to_physical.out <pid> <va>" (Fig. 8).
+  [[nodiscard]] std::optional<dram::PhysAddr> virt_to_phys(os::Pid pid,
+                                                           mem::VirtAddr va);
+
+ private:
+  dbg::SystemDebugger& debugger_;
+};
+
+}  // namespace msa::attack

@@ -1,0 +1,61 @@
+// XSCT/XSDB-style command console over the SystemDebugger.
+//
+// The paper's attack is driven from a shell; this console accepts the
+// same command vocabulary as text and returns the terminal output,
+// making the attack scriptable exactly as "our code written in python
+// automates the full attack process" describes. Commands:
+//
+//   ps                          process listing (Figs. 5/6/9)
+//   maps <pid>                  /proc/<pid>/maps (Fig. 7)
+//   v2p <pid> <vaddr>           virtual_to_physical (Fig. 8)
+//   devmem <paddr>              32-bit physical read (Fig. 10)
+//   scrape <pid>                resolve + dump the heap, returns a summary
+//                               and retains the dump for later commands
+//   grep <needle>               grep the retained dump's hexdump (Fig. 11)
+//   strings [min_len]           printable strings in the retained dump
+//   identify                    signature-based model identification
+//   help                        command list
+//
+// Errors (bad syntax, denials, no such pid) are reported as output lines
+// beginning "error:", never as exceptions — shells don't throw.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/scraper.h"
+#include "attack/signature_db.h"
+#include "dbg/debugger.h"
+
+namespace msa::attack {
+
+class CommandShell {
+ public:
+  explicit CommandShell(dbg::SystemDebugger& debugger);
+
+  /// Executes one command line; returns its terminal output (possibly
+  /// multi-line; no trailing-newline guarantee).
+  [[nodiscard]] std::string execute(const std::string& line);
+
+  /// The dump retained by the last successful `scrape`, if any.
+  [[nodiscard]] const std::optional<ScrapedDump>& dump() const noexcept {
+    return dump_;
+  }
+
+ private:
+  [[nodiscard]] std::string cmd_ps();
+  [[nodiscard]] std::string cmd_maps(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_v2p(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_devmem(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_scrape(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_grep(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_strings(const std::vector<std::string>& args);
+  [[nodiscard]] std::string cmd_identify();
+
+  dbg::SystemDebugger& debugger_;
+  SignatureDb signatures_;
+  std::optional<ScrapedDump> dump_;
+};
+
+}  // namespace msa::attack

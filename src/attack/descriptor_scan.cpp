@@ -1,0 +1,80 @@
+#include "attack/descriptor_scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace msa::attack {
+
+std::vector<std::pair<std::size_t, vitis::DpuDescriptor>> scan_descriptors(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::pair<std::size_t, vitis::DpuDescriptor>> out;
+  // The magic is "DPUD" in byte order D,P,U,D (0x44555044 little-endian).
+  const std::string_view magic{"DPUD", 4};
+  for (const std::size_t off : util::find_all(bytes, magic)) {
+    if (const auto d = vitis::DpuDescriptor::decode_at(bytes, off)) {
+      out.emplace_back(off, *d);
+    }
+  }
+  return out;
+}
+
+std::optional<img::Image> reconstruct_via_descriptor(const ScrapedDump& dump) {
+  for (const auto& [off, d] : scan_descriptors(dump.bytes)) {
+    if (d.input_va < dump.va_start) continue;
+    const std::uint64_t image_off = d.input_va - dump.va_start;
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(d.input_width) * d.input_height * 3;
+    if (need == 0 || image_off + need > dump.bytes.size()) continue;
+    return img::Image::from_rgb_bytes(
+        std::span{dump.bytes}.subspan(static_cast<std::size_t>(image_off),
+                                      static_cast<std::size_t>(need)),
+        d.input_width, d.input_height);
+  }
+  return std::nullopt;
+}
+
+std::vector<img::Image> recover_frame_ring(const ScrapedDump& dump) {
+  auto descriptors = scan_descriptors(dump.bytes);
+  std::sort(descriptors.begin(), descriptors.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.input_va < b.second.input_va;
+            });
+  std::vector<img::Image> frames;
+  std::uint64_t last_va = 0;
+  for (const auto& [off, d] : descriptors) {
+    if (!frames.empty() && d.input_va == last_va) continue;  // dedupe
+    if (d.input_va < dump.va_start) continue;
+    const std::uint64_t image_off = d.input_va - dump.va_start;
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(d.input_width) * d.input_height * 3;
+    if (need == 0 || image_off + need > dump.bytes.size()) continue;
+    frames.push_back(img::Image::from_rgb_bytes(
+        std::span{dump.bytes}.subspan(static_cast<std::size_t>(image_off),
+                                      static_cast<std::size_t>(need)),
+        d.input_width, d.input_height));
+    last_va = d.input_va;
+  }
+  return frames;
+}
+
+std::optional<std::vector<float>> recover_output_scores(
+    const ScrapedDump& dump) {
+  for (const auto& [off, d] : scan_descriptors(dump.bytes)) {
+    if (d.output_va < dump.va_start || d.output_len == 0 ||
+        d.output_len > 1 << 20) {
+      continue;
+    }
+    const std::uint64_t out_off = d.output_va - dump.va_start;
+    const std::uint64_t need = d.output_len * sizeof(float);
+    if (out_off + need > dump.bytes.size()) continue;
+    std::vector<float> scores(d.output_len);
+    std::memcpy(scores.data(), dump.bytes.data() + out_off,
+                static_cast<std::size_t>(need));
+    return scores;
+  }
+  return std::nullopt;
+}
+
+}  // namespace msa::attack

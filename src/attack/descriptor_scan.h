@@ -1,0 +1,45 @@
+// Profile-free reconstruction via DPU job descriptors — an extension of
+// the paper's Step 4.b.
+//
+// The paper learns the input image's heap offset by offline profiling
+// with a marker image. That works, but requires one profiling pass per
+// (model, input geometry). The runtime, however, also leaves its DPU job
+// descriptor in the heap — and the descriptor names the input buffer's
+// virtual address and geometry outright. Since the attacker already knows
+// the heap's VA range from Step 2, `descriptor.input_va - heap_start`
+// gives the offset directly: no profiling, and it even works for input
+// sizes never seen before.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "attack/scraper.h"
+#include "img/image.h"
+#include "vitis/dpu_descriptor.h"
+
+namespace msa::attack {
+
+/// All valid descriptors in the residue, with their byte offsets.
+[[nodiscard]] std::vector<std::pair<std::size_t, vitis::DpuDescriptor>>
+scan_descriptors(std::span<const std::uint8_t> bytes);
+
+/// Reconstructs the input image purely from residue + the dump's known VA
+/// base (ResolvedTarget::heap_start carried in ScrapedDump::va_start).
+/// Returns nullopt when no descriptor survives or the buffer it points at
+/// lies outside the dump.
+[[nodiscard]] std::optional<img::Image> reconstruct_via_descriptor(
+    const ScrapedDump& dump);
+
+/// Recovers the victim's output tensor (class scores) the same way.
+[[nodiscard]] std::optional<std::vector<float>> recover_output_scores(
+    const ScrapedDump& dump);
+
+/// Recovers *every* frame named by a surviving descriptor (video-pipeline
+/// victims keep a ring of frames, each with its own descriptor — see
+/// vitis/stream_runner.h). Frames are returned in ascending input-VA
+/// order, deduplicated by buffer address.
+[[nodiscard]] std::vector<img::Image> recover_frame_ring(
+    const ScrapedDump& dump);
+
+}  // namespace msa::attack

@@ -1,0 +1,78 @@
+#include "attack/hexdump_analyzer.h"
+
+#include "util/strings.h"
+
+namespace msa::attack {
+
+namespace {
+constexpr std::size_t kRowBytes = 16;
+}
+
+std::string HexDumpAnalyzer::dump_text() const {
+  return util::hex_dump(bytes_, util::HexDumpOptions{});
+}
+
+std::string HexDumpAnalyzer::render_row(std::size_t row) const {
+  const std::size_t begin = row * kRowBytes;
+  if (begin >= bytes_.size()) return {};
+  const std::size_t len = std::min(kRowBytes, bytes_.size() - begin);
+  return util::hex_row(bytes_.subspan(begin, len), util::HexDumpOptions{});
+}
+
+std::vector<GrepHit> HexDumpAnalyzer::grep(std::string_view needle) const {
+  std::vector<GrepHit> hits;
+  for (const std::size_t off : util::find_all(bytes_, needle)) {
+    GrepHit h;
+    h.byte_offset = off;
+    h.row = off / kRowBytes;
+    h.row_text = render_row(h.row);
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> HexDumpAnalyzer::uniform_runs(
+    std::uint8_t value, std::size_t min_rows) const {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  const std::size_t total_rows = bytes_.size() / kRowBytes;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  for (std::size_t row = 0; row < total_rows; ++row) {
+    bool uniform = true;
+    for (std::size_t i = 0; i < kRowBytes; ++i) {
+      if (bytes_[row * kRowBytes + i] != value) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      if (run_len == 0) run_start = row;
+      ++run_len;
+    } else if (run_len > 0) {
+      if (run_len >= min_rows) runs.emplace_back(run_start, run_len);
+      run_len = 0;
+    }
+  }
+  if (run_len >= min_rows) runs.emplace_back(run_start, run_len);
+  return runs;
+}
+
+std::size_t HexDumpAnalyzer::find_byte_run(std::uint8_t value,
+                                           std::size_t count) const {
+  if (count == 0 || bytes_.size() < count) return npos;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    if (bytes_[i] == value) {
+      if (++run >= count) return i + 1 - count;
+    } else {
+      run = 0;
+    }
+  }
+  return npos;
+}
+
+std::vector<std::string> HexDumpAnalyzer::strings(std::size_t min_len) const {
+  return util::extract_strings(bytes_, min_len);
+}
+
+}  // namespace msa::attack

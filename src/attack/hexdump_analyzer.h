@@ -1,0 +1,55 @@
+// Attack Step 4 front-end: format the scraped residue as a hexdump and
+// run grep-style queries over it — the "hexdump | grep resnet50" and
+// "grep 'FFFF FFFF'" moves from the paper's Figs. 11/12.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/hexdump.h"
+
+namespace msa::attack {
+
+struct GrepHit {
+  std::size_t byte_offset = 0;  ///< offset of the match in the residue
+  std::size_t row = 0;          ///< hexdump row number (16 bytes per row)
+  std::string row_text;         ///< rendered row, hex + ASCII gutter
+};
+
+class HexDumpAnalyzer {
+ public:
+  explicit HexDumpAnalyzer(std::span<const std::uint8_t> bytes)
+      : bytes_{bytes} {}
+
+  /// Full hexdump text (16-byte rows, ASCII gutter). Large for big heaps;
+  /// prefer grep()/find_marker_rows() which render only matching rows.
+  [[nodiscard]] std::string dump_text() const;
+
+  /// All occurrences of an ASCII needle in the residue, each reported with
+  /// its rendered hexdump row (Fig. 11: grep "resnet50").
+  [[nodiscard]] std::vector<GrepHit> grep(std::string_view needle) const;
+
+  /// Rows consisting entirely of `value` bytes, coalesced into runs:
+  /// (first_row, row_count) pairs. Fig. 12's FFFF-FFFF block finder.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> uniform_runs(
+      std::uint8_t value, std::size_t min_rows = 4) const;
+
+  /// First byte offset where `count` consecutive bytes equal `value`, or
+  /// npos. This is how offline profiling pins the 0x55-marker image start.
+  [[nodiscard]] std::size_t find_byte_run(std::uint8_t value,
+                                          std::size_t count) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Printable strings of length >= min_len (strings(1) pass).
+  [[nodiscard]] std::vector<std::string> strings(std::size_t min_len = 6) const;
+
+  /// Renders row `row` (16 bytes) as hexdump text.
+  [[nodiscard]] std::string render_row(std::size_t row) const;
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+};
+
+}  // namespace msa::attack

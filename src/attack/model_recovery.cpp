@@ -1,0 +1,57 @@
+#include "attack/model_recovery.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace msa::attack {
+
+std::optional<RecoveredModel> recover_model(
+    std::span<const std::uint8_t> bytes) {
+  auto all = recover_all_models(bytes);
+  if (all.empty()) return std::nullopt;
+  return std::move(all.front());
+}
+
+std::vector<RecoveredModel> recover_all_models(
+    std::span<const std::uint8_t> bytes) {
+  const auto& magic = vitis::XModel::magic();
+  const std::string_view magic_sv{reinterpret_cast<const char*>(magic.data()),
+                                  magic.size() - 1};
+  std::vector<RecoveredModel> out;
+  std::size_t resume_at = 0;
+  for (const std::size_t off : util::find_all(bytes, magic_sv)) {
+    if (off < resume_at) continue;  // magic inside a recovered container
+    try {
+      std::size_t consumed = 0;
+      vitis::XModel model = vitis::XModel::deserialize_at(bytes, off, &consumed);
+      out.push_back(RecoveredModel{std::move(model), off, consumed});
+      resume_at = off + consumed;
+    } catch (const std::invalid_argument&) {
+      // Partially overwritten container; keep scanning.
+    }
+  }
+  return out;
+}
+
+double clone_agreement(const vitis::XModel& original,
+                       const vitis::XModel& clone, std::size_t probes,
+                       std::uint64_t seed) {
+  if (probes == 0) return 0.0;
+  const auto& shape = original.input_shape();
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const img::Image probe =
+        img::make_test_image(shape.w, shape.h, seed + i * 2654435761ULL);
+    const vitis::Tensor t = vitis::tensor_from_image(probe);
+    const auto a = original.infer(t);
+    const auto b = clone.infer(t);
+    const auto top = [](const std::vector<float>& v) {
+      return std::max_element(v.begin(), v.end()) - v.begin();
+    };
+    if (a.size() == b.size() && top(a) == top(b)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(probes);
+}
+
+}  // namespace msa::attack

@@ -1,0 +1,40 @@
+// Full model theft from residue — the strongest form of the paper's
+// "revealing sensitive information such as input images and weights".
+//
+// identify_deep() (signature_db.h) proves a serialized xmodel survives in
+// the scraped bytes; recover_model() goes the rest of the way and returns
+// the parsed, *executable* clone. clone_agreement() then quantifies the
+// theft: the fraction of probe inputs on which the clone's predictions
+// match the original's (1.0 = functionally identical stolen model).
+#pragma once
+
+#include <optional>
+
+#include "attack/scraper.h"
+#include "vitis/xmodel.h"
+
+namespace msa::attack {
+
+struct RecoveredModel {
+  vitis::XModel model;
+  std::size_t container_offset = 0;
+  std::size_t container_bytes = 0;
+};
+
+/// Parses the first intact xmodel container out of the residue.
+[[nodiscard]] std::optional<RecoveredModel> recover_model(
+    std::span<const std::uint8_t> bytes);
+
+/// Parses *every* intact container in the residue (a pool scan after
+/// multi-tenant churn can hold several terminated jobs' models at once).
+/// Ordered by container offset.
+[[nodiscard]] std::vector<RecoveredModel> recover_all_models(
+    std::span<const std::uint8_t> bytes);
+
+/// Fraction of `probes` random test images on which both models predict
+/// the same top class. Deterministic given `seed`.
+[[nodiscard]] double clone_agreement(const vitis::XModel& original,
+                                     const vitis::XModel& clone,
+                                     std::size_t probes, std::uint64_t seed);
+
+}  // namespace msa::attack

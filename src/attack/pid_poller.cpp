@@ -1,0 +1,55 @@
+#include "attack/pid_poller.h"
+
+#include "util/strings.h"
+
+namespace msa::attack {
+
+std::vector<PsEntry> parse_ps(const std::string& ps_text) {
+  std::vector<PsEntry> out;
+  bool first = true;
+  for (const auto& line : util::split(ps_text, '\n')) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto fields = util::split_ws(line);
+    // PID PPID C STIME TTY TIME CMD...
+    if (fields.size() < 7) continue;
+    PsEntry e;
+    try {
+      e.pid = std::stoll(fields[0]);
+      e.ppid = std::stoll(fields[1]);
+    } catch (const std::exception&) {
+      continue;
+    }
+    std::string cmd;
+    for (std::size_t i = 6; i < fields.size(); ++i) {
+      if (i > 6) cmd += ' ';
+      cmd += fields[i];
+    }
+    e.cmd = std::move(cmd);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::optional<PsEntry> PidPoller::find(std::string_view cmd_substring) {
+  last_listing_ = debugger_.ps();
+  ++polls_;
+  for (const auto& e : parse_ps(last_listing_)) {
+    if (util::contains(e.cmd, cmd_substring)) return e;
+  }
+  return std::nullopt;
+}
+
+bool PidPoller::is_alive(os::Pid pid) {
+  last_listing_ = debugger_.ps();
+  ++polls_;
+  for (const auto& e : parse_ps(last_listing_)) {
+    if (e.pid == pid) return true;
+  }
+  return false;
+}
+
+}  // namespace msa::attack

@@ -1,0 +1,52 @@
+// Attack Step 1: polling for the victim's pid.
+//
+// The adversary runs "ps -ef" through the debugger, parses the listing
+// text (they have no structured API — only what the shell shows), and
+// watches for a command line containing a model of interest. After the
+// victim launches, the poller reports its pid; after it terminates, the
+// poller's is_alive() turns false — the trigger for Step 3.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbg/debugger.h"
+
+namespace msa::attack {
+
+struct PsEntry {
+  os::Pid pid = 0;
+  os::Pid ppid = 0;
+  std::string cmd;
+};
+
+/// Parses ps -ef text (header + body lines) into entries. Tolerates
+/// unparseable lines by skipping them, as a shell-scripted attacker would.
+[[nodiscard]] std::vector<PsEntry> parse_ps(const std::string& ps_text);
+
+class PidPoller {
+ public:
+  explicit PidPoller(dbg::SystemDebugger& debugger) : debugger_{debugger} {}
+
+  /// One polling round: returns the first process whose command line
+  /// contains `cmd_substring` (e.g. "resnet50"), or nullopt.
+  [[nodiscard]] std::optional<PsEntry> find(std::string_view cmd_substring);
+
+  /// True while `pid` still appears in ps output.
+  [[nodiscard]] bool is_alive(os::Pid pid);
+
+  /// Raw ps -ef text of the most recent poll (the Figs. 5/6/9 artifact).
+  [[nodiscard]] const std::string& last_listing() const noexcept {
+    return last_listing_;
+  }
+
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+
+ private:
+  dbg::SystemDebugger& debugger_;
+  std::string last_listing_;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace msa::attack

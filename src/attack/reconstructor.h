@@ -1,0 +1,29 @@
+// Attack Step 4.b: reconstructing the victim's input image from the
+// scraped residue using the offline-learned offset.
+#pragma once
+
+#include <optional>
+
+#include "attack/profiler.h"
+#include "attack/scraper.h"
+#include "img/image.h"
+
+namespace msa::attack {
+
+class ImageReconstructor {
+ public:
+  /// Cuts the image out of a VA-ordered heap dump at the profiled offset.
+  /// Returns nullopt when the dump is too small (e.g. partially scrubbed).
+  [[nodiscard]] static std::optional<img::Image> reconstruct(
+      const ScrapedDump& dump, const ModelProfile& profile);
+
+  /// Post-mortem variant for raw physical scans: anchors on the model's
+  /// install-path string (whose residue offset was profiled) and applies
+  /// the profiled (image_offset - path_string_offset) delta. Only valid
+  /// when physical placement preserved the VA-contiguity of the heap —
+  /// exactly what the placement-randomization defense destroys.
+  [[nodiscard]] static std::optional<img::Image> reconstruct_from_scan(
+      const ScrapedDump& scan, const ModelProfile& profile);
+};
+
+}  // namespace msa::attack

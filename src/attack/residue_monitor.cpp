@@ -1,0 +1,71 @@
+#include "attack/residue_monitor.h"
+
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace msa::attack {
+
+namespace {
+constexpr std::uint64_t kPage = 4096;
+}
+
+ResidueMonitor::ResidueMonitor(dbg::SystemDebugger& debugger,
+                               dram::PhysAddr base, std::uint64_t pages)
+    : debugger_{debugger}, base_{base}, pages_{pages} {
+  if (pages == 0) throw std::invalid_argument("ResidueMonitor: zero window");
+}
+
+PoolSnapshot ResidueMonitor::snapshot() {
+  PoolSnapshot snap;
+  snap.base = base_;
+  snap.pages = pages_;
+  snap.page_crc.reserve(static_cast<std::size_t>(pages_));
+  for (std::uint64_t p = 0; p < pages_; ++p) {
+    util::Crc32 crc;
+    for (std::uint64_t off = 0; off < kPage; off += 4) {
+      const std::uint32_t w = debugger_.devmem32(base_ + p * kPage + off);
+      const std::uint8_t bytes[4] = {
+          static_cast<std::uint8_t>(w & 0xFF),
+          static_cast<std::uint8_t>((w >> 8) & 0xFF),
+          static_cast<std::uint8_t>((w >> 16) & 0xFF),
+          static_cast<std::uint8_t>((w >> 24) & 0xFF),
+      };
+      crc.update(bytes);
+    }
+    snap.page_crc.push_back(crc.value());
+  }
+  return snap;
+}
+
+ActivityDelta ResidueMonitor::diff(const PoolSnapshot& before,
+                                   const PoolSnapshot& after) {
+  if (before.base != after.base || before.pages != after.pages) {
+    throw std::invalid_argument("ResidueMonitor::diff: window mismatch");
+  }
+  ActivityDelta delta;
+  std::uint64_t run = 0;
+  for (std::uint64_t p = 0; p < before.pages; ++p) {
+    if (before.page_crc[p] != after.page_crc[p]) {
+      delta.changed_pages.push_back(p);
+      ++run;
+      delta.largest_extent = std::max(delta.largest_extent, run);
+    } else {
+      run = 0;
+    }
+  }
+  return delta;
+}
+
+ActivityDelta ResidueMonitor::poll() {
+  PoolSnapshot now = snapshot();
+  ActivityDelta delta;
+  if (primed_) {
+    delta = diff(last_, now);
+  }
+  last_ = std::move(now);
+  primed_ = true;
+  return delta;
+}
+
+}  // namespace msa::attack

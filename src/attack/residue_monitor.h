@@ -1,0 +1,68 @@
+// Board-activity inference by physical-memory diffing.
+//
+// The devmem channel leaks more than dead data: an attacker who snapshots
+// the pool periodically learns *which frames changed* between snapshots —
+// i.e. when jobs run, how big their working sets are, and where they
+// live, without ever touching /proc. This turns the paper's one-shot
+// scrape into a standing surveillance primitive: the monitor detects a
+// new victim purely from DRAM churn, then the regular pipeline scrapes it
+// after exit.
+//
+// Snapshots store per-page CRCs, so monitoring a 512 MiB pool costs
+// 512 Ki CRC words, not a copy of memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dbg/debugger.h"
+
+namespace msa::attack {
+
+struct PoolSnapshot {
+  dram::PhysAddr base = 0;
+  std::uint64_t pages = 0;
+  std::vector<std::uint32_t> page_crc;  ///< one CRC-32 per 4 KiB page
+};
+
+struct ActivityDelta {
+  /// Page indices (relative to the snapshot base) whose content changed.
+  std::vector<std::uint64_t> changed_pages;
+  /// Longest run of consecutive changed pages — a working-set estimate
+  /// for the largest single allocation that touched the pool.
+  std::uint64_t largest_extent = 0;
+
+  [[nodiscard]] bool any() const noexcept { return !changed_pages.empty(); }
+  [[nodiscard]] std::uint64_t changed_bytes() const noexcept {
+    return changed_pages.size() * 4096;
+  }
+};
+
+class ResidueMonitor {
+ public:
+  /// Monitors [base, base + pages*4KiB) through the debugger's devmem
+  /// channel (ACL/firewall checks apply on every read).
+  ResidueMonitor(dbg::SystemDebugger& debugger, dram::PhysAddr base,
+                 std::uint64_t pages);
+
+  /// Takes a snapshot now.
+  [[nodiscard]] PoolSnapshot snapshot();
+
+  /// Diffs two snapshots of the same window. Throws std::invalid_argument
+  /// on mismatched geometry.
+  [[nodiscard]] static ActivityDelta diff(const PoolSnapshot& before,
+                                          const PoolSnapshot& after);
+
+  /// Convenience: snapshot-now vs the previous snapshot taken through
+  /// this monitor (first call returns an empty delta and primes state).
+  [[nodiscard]] ActivityDelta poll();
+
+ private:
+  dbg::SystemDebugger& debugger_;
+  dram::PhysAddr base_;
+  std::uint64_t pages_;
+  PoolSnapshot last_;
+  bool primed_ = false;
+};
+
+}  // namespace msa::attack

@@ -1,0 +1,159 @@
+#include "attack/scenario.h"
+
+#include <stdexcept>
+
+#include "dram/remanence.h"
+#include "os/scrubber.h"
+#include "util/log.h"
+
+namespace msa::attack {
+
+namespace {
+
+/// Applies the configured post-termination timeline: the background
+/// scrubber works through the freed-dirty backlog and, if the board was
+/// power-cycled, unrefreshed cells decay — both for `attack_delay_s`
+/// simulated seconds before the scrape happens.
+void apply_post_termination(os::PetaLinuxSystem& board,
+                            const ScenarioConfig& cfg) {
+  if (cfg.attack_delay_s <= 0.0) return;
+  board.advance_time(static_cast<std::uint64_t>(cfg.attack_delay_s));
+
+  if (cfg.scrubber_bytes_per_s > 0.0) {
+    os::ScrubberDaemon scrubber{board, cfg.scrubber_bytes_per_s};
+    scrubber.run_for(cfg.attack_delay_s);
+  }
+
+  if (cfg.power_cycled && !board.terminated().empty()) {
+    const dram::RemanenceModel remanence{dram::RemanenceParams{
+        .refresh_active = false,
+        .retention_half_life_s = cfg.retention_half_life_s}};
+    util::Prng prng{cfg.system.seed ^ 0xDEC4FULL};
+    // Decay acts on the whole board; applying it to the victim's former
+    // frames covers everything the scrape will read.
+    for (const dram::PhysAddr pa : board.terminated().back().heap_frames) {
+      remanence.apply(board.dram(), pa, mem::kPageSize, cfg.attack_delay_s,
+                      prng);
+    }
+  }
+}
+
+img::Image make_victim_input(const ScenarioConfig& cfg) {
+  img::Image input =
+      img::make_test_image(cfg.image_width, cfg.image_height, cfg.image_seed);
+  if (cfg.corrupt_image) {
+    input.fill_region(img::kCorruptPixel, cfg.corrupt_fraction);
+  }
+  return input;
+}
+
+}  // namespace
+
+ModelProfile profile_on_twin_board(const ScenarioConfig& config) {
+  // The attacker's own board: identical hardware and allocator behaviour,
+  // but none of the victim's defensive policies apply (the attacker
+  // configures their own board to be fully observable).
+  os::SystemConfig twin = config.system;
+  twin.sanitize = mem::SanitizePolicy::kNone;
+  twin.proc_access = os::ProcAccessPolicy::kWorldReadable;
+
+  os::PetaLinuxSystem board{twin};
+  board.add_user(config.attacker_uid, "attacker");
+  vitis::VitisAiRuntime runtime{board};
+  dbg::SystemDebugger dbg{board, config.attacker_uid,
+                          dbg::DebuggerAcl{dbg::AclMode::kUnrestricted}};
+  OfflineProfiler profiler{runtime, dbg};
+  return profiler.profile_model(config.model_name, config.image_width,
+                                config.image_height, config.attacker_uid);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  ScenarioResult result;
+
+  // ---- offline phase (attacker's twin board) -----------------------------
+  ProfileDb profiles;
+  profiles.add(profile_on_twin_board(config));
+
+  // ---- victim board -------------------------------------------------------
+  os::PetaLinuxSystem board{config.system};
+  board.add_user(config.victim_uid, "victim");
+  board.add_user(config.attacker_uid, "attacker");
+  vitis::VitisAiRuntime runtime{board};
+
+  result.victim_input = make_victim_input(config);
+
+  board.advance_time(8 * 3600 + 43 * 60);  // paper: victim starts at 12:33
+  const vitis::VictimRun victim = runtime.launch(
+      config.victim_uid, config.model_name, result.victim_input, "pts/1");
+  result.victim_top_class = victim.top_class;
+
+  // ---- attack --------------------------------------------------------------
+  dbg::SystemDebugger debugger{board, config.attacker_uid, config.acl};
+  dbg::MemoryFirewall firewall{board, config.firewall};
+  if (config.firewall != dbg::FirewallMode::kDisabled) {
+    debugger.set_firewall(&firewall);
+  }
+  AttackOrchestrator orchestrator{debugger, SignatureDb::for_zoo(),
+                                  std::move(profiles)};
+
+  try {
+    if (config.post_mortem_scan) {
+      // The attacker never saw the live process; the victim terminates,
+      // then the pool is swept.
+      board.terminate(victim.pid);
+      apply_post_termination(board, config);
+      const auto profile = orchestrator.profiles().find(config.model_name);
+      const std::uint64_t heap_guess = profile ? profile->heap_bytes : 1 << 20;
+      const std::uint64_t len =
+          config.scan_bytes != 0 ? config.scan_bytes : heap_guess * 4;
+      const dram::PhysAddr pool_base =
+          mem::PageFrameAllocator::frame_to_phys(config.system.pool_first_pfn);
+      result.report = orchestrator.attack_physical_scan(pool_base, len);
+    } else {
+      // Step 1: poll for the victim.
+      const auto entry = orchestrator.find_victim(config.model_name);
+      if (!entry) {
+        result.denied = true;
+        result.denial_reason = "victim not visible in ps";
+        return result;
+      }
+      // Step 2: resolve while alive.
+      const ResolvedTarget target = orchestrator.resolve(entry->pid);
+      // Victim finishes and exits.
+      board.advance_time(60);
+      board.terminate(victim.pid);
+      if (!orchestrator.victim_terminated(entry->pid)) {
+        throw std::logic_error("scenario: victim still alive after terminate");
+      }
+      apply_post_termination(board, config);
+      // Steps 3-4.
+      result.report = orchestrator.attack_after_termination(target);
+    }
+  } catch (const dbg::DebuggerAccessDenied& e) {
+    result.denied = true;
+    result.denial_reason = e.what();
+    return result;
+  } catch (const os::PermissionError& e) {
+    result.denied = true;
+    result.denial_reason = e.what();
+    return result;
+  }
+
+  // ---- scoring ---------------------------------------------------------------
+  result.model_identified_correctly =
+      result.report.identified_model == config.model_name;
+  if (result.report.reconstructed_image) {
+    result.pixel_match =
+        img::pixel_match_fraction(*result.report.reconstructed_image,
+                                  result.victim_input);
+    result.psnr =
+        img::psnr_db(*result.report.reconstructed_image, result.victim_input);
+  }
+  if (result.report.descriptor_image) {
+    result.descriptor_pixel_match = img::pixel_match_fraction(
+        *result.report.descriptor_image, result.victim_input);
+  }
+  return result;
+}
+
+}  // namespace msa::attack

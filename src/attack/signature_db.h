@@ -1,0 +1,70 @@
+// Attack Step 4.a: identifying the model from strings in the residue.
+//
+// The adversary has offline access to the same Vitis-AI model library the
+// victim uses (paper §II, "Adversary's access"), so they know each model's
+// characteristic strings: the model name itself, its install path, and
+// framework-qualified names like "torchvision/resnet50". The SignatureDb
+// holds one needle set per model; scanning counts needle hits in the
+// scraped bytes and ranks candidates.
+//
+// Beyond strings, identify_deep() hunts for a serialized xmodel container
+// in the residue and parses it outright — recovering not just the model's
+// identity but its full weights (the "revealing sensitive information such
+// as ... weights" claim).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vitis/xmodel.h"
+
+namespace msa::attack {
+
+struct Signature {
+  std::string model_name;
+  std::vector<std::string> needles;
+};
+
+struct SignatureMatch {
+  std::string model_name;
+  std::size_t hits = 0;                 ///< total needle occurrences
+  std::size_t distinct_needles = 0;     ///< how many different needles hit
+  std::vector<std::size_t> offsets;     ///< all match offsets
+};
+
+struct DeepMatch {
+  std::string model_name;
+  std::size_t container_offset = 0;     ///< where the xmodel blob started
+  std::size_t param_bytes = 0;          ///< recovered weight payload size
+};
+
+class SignatureDb {
+ public:
+  /// Builds the database for every bundled zoo model.
+  [[nodiscard]] static SignatureDb for_zoo();
+
+  void add(Signature sig);
+  [[nodiscard]] std::size_t size() const noexcept { return signatures_.size(); }
+
+  /// Scans the residue; returns matches sorted by (distinct_needles, hits)
+  /// descending. Models with zero hits are omitted.
+  [[nodiscard]] std::vector<SignatureMatch> scan(
+      std::span<const std::uint8_t> bytes) const;
+
+  /// Best string-based identification, or nullopt when nothing matches.
+  [[nodiscard]] std::optional<std::string> identify(
+      std::span<const std::uint8_t> bytes) const;
+
+  /// Scans for serialized xmodel containers and fully parses the first
+  /// valid one (weights and all). Returns nullopt when none parses.
+  [[nodiscard]] static std::optional<DeepMatch> identify_deep(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<Signature> signatures_;
+};
+
+}  // namespace msa::attack

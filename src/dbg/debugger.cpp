@@ -1,0 +1,88 @@
+#include "dbg/debugger.h"
+
+#include "dbg/memory_firewall.h"
+#include "util/strings.h"
+
+namespace msa::dbg {
+
+SystemDebugger::SystemDebugger(os::PetaLinuxSystem& system, os::Uid invoking_uid,
+                               DebuggerAcl acl)
+    : system_{system}, uid_{invoking_uid}, acl_{acl} {}
+
+void SystemDebugger::check_physical() {
+  if (!acl_.allows_physical(uid_)) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("debugger: physical access denied for uid " +
+                               std::to_string(uid_));
+  }
+}
+
+void SystemDebugger::check_process(os::Pid pid) {
+  if (acl_.mode == AclMode::kDisabled) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("debugger disabled");
+  }
+  const os::Uid target_uid = system_.process(pid).uid();
+  if (!acl_.allows_process(uid_, target_uid)) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("debugger: uid " + std::to_string(uid_) +
+                               " denied access to pid " + std::to_string(pid));
+  }
+}
+
+std::string SystemDebugger::ps() {
+  if (acl_.mode == AclMode::kDisabled) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("debugger disabled");
+  }
+  ++stats_.ps_calls;
+  return system_.ps_ef();
+}
+
+std::vector<os::Pid> SystemDebugger::pids() {
+  if (acl_.mode == AclMode::kDisabled) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("debugger disabled");
+  }
+  ++stats_.ps_calls;
+  return system_.pids();
+}
+
+std::string SystemDebugger::maps(os::Pid pid) {
+  check_process(pid);
+  ++stats_.maps_reads;
+  // The PetaLinux proc access policy may still deny this even when the
+  // debugger ACL allows it; both layers are modelled independently.
+  return system_.proc_maps(uid_, pid);
+}
+
+std::uint64_t SystemDebugger::pagemap_entry(os::Pid pid, mem::VirtAddr va) {
+  check_process(pid);
+  ++stats_.pagemap_reads;
+  const auto window = system_.proc_pagemap(uid_, pid, mem::vpn_of(va), 1);
+  return window.empty() ? 0 : window.front();
+}
+
+std::optional<dram::PhysAddr> SystemDebugger::virt_to_phys(os::Pid pid,
+                                                           mem::VirtAddr va) {
+  const std::uint64_t raw = pagemap_entry(pid, va);
+  return mem::phys_from_pagemap(raw, va);
+}
+
+std::uint32_t SystemDebugger::devmem32(dram::PhysAddr addr) {
+  check_physical();
+  if (firewall_ && !firewall_->allows(uid_, addr)) {
+    ++stats_.denials;
+    throw DebuggerAccessDenied("memory firewall: uid " + std::to_string(uid_) +
+                               " denied devmem at " + util::hex_0x(addr));
+  }
+  ++stats_.devmem_reads;
+  return system_.devmem_read32(addr);
+}
+
+std::string SystemDebugger::devmem_command(dram::PhysAddr addr) {
+  const std::uint32_t value = devmem32(addr);
+  return "devmem " + util::hex_0x(addr) + "\n" + util::hex_0x(value, 8) + "\n";
+}
+
+}  // namespace msa::dbg

@@ -1,0 +1,132 @@
+// Xilinx System Debugger (XSDB/XSCT) analogue.
+//
+// The paper's second contribution is that the manufacturer-provided
+// debugger can be invoked from a *different user space* and grants
+// unrestricted access to pids, maps, pagemaps, and — via the /dev/mem
+// path — raw physical DRAM (devmem). On a CPU-Linux system those
+// privileges are gated by the kernel; on the PetaLinux target they are
+// not, because the debugger reaches local memory without host-OS
+// mediation.
+//
+// SystemDebugger reifies that surface. Every verb mirrors a command from
+// the paper's methodology:
+//
+//   ps()            -> "ps -ef"                 (attack step 1)
+//   maps(pid)       -> "vim /proc/<pid>/maps"   (attack step 2)
+//   pagemap_entry() -> pread(/proc/<pid>/pagemap)
+//   virt_to_phys()  -> the paper's virtual_to_physical.out helper
+//   devmem32()      -> "devmem <phys-addr>"     (attack step 3)
+//
+// A DebuggerAcl decides whether a verb is permitted for the invoking uid.
+// AclMode::kUnrestricted reproduces the vulnerability; kOwnerOnly models a
+// fixed debugger that refuses cross-user inspection; kDisabled models
+// removing debugger access outright (e.g. production fuses).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "os/system.h"
+
+namespace msa::dbg {
+
+enum class AclMode { kUnrestricted, kOwnerOnly, kDisabled };
+
+/// Thrown when the ACL denies a debugger verb.
+struct DebuggerAccessDenied : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct DebuggerAcl {
+  AclMode mode = AclMode::kUnrestricted;
+
+  /// Physical-memory verbs (devmem) have no target process; they are
+  /// allowed unless the debugger is disabled or owner-only is enforced
+  /// with no way to attribute the address — a fixed debugger denies them
+  /// to non-root.
+  [[nodiscard]] bool allows_physical(os::Uid requester) const noexcept {
+    switch (mode) {
+      case AclMode::kUnrestricted: return true;
+      case AclMode::kOwnerOnly: return requester == 0;
+      case AclMode::kDisabled: return false;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool allows_process(os::Uid requester,
+                                    os::Uid target_uid) const noexcept {
+    switch (mode) {
+      case AclMode::kUnrestricted: return true;
+      case AclMode::kOwnerOnly: return requester == 0 || requester == target_uid;
+      case AclMode::kDisabled: return false;
+    }
+    return false;
+  }
+};
+
+struct DebuggerStats {
+  std::uint64_t ps_calls = 0;
+  std::uint64_t maps_reads = 0;
+  std::uint64_t pagemap_reads = 0;
+  std::uint64_t devmem_reads = 0;
+  std::uint64_t denials = 0;
+};
+
+class MemoryFirewall;
+
+class SystemDebugger {
+ public:
+  /// Attaches the debugger to a live system on behalf of `invoking_uid`.
+  /// The system reference must outlive the debugger.
+  SystemDebugger(os::PetaLinuxSystem& system, os::Uid invoking_uid,
+                 DebuggerAcl acl = {});
+
+  /// Installs (or clears, with nullptr) a physical-access firewall on the
+  /// devmem path. Non-owning; the firewall must outlive the debugger.
+  void set_firewall(MemoryFirewall* firewall) noexcept {
+    firewall_ = firewall;
+  }
+
+  [[nodiscard]] os::Uid invoking_uid() const noexcept { return uid_; }
+  [[nodiscard]] const DebuggerAcl& acl() const noexcept { return acl_; }
+  [[nodiscard]] const DebuggerStats& stats() const noexcept { return stats_; }
+
+  /// "ps -ef": full process listing text.
+  [[nodiscard]] std::string ps();
+
+  /// Live pids (parsed view of ps, for tooling).
+  [[nodiscard]] std::vector<os::Pid> pids();
+
+  /// /proc/<pid>/maps text for any process (ACL-checked).
+  [[nodiscard]] std::string maps(os::Pid pid);
+
+  /// Raw pagemap entry for one virtual page of a process (ACL-checked).
+  [[nodiscard]] std::uint64_t pagemap_entry(os::Pid pid, mem::VirtAddr va);
+
+  /// Full VA->PA translation, the virtual_to_physical helper from the
+  /// paper's Fig. 8. Returns nullopt for unmapped pages.
+  [[nodiscard]] std::optional<dram::PhysAddr> virt_to_phys(os::Pid pid,
+                                                           mem::VirtAddr va);
+
+  /// "devmem <addr>": 32-bit read of physical DRAM (ACL-checked).
+  [[nodiscard]] std::uint32_t devmem32(dram::PhysAddr addr);
+
+  /// Text transcript form of devmem32, matching the paper's Fig. 10
+  /// ("devmem 0x61c6d730" -> "0x00000000").
+  [[nodiscard]] std::string devmem_command(dram::PhysAddr addr);
+
+ private:
+  void check_physical();
+  void check_process(os::Pid pid);
+
+  os::PetaLinuxSystem& system_;
+  os::Uid uid_;
+  DebuggerAcl acl_;
+  DebuggerStats stats_;
+  MemoryFirewall* firewall_ = nullptr;
+};
+
+}  // namespace msa::dbg

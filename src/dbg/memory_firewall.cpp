@@ -1,0 +1,46 @@
+#include "dbg/memory_firewall.h"
+
+namespace msa::dbg {
+
+bool MemoryFirewall::allows(os::Uid requester, dram::PhysAddr addr) {
+  ++stats_.checks;
+  if (mode_ == FirewallMode::kDisabled) return true;
+  if (requester == 0) return true;
+
+  const mem::Pfn pfn = mem::PageFrameAllocator::phys_to_frame(addr);
+  const auto& cfg = system_.allocator().config();
+  if (pfn < cfg.first_pfn || pfn >= cfg.first_pfn + cfg.frame_count) {
+    return true;  // outside the managed pool: not process memory
+  }
+
+  const mem::FrameInfo& info = system_.allocator().info(pfn);
+
+  // Owner pids are recorded at allocation time; map them to uids through
+  // the live process table (or the termination records for dead pids).
+  auto uid_of_pid = [&](std::int64_t pid) -> std::optional<os::Uid> {
+    if (pid == 0) return std::nullopt;
+    if (system_.alive(pid)) return system_.process(pid).uid();
+    for (const auto& rec : system_.terminated()) {
+      if (rec.pid == pid) return rec.uid;
+    }
+    return std::nullopt;
+  };
+
+  if (info.owner_pid != 0) {
+    // Live frame: must belong to one of the requester's processes.
+    const auto owner_uid = uid_of_pid(info.owner_pid);
+    if (owner_uid && *owner_uid == requester) return true;
+    ++stats_.denials;
+    return false;
+  }
+
+  // Freed frame.
+  if (mode_ == FirewallMode::kLiveOwnerOnly) return true;  // half measure
+  if (!info.ever_used) return true;  // never held data: nothing to leak
+  const auto residue_uid = uid_of_pid(info.last_owner);
+  if (residue_uid && *residue_uid == requester) return true;
+  ++stats_.denials;
+  return false;
+}
+
+}  // namespace msa::dbg

@@ -1,0 +1,57 @@
+// Memory firewall for the debugger's physical-access path.
+//
+// The paper's conclusion places the burden on the FPGA manufacturer:
+// "Since the debugger accesses the local accelerator memory without host
+// OS mediation, it falls on the FPGA manufacturer to restrict debugger
+// access privileges." A blanket ACL (AclMode::kOwnerOnly) throws away
+// devmem entirely; the surgical fix is an *owner-tracking firewall*:
+// devmem of a physical address is allowed only if the frame's current
+// owner — or, for freed frames, its *previous* owner — belongs to the
+// requesting user. That preserves self-debugging (the legitimate use
+// case) while closing exactly the residue-scraping channel.
+//
+// The firewall consults the frame allocator's ownership records, i.e. it
+// models a hypervisor/firmware layer that has the same bookkeeping the
+// kernel already keeps.
+#pragma once
+
+#include <cstdint>
+
+#include "os/system.h"
+
+namespace msa::dbg {
+
+enum class FirewallMode {
+  kDisabled,        ///< no filtering (the PetaLinux status quo)
+  kLiveOwnerOnly,   ///< allow frames currently owned by the requester;
+                    ///< freed frames are world-readable (half measure)
+  kOwnerOrResidue,  ///< allow frames owned by the requester now or, when
+                    ///< free, whose residue the requester produced
+};
+
+struct FirewallStats {
+  std::uint64_t checks = 0;
+  std::uint64_t denials = 0;
+};
+
+class MemoryFirewall {
+ public:
+  MemoryFirewall(const os::PetaLinuxSystem& system, FirewallMode mode)
+      : system_{system}, mode_{mode} {}
+
+  [[nodiscard]] FirewallMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const FirewallStats& stats() const noexcept { return stats_; }
+
+  /// May `requester` (a uid) read the 32-bit word at `addr`?
+  /// Root (uid 0) always may; addresses outside the managed pool (device
+  /// registers, carveouts) are always allowed — the firewall only guards
+  /// the process-memory pool.
+  [[nodiscard]] bool allows(os::Uid requester, dram::PhysAddr addr);
+
+ private:
+  const os::PetaLinuxSystem& system_;
+  FirewallMode mode_;
+  FirewallStats stats_;
+};
+
+}  // namespace msa::dbg

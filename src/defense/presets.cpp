@@ -1,0 +1,105 @@
+#include "defense/presets.h"
+
+#include <stdexcept>
+
+namespace msa::defense {
+
+attack::ScenarioConfig baseline_vulnerable(attack::ScenarioConfig base) {
+  base.system.sanitize = mem::SanitizePolicy::kNone;
+  base.system.placement = mem::PlacementPolicy::kSequentialLifo;
+  base.system.proc_access = os::ProcAccessPolicy::kWorldReadable;
+  base.system.heap_va_aslr = false;
+  base.acl.mode = dbg::AclMode::kUnrestricted;
+  return base;
+}
+
+namespace {
+
+attack::ScenarioConfig zero_on_free(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.system.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  return base;
+}
+
+attack::ScenarioConfig zero_on_alloc(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.system.sanitize = mem::SanitizePolicy::kZeroOnAlloc;
+  return base;
+}
+
+attack::ScenarioConfig physical_aslr(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.system.placement = mem::PlacementPolicy::kRandomized;
+  return base;
+}
+
+attack::ScenarioConfig heap_va_aslr(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.system.heap_va_aslr = true;
+  return base;
+}
+
+attack::ScenarioConfig proc_owner_only(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.system.proc_access = os::ProcAccessPolicy::kOwnerOrRoot;
+  return base;
+}
+
+attack::ScenarioConfig debugger_owner_only(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.acl.mode = dbg::AclMode::kOwnerOnly;
+  return base;
+}
+
+attack::ScenarioConfig debugger_disabled(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.acl.mode = dbg::AclMode::kDisabled;
+  return base;
+}
+
+attack::ScenarioConfig devmem_firewall(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.firewall = dbg::FirewallMode::kOwnerOrResidue;
+  return base;
+}
+
+attack::ScenarioConfig devmem_firewall_weak(attack::ScenarioConfig base) {
+  base = baseline_vulnerable(std::move(base));
+  base.firewall = dbg::FirewallMode::kLiveOwnerOnly;
+  return base;
+}
+
+}  // namespace
+
+const std::vector<DefensePreset>& all_presets() {
+  static const std::vector<DefensePreset> kPresets{
+      {"baseline", "vulnerable PetaLinux defaults", &baseline_vulnerable},
+      {"zero_on_free", "scrub frames when a process exits", &zero_on_free},
+      {"zero_on_alloc", "scrub frames before reuse (residue persists while free)",
+       &zero_on_alloc},
+      {"physical_aslr", "randomized physical frame placement", &physical_aslr},
+      {"heap_va_aslr", "randomized per-process heap base (VA only)",
+       &heap_va_aslr},
+      {"proc_owner_only", "maps/pagemap readable by owner or root only",
+       &proc_owner_only},
+      {"dbg_owner_only", "debugger refuses cross-user targets and physical reads",
+       &debugger_owner_only},
+      {"dbg_disabled", "debugger interface removed", &debugger_disabled},
+      {"fw_owner_residue",
+       "devmem firewall: own frames + own residue only (surgical fix)",
+       &devmem_firewall},
+      {"fw_live_only",
+       "devmem firewall guarding live frames only (freed frames open)",
+       &devmem_firewall_weak},
+  };
+  return kPresets;
+}
+
+const DefensePreset& preset(const std::string& name) {
+  for (const auto& p : all_presets()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown defense preset: " + name);
+}
+
+}  // namespace msa::defense

@@ -1,0 +1,35 @@
+// Named defense configurations. Each preset hardens exactly one of the
+// three holes the paper's §VI enumerates (plus the debugger ACL the
+// conclusion says the manufacturer must fix), so the evaluator can
+// attribute attack failure to a specific countermeasure:
+//
+//   1. "unrestricted access to the page map tables"  -> proc ACL / dbg ACL
+//   2. "does not sanitize the physical memory"       -> zero-on-free/alloc
+//   3. "no randomization in physical page layout"    -> placement random.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/scenario.h"
+
+namespace msa::defense {
+
+struct DefensePreset {
+  std::string name;
+  std::string description;
+  /// Applies the preset's policy changes to a baseline scenario config.
+  attack::ScenarioConfig (*apply)(attack::ScenarioConfig base);
+};
+
+/// The vulnerable PetaLinux baseline (no defense).
+[[nodiscard]] attack::ScenarioConfig baseline_vulnerable(
+    attack::ScenarioConfig base);
+
+/// All presets, baseline first. Ordered for report tables.
+[[nodiscard]] const std::vector<DefensePreset>& all_presets();
+
+/// Lookup by name; throws std::invalid_argument when unknown.
+[[nodiscard]] const DefensePreset& preset(const std::string& name);
+
+}  // namespace msa::defense

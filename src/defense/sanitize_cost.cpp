@@ -1,0 +1,75 @@
+#include "defense/sanitize_cost.h"
+
+#include <map>
+#include <set>
+
+namespace msa::defense {
+
+SanitizeCostReport SanitizeCostModel::cost(
+    const std::vector<mem::Pfn>& freed_frames,
+    const std::vector<mem::Pfn>& live_frames) {
+  constexpr std::uint64_t kPage = mem::PageFrameAllocator::kPageSize;
+
+  SanitizeCostReport report;
+  report.frames = freed_frames.size();
+  report.bytes_requested = freed_frames.size() * kPage;
+
+  // CPU store path: zero each freed frame individually.
+  timing_.reset();
+  for (const mem::Pfn pfn : freed_frames) {
+    report.cpu_zero_ns += timing_.cpu_zero_ns(
+        mem::PageFrameAllocator::frame_to_phys(pfn), kPage);
+  }
+
+  // In-DRAM paths: clear each freed frame's row span; dedupe rows since
+  // one row op clears every page in the row.
+  const std::uint32_t bytes_per_row = 8192;  // matches DramConfig defaults
+  std::set<std::uint64_t> rows;
+  for (const mem::Pfn pfn : freed_frames) {
+    const dram::PhysAddr base = mem::PageFrameAllocator::frame_to_phys(pfn);
+    rows.insert(base / bytes_per_row);
+    rows.insert((base + kPage - 1) / bytes_per_row);
+  }
+  report.rows_touched = rows.size();
+
+  timing_.reset();
+  for (const std::uint64_t row : rows) {
+    report.rowclone_ns +=
+        timing_.rowclone_zero_ns(row * bytes_per_row, bytes_per_row);
+  }
+  timing_.reset();
+  for (const std::uint64_t row : rows) {
+    report.rowreset_ns +=
+        timing_.rowreset_zero_ns(row * bytes_per_row, bytes_per_row);
+  }
+
+  // Collateral: live frames overlapping a cleared row lose their bytes in
+  // that row.
+  const std::set<mem::Pfn> freed_set{freed_frames.begin(), freed_frames.end()};
+  for (const mem::Pfn live : live_frames) {
+    if (freed_set.count(live) != 0) continue;  // caller error tolerance
+    const dram::PhysAddr base = mem::PageFrameAllocator::frame_to_phys(live);
+    for (dram::PhysAddr a = base; a < base + kPage; a += bytes_per_row) {
+      if (rows.count(a / bytes_per_row) != 0) {
+        const dram::PhysAddr row_start = (a / bytes_per_row) * bytes_per_row;
+        const dram::PhysAddr lo = std::max(base, row_start);
+        const dram::PhysAddr hi =
+            std::min<dram::PhysAddr>(base + kPage, row_start + bytes_per_row);
+        report.collateral_bytes += hi - lo;
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<mem::Pfn> make_frame_set(mem::Pfn first, std::uint64_t count,
+                                     std::uint64_t stride) {
+  std::vector<mem::Pfn> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(first + i * (stride == 0 ? 1 : stride));
+  }
+  return out;
+}
+
+}  // namespace msa::defense

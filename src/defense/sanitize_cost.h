@@ -1,0 +1,63 @@
+// Sanitization cost analysis (paper §I-B / related work).
+//
+// The paper argues that in-DRAM bulk-initialization schemes (RowClone,
+// RowReset) are attractive for contiguous regions but dangerous for the
+// non-contiguous page layouts of multi-tenant FPGAs: clearing whole rows
+// can wipe a co-resident active tenant's data. This module quantifies
+// both sides:
+//
+//   * cost:       ns to zero a set of freed frames with CPU stores vs
+//                 RowClone vs RowReset (via the DRAM timing model);
+//   * collateral: bytes of *other* owners' live data destroyed when the
+//                 in-DRAM scheme rounds the freed set up to whole rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/timing_model.h"
+#include "mem/frame_allocator.h"
+
+namespace msa::defense {
+
+struct SanitizeCostReport {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes_requested = 0;   ///< frames * page size
+  double cpu_zero_ns = 0.0;            ///< store-based scrubbing
+  double rowclone_ns = 0.0;
+  double rowreset_ns = 0.0;
+  std::uint64_t rows_touched = 0;      ///< whole rows the in-DRAM ops clear
+  std::uint64_t collateral_bytes = 0;  ///< live non-victim bytes in those rows
+
+  [[nodiscard]] double cpu_over_rowclone() const noexcept {
+    return rowclone_ns > 0 ? cpu_zero_ns / rowclone_ns : 0.0;
+  }
+};
+
+class SanitizeCostModel {
+ public:
+  explicit SanitizeCostModel(dram::DramTimingModel timing)
+      : timing_{std::move(timing)} {}
+
+  /// Costs zeroing the given frames. `live_frames` lists frames belonging
+  /// to other (active) owners; any of their bytes inside a cleared row
+  /// count as collateral damage. Frame lists need not be sorted.
+  [[nodiscard]] SanitizeCostReport cost(const std::vector<mem::Pfn>& freed_frames,
+                                        const std::vector<mem::Pfn>& live_frames);
+
+  [[nodiscard]] const dram::DramTimingModel& timing() const noexcept {
+    return timing_;
+  }
+
+ private:
+  dram::DramTimingModel timing_;
+};
+
+/// Generates a freed-frame set: `count` frames starting at `first`, either
+/// contiguous or scattered with the given stride (models multi-tenant
+/// interleaving).
+[[nodiscard]] std::vector<mem::Pfn> make_frame_set(mem::Pfn first,
+                                                   std::uint64_t count,
+                                                   std::uint64_t stride = 1);
+
+}  // namespace msa::defense

@@ -1,0 +1,67 @@
+// Board-level DRAM configuration. The paper demonstrates on the ZCU104 and
+// re-verifies on the ZCU102 (generalizability, §I-C); both are Zynq
+// UltraScale+ MPSoC boards whose PS DDR4 occupies the low physical address
+// region. Addresses the paper reports (e.g. 0x61c6d730) fall inside the
+// ZCU104's 2 GiB DDR-Low window, which is why our defaults mirror it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msa::dram {
+
+using PhysAddr = std::uint64_t;
+
+struct DramConfig {
+  std::string board_name;       ///< e.g. "zcu104"
+  PhysAddr base = 0x0;          ///< start of the DDR window
+  std::uint64_t size = 0;       ///< bytes of local DRAM
+  std::uint32_t page_size = 4096;  ///< allocation granule (matches MMU pages)
+
+  // Geometry used by the timing model and by RowClone/RowReset defenses.
+  std::uint32_t row_bytes = 8192;   ///< one DRAM row (8 KiB typical DDR4 x64)
+  std::uint32_t banks = 16;         ///< bank count (4 groups x 4 banks)
+
+  [[nodiscard]] PhysAddr end() const noexcept { return base + size; }
+  [[nodiscard]] bool contains(PhysAddr addr, std::uint64_t len = 1) const noexcept {
+    return addr >= base && len <= size && addr - base <= size - len;
+  }
+  [[nodiscard]] std::uint64_t frames() const noexcept { return size / page_size; }
+
+  /// ZCU104: Zynq UltraScale+ EV, 2 GiB PS DDR4 at 0x0 (DDR-Low).
+  [[nodiscard]] static DramConfig zcu104();
+  /// ZCU102: Zynq UltraScale+ EG, 4 GiB PS DDR4 (2 GiB low + high window);
+  /// we model the low window plus an extended region.
+  [[nodiscard]] static DramConfig zcu102();
+  /// Tiny config for fast unit tests (16 MiB).
+  [[nodiscard]] static DramConfig test_small();
+};
+
+inline DramConfig DramConfig::zcu104() {
+  return DramConfig{.board_name = "zcu104",
+                    .base = 0x0,
+                    .size = 2ULL * 1024 * 1024 * 1024,
+                    .page_size = 4096,
+                    .row_bytes = 8192,
+                    .banks = 16};
+}
+
+inline DramConfig DramConfig::zcu102() {
+  return DramConfig{.board_name = "zcu102",
+                    .base = 0x0,
+                    .size = 4ULL * 1024 * 1024 * 1024,
+                    .page_size = 4096,
+                    .row_bytes = 8192,
+                    .banks = 16};
+}
+
+inline DramConfig DramConfig::test_small() {
+  return DramConfig{.board_name = "testboard",
+                    .base = 0x0,
+                    .size = 16ULL * 1024 * 1024,
+                    .page_size = 4096,
+                    .row_bytes = 8192,
+                    .banks = 4};
+}
+
+}  // namespace msa::dram

@@ -1,0 +1,268 @@
+#include "dram/dram_model.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace msa::dram {
+
+DramModel::DramModel(DramConfig config) : config_{std::move(config)} {
+  if (config_.size == 0) throw std::invalid_argument("DramModel: zero-size DRAM");
+  if (config_.size % kBlockSize != 0) {
+    throw std::invalid_argument("DramModel: size must be a multiple of 4 KiB");
+  }
+}
+
+void DramModel::check_range(PhysAddr addr, std::uint64_t len) const {
+  if (!config_.contains(addr, len)) {
+    throw std::out_of_range("DRAM access outside board window: addr=" +
+                            util::hex_0x(addr) + " len=" + std::to_string(len));
+  }
+}
+
+const DramModel::Block* DramModel::find_block(std::uint64_t index) const noexcept {
+  const auto it = blocks_.find(index);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+DramModel::Block& DramModel::touch_block(std::uint64_t index) {
+  auto [it, inserted] = blocks_.try_emplace(index);
+  if (inserted) {
+    it->second.assign(kBlockSize, 0);
+    ++stats_.blocks_touched;
+  }
+  return it->second;
+}
+
+namespace {
+
+template <typename Word>
+Word load_le(const std::uint8_t* p) noexcept {
+  Word w{};
+  std::memcpy(&w, p, sizeof(Word));
+  return w;  // host is little-endian; ARM Cortex-A53 in the paper is too
+}
+
+template <typename Word>
+void store_le(std::uint8_t* p, Word w) noexcept {
+  std::memcpy(p, &w, sizeof(Word));
+}
+
+}  // namespace
+
+std::uint8_t DramModel::read8(PhysAddr addr) const {
+  check_range(addr, 1);
+  ++stats_.reads;
+  stats_.bytes_read += 1;
+  const std::uint64_t off = addr - config_.base;
+  const Block* b = find_block(off / kBlockSize);
+  return b ? (*b)[off % kBlockSize] : 0;
+}
+
+std::uint16_t DramModel::read16(PhysAddr addr) const {
+  check_range(addr, 2);
+  ++stats_.reads;
+  stats_.bytes_read += 2;
+  std::uint8_t buf[2] = {};
+  const std::uint64_t off = addr - config_.base;
+  for (int i = 0; i < 2; ++i) {
+    const Block* b = find_block((off + i) / kBlockSize);
+    buf[i] = b ? (*b)[(off + i) % kBlockSize] : 0;
+  }
+  return load_le<std::uint16_t>(buf);
+}
+
+std::uint32_t DramModel::read32(PhysAddr addr) const {
+  check_range(addr, 4);
+  ++stats_.reads;
+  stats_.bytes_read += 4;
+  const std::uint64_t off = addr - config_.base;
+  if (off % kBlockSize <= kBlockSize - 4) {
+    const Block* b = find_block(off / kBlockSize);
+    return b ? load_le<std::uint32_t>(b->data() + off % kBlockSize) : 0;
+  }
+  std::uint8_t buf[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    const Block* b = find_block((off + i) / kBlockSize);
+    buf[i] = b ? (*b)[(off + i) % kBlockSize] : 0;
+  }
+  return load_le<std::uint32_t>(buf);
+}
+
+std::uint64_t DramModel::read64(PhysAddr addr) const {
+  check_range(addr, 8);
+  ++stats_.reads;
+  stats_.bytes_read += 8;
+  const std::uint64_t off = addr - config_.base;
+  if (off % kBlockSize <= kBlockSize - 8) {
+    const Block* b = find_block(off / kBlockSize);
+    return b ? load_le<std::uint64_t>(b->data() + off % kBlockSize) : 0;
+  }
+  std::uint8_t buf[8] = {};
+  for (int i = 0; i < 8; ++i) {
+    const Block* b = find_block((off + i) / kBlockSize);
+    buf[i] = b ? (*b)[(off + i) % kBlockSize] : 0;
+  }
+  return load_le<std::uint64_t>(buf);
+}
+
+void DramModel::write8(PhysAddr addr, std::uint8_t value) {
+  check_range(addr, 1);
+  ++stats_.writes;
+  stats_.bytes_written += 1;
+  const std::uint64_t off = addr - config_.base;
+  touch_block(off / kBlockSize)[off % kBlockSize] = value;
+}
+
+void DramModel::write16(PhysAddr addr, std::uint16_t value) {
+  check_range(addr, 2);
+  ++stats_.writes;
+  stats_.bytes_written += 2;
+  std::uint8_t buf[2];
+  store_le(buf, value);
+  const std::uint64_t off = addr - config_.base;
+  for (int i = 0; i < 2; ++i) {
+    touch_block((off + i) / kBlockSize)[(off + i) % kBlockSize] = buf[i];
+  }
+}
+
+void DramModel::write32(PhysAddr addr, std::uint32_t value) {
+  check_range(addr, 4);
+  ++stats_.writes;
+  stats_.bytes_written += 4;
+  const std::uint64_t off = addr - config_.base;
+  if (off % kBlockSize <= kBlockSize - 4) {
+    store_le(touch_block(off / kBlockSize).data() + off % kBlockSize, value);
+    return;
+  }
+  std::uint8_t buf[4];
+  store_le(buf, value);
+  for (int i = 0; i < 4; ++i) {
+    touch_block((off + i) / kBlockSize)[(off + i) % kBlockSize] = buf[i];
+  }
+}
+
+void DramModel::write64(PhysAddr addr, std::uint64_t value) {
+  check_range(addr, 8);
+  ++stats_.writes;
+  stats_.bytes_written += 8;
+  const std::uint64_t off = addr - config_.base;
+  if (off % kBlockSize <= kBlockSize - 8) {
+    store_le(touch_block(off / kBlockSize).data() + off % kBlockSize, value);
+    return;
+  }
+  std::uint8_t buf[8];
+  store_le(buf, value);
+  for (int i = 0; i < 8; ++i) {
+    touch_block((off + i) / kBlockSize)[(off + i) % kBlockSize] = buf[i];
+  }
+}
+
+void DramModel::read_block(PhysAddr addr, std::span<std::uint8_t> out) const {
+  check_range(addr, out.size());
+  stats_.bytes_read += out.size();
+  ++stats_.reads;
+  std::uint64_t off = addr - config_.base;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t block_index = off / kBlockSize;
+    const std::uint64_t in_block = off % kBlockSize;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockSize - in_block, out.size() - done));
+    const Block* b = find_block(block_index);
+    if (b) {
+      std::memcpy(out.data() + done, b->data() + in_block, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+    off += chunk;
+  }
+}
+
+void DramModel::write_block(PhysAddr addr, std::span<const std::uint8_t> data) {
+  check_range(addr, data.size());
+  stats_.bytes_written += data.size();
+  ++stats_.writes;
+  std::uint64_t off = addr - config_.base;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t block_index = off / kBlockSize;
+    const std::uint64_t in_block = off % kBlockSize;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockSize - in_block, data.size() - done));
+    std::memcpy(touch_block(block_index).data() + in_block, data.data() + done,
+                chunk);
+    done += chunk;
+    off += chunk;
+  }
+}
+
+void DramModel::zero_range(PhysAddr addr, std::uint64_t len) {
+  fill_range(addr, len, 0);
+}
+
+void DramModel::fill_range(PhysAddr addr, std::uint64_t len, std::uint8_t value) {
+  check_range(addr, len);
+  stats_.bytes_written += len;
+  ++stats_.writes;
+  std::uint64_t off = addr - config_.base;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t block_index = off / kBlockSize;
+    const std::uint64_t in_block = off % kBlockSize;
+    const std::uint64_t chunk = std::min(kBlockSize - in_block, remaining);
+    if (value == 0 && in_block == 0 && chunk == kBlockSize) {
+      // Whole-block zero: drop the block; absent blocks read as zero.
+      blocks_.erase(block_index);
+    } else {
+      auto& b = touch_block(block_index);
+      std::memset(b.data() + in_block, value, static_cast<std::size_t>(chunk));
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+}
+
+bool DramModel::any_nonzero(PhysAddr addr, std::uint64_t len) const {
+  check_range(addr, len);
+  std::uint64_t off = addr - config_.base;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t block_index = off / kBlockSize;
+    const std::uint64_t in_block = off % kBlockSize;
+    const std::uint64_t chunk = std::min(kBlockSize - in_block, remaining);
+    if (const Block* b = find_block(block_index)) {
+      const auto* begin = b->data() + in_block;
+      if (std::any_of(begin, begin + chunk, [](std::uint8_t v) { return v != 0; })) {
+        return true;
+      }
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+  return false;
+}
+
+std::uint32_t DramModel::checksum(PhysAddr addr, std::uint64_t len) const {
+  check_range(addr, len);
+  util::Crc32 crc;
+  std::vector<std::uint8_t> buf;
+  std::uint64_t off = addr;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, 1 << 16));
+    buf.resize(chunk);
+    read_block(off, buf);
+    crc.update(buf);
+    off += chunk;
+    remaining -= chunk;
+  }
+  return crc.value();
+}
+
+}  // namespace msa::dram

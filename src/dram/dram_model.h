@@ -1,0 +1,87 @@
+// Word-addressable model of the FPGA board's local DRAM.
+//
+// The security property under study is *remanence*: bytes written by a
+// process stay in DRAM after the owning process terminates, unless some
+// layer explicitly sanitizes them. The model therefore never clears
+// storage implicitly — only explicit zero_range()/fill_range() calls
+// (issued by OS sanitization policies or defenses) change content, exactly
+// mirroring the paper's observation that PetaLinux performs no automatic
+// memory sanitization.
+//
+// Storage is sparse (4 KiB blocks allocated on first touch) so a 2 GiB
+// board image costs only what the workload actually dirties. Unwritten
+// memory reads as zero, which matches a freshly powered DRAM model after
+// initialization and keeps test fixtures cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/dram_config.h"
+
+namespace msa::dram {
+
+struct DramStats {
+  std::uint64_t reads = 0;          ///< word-level read operations
+  std::uint64_t writes = 0;         ///< word-level write operations
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t blocks_touched = 0; ///< sparse blocks materialized
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig config);
+
+  [[nodiscard]] const DramConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // --- word accessors (devmem semantics: aligned loads/stores) ----------
+  [[nodiscard]] std::uint8_t read8(PhysAddr addr) const;
+  [[nodiscard]] std::uint16_t read16(PhysAddr addr) const;
+  [[nodiscard]] std::uint32_t read32(PhysAddr addr) const;
+  [[nodiscard]] std::uint64_t read64(PhysAddr addr) const;
+  void write8(PhysAddr addr, std::uint8_t value);
+  void write16(PhysAddr addr, std::uint16_t value);
+  void write32(PhysAddr addr, std::uint32_t value);
+  void write64(PhysAddr addr, std::uint64_t value);
+
+  // --- bulk accessors ----------------------------------------------------
+  void read_block(PhysAddr addr, std::span<std::uint8_t> out) const;
+  void write_block(PhysAddr addr, std::span<const std::uint8_t> data);
+
+  /// Explicit sanitization primitives; the only paths that erase content.
+  void zero_range(PhysAddr addr, std::uint64_t len);
+  void fill_range(PhysAddr addr, std::uint64_t len, std::uint8_t value);
+
+  /// True if any byte in [addr, addr+len) is nonzero. Cheap for untouched
+  /// regions (sparse blocks absent => all zero).
+  [[nodiscard]] bool any_nonzero(PhysAddr addr, std::uint64_t len) const;
+
+  /// CRC-32 over a physical range; used to assert byte-exact residue.
+  [[nodiscard]] std::uint32_t checksum(PhysAddr addr, std::uint64_t len) const;
+
+  /// Number of sparse blocks currently materialized (memory footprint probe).
+  [[nodiscard]] std::size_t materialized_blocks() const noexcept {
+    return blocks_.size();
+  }
+
+ private:
+  static constexpr std::uint64_t kBlockSize = 4096;
+
+  using Block = std::vector<std::uint8_t>;
+
+  void check_range(PhysAddr addr, std::uint64_t len) const;
+  [[nodiscard]] const Block* find_block(std::uint64_t index) const noexcept;
+  [[nodiscard]] Block& touch_block(std::uint64_t index);
+
+  DramConfig config_;
+  std::unordered_map<std::uint64_t, Block> blocks_;
+  mutable DramStats stats_;
+};
+
+}  // namespace msa::dram

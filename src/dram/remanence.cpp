@@ -1,0 +1,52 @@
+#include "dram/remanence.h"
+
+#include <cmath>
+#include <vector>
+
+namespace msa::dram {
+
+double RemanenceModel::decay_probability(double elapsed_s) const noexcept {
+  if (params_.refresh_active || elapsed_s <= 0.0) return 0.0;
+  // P(decayed) = 1 - 2^(-t / half_life)
+  return 1.0 - std::exp2(-elapsed_s / params_.retention_half_life_s);
+}
+
+std::uint64_t RemanenceModel::apply(DramModel& dram, PhysAddr addr,
+                                    std::uint64_t len, double elapsed_s,
+                                    util::Prng& prng) const {
+  const double p = decay_probability(elapsed_s);
+  if (p <= 0.0) return 0;
+
+  std::uint64_t flipped = 0;
+  std::vector<std::uint8_t> buf;
+  constexpr std::uint64_t kChunk = 1 << 16;
+  PhysAddr p_addr = addr;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(remaining < kChunk ? remaining : kChunk);
+    buf.resize(chunk);
+    dram.read_block(p_addr, buf);
+    bool dirty = false;
+    for (auto& byte : buf) {
+      for (int bit = 0; bit < 8; ++bit) {
+        // Decide the discharge value of this cell, then flip toward it
+        // with probability p if the stored value differs.
+        const bool anti = prng.chance(params_.anti_cell_fraction);
+        const std::uint8_t discharge = anti ? 1 : 0;
+        const std::uint8_t current = (byte >> bit) & 1u;
+        if (current != discharge && prng.chance(p)) {
+          byte = static_cast<std::uint8_t>(byte ^ (1u << bit));
+          ++flipped;
+          dirty = true;
+        }
+      }
+    }
+    if (dirty) dram.write_block(p_addr, buf);
+    p_addr += chunk;
+    remaining -= chunk;
+  }
+  return flipped;
+}
+
+}  // namespace msa::dram

@@ -1,0 +1,51 @@
+// Remanence / decay model.
+//
+// On the paper's boards DRAM is continuously refreshed while powered, so a
+// terminated process's data survives bit-exact — that is the headline
+// vulnerability. This module makes the remanence assumption explicit and
+// testable, and additionally supports an ablation where refresh is
+// interrupted (e.g. a board power-cycle between victim and attacker):
+// cells decay toward their discharge value with a per-bit probability that
+// grows with elapsed time, following the exponential retention model used
+// in cold-boot literature. The ablation shows how recovery quality
+// degrades when the attacker cannot scrape promptly.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/dram_model.h"
+#include "util/prng.h"
+
+namespace msa::dram {
+
+struct RemanenceParams {
+  /// True on a powered, refreshed board (the paper's setting): no decay.
+  bool refresh_active = true;
+  /// Retention half-life (seconds) of a cell once refresh stops at the
+  /// operating temperature. Seconds-scale retention is typical near 45°C.
+  double retention_half_life_s = 2.0;
+  /// Fraction of cells that discharge toward '1' instead of '0'
+  /// (anti-cells in true/anti-cell DRAM layouts).
+  double anti_cell_fraction = 0.1;
+};
+
+class RemanenceModel {
+ public:
+  explicit RemanenceModel(RemanenceParams params = {}) : params_{params} {}
+
+  [[nodiscard]] const RemanenceParams& params() const noexcept { return params_; }
+
+  /// Probability that a given bit has flipped to its discharge value after
+  /// `elapsed_s` seconds without refresh.
+  [[nodiscard]] double decay_probability(double elapsed_s) const noexcept;
+
+  /// Applies decay in place to [addr, addr+len). No-op when refresh is
+  /// active. Returns the number of bits flipped.
+  std::uint64_t apply(DramModel& dram, PhysAddr addr, std::uint64_t len,
+                      double elapsed_s, util::Prng& prng) const;
+
+ private:
+  RemanenceParams params_;
+};
+
+}  // namespace msa::dram

@@ -1,0 +1,99 @@
+#include "dram/timing_model.h"
+
+#include <stdexcept>
+
+namespace msa::dram {
+
+DramTimingModel::DramTimingModel(DramConfig config, TimingParams params)
+    : config_{std::move(config)}, params_{params} {
+  if (config_.banks == 0 || config_.row_bytes == 0) {
+    throw std::invalid_argument("DramTimingModel: bad geometry");
+  }
+  open_row_.assign(config_.banks, -1);
+}
+
+DramLocation DramTimingModel::locate(PhysAddr addr) const noexcept {
+  const std::uint64_t off = addr - config_.base;
+  const std::uint64_t global_row = off / config_.row_bytes;
+  DramLocation loc;
+  loc.column = static_cast<std::uint32_t>(off % config_.row_bytes);
+  loc.bank = static_cast<std::uint32_t>(global_row % config_.banks);
+  loc.row = global_row / config_.banks;
+  return loc;
+}
+
+double DramTimingModel::access_ns(PhysAddr addr, std::uint32_t bytes) noexcept {
+  const DramLocation loc = locate(addr);
+  double ns = 0.0;
+  if (open_row_[loc.bank] == static_cast<std::int64_t>(loc.row)) {
+    ++row_hits_;
+    ns += params_.t_cas;
+  } else {
+    ++row_misses_;
+    // Close the previously open row (if any) then activate the new one.
+    if (open_row_[loc.bank] >= 0) ns += params_.t_rp;
+    ns += params_.t_rcd + params_.t_cas;
+    open_row_[loc.bank] = static_cast<std::int64_t>(loc.row);
+  }
+  // Burst transfer: one BL8 burst moves 64 bytes on a 64-bit channel.
+  const std::uint32_t lines = (bytes + 63) / 64;
+  ns += params_.t_burst * lines;
+  return ns;
+}
+
+double DramTimingModel::cpu_zero_ns(PhysAddr addr, std::uint64_t len) noexcept {
+  double ns = 0.0;
+  PhysAddr p = addr;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(remaining < 64 ? remaining : 64);
+    ns += access_ns(p, chunk);
+    p += chunk;
+    remaining -= chunk;
+  }
+  return ns;
+}
+
+double DramTimingModel::rowclone_zero_ns(PhysAddr addr, std::uint64_t len,
+                                         std::uint64_t* rows_touched) noexcept {
+  const std::uint64_t first_row = (addr - config_.base) / config_.row_bytes;
+  const std::uint64_t last_row =
+      (addr - config_.base + (len == 0 ? 0 : len - 1)) / config_.row_bytes;
+  const std::uint64_t rows = len == 0 ? 0 : last_row - first_row + 1;
+  if (rows_touched) *rows_touched = rows;
+  // Each cleared row invalidates the open-row state of its bank.
+  for (std::uint64_t r = first_row; len != 0 && r <= last_row; ++r) {
+    open_row_[static_cast<std::uint32_t>(r % config_.banks)] = -1;
+  }
+  return params_.t_rowclone * static_cast<double>(rows);
+}
+
+double DramTimingModel::rowreset_zero_ns(PhysAddr addr, std::uint64_t len,
+                                         std::uint64_t* rows_touched) noexcept {
+  const std::uint64_t first_row = (addr - config_.base) / config_.row_bytes;
+  const std::uint64_t last_row =
+      (addr - config_.base + (len == 0 ? 0 : len - 1)) / config_.row_bytes;
+  const std::uint64_t rows = len == 0 ? 0 : last_row - first_row + 1;
+  if (rows_touched) *rows_touched = rows;
+  for (std::uint64_t r = first_row; len != 0 && r <= last_row; ++r) {
+    open_row_[static_cast<std::uint32_t>(r % config_.banks)] = -1;
+  }
+  return params_.t_rowreset * static_cast<double>(rows);
+}
+
+std::uint64_t DramTimingModel::row_footprint_bytes(PhysAddr addr,
+                                                   std::uint64_t len) const noexcept {
+  if (len == 0) return 0;
+  const std::uint64_t first_row = (addr - config_.base) / config_.row_bytes;
+  const std::uint64_t last_row = (addr - config_.base + len - 1) / config_.row_bytes;
+  return (last_row - first_row + 1) * config_.row_bytes;
+}
+
+void DramTimingModel::reset() noexcept {
+  open_row_.assign(config_.banks, -1);
+  row_hits_ = 0;
+  row_misses_ = 0;
+}
+
+}  // namespace msa::dram

@@ -1,0 +1,90 @@
+// DDR4-style timing model for the board's local DRAM.
+//
+// Used by the sanitization-cost ablation (DESIGN.md Abl. B): the paper's
+// related-work section argues that RowClone/RowReset-style in-DRAM bulk
+// zeroing is fast for contiguous rows but hazardous for the non-contiguous
+// page layouts of multi-tenant FPGAs. To measure that trade-off we need a
+// cost for (a) CPU store-based zeroing, word by word through the memory
+// controller, and (b) in-DRAM row operations.
+//
+// The model is deliberately first-order: per-bank open-row tracking with
+// row-hit / row-miss / bank-conflict latencies taken from DDR4-2400
+// datasheet-class numbers. It is a cost model, not a cycle-accurate DRAM
+// simulator — the ablations need relative magnitudes, which this captures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_config.h"
+
+namespace msa::dram {
+
+struct TimingParams {
+  // All values in nanoseconds, DDR4-2400 class.
+  double t_cas = 13.32;        ///< CL: column access (row already open)
+  double t_rcd = 13.32;        ///< RAS-to-CAS: open a row
+  double t_rp = 13.32;         ///< precharge: close a row
+  double t_burst = 3.33;       ///< data burst per 64-byte line (BL8 @ 1200 MHz)
+  double t_rowclone = 100.0;   ///< in-DRAM row copy/zero (RowClone FPM)
+  double t_rowreset = 50.0;    ///< VDD/VSS manipulation per row (RowReset)
+  std::uint32_t bus_bytes = 8; ///< 64-bit channel
+};
+
+/// Address decomposition result.
+struct DramLocation {
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint32_t column = 0;
+};
+
+class DramTimingModel {
+ public:
+  DramTimingModel(DramConfig config, TimingParams params = {});
+
+  [[nodiscard]] const TimingParams& params() const noexcept { return params_; }
+
+  /// Maps a physical address to (bank, row, column) by bit slicing:
+  /// column bits low, bank bits middle (for bank-level parallelism on
+  /// strided access), row bits high.
+  [[nodiscard]] DramLocation locate(PhysAddr addr) const noexcept;
+
+  /// Cost in ns of one CPU-side access of `bytes` at `addr`, accounting
+  /// for row hit/miss in the addressed bank. Updates open-row state.
+  double access_ns(PhysAddr addr, std::uint32_t bytes) noexcept;
+
+  /// Cost in ns of zeroing [addr, addr+len) with CPU stores (the software
+  /// sanitization baseline): sequential 64-byte line writes through the
+  /// controller.
+  double cpu_zero_ns(PhysAddr addr, std::uint64_t len) noexcept;
+
+  /// Cost in ns of zeroing whole rows covering [addr, addr+len) with
+  /// RowClone-style in-DRAM operations. Returns cost; `rows_touched` out
+  /// param (if non-null) reports how many rows were cleared — the
+  /// collateral-damage analysis compares this span with the requested one.
+  double rowclone_zero_ns(PhysAddr addr, std::uint64_t len,
+                          std::uint64_t* rows_touched = nullptr) noexcept;
+
+  /// Same accounting for RowReset (per-row VDD/VSS reset).
+  double rowreset_zero_ns(PhysAddr addr, std::uint64_t len,
+                          std::uint64_t* rows_touched = nullptr) noexcept;
+
+  /// Bytes covered by the whole-row footprint of [addr, addr+len); the
+  /// difference vs len is potential collateral damage to co-resident data.
+  [[nodiscard]] std::uint64_t row_footprint_bytes(PhysAddr addr,
+                                                  std::uint64_t len) const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t row_hits() const noexcept { return row_hits_; }
+  [[nodiscard]] std::uint64_t row_misses() const noexcept { return row_misses_; }
+
+ private:
+  DramConfig config_;
+  TimingParams params_;
+  std::vector<std::int64_t> open_row_;  // per bank; -1 = closed
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+};
+
+}  // namespace msa::dram

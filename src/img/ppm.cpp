@@ -1,0 +1,95 @@
+#include "img/ppm.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace msa::img {
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited token of a PPM header.
+std::string next_token(const std::string& s, std::size_t& pos) {
+  while (pos < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    } else if (s[pos] == '#') {
+      while (pos < s.size() && s[pos] != '\n') ++pos;
+    } else {
+      break;
+    }
+  }
+  const std::size_t start = pos;
+  while (pos < s.size() && !std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  if (start == pos) throw std::invalid_argument("ppm: truncated header");
+  return s.substr(start, pos - start);
+}
+
+std::uint32_t parse_dim(const std::string& tok) {
+  std::uint32_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') throw std::invalid_argument("ppm: bad number");
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    if (v > 1 << 20) throw std::invalid_argument("ppm: dimension too large");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string to_ppm(const Image& image) {
+  std::string out = "P6\n" + std::to_string(image.width()) + " " +
+                    std::to_string(image.height()) + "\n255\n";
+  out.reserve(out.size() + image.pixel_count() * 3);
+  for (const Rgb& p : image.pixels()) {
+    out.push_back(static_cast<char>(p.r));
+    out.push_back(static_cast<char>(p.g));
+    out.push_back(static_cast<char>(p.b));
+  }
+  return out;
+}
+
+Image from_ppm(const std::string& ppm_bytes) {
+  std::size_t pos = 0;
+  if (next_token(ppm_bytes, pos) != "P6") {
+    throw std::invalid_argument("ppm: not a P6 file");
+  }
+  const std::uint32_t width = parse_dim(next_token(ppm_bytes, pos));
+  const std::uint32_t height = parse_dim(next_token(ppm_bytes, pos));
+  const std::uint32_t maxval = parse_dim(next_token(ppm_bytes, pos));
+  if (maxval != 255) throw std::invalid_argument("ppm: only maxval 255 supported");
+  if (width == 0 || height == 0) throw std::invalid_argument("ppm: zero dimension");
+  ++pos;  // single whitespace byte after maxval
+  const std::size_t need = static_cast<std::size_t>(width) * height * 3;
+  if (ppm_bytes.size() - pos < need) {
+    throw std::invalid_argument("ppm: truncated raster");
+  }
+  Image img{width, height};
+  auto px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i].r = static_cast<std::uint8_t>(ppm_bytes[pos + 3 * i]);
+    px[i].g = static_cast<std::uint8_t>(ppm_bytes[pos + 3 * i + 1]);
+    px[i].b = static_cast<std::uint8_t>(ppm_bytes[pos + 3 * i + 2]);
+  }
+  return img;
+}
+
+void write_ppm_file(const Image& image, const std::string& path) {
+  std::ofstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error("ppm: cannot open for write: " + path);
+  const std::string bytes = to_ppm(image);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("ppm: write failed: " + path);
+}
+
+Image read_ppm_file(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error("ppm: cannot open for read: " + path);
+  std::string bytes{std::istreambuf_iterator<char>{f},
+                    std::istreambuf_iterator<char>{}};
+  return from_ppm(bytes);
+}
+
+}  // namespace msa::img

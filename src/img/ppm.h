@@ -1,0 +1,23 @@
+// Binary PPM (P6) serialization for Image. The examples write the victim
+// input, the corrupted variant and the reconstruction to disk so a human
+// can compare them exactly as the paper's Fig. 4/12 do.
+#pragma once
+
+#include <string>
+
+#include "img/image.h"
+
+namespace msa::img {
+
+/// Serializes to a P6 PPM byte string.
+[[nodiscard]] std::string to_ppm(const Image& image);
+
+/// Parses a P6 PPM byte string. Throws std::invalid_argument on malformed
+/// input (bad magic, missing fields, truncated raster, maxval != 255).
+[[nodiscard]] Image from_ppm(const std::string& ppm_bytes);
+
+/// File conveniences; throw std::runtime_error on I/O failure.
+void write_ppm_file(const Image& image, const std::string& path);
+[[nodiscard]] Image read_ppm_file(const std::string& path);
+
+}  // namespace msa::img

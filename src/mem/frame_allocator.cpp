@@ -1,0 +1,112 @@
+#include "mem/frame_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msa::mem {
+
+PageFrameAllocator::PageFrameAllocator(dram::DramModel& dram,
+                                       FrameAllocatorConfig config)
+    : dram_{dram}, config_{config}, prng_{config.seed} {
+  if (config_.frame_count == 0) {
+    throw std::invalid_argument("PageFrameAllocator: empty pool");
+  }
+  const dram::PhysAddr pool_end =
+      frame_to_phys(config_.first_pfn + config_.frame_count);
+  if (!dram_.config().contains(frame_to_phys(config_.first_pfn),
+                               pool_end - frame_to_phys(config_.first_pfn))) {
+    throw std::invalid_argument("PageFrameAllocator: pool outside DRAM window");
+  }
+  frames_.assign(config_.frame_count, FrameInfo{});
+  free_list_.reserve(config_.frame_count);
+  // Push descending so LIFO pop_back hands out ascending PFNs first — the
+  // deterministic low-to-high layout the paper's profiling step relies on.
+  for (std::uint64_t i = config_.frame_count; i-- > 0;) {
+    free_list_.push_back(config_.first_pfn + i);
+  }
+}
+
+std::size_t PageFrameAllocator::index_of(Pfn pfn) const {
+  if (pfn < config_.first_pfn || pfn >= config_.first_pfn + config_.frame_count) {
+    throw std::out_of_range("PageFrameAllocator: pfn outside pool");
+  }
+  return static_cast<std::size_t>(pfn - config_.first_pfn);
+}
+
+void PageFrameAllocator::scrub(Pfn pfn) {
+  dram_.zero_range(frame_to_phys(pfn), kPageSize);
+  ++stats_.frames_scrubbed;
+  stats_.bytes_scrubbed += kPageSize;
+}
+
+std::optional<Pfn> PageFrameAllocator::allocate(std::int64_t owner_pid) {
+  if (free_list_.empty()) return std::nullopt;
+
+  Pfn pfn;
+  switch (config_.placement) {
+    case PlacementPolicy::kSequentialLifo:
+      pfn = free_list_.back();
+      free_list_.pop_back();
+      break;
+    case PlacementPolicy::kSequentialFifo:
+      // The free list is kept in push order; take from the oldest end.
+      // O(n) erase is fine at simulation scale.
+      pfn = free_list_.front();
+      free_list_.erase(free_list_.begin());
+      break;
+    case PlacementPolicy::kRandomized: {
+      const std::size_t i =
+          static_cast<std::size_t>(prng_.below(free_list_.size()));
+      pfn = free_list_[i];
+      free_list_[i] = free_list_.back();
+      free_list_.pop_back();
+      break;
+    }
+    default:
+      throw std::logic_error("PageFrameAllocator: unknown placement policy");
+  }
+
+  auto& fi = frames_[index_of(pfn)];
+  const bool dirty = fi.ever_used &&
+                     dram_.any_nonzero(frame_to_phys(pfn), kPageSize);
+  if (dirty) ++stats_.dirty_reuses;
+  if (config_.sanitize == SanitizePolicy::kZeroOnAlloc && fi.ever_used) {
+    scrub(pfn);
+  }
+  fi.owner_pid = owner_pid;
+  fi.ever_used = true;
+  ++stats_.allocations;
+  return pfn;
+}
+
+void PageFrameAllocator::free(Pfn pfn) {
+  auto& fi = frames_[index_of(pfn)];
+  if (fi.owner_pid == 0) {
+    throw std::logic_error("PageFrameAllocator: double free of frame");
+  }
+  fi.last_owner = fi.owner_pid;
+  fi.owner_pid = 0;
+  if (config_.sanitize == SanitizePolicy::kZeroOnFree) {
+    scrub(pfn);
+  }
+  free_list_.push_back(pfn);
+  ++stats_.frees;
+}
+
+const FrameInfo& PageFrameAllocator::info(Pfn pfn) const {
+  return frames_[index_of(pfn)];
+}
+
+std::vector<Pfn> PageFrameAllocator::dirty_free_frames() const {
+  std::vector<Pfn> out;
+  for (const Pfn pfn : free_list_) {
+    const auto& fi = frames_[pfn - config_.first_pfn];
+    if (fi.ever_used && dram_.any_nonzero(frame_to_phys(pfn), kPageSize)) {
+      out.push_back(pfn);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace msa::mem

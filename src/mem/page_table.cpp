@@ -1,0 +1,40 @@
+#include "mem/page_table.h"
+
+#include <stdexcept>
+
+namespace msa::mem {
+
+void PageTable::map(Vpn vpn, Pfn pfn) {
+  const auto [it, inserted] = table_.emplace(vpn, pfn);
+  if (!inserted) {
+    throw std::logic_error("PageTable::map: vpn already mapped");
+  }
+}
+
+Pfn PageTable::unmap(Vpn vpn) {
+  const auto it = table_.find(vpn);
+  if (it == table_.end()) {
+    throw std::logic_error("PageTable::unmap: vpn not mapped");
+  }
+  const Pfn pfn = it->second;
+  table_.erase(it);
+  return pfn;
+}
+
+bool PageTable::is_mapped(Vpn vpn) const noexcept {
+  return table_.find(vpn) != table_.end();
+}
+
+std::optional<Pfn> PageTable::lookup(Vpn vpn) const noexcept {
+  const auto it = table_.find(vpn);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<dram::PhysAddr> PageTable::translate(VirtAddr va) const noexcept {
+  const auto pfn = lookup(vpn_of(va));
+  if (!pfn) return std::nullopt;
+  return PageFrameAllocator::frame_to_phys(*pfn) + page_offset(va);
+}
+
+}  // namespace msa::mem

@@ -1,0 +1,55 @@
+// Per-process page table: 4 KiB virtual pages to physical frames.
+//
+// On the paper's target this is the Linux page table that /proc/<pid>/
+// pagemap exposes; the attack never touches hardware translation — it
+// reads the translations through the pagemap interface (see pagemap.h) and
+// then accesses physical DRAM directly with devmem. The PageTable here is
+// the ground truth those views are generated from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "dram/dram_config.h"
+#include "mem/frame_allocator.h"
+
+namespace msa::mem {
+
+using VirtAddr = std::uint64_t;
+using Vpn = std::uint64_t;  ///< virtual page number (va >> 12)
+
+constexpr std::uint32_t kPageSize = PageFrameAllocator::kPageSize;
+constexpr std::uint32_t kPageShift = PageFrameAllocator::kPageShift;
+
+[[nodiscard]] constexpr Vpn vpn_of(VirtAddr va) noexcept { return va >> kPageShift; }
+[[nodiscard]] constexpr std::uint32_t page_offset(VirtAddr va) noexcept {
+  return static_cast<std::uint32_t>(va & (kPageSize - 1));
+}
+
+class PageTable {
+ public:
+  /// Installs a translation. Throws std::logic_error if the vpn is mapped.
+  void map(Vpn vpn, Pfn pfn);
+
+  /// Removes a translation; returns the pfn it held. Throws if unmapped.
+  Pfn unmap(Vpn vpn);
+
+  [[nodiscard]] bool is_mapped(Vpn vpn) const noexcept;
+
+  /// VPN -> PFN lookup.
+  [[nodiscard]] std::optional<Pfn> lookup(Vpn vpn) const noexcept;
+
+  /// Full VA -> PA translation (carries the page offset through).
+  [[nodiscard]] std::optional<dram::PhysAddr> translate(VirtAddr va) const noexcept;
+
+  [[nodiscard]] std::size_t mapped_pages() const noexcept { return table_.size(); }
+
+  /// Ordered (vpn, pfn) view, for pagemap generation and teardown.
+  [[nodiscard]] const std::map<Vpn, Pfn>& entries() const noexcept { return table_; }
+
+ private:
+  std::map<Vpn, Pfn> table_;
+};
+
+}  // namespace msa::mem

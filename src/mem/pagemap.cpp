@@ -1,0 +1,59 @@
+#include "mem/pagemap.h"
+
+namespace msa::mem {
+
+namespace {
+constexpr std::uint64_t kPfnMask = (1ULL << 55) - 1;
+constexpr std::uint64_t kSoftDirtyBit = 1ULL << 55;
+constexpr std::uint64_t kExclusiveBit = 1ULL << 56;
+constexpr std::uint64_t kFilePageBit = 1ULL << 61;
+constexpr std::uint64_t kSwappedBit = 1ULL << 62;
+constexpr std::uint64_t kPresentBit = 1ULL << 63;
+}  // namespace
+
+std::uint64_t PagemapEntry::encode() const noexcept {
+  std::uint64_t raw = 0;
+  if (present) raw |= kPresentBit;
+  if (swapped) raw |= kSwappedBit;
+  if (soft_dirty) raw |= kSoftDirtyBit;
+  if (exclusive) raw |= kExclusiveBit;
+  if (file_page) raw |= kFilePageBit;
+  if (present && !swapped) raw |= pfn & kPfnMask;
+  return raw;
+}
+
+PagemapEntry PagemapEntry::decode(std::uint64_t raw) noexcept {
+  PagemapEntry e;
+  e.present = (raw & kPresentBit) != 0;
+  e.swapped = (raw & kSwappedBit) != 0;
+  e.soft_dirty = (raw & kSoftDirtyBit) != 0;
+  e.exclusive = (raw & kExclusiveBit) != 0;
+  e.file_page = (raw & kFilePageBit) != 0;
+  e.pfn = (e.present && !e.swapped) ? (raw & kPfnMask) : 0;
+  return e;
+}
+
+std::vector<std::uint64_t> pagemap_window(const PageTable& table, Vpn first_vpn,
+                                          std::uint64_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PagemapEntry e;
+    if (const auto pfn = table.lookup(first_vpn + i)) {
+      e.present = true;
+      e.exclusive = true;  // anonymous private pages in our model
+      e.pfn = *pfn;
+    }
+    out.push_back(e.encode());
+  }
+  return out;
+}
+
+std::optional<dram::PhysAddr> phys_from_pagemap(std::uint64_t raw_entry,
+                                                VirtAddr va) noexcept {
+  const PagemapEntry e = PagemapEntry::decode(raw_entry);
+  if (!e.present || e.swapped) return std::nullopt;
+  return (e.pfn << kPageShift) | page_offset(va);
+}
+
+}  // namespace msa::mem

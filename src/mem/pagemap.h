@@ -1,0 +1,55 @@
+// Linux /proc/<pid>/pagemap binary format codec.
+//
+// The paper's Step 2 converts heap virtual addresses to physical DRAM
+// addresses by reading the victim's pagemap file — possible because
+// PetaLinux leaves pagemap world-accessible (the second vulnerability).
+// We reproduce the real on-disk format so the attack-side translation code
+// is the genuine algorithm, not a shortcut through simulator internals:
+//
+//   bits 0-54   page frame number (if present and not swapped)
+//   bit  55     soft-dirty
+//   bit  56     exclusively mapped
+//   bit  61     file-page / shared-anon
+//   bit  62     swapped
+//   bit  63     present
+//
+// (See Documentation/admin-guide/mm/pagemap.rst in the Linux kernel.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/page_table.h"
+
+namespace msa::mem {
+
+struct PagemapEntry {
+  bool present = false;
+  bool swapped = false;
+  bool soft_dirty = false;
+  bool exclusive = false;
+  bool file_page = false;
+  std::uint64_t pfn = 0;  ///< valid only when present && !swapped
+
+  [[nodiscard]] std::uint64_t encode() const noexcept;
+  [[nodiscard]] static PagemapEntry decode(std::uint64_t raw) noexcept;
+
+  bool operator==(const PagemapEntry&) const = default;
+};
+
+/// Generates the pagemap "file" contents for a contiguous VPN range
+/// [first_vpn, first_vpn + count) of a process page table: one 64-bit
+/// little-endian entry per page, exactly what pread() on the real file
+/// returns at offset first_vpn * 8.
+[[nodiscard]] std::vector<std::uint64_t> pagemap_window(const PageTable& table,
+                                                        Vpn first_vpn,
+                                                        std::uint64_t count);
+
+/// The attacker-side translation: given a raw pagemap entry for va's page,
+/// recover the physical address (or nullopt if the page is absent).
+/// Mirrors the arithmetic in the paper's virtual_to_physical.c.
+[[nodiscard]] std::optional<dram::PhysAddr> phys_from_pagemap(
+    std::uint64_t raw_entry, VirtAddr va) noexcept;
+
+}  // namespace msa::mem

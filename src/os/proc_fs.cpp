@@ -1,0 +1,90 @@
+#include "os/proc_fs.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace msa::os {
+
+std::string format_stime(std::uint64_t seconds_of_day) {
+  const unsigned hours = static_cast<unsigned>((seconds_of_day / 3600) % 24);
+  const unsigned minutes = static_cast<unsigned>((seconds_of_day / 60) % 60);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02u:%02u", hours, minutes);
+  return buf;
+}
+
+std::string format_cpu_time(std::uint64_t seconds) {
+  const unsigned h = static_cast<unsigned>(seconds / 3600);
+  const unsigned m = static_cast<unsigned>((seconds / 60) % 60);
+  const unsigned s = static_cast<unsigned>(seconds % 60);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02u:%02u:%02u", h, m, s);
+  return buf;
+}
+
+std::string ps_header() { return "PID PPID C STIME TTY TIME CMD"; }
+
+std::string format_ps_line(const Process& proc) {
+  std::string line;
+  line += std::to_string(proc.pid());
+  line += ' ';
+  line += std::to_string(proc.ppid());
+  line += ' ';
+  line += std::to_string(proc.cpu_percent());
+  line += ' ';
+  line += format_stime(proc.start_time_s());
+  line += ' ';
+  line += proc.tty().empty() ? "?" : proc.tty();
+  line += ' ';
+  line += format_cpu_time(0);
+  line += ' ';
+  line += proc.cmdline();
+  return line;
+}
+
+std::string format_maps(const Process& proc) {
+  std::string out;
+  for (const auto& v : proc.vmas()) {
+    out += util::hex_no_prefix(v.start);
+    out += '-';
+    out += util::hex_no_prefix(v.end);
+    out += ' ';
+    out += v.perms();
+    out += ' ';
+    char off[16];
+    std::snprintf(off, sizeof off, "%08llx",
+                  static_cast<unsigned long long>(v.file_offset));
+    out += off;
+    out += ' ';
+    out += v.device;
+    out += ' ';
+    out += std::to_string(v.inode);
+    if (!v.name.empty()) {
+      out += ' ';
+      out += v.name;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<MapsLine> parse_maps(const std::string& maps_text) {
+  std::vector<MapsLine> out;
+  for (const auto& line : util::split(maps_text, '\n')) {
+    if (line.empty()) continue;
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 5) continue;
+    const auto range = util::split(fields[0], '-');
+    if (range.size() != 2) continue;
+    MapsLine m;
+    m.start = util::parse_hex(range[0]);
+    m.end = util::parse_hex(range[1]);
+    m.perms = fields[1];
+    if (fields.size() >= 6) m.name = fields[5];
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace msa::os

@@ -1,0 +1,46 @@
+// Text renderers for the /proc views and the ps(1) output the attack
+// consumes. Formats match the paper's figures:
+//
+//   ps -ef  (Figs. 5/6/9):
+//     UID PID PPID C STIME TTY TIME CMD  (we render the columns the
+//     figures show: PID PPID C STIME TTY TIME CMD)
+//   /proc/<pid>/maps (Fig. 7):
+//     aaaaee775000-aaaaefd8a000 rw-p 00000000 00:00 0    [heap]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/process.h"
+
+namespace msa::os {
+
+/// Formats seconds-since-midnight as the STIME column ("03:51", "12:33").
+[[nodiscard]] std::string format_stime(std::uint64_t seconds_of_day);
+
+/// Formats cumulative CPU time as the TIME column ("00:00:00").
+[[nodiscard]] std::string format_cpu_time(std::uint64_t seconds);
+
+/// One ps -ef body line for a process.
+[[nodiscard]] std::string format_ps_line(const Process& proc);
+
+/// The ps -ef header line.
+[[nodiscard]] std::string ps_header();
+
+/// Full /proc/<pid>/maps content for a process (one line per VMA,
+/// trailing newline on each).
+[[nodiscard]] std::string format_maps(const Process& proc);
+
+/// Parses a maps line back into (start, end, perms, name). Used by the
+/// *attacker* code, which only sees the text — exactly like the paper's
+/// "vim /proc/1391/maps" step.
+struct MapsLine {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::string perms;
+  std::string name;
+};
+[[nodiscard]] std::vector<MapsLine> parse_maps(const std::string& maps_text);
+
+}  // namespace msa::os

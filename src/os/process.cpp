@@ -1,0 +1,57 @@
+#include "os/process.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace msa::os {
+
+Process::Process(Pid pid, Pid ppid, Uid uid, std::vector<std::string> argv,
+                 std::string tty, std::uint64_t start_time_s,
+                 mem::VirtAddr heap_base)
+    : pid_{pid},
+      ppid_{ppid},
+      uid_{uid},
+      argv_{std::move(argv)},
+      tty_{std::move(tty)},
+      start_time_s_{start_time_s},
+      heap_base_{heap_base},
+      brk_{heap_base} {}
+
+std::string Process::cmdline() const { return util::join(argv_, " "); }
+
+void Process::add_vma(Vma vma) {
+  const auto pos = std::lower_bound(
+      vmas_.begin(), vmas_.end(), vma,
+      [](const Vma& a, const Vma& b) { return a.start < b.start; });
+  vmas_.insert(pos, std::move(vma));
+}
+
+const Vma* Process::find_vma(mem::VirtAddr va) const noexcept {
+  for (const auto& v : vmas_) {
+    if (v.contains(va)) return &v;
+  }
+  return nullptr;
+}
+
+const Vma* Process::find_vma_named(std::string_view name) const noexcept {
+  for (const auto& v : vmas_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+mem::VirtAddr Process::push_brk(std::uint64_t delta) {
+  const mem::VirtAddr old = brk_;
+  brk_ += delta;
+  // Keep the [heap] VMA in sync.
+  for (auto& v : vmas_) {
+    if (v.name == "[heap]") {
+      v.end = brk_;
+      return old;
+    }
+  }
+  return old;
+}
+
+}  // namespace msa::os

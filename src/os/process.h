@@ -1,0 +1,84 @@
+// A PetaLinux process: identity, command line, VMAs, page table, heap.
+//
+// Processes never touch DRAM directly — all loads/stores go through the
+// owning PetaLinuxSystem, which walks this process's page table. That
+// keeps the translation path identical to what the attack later replays
+// from the outside via the pagemap interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/page_table.h"
+#include "os/vma.h"
+
+namespace msa::os {
+
+using Pid = std::int64_t;
+using Uid = std::uint32_t;
+
+enum class ProcState { kRunning, kSleeping, kZombie };
+
+class Process {
+ public:
+  Process(Pid pid, Pid ppid, Uid uid, std::vector<std::string> argv,
+          std::string tty, std::uint64_t start_time_s, mem::VirtAddr heap_base);
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] Pid ppid() const noexcept { return ppid_; }
+  [[nodiscard]] Uid uid() const noexcept { return uid_; }
+  [[nodiscard]] const std::vector<std::string>& argv() const noexcept {
+    return argv_;
+  }
+  [[nodiscard]] std::string cmdline() const;
+  [[nodiscard]] const std::string& tty() const noexcept { return tty_; }
+  [[nodiscard]] std::uint64_t start_time_s() const noexcept { return start_time_s_; }
+  [[nodiscard]] ProcState state() const noexcept { return state_; }
+  void set_state(ProcState s) noexcept { state_ = s; }
+
+  /// Synthetic CPU utilisation for the ps -ef "C" column (the paper's
+  /// Fig. 6 shows 18 for the running resnet50_pt).
+  [[nodiscard]] int cpu_percent() const noexcept { return cpu_percent_; }
+  void set_cpu_percent(int c) noexcept { cpu_percent_ = c; }
+
+  // --- address space -----------------------------------------------------
+  [[nodiscard]] mem::PageTable& page_table() noexcept { return page_table_; }
+  [[nodiscard]] const mem::PageTable& page_table() const noexcept {
+    return page_table_;
+  }
+
+  [[nodiscard]] const std::vector<Vma>& vmas() const noexcept { return vmas_; }
+  /// Registers a VMA (maps-file bookkeeping only; frames are the system's
+  /// job). VMAs are kept sorted by start address.
+  void add_vma(Vma vma);
+  /// Finds the VMA containing va, or nullptr.
+  [[nodiscard]] const Vma* find_vma(mem::VirtAddr va) const noexcept;
+  /// Finds the VMA named `name` (e.g. "[heap]"), or nullptr.
+  [[nodiscard]] const Vma* find_vma_named(std::string_view name) const noexcept;
+
+  // --- heap (brk) ---------------------------------------------------------
+  [[nodiscard]] mem::VirtAddr heap_base() const noexcept { return heap_base_; }
+  [[nodiscard]] mem::VirtAddr brk() const noexcept { return brk_; }
+  /// Raises brk; returns the old brk (= start of the fresh region). The
+  /// system is responsible for backing the new pages with frames and for
+  /// updating the [heap] VMA.
+  mem::VirtAddr push_brk(std::uint64_t delta);
+
+ private:
+  Pid pid_;
+  Pid ppid_;
+  Uid uid_;
+  std::vector<std::string> argv_;
+  std::string tty_;
+  std::uint64_t start_time_s_;
+  ProcState state_ = ProcState::kRunning;
+  int cpu_percent_ = 0;
+
+  mem::PageTable page_table_;
+  std::vector<Vma> vmas_;
+  mem::VirtAddr heap_base_;
+  mem::VirtAddr brk_;
+};
+
+}  // namespace msa::os

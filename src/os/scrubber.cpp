@@ -1,0 +1,46 @@
+#include "os/scrubber.h"
+
+#include <stdexcept>
+
+namespace msa::os {
+
+ScrubberDaemon::ScrubberDaemon(PetaLinuxSystem& system,
+                               double bytes_per_second)
+    : system_{system}, rate_{bytes_per_second} {
+  if (bytes_per_second <= 0.0) {
+    throw std::invalid_argument("ScrubberDaemon: rate must be positive");
+  }
+}
+
+std::uint64_t ScrubberDaemon::run_for(double seconds) {
+  if (seconds <= 0.0) return 0;
+  constexpr std::uint64_t kPage = mem::PageFrameAllocator::kPageSize;
+
+  double budget = carry_budget_ + rate_ * seconds;
+  std::uint64_t scrubbed = 0;
+
+  // Walk the dirty free list lowest-PFN-first. Re-query after each pass:
+  // zeroing a frame removes it from the dirty set.
+  const auto dirty = system_.allocator().dirty_free_frames();
+  for (const mem::Pfn pfn : dirty) {
+    if (budget < static_cast<double>(kPage)) break;
+    system_.dram().zero_range(mem::PageFrameAllocator::frame_to_phys(pfn),
+                              kPage);
+    budget -= static_cast<double>(kPage);
+    scrubbed += kPage;
+    ++stats_.frames_scrubbed;
+  }
+
+  stats_.bytes_scrubbed += scrubbed;
+  stats_.busy_seconds += scrubbed > 0 ? static_cast<double>(scrubbed) / rate_ : 0.0;
+  // Unused budget does not accumulate across idle periods beyond one
+  // frame's worth — a real idle thread cannot bank CPU time.
+  carry_budget_ = budget < static_cast<double>(kPage) ? budget : 0.0;
+  return scrubbed;
+}
+
+std::uint64_t ScrubberDaemon::backlog_frames() const {
+  return system_.allocator().dirty_free_frames().size();
+}
+
+}  // namespace msa::os

@@ -1,0 +1,51 @@
+// Deferred background scrubbing — the deployable middle ground between
+// PetaLinux's no-sanitization and synchronous zero-on-free.
+//
+// A real fix has to avoid adding scrubbing latency to process exit, so
+// vendors ship it as an idle-priority kernel thread that walks the free
+// list and zeroes dirty frames at a bounded rate (cf. Linux's
+// init_on_free vs. background page poisoning). That leaves a *window of
+// vulnerability*: frames freed but not yet scrubbed are scrapable. The
+// ScrubberDaemon models exactly that trade-off so the evaluator can plot
+// attack success against the attacker's reaction time and the scrubber's
+// throughput budget.
+#pragma once
+
+#include <cstdint>
+
+#include "os/system.h"
+
+namespace msa::os {
+
+struct ScrubberStats {
+  std::uint64_t frames_scrubbed = 0;
+  std::uint64_t bytes_scrubbed = 0;
+  double busy_seconds = 0.0;  ///< simulated time spent scrubbing
+};
+
+class ScrubberDaemon {
+ public:
+  /// `bytes_per_second` is the scrub throughput budget (idle-priority
+  /// memset through the memory controller; a few GiB/s is realistic for
+  /// the PS DDR4, much less if heavily throttled).
+  ScrubberDaemon(PetaLinuxSystem& system, double bytes_per_second);
+
+  /// Advances the daemon by `seconds` of simulated time: scrubs dirty
+  /// free frames (lowest PFN first) until the time budget is exhausted or
+  /// nothing dirty remains. Returns bytes scrubbed in this slice.
+  std::uint64_t run_for(double seconds);
+
+  /// Dirty free frames still waiting (the current exposure).
+  [[nodiscard]] std::uint64_t backlog_frames() const;
+
+  [[nodiscard]] const ScrubberStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double bytes_per_second() const noexcept { return rate_; }
+
+ private:
+  PetaLinuxSystem& system_;
+  double rate_;
+  double carry_budget_ = 0.0;  ///< fractional-frame budget carried over
+  ScrubberStats stats_;
+};
+
+}  // namespace msa::os

@@ -1,0 +1,39 @@
+// Virtual memory area descriptor, mirroring one line of /proc/<pid>/maps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/page_table.h"
+
+namespace msa::os {
+
+struct Vma {
+  mem::VirtAddr start = 0;
+  mem::VirtAddr end = 0;  ///< exclusive
+  bool readable = false;
+  bool writable = false;
+  bool executable = false;
+  bool shared = false;  ///< 's' vs 'p' in the perms column
+  std::uint64_t file_offset = 0;
+  std::string device = "00:00";
+  std::uint64_t inode = 0;
+  std::string name;  ///< "[heap]", "/dev/dri/renderD128", exe path, or ""
+
+  [[nodiscard]] std::uint64_t length() const noexcept { return end - start; }
+  [[nodiscard]] bool contains(mem::VirtAddr va) const noexcept {
+    return va >= start && va < end;
+  }
+
+  /// Four-character perms column, e.g. "rw-p".
+  [[nodiscard]] std::string perms() const {
+    std::string p;
+    p.push_back(readable ? 'r' : '-');
+    p.push_back(writable ? 'w' : '-');
+    p.push_back(executable ? 'x' : '-');
+    p.push_back(shared ? 's' : 'p');
+    return p;
+  }
+};
+
+}  // namespace msa::os

@@ -1,0 +1,49 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace msa::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = state_;
+  for (const std::uint8_t b : bytes) {
+    c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::update(std::string_view text) noexcept {
+  update(std::span{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  Crc32 c;
+  c.update(bytes);
+  return c.value();
+}
+
+std::uint32_t crc32(std::string_view text) noexcept {
+  Crc32 c;
+  c.update(text);
+  return c.value();
+}
+
+}  // namespace msa::util

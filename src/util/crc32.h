@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum xmodel
+// payloads and scraped memory regions so tests can assert byte-exact
+// residue recovery without storing full golden buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace msa::util {
+
+/// Incremental CRC-32. Construct, update() over chunks, value().
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> bytes) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finalized CRC value for everything fed so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+[[nodiscard]] std::uint32_t crc32(std::string_view text) noexcept;
+
+}  // namespace msa::util

@@ -1,0 +1,46 @@
+// Hexdump formatting in the style the paper's Step 4.a uses: the scraped
+// words are arranged "into rows of eight nibbles each" and then rendered
+// like hexdump(1) with a 16-bit-group hex column plus an ASCII gutter.
+// The attack's model-identification step greps this text, so the format
+// must round-trip the raw bytes faithfully.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace msa::util {
+
+struct HexDumpOptions {
+  std::size_t bytes_per_row = 16;   ///< hexdump(1) default row width.
+  bool ascii_gutter = true;         ///< append printable-ASCII column.
+  bool offsets = false;             ///< prefix each row with byte offset.
+  bool uppercase = false;           ///< A-F instead of a-f.
+};
+
+/// Formats one row of bytes as space-separated 16-bit groups ("6c73 2f72 ...").
+[[nodiscard]] std::string hex_row(std::span<const std::uint8_t> bytes,
+                                  const HexDumpOptions& opts = {});
+
+/// Full multi-row dump; rows separated by '\n' (no trailing newline).
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> bytes,
+                                   const HexDumpOptions& opts = {});
+
+/// Renders a byte as hexdump(1) does in the ASCII gutter: printable ASCII
+/// verbatim, everything else as '.'.
+[[nodiscard]] char ascii_or_dot(std::uint8_t b) noexcept;
+
+/// Parses the hex column of a dump produced by hex_dump back into bytes.
+/// Ignores the ASCII gutter and offsets. Throws std::invalid_argument on
+/// malformed hex.
+[[nodiscard]] std::vector<std::uint8_t> parse_hex_dump(const std::string& text);
+
+/// Converts a vector of 32-bit little-endian words (devmem output order)
+/// into a flat byte stream, the representation the analysis pipeline
+/// hexdumps and greps.
+[[nodiscard]] std::vector<std::uint8_t> words_to_bytes_le(
+    std::span<const std::uint32_t> words);
+
+}  // namespace msa::util

@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace msa::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()), to_string(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel Log::level() noexcept { return g_level; }
+
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, std::string_view message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace msa::util

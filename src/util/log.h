@@ -1,0 +1,51 @@
+// Minimal leveled logger. Components log attack/system events through this
+// so examples can show the step-by-step transcript the paper's figures
+// present, while tests run silently. Not thread-safe by design: the
+// simulator is single-threaded (discrete steps), per DESIGN.md.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace msa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore
+  /// the default sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view message);
+
+  static void debug(std::string_view m) { write(LogLevel::kDebug, m); }
+  static void info(std::string_view m) { write(LogLevel::kInfo, m); }
+  static void warn(std::string_view m) { write(LogLevel::kWarn, m); }
+  static void error(std::string_view m) { write(LogLevel::kError, m); }
+};
+
+/// RAII guard that silences logging for a scope (used by tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_{Log::level()} {
+    Log::set_level(level);
+  }
+  ~ScopedLogLevel() { Log::set_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace msa::util

@@ -1,0 +1,34 @@
+#include "util/prng.h"
+
+namespace msa::util {
+
+std::uint64_t Prng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    // 128-bit multiply-high to map r into [0, bound) without modulo.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::uint64_t Prng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  return lo + below(hi - lo + 1);
+}
+
+double Prng::uniform01() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+}  // namespace msa::util

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Every stochastic component in the library (frame allocation order under
+// ASLR, synthetic weights, workload generators) draws from an explicitly
+// seeded Prng so that tests and benchmarks are bit-reproducible. We do not
+// use std::mt19937 because its state is large and its seeding is easy to
+// get subtly wrong; xoshiro256** with a splitmix64 seeder is small, fast,
+// and has well-understood statistical quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace msa::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into stream state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can
+/// be used with <random> distributions if needed.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 256-bit state words from a single seed via splitmix64.
+  explicit constexpr Prng(std::uint64_t seed = 0x5eed0f0e1d2c3b4aULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Bernoulli draw with probability p of returning true.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Forks an independent stream (for per-component generators derived
+  /// from one master seed).
+  [[nodiscard]] Prng fork() noexcept { return Prng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace msa::util

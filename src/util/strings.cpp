@@ -1,0 +1,121 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace msa::util {
+
+std::string hex_no_prefix(std::uint64_t v) {
+  if (v == 0) return "0";
+  char buf[17];
+  int pos = 16;
+  buf[16] = '\0';
+  while (v != 0) {
+    buf[--pos] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  }
+  return std::string{&buf[pos]};
+}
+
+std::string hex_0x(std::uint64_t v, int width) {
+  std::string digits = hex_no_prefix(v);
+  if (width > 0 && digits.size() < static_cast<std::size_t>(width)) {
+    digits.insert(0, static_cast<std::size_t>(width) - digits.size(), '0');
+  }
+  return "0x" + digits;
+}
+
+std::uint64_t parse_hex(std::string_view s) {
+  if (starts_with(s, "0x") || starts_with(s, "0X")) s.remove_prefix(2);
+  if (s.empty() || s.size() > 16) {
+    throw std::invalid_argument("parse_hex: bad length");
+  }
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else throw std::invalid_argument("parse_hex: non-hex character");
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) noexcept {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::vector<std::size_t> find_all(std::span<const std::uint8_t> haystack,
+                                  std::string_view needle) {
+  std::vector<std::size_t> hits;
+  if (needle.empty() || haystack.size() < needle.size()) return hits;
+  const auto* n = reinterpret_cast<const std::uint8_t*>(needle.data());
+  const std::size_t last = haystack.size() - needle.size();
+  for (std::size_t i = 0; i <= last; ++i) {
+    if (haystack[i] == n[0] &&
+        std::equal(n, n + needle.size(), haystack.data() + i)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+std::vector<std::string> extract_strings(std::span<const std::uint8_t> data,
+                                         std::size_t min_len) {
+  std::vector<std::string> out;
+  std::string run;
+  auto flush = [&] {
+    if (run.size() >= min_len) out.push_back(run);
+    run.clear();
+  };
+  for (const std::uint8_t b : data) {
+    if (b >= 0x20 && b < 0x7F) {
+      run.push_back(static_cast<char>(b));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace msa::util

@@ -1,0 +1,50 @@
+// Small string utilities shared across modules: fixed-width hex formatting
+// (for addresses in /proc emulation and devmem output), splitting, and
+// substring search over binary data (the grep step of the attack).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msa::util {
+
+/// Lower-case hex without leading zeros, no "0x" prefix — the format Linux
+/// uses in /proc/<pid>/maps ("aaaaee775000-aaaaefd8a000").
+[[nodiscard]] std::string hex_no_prefix(std::uint64_t v);
+
+/// "0x"-prefixed lower-case hex, zero-padded to the given nibble width.
+/// devmem prints 32-bit reads as 0x%08X; we match that with width 8.
+[[nodiscard]] std::string hex_0x(std::uint64_t v, int width = 0);
+
+/// Parses hex with or without "0x" prefix. Throws std::invalid_argument.
+[[nodiscard]] std::uint64_t parse_hex(std::string_view s);
+
+/// Splits on a delimiter; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; no empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Finds every occurrence of an ASCII needle in a binary buffer, returning
+/// byte offsets. This is the primitive behind the attack's
+/// "grep resnet50 <hexdump>" model-identification step, applied directly
+/// to the scraped bytes.
+[[nodiscard]] std::vector<std::size_t> find_all(std::span<const std::uint8_t> haystack,
+                                                std::string_view needle);
+
+/// Extracts all printable-ASCII runs of at least min_len bytes (like
+/// strings(1)); used by the analyzer to enumerate candidate model names.
+[[nodiscard]] std::vector<std::string> extract_strings(
+    std::span<const std::uint8_t> data, std::size_t min_len = 4);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+}  // namespace msa::util

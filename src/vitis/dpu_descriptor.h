@@ -1,0 +1,43 @@
+// DPU job descriptor — the control block a DPU-class accelerator consumes
+// from device-visible memory. Real Vitis-AI runs leave such descriptors
+// (buffer addresses, tensor geometry) in the board DRAM next to the data
+// they describe; since the adversary has the runtime library (paper §II,
+// "Adversary's access"), the descriptor format is public knowledge.
+//
+// For the attack this is a gift: a surviving descriptor names the input
+// buffer's *virtual address and geometry*, enabling image reconstruction
+// without any offline profiling (see attack/descriptor_scan.h) — an
+// extension beyond the paper's profiling-based Step 4.b.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace msa::vitis {
+
+struct DpuDescriptor {
+  static constexpr std::uint32_t kMagic = 0x44555044;  // "DPUD" little-endian
+  static constexpr std::size_t kEncodedSize = 48;
+
+  std::uint16_t version = 1;
+  std::uint64_t input_va = 0;    ///< staged input image (raw RGB888)
+  std::uint32_t input_width = 0;
+  std::uint32_t input_height = 0;
+  std::uint64_t output_va = 0;   ///< output tensor (float32 scores)
+  std::uint32_t output_len = 0;  ///< number of output elements
+  std::uint32_t model_crc = 0;   ///< CRC-32 of the model name
+
+  bool operator==(const DpuDescriptor&) const = default;
+
+  /// Fixed-size little-endian encoding, trailing CRC-32 over the payload.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes a descriptor starting at bytes[offset]; validates magic,
+  /// version and CRC. Returns nullopt on any mismatch (residue is noisy).
+  [[nodiscard]] static std::optional<DpuDescriptor> decode_at(
+      std::span<const std::uint8_t> bytes, std::size_t offset);
+};
+
+}  // namespace msa::vitis

@@ -1,0 +1,82 @@
+// DpuRunner: stages a model run into a process's heap and executes it.
+//
+// This is the component whose memory footprint the attack scrapes. For a
+// given (model, input-image-size) pair the heap layout is fully
+// deterministic — the property the paper exploits in Step 4.b ("As we
+// only modified the image ... the image's offset within the heap remained
+// consistent for any image used with this model"):
+//
+//   +-----------------+  heap_base
+//   | heap metadata   |  malloc-chunk-style header words and pointers
+//   +-----------------+  descriptor_off
+//   | DPU descriptor  |  job control block: input VA + geometry (see
+//   |                 |  vitis/dpu_descriptor.h)
+//   +-----------------+  strings_off
+//   | metadata strings|  install path, torchvision/..., .so names
+//   +-----------------+  xmodel_off
+//   | serialized      |  full xmodel container (weights included)
+//   | xmodel          |
+//   +-----------------+  image_off
+//   | input image     |  raw RGB888 bytes, row major (3 B / pixel)
+//   +-----------------+  output_off
+//   | output scores   |  float32 per class
+//   +-----------------+  total_bytes
+//
+// All writes go through PetaLinuxSystem::write_virt, i.e. through the
+// page table into simulated DRAM, so after termination the residue is
+// whatever the sanitize policy left there.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+#include "os/system.h"
+#include "vitis/xmodel.h"
+
+namespace msa::vitis {
+
+struct HeapLayout {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t meta_off = 0;
+  std::uint64_t descriptor_off = 0;
+  std::uint64_t strings_off = 0;
+  std::uint64_t xmodel_off = 0;
+  std::uint64_t image_off = 0;
+  std::uint64_t output_off = 0;
+  std::uint32_t image_width = 0;
+  std::uint32_t image_height = 0;
+
+  bool operator==(const HeapLayout&) const = default;
+};
+
+struct RunResult {
+  HeapLayout layout;
+  std::vector<float> scores;   ///< softmax class probabilities
+  std::size_t top_class = 0;
+};
+
+class DpuRunner {
+ public:
+  explicit DpuRunner(os::PetaLinuxSystem& system) : system_{system} {}
+
+  /// Deterministic layout for a model + input image geometry.
+  [[nodiscard]] static HeapLayout layout_for(const XModel& model,
+                                             std::uint32_t image_width,
+                                             std::uint32_t image_height);
+
+  /// Bytes of the staged strings area (same content for every run of the
+  /// same model).
+  [[nodiscard]] static std::vector<std::uint8_t> staged_strings(
+      const XModel& model);
+
+  /// Grows pid's heap, stages every section, runs inference (reading the
+  /// input back out of the staged heap bytes), writes the output scores
+  /// into the heap, and returns them.
+  RunResult run(os::Pid pid, const XModel& model, const img::Image& input);
+
+ private:
+  os::PetaLinuxSystem& system_;
+};
+
+}  // namespace msa::vitis

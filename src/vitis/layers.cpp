@@ -1,0 +1,352 @@
+#include "vitis/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msa::vitis {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> blob, std::size_t& pos) {
+  if (pos + 4 > blob.size()) throw std::invalid_argument("xmodel: truncated u32");
+  const std::uint32_t v = static_cast<std::uint32_t>(blob[pos]) |
+                          (static_cast<std::uint32_t>(blob[pos + 1]) << 8) |
+                          (static_cast<std::uint32_t>(blob[pos + 2]) << 16) |
+                          (static_cast<std::uint32_t>(blob[pos + 3]) << 24);
+  pos += 4;
+  return v;
+}
+
+std::int8_t requantize(std::int32_t acc, std::uint32_t shift) {
+  const std::int32_t scaled = acc >> shift;
+  return static_cast<std::int8_t>(std::clamp(scaled, -128, 127));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d ---
+
+Conv2d::Conv2d(std::uint32_t in_c, std::uint32_t out_c, std::uint32_t k,
+               std::uint32_t stride, std::uint32_t pad, bool relu,
+               std::uint32_t requant_shift, std::vector<std::int8_t> weights,
+               std::vector<std::int32_t> bias)
+    : in_c_{in_c},
+      out_c_{out_c},
+      k_{k},
+      stride_{stride},
+      pad_{pad},
+      relu_{relu},
+      requant_shift_{requant_shift},
+      weights_{std::move(weights)},
+      bias_{std::move(bias)} {
+  if (stride_ == 0 || k_ == 0) throw std::invalid_argument("Conv2d: bad geometry");
+  const std::size_t expect =
+      static_cast<std::size_t>(out_c_) * in_c_ * k_ * k_;
+  if (weights_.size() != expect || bias_.size() != out_c_) {
+    throw std::invalid_argument("Conv2d: parameter size mismatch");
+  }
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(k_) + "x" + std::to_string(k_) + "_" +
+         std::to_string(in_c_) + "->" + std::to_string(out_c_);
+}
+
+TensorShape Conv2d::output_shape(const TensorShape& in) const {
+  if (in.c != in_c_) throw std::invalid_argument("Conv2d: channel mismatch");
+  if (in.h + 2 * pad_ < k_ || in.w + 2 * pad_ < k_) {
+    throw std::invalid_argument("Conv2d: input smaller than kernel");
+  }
+  return TensorShape{out_c_, (in.h + 2 * pad_ - k_) / stride_ + 1,
+                     (in.w + 2 * pad_ - k_) / stride_ + 1};
+}
+
+Tensor Conv2d::forward(const Tensor& in) const {
+  const TensorShape os = output_shape(in.shape());
+  Tensor out{os};
+  const auto& ish = in.shape();
+  for (std::uint32_t oc = 0; oc < out_c_; ++oc) {
+    for (std::uint32_t oy = 0; oy < os.h; ++oy) {
+      for (std::uint32_t ox = 0; ox < os.w; ++ox) {
+        std::int32_t acc = bias_[oc];
+        for (std::uint32_t ic = 0; ic < in_c_; ++ic) {
+          for (std::uint32_t ky = 0; ky < k_; ++ky) {
+            const std::int64_t iy =
+                static_cast<std::int64_t>(oy) * stride_ + ky - pad_;
+            if (iy < 0 || iy >= ish.h) continue;
+            for (std::uint32_t kx = 0; kx < k_; ++kx) {
+              const std::int64_t ix =
+                  static_cast<std::int64_t>(ox) * stride_ + kx - pad_;
+              if (ix < 0 || ix >= ish.w) continue;
+              const std::int32_t w = weights_[((static_cast<std::size_t>(oc) *
+                                                    in_c_ +
+                                                ic) *
+                                                   k_ +
+                                               ky) *
+                                                  k_ +
+                                              kx];
+              acc += w * in.at(ic, static_cast<std::uint32_t>(iy),
+                               static_cast<std::uint32_t>(ix));
+            }
+          }
+        }
+        std::int8_t v = requantize(acc, requant_shift_);
+        if (relu_ && v < 0) v = 0;
+        out.set(oc, oy, ox, v);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Conv2d::param_bytes() const noexcept {
+  return weights_.size() + bias_.size() * sizeof(std::int32_t);
+}
+
+void Conv2d::serialize(std::vector<std::uint8_t>& out) const {
+  out.push_back(static_cast<std::uint8_t>(kind()));
+  put_u32(out, in_c_);
+  put_u32(out, out_c_);
+  put_u32(out, k_);
+  put_u32(out, stride_);
+  put_u32(out, pad_);
+  out.push_back(relu_ ? 1 : 0);
+  put_u32(out, requant_shift_);
+  put_u32(out, static_cast<std::uint32_t>(weights_.size()));
+  for (const std::int8_t w : weights_) {
+    out.push_back(static_cast<std::uint8_t>(w));
+  }
+  put_u32(out, static_cast<std::uint32_t>(bias_.size()));
+  for (const std::int32_t b : bias_) {
+    put_u32(out, static_cast<std::uint32_t>(b));
+  }
+}
+
+// ------------------------------------------------------------- MaxPool2d ---
+
+MaxPool2d::MaxPool2d(std::uint32_t k, std::uint32_t stride)
+    : k_{k}, stride_{stride} {
+  if (k_ == 0 || stride_ == 0) throw std::invalid_argument("MaxPool2d: bad geometry");
+}
+
+std::string MaxPool2d::name() const {
+  return "maxpool" + std::to_string(k_) + "s" + std::to_string(stride_);
+}
+
+TensorShape MaxPool2d::output_shape(const TensorShape& in) const {
+  if (in.h < k_ || in.w < k_) {
+    throw std::invalid_argument("MaxPool2d: input smaller than window");
+  }
+  return TensorShape{in.c, (in.h - k_) / stride_ + 1, (in.w - k_) / stride_ + 1};
+}
+
+Tensor MaxPool2d::forward(const Tensor& in) const {
+  const TensorShape os = output_shape(in.shape());
+  Tensor out{os};
+  for (std::uint32_t c = 0; c < os.c; ++c) {
+    for (std::uint32_t oy = 0; oy < os.h; ++oy) {
+      for (std::uint32_t ox = 0; ox < os.w; ++ox) {
+        std::int8_t best = -128;
+        for (std::uint32_t ky = 0; ky < k_; ++ky) {
+          for (std::uint32_t kx = 0; kx < k_; ++kx) {
+            best = std::max(best, in.at(c, oy * stride_ + ky, ox * stride_ + kx));
+          }
+        }
+        out.set(c, oy, ox, best);
+      }
+    }
+  }
+  return out;
+}
+
+void MaxPool2d::serialize(std::vector<std::uint8_t>& out) const {
+  out.push_back(static_cast<std::uint8_t>(kind()));
+  put_u32(out, k_);
+  put_u32(out, stride_);
+}
+
+// --------------------------------------------------------- GlobalAvgPool ---
+
+TensorShape GlobalAvgPool::output_shape(const TensorShape& in) const {
+  return TensorShape{in.c, 1, 1};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& in) const {
+  const auto& ish = in.shape();
+  Tensor out{TensorShape{ish.c, 1, 1}};
+  const std::int64_t area = static_cast<std::int64_t>(ish.h) * ish.w;
+  for (std::uint32_t c = 0; c < ish.c; ++c) {
+    std::int64_t sum = 0;
+    for (std::uint32_t y = 0; y < ish.h; ++y) {
+      for (std::uint32_t x = 0; x < ish.w; ++x) sum += in.at(c, y, x);
+    }
+    out.set(c, 0, 0, static_cast<std::int8_t>(sum / area));
+  }
+  return out;
+}
+
+void GlobalAvgPool::serialize(std::vector<std::uint8_t>& out) const {
+  out.push_back(static_cast<std::uint8_t>(kind()));
+}
+
+// ------------------------------------------------------------------ Dense ---
+
+Dense::Dense(std::uint32_t in, std::uint32_t out, bool relu,
+             std::uint32_t requant_shift, std::vector<std::int8_t> weights,
+             std::vector<std::int32_t> bias)
+    : in_{in},
+      out_{out},
+      relu_{relu},
+      requant_shift_{requant_shift},
+      weights_{std::move(weights)},
+      bias_{std::move(bias)} {
+  if (weights_.size() != static_cast<std::size_t>(in_) * out_ ||
+      bias_.size() != out_) {
+    throw std::invalid_argument("Dense: parameter size mismatch");
+  }
+}
+
+std::string Dense::name() const {
+  return "dense_" + std::to_string(in_) + "->" + std::to_string(out_);
+}
+
+TensorShape Dense::output_shape(const TensorShape& in) const {
+  if (in.volume() != in_) throw std::invalid_argument("Dense: input mismatch");
+  return TensorShape{out_, 1, 1};
+}
+
+Tensor Dense::forward(const Tensor& in) const {
+  if (in.shape().volume() != in_) {
+    throw std::invalid_argument("Dense: input mismatch");
+  }
+  Tensor out{TensorShape{out_, 1, 1}};
+  const auto& flat = in.data();
+  for (std::uint32_t o = 0; o < out_; ++o) {
+    std::int32_t acc = bias_[o];
+    for (std::uint32_t i = 0; i < in_; ++i) {
+      acc += static_cast<std::int32_t>(weights_[static_cast<std::size_t>(o) * in_ + i]) *
+             flat[i];
+    }
+    std::int8_t v = requantize(acc, requant_shift_);
+    if (relu_ && v < 0) v = 0;
+    out.set(o, 0, 0, v);
+  }
+  return out;
+}
+
+std::size_t Dense::param_bytes() const noexcept {
+  return weights_.size() + bias_.size() * sizeof(std::int32_t);
+}
+
+void Dense::serialize(std::vector<std::uint8_t>& out) const {
+  out.push_back(static_cast<std::uint8_t>(kind()));
+  put_u32(out, in_);
+  put_u32(out, out_);
+  out.push_back(relu_ ? 1 : 0);
+  put_u32(out, requant_shift_);
+  put_u32(out, static_cast<std::uint32_t>(weights_.size()));
+  for (const std::int8_t w : weights_) {
+    out.push_back(static_cast<std::uint8_t>(w));
+  }
+  put_u32(out, static_cast<std::uint32_t>(bias_.size()));
+  for (const std::int32_t b : bias_) {
+    put_u32(out, static_cast<std::uint32_t>(b));
+  }
+}
+
+// ---------------------------------------------------------- deserializer ---
+
+std::unique_ptr<Layer> deserialize_layer(std::span<const std::uint8_t> blob,
+                                         std::size_t& pos) {
+  if (pos >= blob.size()) throw std::invalid_argument("xmodel: truncated layer");
+  const auto kind = static_cast<LayerKind>(blob[pos++]);
+  switch (kind) {
+    case LayerKind::kConv2d: {
+      const std::uint32_t in_c = get_u32(blob, pos);
+      const std::uint32_t out_c = get_u32(blob, pos);
+      const std::uint32_t k = get_u32(blob, pos);
+      const std::uint32_t stride = get_u32(blob, pos);
+      const std::uint32_t pad = get_u32(blob, pos);
+      if (pos >= blob.size()) throw std::invalid_argument("xmodel: truncated conv");
+      const bool relu = blob[pos++] != 0;
+      const std::uint32_t shift = get_u32(blob, pos);
+      const std::uint32_t n_w = get_u32(blob, pos);
+      if (n_w > blob.size() || pos + n_w > blob.size()) {
+        throw std::invalid_argument("xmodel: truncated weights");
+      }
+      std::vector<std::int8_t> w(n_w);
+      for (std::uint32_t i = 0; i < n_w; ++i) {
+        w[i] = static_cast<std::int8_t>(blob[pos++]);
+      }
+      const std::uint32_t n_b = get_u32(blob, pos);
+      // Validate the length BEFORE sizing the vector: residue parsing must
+      // reject corrupted counts, not ask the allocator for 16 GiB.
+      if (static_cast<std::uint64_t>(n_b) * 4 > blob.size() - pos) {
+        throw std::invalid_argument("xmodel: truncated bias");
+      }
+      std::vector<std::int32_t> b(n_b);
+      for (std::uint32_t i = 0; i < n_b; ++i) {
+        b[i] = static_cast<std::int32_t>(get_u32(blob, pos));
+      }
+      return std::make_unique<Conv2d>(in_c, out_c, k, stride, pad, relu, shift,
+                                      std::move(w), std::move(b));
+    }
+    case LayerKind::kMaxPool2d: {
+      const std::uint32_t k = get_u32(blob, pos);
+      const std::uint32_t stride = get_u32(blob, pos);
+      return std::make_unique<MaxPool2d>(k, stride);
+    }
+    case LayerKind::kGlobalAvgPool:
+      return std::make_unique<GlobalAvgPool>();
+    case LayerKind::kDense: {
+      const std::uint32_t in = get_u32(blob, pos);
+      const std::uint32_t out = get_u32(blob, pos);
+      if (pos >= blob.size()) throw std::invalid_argument("xmodel: truncated dense");
+      const bool relu = blob[pos++] != 0;
+      const std::uint32_t shift = get_u32(blob, pos);
+      const std::uint32_t n_w = get_u32(blob, pos);
+      if (n_w > blob.size() || pos + n_w > blob.size()) {
+        throw std::invalid_argument("xmodel: truncated weights");
+      }
+      std::vector<std::int8_t> w(n_w);
+      for (std::uint32_t i = 0; i < n_w; ++i) {
+        w[i] = static_cast<std::int8_t>(blob[pos++]);
+      }
+      const std::uint32_t n_b = get_u32(blob, pos);
+      if (static_cast<std::uint64_t>(n_b) * 4 > blob.size() - pos) {
+        throw std::invalid_argument("xmodel: truncated bias");
+      }
+      std::vector<std::int32_t> b(n_b);
+      for (std::uint32_t i = 0; i < n_b; ++i) {
+        b[i] = static_cast<std::int32_t>(get_u32(blob, pos));
+      }
+      return std::make_unique<Dense>(in, out, relu, shift, std::move(w),
+                                     std::move(b));
+    }
+  }
+  throw std::invalid_argument("xmodel: unknown layer kind");
+}
+
+std::vector<float> softmax(const Tensor& logits) {
+  const auto& data = logits.data();
+  float max_v = -1e30f;
+  for (const std::int8_t v : data) max_v = std::max(max_v, static_cast<float>(v));
+  std::vector<float> out(data.size());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = std::exp((static_cast<float>(data[i]) - max_v) / 8.0f);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace msa::vitis

@@ -1,0 +1,145 @@
+#include "vitis/model_zoo.h"
+
+#include <stdexcept>
+
+#include "util/crc32.h"
+#include "util/prng.h"
+
+namespace msa::vitis {
+
+namespace {
+
+std::vector<std::int8_t> random_weights(util::Prng& prng, std::size_t n) {
+  std::vector<std::int8_t> w(n);
+  for (auto& v : w) {
+    // Small magnitudes keep int32 accumulators far from saturation.
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(prng.between(0, 30)) - 15);
+  }
+  return w;
+}
+
+std::vector<std::int32_t> random_bias(util::Prng& prng, std::size_t n) {
+  std::vector<std::int32_t> b(n);
+  for (auto& v : b) {
+    v = static_cast<std::int32_t>(static_cast<std::int64_t>(prng.between(0, 64)) - 32);
+  }
+  return b;
+}
+
+std::unique_ptr<Conv2d> conv(util::Prng& prng, std::uint32_t in_c,
+                             std::uint32_t out_c, std::uint32_t k,
+                             std::uint32_t stride, std::uint32_t pad,
+                             std::uint32_t shift = 6) {
+  return std::make_unique<Conv2d>(
+      in_c, out_c, k, stride, pad, /*relu=*/true, shift,
+      random_weights(prng, static_cast<std::size_t>(out_c) * in_c * k * k),
+      random_bias(prng, out_c));
+}
+
+std::unique_ptr<Dense> dense(util::Prng& prng, std::uint32_t in,
+                             std::uint32_t out, bool relu = false,
+                             std::uint32_t shift = 5) {
+  return std::make_unique<Dense>(
+      in, out, relu, shift,
+      random_weights(prng, static_cast<std::size_t>(in) * out),
+      random_bias(prng, out));
+}
+
+/// Aux strings shared by every Vitis-AI deployment plus per-model entries.
+std::vector<std::string> aux_strings_for(const std::string& name,
+                                         const std::string& framework) {
+  std::vector<std::string> aux{
+      "/usr/share/vitis_ai_library/models/" + name + "/" + name + ".xmodel",
+      "/usr/share/vitis_ai_library/models/" + name + "/" + name + ".prototxt",
+      "vart/dpu_runner",
+      "libvitis_ai_library-model_config.so.3",
+      "libvart-runner.so.3",
+      "xir::Graph::deserialize",
+  };
+  if (framework == "pt") {
+    // torchvision-style qualified name; the paper's Fig. 11 shows the
+    // fragment "hvision/<model>" surviving in memory.
+    std::string base = name;
+    if (const auto pos = base.rfind("_pt"); pos != std::string::npos) {
+      base = base.substr(0, pos);
+    }
+    aux.push_back("torchvision/" + base);
+    aux.push_back("pytorch_nndct/quantization");
+  } else {
+    aux.push_back("tensorflow/compiler/vitis");
+  }
+  return aux;
+}
+
+XModel build_classifier(const std::string& name, const std::string& framework,
+                        std::uint32_t c1, std::uint32_t c2, std::uint32_t c3,
+                        std::uint32_t classes) {
+  // Deterministic per-name weights: profiling transfers across runs.
+  util::Prng prng{util::crc32(name) * 0x9e3779b97f4a7c15ULL + 1};
+  const TensorShape input{3, 64, 64};
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(conv(prng, 3, c1, 3, 2, 1));       // 64 -> 32
+  layers.push_back(std::make_unique<MaxPool2d>(2, 2)); // 32 -> 16
+  layers.push_back(conv(prng, c1, c2, 3, 2, 1));      // 16 -> 8
+  layers.push_back(conv(prng, c2, c3, 3, 2, 1));      // 8 -> 4
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(dense(prng, c3, classes));
+  return XModel{name, framework, input, aux_strings_for(name, framework),
+                std::move(layers)};
+}
+
+XModel build_detector(const std::string& name, const std::string& framework,
+                      std::uint32_t c1, std::uint32_t c2,
+                      std::uint32_t outputs) {
+  util::Prng prng{util::crc32(name) * 0x9e3779b97f4a7c15ULL + 1};
+  const TensorShape input{3, 64, 64};
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(conv(prng, 3, c1, 3, 2, 1));        // 64 -> 32
+  layers.push_back(conv(prng, c1, c2, 3, 2, 1));       // 32 -> 16
+  layers.push_back(std::make_unique<MaxPool2d>(2, 2)); // 16 -> 8
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(dense(prng, c2, outputs));
+  return XModel{name, framework, input, aux_strings_for(name, framework),
+                std::move(layers)};
+}
+
+}  // namespace
+
+const std::vector<std::string>& zoo_model_names() {
+  static const std::vector<std::string> kNames{
+      "resnet50_pt", "squeezenet_pt", "inception_v1_tf", "mobilenet_v2_tf",
+      "yolov3_tiny_tf",
+  };
+  return kNames;
+}
+
+bool zoo_has_model(const std::string& name) {
+  for (const auto& n : zoo_model_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+XModel make_zoo_model(const std::string& name) {
+  // Channel widths differ per model so parameter-blob sizes (and thus heap
+  // layouts) differ — model identity is observable both from strings and
+  // from layout, as in the paper.
+  if (name == "resnet50_pt") {
+    return build_classifier(name, "pt", 16, 32, 64, 10);
+  }
+  if (name == "squeezenet_pt") {
+    return build_classifier(name, "pt", 8, 16, 24, 10);
+  }
+  if (name == "inception_v1_tf") {
+    return build_classifier(name, "tf", 12, 24, 48, 10);
+  }
+  if (name == "mobilenet_v2_tf") {
+    return build_classifier(name, "tf", 8, 24, 32, 10);
+  }
+  if (name == "yolov3_tiny_tf") {
+    return build_detector(name, "tf", 16, 32, 18);
+  }
+  throw std::invalid_argument("unknown zoo model: " + name);
+}
+
+}  // namespace msa::vitis

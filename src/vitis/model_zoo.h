@@ -1,0 +1,30 @@
+// The model zoo: small stand-ins for the Vitis-AI model library entries
+// the paper profiles. Each zoo entry has the real entry's name and
+// metadata-string footprint (which is what the attack identifies models
+// by) and a scaled-down but fully functional quantized network (so
+// weights, activations and outputs are genuine computed data, not filler).
+//
+// Weights are generated deterministically from the model name, so two
+// runs of "resnet50_pt" stage byte-identical parameter blobs — the
+// property that makes the paper's offline profiling transferable from the
+// attacker's own runs to the victim's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vitis/xmodel.h"
+
+namespace msa::vitis {
+
+/// Names of the bundled models, mirroring Vitis-AI model-zoo entries.
+[[nodiscard]] const std::vector<std::string>& zoo_model_names();
+
+/// True if `name` is a bundled zoo model.
+[[nodiscard]] bool zoo_has_model(const std::string& name);
+
+/// Builds a zoo model by name. Throws std::invalid_argument for unknown
+/// names. Same name -> identical model (deterministic weights).
+[[nodiscard]] XModel make_zoo_model(const std::string& name);
+
+}  // namespace msa::vitis

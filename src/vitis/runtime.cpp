@@ -1,0 +1,46 @@
+#include "vitis/runtime.h"
+
+#include "util/log.h"
+
+namespace msa::vitis {
+
+const XModel& VitisAiRuntime::model(const std::string& name) {
+  const auto it = cache_.find(name);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(name, make_zoo_model(name)).first->second;
+}
+
+VictimRun VitisAiRuntime::launch(os::Uid uid, const std::string& model_name,
+                                 const img::Image& input, std::string tty,
+                                 os::Pid ppid) {
+  const XModel& m = model(model_name);
+
+  const os::Pid pid = system_.spawn(
+      uid,
+      {"./" + model_name, m.install_path(), "../images/001.jpg"},
+      std::move(tty), ppid);
+
+  // The Vitis-AI stack maps the GPU render node (visible in the paper's
+  // Fig. 7 maps listing right after the heap).
+  system_.mmap_region(pid, 0xffffb13b5000ULL, 0x586a000, "/dev/dri/renderD128");
+
+  system_.process(pid).set_cpu_percent(18);  // matches Fig. 6's C column
+
+  DpuRunner runner{system_};
+  const RunResult r = runner.run(pid, m, input);
+
+  system_.process(pid).set_cpu_percent(0);
+  system_.process(pid).set_state(os::ProcState::kSleeping);
+
+  VictimRun run;
+  run.pid = pid;
+  run.model_name = model_name;
+  run.heap_base = system_.process(pid).heap_base();
+  run.layout = r.layout;
+  run.scores = r.scores;
+  run.top_class = r.top_class;
+  util::Log::info("vitis: ran " + model_name + " in pid " + std::to_string(pid));
+  return run;
+}
+
+}  // namespace msa::vitis

@@ -1,0 +1,52 @@
+// VitisAiRuntime: the victim-side entry point tying the OS simulator to
+// the model zoo. launch() reproduces what the paper's victim terminal
+// does: start "./resnet50_pt <xmodel-path> <image>", stage and execute the
+// model on the DPU, and leave the process alive until the caller
+// terminates it (so the attacker can observe maps/pagemap first).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "img/image.h"
+#include "os/system.h"
+#include "vitis/dpu_runner.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::vitis {
+
+struct VictimRun {
+  os::Pid pid = 0;
+  std::string model_name;
+  mem::VirtAddr heap_base = 0;
+  HeapLayout layout;
+  std::vector<float> scores;
+  std::size_t top_class = 0;
+};
+
+class VitisAiRuntime {
+ public:
+  explicit VitisAiRuntime(os::PetaLinuxSystem& system) : system_{system} {}
+
+  /// Lazily built, cached zoo model.
+  [[nodiscard]] const XModel& model(const std::string& name);
+
+  [[nodiscard]] static std::vector<std::string> available_models() {
+    return zoo_model_names();
+  }
+
+  /// Spawns the victim process and runs the model on `input`. The process
+  /// stays alive (state kSleeping, as if waiting at a prompt for the next
+  /// frame) until the caller invokes system().terminate(pid).
+  VictimRun launch(os::Uid uid, const std::string& model_name,
+                   const img::Image& input, std::string tty, os::Pid ppid = 1);
+
+  [[nodiscard]] os::PetaLinuxSystem& system() noexcept { return system_; }
+
+ private:
+  os::PetaLinuxSystem& system_;
+  std::map<std::string, XModel> cache_;
+};
+
+}  // namespace msa::vitis

@@ -1,0 +1,86 @@
+// StreamRunner: a video-pipeline victim. The paper's intro motivates
+// FPGA acceleration with computer-vision workloads; deployed pipelines
+// process a *stream* of frames through a ring of reusable buffers, not a
+// single image. The ring amplifies the vulnerability: after termination
+// the residue holds the last `ring_frames` frames the camera saw, each
+// described by its own DPU descriptor.
+//
+// Heap layout (fixed given model/geometry/ring — profilable like the
+// single-shot layout):
+//
+//   +------------------+  meta_off          malloc-style metadata
+//   +------------------+  desc_ring_off     ring_frames descriptors
+//   +------------------+  strings_off       runtime metadata strings
+//   +------------------+  xmodel_off        serialized model
+//   +------------------+  frame_ring_off    ring_frames RGB888 slots
+//   +------------------+  output_ring_off   ring_frames score vectors
+//   +------------------+  total_bytes
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "img/image.h"
+#include "os/system.h"
+#include "vitis/dpu_descriptor.h"
+#include "vitis/xmodel.h"
+
+namespace msa::vitis {
+
+struct StreamLayout {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t meta_off = 0;
+  std::uint64_t desc_ring_off = 0;
+  std::uint64_t strings_off = 0;
+  std::uint64_t xmodel_off = 0;
+  std::uint64_t frame_ring_off = 0;
+  std::uint64_t output_ring_off = 0;
+  std::uint32_t ring_frames = 0;
+  std::uint32_t frame_width = 0;
+  std::uint32_t frame_height = 0;
+  std::uint32_t num_classes = 0;
+
+  [[nodiscard]] std::uint64_t frame_bytes() const noexcept {
+    return static_cast<std::uint64_t>(frame_width) * frame_height * 3;
+  }
+  [[nodiscard]] std::uint64_t frame_slot_off(std::uint32_t slot) const noexcept {
+    return frame_ring_off + slot * frame_bytes();
+  }
+  [[nodiscard]] std::uint64_t desc_slot_off(std::uint32_t slot) const noexcept {
+    return desc_ring_off + slot * DpuDescriptor::kEncodedSize;
+  }
+  [[nodiscard]] std::uint64_t output_slot_off(std::uint32_t slot) const noexcept {
+    return output_ring_off + slot * num_classes * sizeof(float);
+  }
+
+  bool operator==(const StreamLayout&) const = default;
+};
+
+struct StreamRunResult {
+  StreamLayout layout;
+  std::vector<std::size_t> top_classes;  ///< per processed frame, in order
+};
+
+class StreamRunner {
+ public:
+  explicit StreamRunner(os::PetaLinuxSystem& system) : system_{system} {}
+
+  /// Deterministic layout for (model, frame geometry, ring depth).
+  [[nodiscard]] static StreamLayout layout_for(const XModel& model,
+                                               std::uint32_t frame_width,
+                                               std::uint32_t frame_height,
+                                               std::uint32_t ring_frames);
+
+  /// Processes every frame through the model, cycling the ring. All
+  /// frames must share the geometry of frames[0]. Throws
+  /// std::invalid_argument on empty input, zero ring, or mixed geometry.
+  StreamRunResult run(os::Pid pid, const XModel& model,
+                      std::span<const img::Image> frames,
+                      std::uint32_t ring_frames);
+
+ private:
+  os::PetaLinuxSystem& system_;
+};
+
+}  // namespace msa::vitis

@@ -1,0 +1,40 @@
+#include "vitis/tensor.h"
+
+#include <stdexcept>
+
+namespace msa::vitis {
+
+Tensor::Tensor(TensorShape shape, std::int8_t fill) : shape_{shape} {
+  if (shape.volume() == 0) throw std::invalid_argument("Tensor: empty shape");
+  data_.assign(shape.volume(), fill);
+}
+
+std::int8_t Tensor::at(std::uint32_t c, std::uint32_t y, std::uint32_t x) const {
+  if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
+    throw std::out_of_range("Tensor::at");
+  }
+  return data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x];
+}
+
+void Tensor::set(std::uint32_t c, std::uint32_t y, std::uint32_t x,
+                 std::int8_t v) {
+  if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
+    throw std::out_of_range("Tensor::set");
+  }
+  data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x] = v;
+}
+
+Tensor tensor_from_image(const img::Image& image) {
+  Tensor t{TensorShape{3, image.height(), image.width()}};
+  for (std::uint32_t y = 0; y < image.height(); ++y) {
+    for (std::uint32_t x = 0; x < image.width(); ++x) {
+      const img::Rgb p = image.at(x, y);
+      t.set(0, y, x, static_cast<std::int8_t>(static_cast<int>(p.r) - 128));
+      t.set(1, y, x, static_cast<std::int8_t>(static_cast<int>(p.g) - 128));
+      t.set(2, y, x, static_cast<std::int8_t>(static_cast<int>(p.b) - 128));
+    }
+  }
+  return t;
+}
+
+}  // namespace msa::vitis

@@ -1,0 +1,51 @@
+// Quantized (int8) CHW tensor, the data type our DPU-analogue inference
+// engine computes on. The Vitis-AI DPU is an int8 accelerator; modelling
+// that keeps staged weight/activation buffers byte-comparable with what a
+// real deployment would leave in DRAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace msa::vitis {
+
+struct TensorShape {
+  std::uint32_t c = 0;
+  std::uint32_t h = 0;
+  std::uint32_t w = 0;
+
+  [[nodiscard]] std::size_t volume() const noexcept {
+    return static_cast<std::size_t>(c) * h * w;
+  }
+  bool operator==(const TensorShape&) const = default;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape, std::int8_t fill = 0);
+
+  [[nodiscard]] const TensorShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::int8_t at(std::uint32_t c, std::uint32_t y,
+                               std::uint32_t x) const;
+  void set(std::uint32_t c, std::uint32_t y, std::uint32_t x, std::int8_t v);
+
+  [[nodiscard]] const std::vector<std::int8_t>& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::vector<std::int8_t>& data() noexcept { return data_; }
+
+ private:
+  TensorShape shape_;
+  std::vector<std::int8_t> data_;
+};
+
+/// Quantizes an RGB image to a 3xHxW int8 tensor: channel value v maps to
+/// v - 128 (symmetric zero-point), matching typical DPU preprocessing.
+[[nodiscard]] Tensor tensor_from_image(const img::Image& image);
+
+}  // namespace msa::vitis

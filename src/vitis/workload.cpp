@@ -1,0 +1,96 @@
+#include "vitis/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vitis/model_zoo.h"
+
+namespace msa::vitis {
+
+std::vector<WorkloadEvent> WorkloadGenerator::generate(
+    const WorkloadParams& params) {
+  if (params.events == 0 || params.tenants == 0) {
+    throw std::invalid_argument("WorkloadGenerator: empty workload");
+  }
+  const auto& models = zoo_model_names();
+  std::vector<WorkloadEvent> events;
+  events.reserve(params.events);
+
+  double clock = 0.0;
+  for (std::size_t i = 0; i < params.events; ++i) {
+    // Exponential-ish inter-arrival via inverse transform on uniform01.
+    const double u = prng_.uniform01();
+    clock += params.mean_gap_s * (0.25 + 1.5 * u);
+
+    WorkloadEvent e;
+    e.start_s = clock;
+    e.duration_s = params.mean_duration_s * (0.5 + prng_.uniform01());
+    e.uid = static_cast<os::Uid>(1000 + prng_.below(params.tenants));
+    e.model = models[prng_.below(models.size())];
+    e.image_seed = prng_();
+    e.image_side = params.image_side;
+    events.push_back(std::move(e));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const WorkloadEvent& a, const WorkloadEvent& b) {
+              return a.start_s < b.start_s;
+            });
+  return events;
+}
+
+std::vector<ExecutedEvent> WorkloadExecutor::run(
+    const std::vector<WorkloadEvent>& events) {
+  if (events.empty()) {
+    throw std::invalid_argument("WorkloadExecutor: empty schedule");
+  }
+
+  struct Active {
+    double end_s;
+    os::Pid pid;
+  };
+
+  std::vector<ExecutedEvent> results;
+  results.reserve(events.size());
+  std::vector<Active> active;
+  double now = 0.0;
+
+  auto reap_until = [&](double t) {
+    // Terminate every active job whose end time has passed, in end order.
+    for (;;) {
+      auto next = std::min_element(
+          active.begin(), active.end(),
+          [](const Active& a, const Active& b) { return a.end_s < b.end_s; });
+      if (next == active.end() || next->end_s > t) break;
+      system_.advance_time(
+          static_cast<std::uint64_t>(std::max(0.0, next->end_s - now)));
+      now = std::max(now, next->end_s);
+      system_.terminate(next->pid);
+      active.erase(next);
+    }
+  };
+
+  for (const WorkloadEvent& e : events) {
+    if (!zoo_has_model(e.model)) {
+      throw std::invalid_argument("WorkloadExecutor: unknown model " + e.model);
+    }
+    reap_until(e.start_s);
+    system_.advance_time(
+        static_cast<std::uint64_t>(std::max(0.0, e.start_s - now)));
+    now = std::max(now, e.start_s);
+
+    ExecutedEvent rec;
+    rec.event = e;
+    rec.input = img::make_test_image(e.image_side, e.image_side, e.image_seed);
+    const VictimRun run =
+        runtime_.launch(e.uid, e.model, rec.input, "pts/1");
+    rec.pid = run.pid;
+    rec.top_class = run.top_class;
+    results.push_back(std::move(rec));
+    active.push_back(Active{e.end_s(), run.pid});
+  }
+  // Drain the tail.
+  reap_until(1e300);
+  return results;
+}
+
+}  // namespace msa::vitis

@@ -1,0 +1,77 @@
+// Multi-tenant workload generation and replay.
+//
+// FaaS boards (paper §I: "FPGA-as-a-Service") see a churn of tenant jobs:
+// different users, models, and inputs arriving over hours. The residue
+// question then becomes cumulative — after a day of churn, how much of
+// the board's history can one late scan recover? WorkloadGenerator
+// produces deterministic synthetic schedules; WorkloadExecutor replays
+// them on a PetaLinuxSystem, launching and terminating victims at their
+// scheduled times, and returns the ground truth for scoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "img/image.h"
+#include "os/system.h"
+#include "vitis/runtime.h"
+
+namespace msa::vitis {
+
+struct WorkloadEvent {
+  double start_s = 0.0;     ///< launch time relative to schedule start
+  double duration_s = 0.0;  ///< lifetime until termination
+  os::Uid uid = 0;
+  std::string model;
+  std::uint64_t image_seed = 0;
+  std::uint32_t image_side = 64;
+
+  [[nodiscard]] double end_s() const noexcept { return start_s + duration_s; }
+};
+
+struct WorkloadParams {
+  std::size_t events = 16;
+  std::size_t tenants = 3;          ///< distinct uids (1000, 1001, ...)
+  double mean_gap_s = 30.0;         ///< inter-arrival spacing
+  double mean_duration_s = 20.0;    ///< job lifetime
+  std::uint32_t image_side = 64;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(std::uint64_t seed) : prng_{seed} {}
+
+  /// Events are returned sorted by start time; models cycle through the
+  /// zoo, tenants round-robin with jitter. Deterministic per seed.
+  [[nodiscard]] std::vector<WorkloadEvent> generate(const WorkloadParams& params);
+
+ private:
+  util::Prng prng_;
+};
+
+/// One completed job with its ground truth, for scoring scans against.
+struct ExecutedEvent {
+  WorkloadEvent event;
+  os::Pid pid = 0;
+  img::Image input;
+  std::size_t top_class = 0;
+};
+
+class WorkloadExecutor {
+ public:
+  WorkloadExecutor(os::PetaLinuxSystem& system, VitisAiRuntime& runtime)
+      : system_{system}, runtime_{runtime} {}
+
+  /// Replays the schedule to completion: every event is launched at its
+  /// start time and terminated after its duration (the simulated clock
+  /// advances accordingly). Returns one record per event, in start order.
+  /// Throws std::invalid_argument on an empty schedule or unknown model.
+  std::vector<ExecutedEvent> run(const std::vector<WorkloadEvent>& events);
+
+ private:
+  os::PetaLinuxSystem& system_;
+  VitisAiRuntime& runtime_;
+};
+
+}  // namespace msa::vitis

@@ -1,0 +1,111 @@
+#include "attack/address_resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  dbg::SystemDebugger dbg{sys, 1001};
+  os::Pid victim = 0;
+
+  explicit Fixture(std::uint64_t heap_pages = 4) {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    victim = sys.spawn(1000, {"./resnet50_pt"}, "pts/1");
+    (void)sys.sbrk(victim, heap_pages * mem::kPageSize);
+  }
+};
+
+TEST(AddressResolver, ResolvesEveryHeapPage) {
+  Fixture f;
+  AddressResolver resolver{f.dbg};
+  const ResolvedTarget t = resolver.resolve_heap(f.victim);
+  EXPECT_EQ(t.pid, f.victim);
+  EXPECT_EQ(t.heap_start, f.sys.process(f.victim).heap_base());
+  EXPECT_EQ(t.heap_bytes(), 4 * mem::kPageSize);
+  EXPECT_EQ(t.page_pa.size(), 4u);
+  EXPECT_EQ(t.pages_resolved(), 4u);
+}
+
+TEST(AddressResolver, TranslationsMatchGroundTruth) {
+  Fixture f;
+  AddressResolver resolver{f.dbg};
+  const ResolvedTarget t = resolver.resolve_heap(f.victim);
+  const auto& table = f.sys.process(f.victim).page_table();
+  for (std::size_t i = 0; i < t.page_pa.size(); ++i) {
+    const mem::VirtAddr va = t.heap_start + i * mem::kPageSize;
+    EXPECT_EQ(t.page_pa[i], table.translate(va));
+  }
+}
+
+TEST(AddressResolver, MapsTextIsCaptured) {
+  Fixture f;
+  AddressResolver resolver{f.dbg};
+  const ResolvedTarget t = resolver.resolve_heap(f.victim);
+  EXPECT_NE(t.maps_text.find("[heap]"), std::string::npos);
+  EXPECT_NE(t.maps_text.find("rw-p"), std::string::npos);
+}
+
+TEST(AddressResolver, NoHeapThrows) {
+  // A process whose heap never grew has an empty [heap] VMA; resolving
+  // yields zero pages rather than an error. A process with *no* heap VMA
+  // at all is the error case — simulate by resolving a kernel thread.
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  dbg::SystemDebugger dbg{sys, 0};
+  const os::Pid pid = sys.spawn(0, {"[kworker/0:1]"}, "");
+  AddressResolver resolver{dbg};
+  // Our spawn always creates a heap VMA, so zero-page resolution:
+  const ResolvedTarget t = resolver.resolve_heap(pid);
+  EXPECT_EQ(t.heap_bytes(), 0u);
+  EXPECT_TRUE(t.page_pa.empty());
+}
+
+TEST(AddressResolver, SingleVaTranslationMatchesPaperFlow) {
+  // Fig. 8: translate the two heap endpoints.
+  Fixture f;
+  AddressResolver resolver{f.dbg};
+  const auto start_pa =
+      resolver.virt_to_phys(f.victim, f.sys.process(f.victim).heap_base());
+  ASSERT_TRUE(start_pa.has_value());
+  EXPECT_EQ(*start_pa & 0xFFF, 0u);
+  EXPECT_FALSE(resolver.virt_to_phys(f.victim, 0x10000).has_value());
+}
+
+TEST(AddressResolver, DeniedByDebuggerAcl) {
+  Fixture f;
+  dbg::SystemDebugger locked{f.sys, 1001,
+                             dbg::DebuggerAcl{dbg::AclMode::kOwnerOnly}};
+  AddressResolver resolver{locked};
+  EXPECT_THROW((void)resolver.resolve_heap(f.victim),
+               dbg::DebuggerAccessDenied);
+}
+
+TEST(AddressResolver, DeniedByProcPolicy) {
+  os::SystemConfig cfg = os::SystemConfig::test_small();
+  cfg.proc_access = os::ProcAccessPolicy::kOwnerOrRoot;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  const os::Pid victim = sys.spawn(1000, {"app"}, "pts/1");
+  dbg::SystemDebugger dbg{sys, 1001};
+  AddressResolver resolver{dbg};
+  EXPECT_THROW((void)resolver.resolve_heap(victim), os::PermissionError);
+}
+
+TEST(AddressResolver, PartialHeapBacking) {
+  // Pages beyond brk-backed range: simulate by growing brk without backing
+  // is not possible through the public API, so instead verify resolution
+  // of a heap whose final page is partially used.
+  Fixture f{1};
+  (void)f.sys.sbrk(f.victim, 100);  // adds 100 bytes -> one more page
+  AddressResolver resolver{f.dbg};
+  const ResolvedTarget t = resolver.resolve_heap(f.victim);
+  EXPECT_EQ(t.page_pa.size(), 2u);
+  EXPECT_EQ(t.pages_resolved(), 2u);
+  EXPECT_EQ(t.heap_bytes(), mem::kPageSize + 100);
+}
+
+}  // namespace
+}  // namespace msa::attack

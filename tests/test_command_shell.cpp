@@ -1,0 +1,127 @@
+#include "attack/command_shell.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "vitis/runtime.h"
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  CommandShell shell{dbg};
+  os::Pid victim = 0;
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    const vitis::VictimRun run = runtime.launch(
+        1000, "resnet50_pt", img::make_test_image(48, 48, 9), "pts/1");
+    victim = run.pid;
+  }
+};
+
+TEST(CommandShell, EmptyLineIsSilent) {
+  Fixture f;
+  EXPECT_EQ(f.shell.execute(""), "");
+  EXPECT_EQ(f.shell.execute("   "), "");
+}
+
+TEST(CommandShell, UnknownCommandIsError) {
+  Fixture f;
+  EXPECT_EQ(f.shell.execute("frobnicate").substr(0, 6), "error:");
+}
+
+TEST(CommandShell, HelpListsCommands) {
+  Fixture f;
+  const std::string help = f.shell.execute("help");
+  for (const char* cmd : {"ps", "maps", "v2p", "devmem", "scrape", "grep",
+                          "strings", "identify"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(CommandShell, PsShowsVictim) {
+  Fixture f;
+  EXPECT_NE(f.shell.execute("ps").find("resnet50_pt"), std::string::npos);
+}
+
+TEST(CommandShell, MapsRequiresValidPid) {
+  Fixture f;
+  EXPECT_EQ(f.shell.execute("maps").substr(0, 6), "error:");
+  EXPECT_EQ(f.shell.execute("maps abc").substr(0, 6), "error:");
+  EXPECT_EQ(f.shell.execute("maps 99999").substr(0, 6), "error:");
+  EXPECT_NE(f.shell.execute("maps " + std::to_string(f.victim)).find("[heap]"),
+            std::string::npos);
+}
+
+TEST(CommandShell, V2pTranslates) {
+  Fixture f;
+  const mem::VirtAddr heap = f.sys.process(f.victim).heap_base();
+  const std::string out = f.shell.execute(
+      "v2p " + std::to_string(f.victim) + " " + util::hex_0x(heap));
+  EXPECT_EQ(out.substr(0, 2), "0x");
+  EXPECT_EQ(util::parse_hex(out),
+            *f.sys.process(f.victim).page_table().translate(heap));
+  // Unmapped page:
+  EXPECT_EQ(f.shell
+                .execute("v2p " + std::to_string(f.victim) + " 0xdead0000")
+                .substr(0, 6),
+            "error:");
+}
+
+TEST(CommandShell, DevmemReadsPhysical) {
+  Fixture f;
+  f.sys.devmem_write32(0x4000, 0xF7F5F8FD);
+  EXPECT_EQ(f.shell.execute("devmem 0x4000"), "0xf7f5f8fd");
+  EXPECT_EQ(f.shell.execute("devmem zzz").substr(0, 6), "error:");
+}
+
+TEST(CommandShell, FullScriptedAttack) {
+  Fixture f;
+  const std::string scrape_out =
+      f.shell.execute("scrape " + std::to_string(f.victim));
+  EXPECT_NE(scrape_out.find("scraped"), std::string::npos);
+  ASSERT_TRUE(f.shell.dump().has_value());
+
+  f.sys.terminate(f.victim);
+
+  const std::string grep_out = f.shell.execute("grep resnet50");
+  EXPECT_NE(grep_out.find("matching rows"), std::string::npos);
+
+  const std::string id_out = f.shell.execute("identify");
+  EXPECT_NE(id_out.find("=> resnet50_pt"), std::string::npos);
+  EXPECT_NE(id_out.find("deep:"), std::string::npos);
+
+  const std::string strings_out = f.shell.execute("strings 10");
+  EXPECT_NE(strings_out.find("vitis_ai_library"), std::string::npos);
+}
+
+TEST(CommandShell, AnalysisBeforeScrapeIsError) {
+  Fixture f;
+  EXPECT_EQ(f.shell.execute("grep x").substr(0, 6), "error:");
+  EXPECT_EQ(f.shell.execute("identify").substr(0, 6), "error:");
+  EXPECT_EQ(f.shell.execute("strings").substr(0, 6), "error:");
+}
+
+TEST(CommandShell, GrepMissSaysSo) {
+  Fixture f;
+  (void)f.shell.execute("scrape " + std::to_string(f.victim));
+  EXPECT_EQ(f.shell.execute("grep qqqqqqq"), "(no matches)");
+}
+
+TEST(CommandShell, DenialsSurfaceAsErrors) {
+  Fixture f;
+  dbg::SystemDebugger locked{f.sys, 1001,
+                             dbg::DebuggerAcl{dbg::AclMode::kOwnerOnly}};
+  CommandShell shell{locked};
+  EXPECT_EQ(shell.execute("maps " + std::to_string(f.victim)).substr(0, 6),
+            "error:");
+  EXPECT_EQ(shell.execute("devmem 0x1000").substr(0, 6), "error:");
+}
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,65 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msa::util {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32(""), 0x00000000u); }
+
+TEST(Crc32, SingleByte) {
+  // crc32("a") is a standard known value.
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 inc;
+  for (const char c : data) {
+    inc.update(std::string_view{&c, 1});
+  }
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, ChunkBoundaryInvariance) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const std::uint32_t whole = crc32(data);
+  for (const std::size_t split : {1UL, 7UL, 500UL, 999UL}) {
+    Crc32 c;
+    c.update(std::span{data.data(), split});
+    c.update(std::span{data.data() + split, data.size() - split});
+    EXPECT_EQ(c.value(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, ResetRestoresInitialState) {
+  Crc32 c;
+  c.update("garbage");
+  c.reset();
+  c.update("123456789");
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t before = crc32(data);
+  data[30] ^= 0x01;
+  EXPECT_NE(crc32(data), before);
+}
+
+TEST(Crc32, DifferentOrderDifferentCrc) {
+  EXPECT_NE(crc32("ab"), crc32("ba"));
+}
+
+}  // namespace
+}  // namespace msa::util

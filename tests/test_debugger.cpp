@@ -1,0 +1,123 @@
+#include "dbg/debugger.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::dbg {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  os::Pid victim_pid = 0;
+  mem::VirtAddr heap = 0;
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    victim_pid = sys.spawn(1000, {"./resnet50_pt", "m.xmodel"}, "pts/1");
+    heap = sys.sbrk(victim_pid, 2 * mem::kPageSize);
+    sys.write_virt32(victim_pid, heap + 0x730, 0xF7F5F8FD);
+  }
+};
+
+TEST(Debugger, PsVisibleCrossUser) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  EXPECT_NE(dbg.ps().find("resnet50_pt"), std::string::npos);
+  EXPECT_EQ(dbg.pids().size(), 1u);
+  EXPECT_EQ(dbg.stats().ps_calls, 2u);
+}
+
+TEST(Debugger, MapsCrossUserWhenUnrestricted) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  const std::string maps = dbg.maps(f.victim_pid);
+  EXPECT_NE(maps.find("[heap]"), std::string::npos);
+  EXPECT_EQ(dbg.stats().maps_reads, 1u);
+}
+
+TEST(Debugger, VirtToPhysMatchesGroundTruth) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  const auto pa = dbg.virt_to_phys(f.victim_pid, f.heap + 0x730);
+  const auto truth =
+      f.sys.process(f.victim_pid).page_table().translate(f.heap + 0x730);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(pa, truth);
+}
+
+TEST(Debugger, VirtToPhysUnmappedIsNullopt) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  EXPECT_FALSE(dbg.virt_to_phys(f.victim_pid, 0x12345000).has_value());
+}
+
+TEST(Debugger, DevmemReadsResidue) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  const auto pa = dbg.virt_to_phys(f.victim_pid, f.heap + 0x730).value();
+  f.sys.terminate(f.victim_pid);
+  EXPECT_EQ(dbg.devmem32(pa), 0xF7F5F8FDu);
+  EXPECT_EQ(dbg.stats().devmem_reads, 1u);
+}
+
+TEST(Debugger, DevmemCommandMatchesPaperFormat) {
+  // Fig. 10: "devmem 0x61c6d730" -> "0x00000000"
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  const std::string out = dbg.devmem_command(0x4000);
+  EXPECT_EQ(out, "devmem 0x4000\n0x00000000\n");
+}
+
+TEST(Debugger, OwnerOnlyAclDeniesCrossUserProcess) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001, DebuggerAcl{AclMode::kOwnerOnly}};
+  EXPECT_THROW((void)dbg.maps(f.victim_pid), DebuggerAccessDenied);
+  EXPECT_THROW((void)dbg.pagemap_entry(f.victim_pid, f.heap),
+               DebuggerAccessDenied);
+  EXPECT_THROW((void)dbg.devmem32(0x1000), DebuggerAccessDenied);
+  EXPECT_EQ(dbg.stats().denials, 3u);
+}
+
+TEST(Debugger, OwnerOnlyAclAllowsOwnProcessesAndRoot) {
+  Fixture f;
+  SystemDebugger self{f.sys, 1000, DebuggerAcl{AclMode::kOwnerOnly}};
+  EXPECT_NO_THROW((void)self.maps(f.victim_pid));
+  SystemDebugger root{f.sys, 0, DebuggerAcl{AclMode::kOwnerOnly}};
+  EXPECT_NO_THROW((void)root.maps(f.victim_pid));
+  EXPECT_NO_THROW((void)root.devmem32(0x1000));
+}
+
+TEST(Debugger, DisabledAclDeniesEverything) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 0, DebuggerAcl{AclMode::kDisabled}};
+  EXPECT_THROW((void)dbg.ps(), DebuggerAccessDenied);
+  EXPECT_THROW((void)dbg.pids(), DebuggerAccessDenied);
+  EXPECT_THROW((void)dbg.maps(f.victim_pid), DebuggerAccessDenied);
+  EXPECT_THROW((void)dbg.devmem32(0), DebuggerAccessDenied);
+}
+
+TEST(Debugger, ProcPolicyStillAppliesUnderneath) {
+  // Even with an unrestricted debugger, a hardened /proc policy blocks the
+  // read — the two layers are independent.
+  os::SystemConfig cfg = os::SystemConfig::test_small();
+  cfg.proc_access = os::ProcAccessPolicy::kOwnerOrRoot;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  const os::Pid pid = sys.spawn(1000, {"app"}, "pts/1");
+  SystemDebugger dbg{sys, 1001, DebuggerAcl{AclMode::kUnrestricted}};
+  EXPECT_THROW((void)dbg.maps(pid), os::PermissionError);
+}
+
+TEST(Debugger, PagemapEntryIsRawLinuxFormat) {
+  Fixture f;
+  SystemDebugger dbg{f.sys, 1001};
+  const std::uint64_t raw = dbg.pagemap_entry(f.victim_pid, f.heap);
+  const auto e = mem::PagemapEntry::decode(raw);
+  EXPECT_TRUE(e.present);
+  EXPECT_EQ(mem::PageFrameAllocator::frame_to_phys(e.pfn),
+            dbg.virt_to_phys(f.victim_pid, f.heap).value());
+}
+
+}  // namespace
+}  // namespace msa::dbg

@@ -1,0 +1,75 @@
+#include "defense/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::defense {
+namespace {
+
+attack::ScenarioConfig small_base() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 40;
+  cfg.image_height = 40;
+  return cfg;
+}
+
+TEST(DefenseEvaluator, BaselineAlwaysSucceeds) {
+  DefenseEvaluator ev{small_base()};
+  const DefenseOutcome o = ev.evaluate(preset("baseline"), 3);
+  EXPECT_EQ(o.trials, 3u);
+  EXPECT_EQ(o.denied, 0u);
+  EXPECT_EQ(o.model_identified, 3u);
+  EXPECT_EQ(o.image_recovered, 3u);
+  EXPECT_DOUBLE_EQ(o.id_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(o.recovery_rate(), 1.0);
+  EXPECT_NEAR(o.mean_pixel_match, 1.0, 1e-12);
+}
+
+TEST(DefenseEvaluator, ZeroOnFreeStopsEverything) {
+  DefenseEvaluator ev{small_base()};
+  const DefenseOutcome o = ev.evaluate(preset("zero_on_free"), 2);
+  EXPECT_EQ(o.denied, 0u);
+  EXPECT_EQ(o.model_identified, 0u);
+  EXPECT_EQ(o.image_recovered, 0u);
+}
+
+TEST(DefenseEvaluator, AclDefensesDenyAllTrials) {
+  DefenseEvaluator ev{small_base()};
+  for (const char* name : {"proc_owner_only", "dbg_owner_only", "dbg_disabled"}) {
+    const DefenseOutcome o = ev.evaluate(preset(name), 2);
+    EXPECT_EQ(o.denied, 2u) << name;
+    EXPECT_EQ(o.model_identified, 0u) << name;
+  }
+}
+
+TEST(DefenseEvaluator, VaAslrDoesNotStopAttack) {
+  DefenseEvaluator ev{small_base()};
+  const DefenseOutcome o = ev.evaluate(preset("heap_va_aslr"), 2);
+  EXPECT_EQ(o.image_recovered, 2u);
+}
+
+TEST(DefenseEvaluator, EvaluateAllCoversEveryPreset) {
+  DefenseEvaluator ev{small_base()};
+  const auto outcomes = ev.evaluate_all(1);
+  EXPECT_EQ(outcomes.size(), all_presets().size());
+  EXPECT_EQ(outcomes.front().preset_name, "baseline");
+}
+
+TEST(DefenseEvaluator, TableFormatsAllRows) {
+  DefenseEvaluator ev{small_base()};
+  const auto outcomes = ev.evaluate_all(1);
+  const std::string table = DefenseEvaluator::format_table(outcomes);
+  for (const auto& p : all_presets()) {
+    EXPECT_NE(table.find(p.name), std::string::npos) << p.name;
+  }
+  EXPECT_NE(table.find("pixel-match"), std::string::npos);
+}
+
+TEST(DefenseEvaluator, RatesWithZeroTrials) {
+  DefenseOutcome o;
+  EXPECT_DOUBLE_EQ(o.id_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(o.recovery_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace msa::defense

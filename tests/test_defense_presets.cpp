@@ -1,0 +1,74 @@
+#include "defense/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::defense {
+namespace {
+
+TEST(Presets, BaselineIsFullyVulnerable) {
+  const auto cfg = baseline_vulnerable(attack::ScenarioConfig{});
+  EXPECT_EQ(cfg.system.sanitize, mem::SanitizePolicy::kNone);
+  EXPECT_EQ(cfg.system.placement, mem::PlacementPolicy::kSequentialLifo);
+  EXPECT_EQ(cfg.system.proc_access, os::ProcAccessPolicy::kWorldReadable);
+  EXPECT_FALSE(cfg.system.heap_va_aslr);
+  EXPECT_EQ(cfg.acl.mode, dbg::AclMode::kUnrestricted);
+}
+
+TEST(Presets, EachPresetChangesExactlyItsKnob) {
+  const auto base = baseline_vulnerable(attack::ScenarioConfig{});
+  const auto zof = preset("zero_on_free").apply(attack::ScenarioConfig{});
+  EXPECT_EQ(zof.system.sanitize, mem::SanitizePolicy::kZeroOnFree);
+  EXPECT_EQ(zof.system.placement, base.system.placement);
+
+  const auto aslr = preset("physical_aslr").apply(attack::ScenarioConfig{});
+  EXPECT_EQ(aslr.system.placement, mem::PlacementPolicy::kRandomized);
+  EXPECT_EQ(aslr.system.sanitize, mem::SanitizePolicy::kNone);
+
+  const auto acl = preset("dbg_owner_only").apply(attack::ScenarioConfig{});
+  EXPECT_EQ(acl.acl.mode, dbg::AclMode::kOwnerOnly);
+  EXPECT_EQ(acl.system.proc_access, os::ProcAccessPolicy::kWorldReadable);
+
+  const auto va = preset("heap_va_aslr").apply(attack::ScenarioConfig{});
+  EXPECT_TRUE(va.system.heap_va_aslr);
+}
+
+TEST(Presets, AllPresetsListedWithBaselineFirst) {
+  const auto& presets = all_presets();
+  ASSERT_GE(presets.size(), 8u);
+  EXPECT_EQ(presets.front().name, "baseline");
+  for (const auto& p : presets) {
+    EXPECT_FALSE(p.description.empty()) << p.name;
+    EXPECT_NE(p.apply, nullptr) << p.name;
+  }
+}
+
+TEST(Presets, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& p : all_presets()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(Presets, UnknownNameThrows) {
+  EXPECT_THROW((void)preset("no_such_defense"), std::invalid_argument);
+}
+
+TEST(Presets, LookupReturnsSameAsList) {
+  for (const auto& p : all_presets()) {
+    EXPECT_EQ(&preset(p.name), &p);
+  }
+}
+
+TEST(Presets, WorkloadParametersPreserved) {
+  attack::ScenarioConfig base;
+  base.model_name = "yolov3_tiny_tf";
+  base.image_width = 77;
+  for (const auto& p : all_presets()) {
+    const auto cfg = p.apply(base);
+    EXPECT_EQ(cfg.model_name, "yolov3_tiny_tf") << p.name;
+    EXPECT_EQ(cfg.image_width, 77u) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace msa::defense

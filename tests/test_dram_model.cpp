@@ -1,0 +1,184 @@
+#include "dram/dram_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msa::dram {
+namespace {
+
+DramModel make() { return DramModel{DramConfig::test_small()}; }
+
+TEST(DramModel, FreshMemoryReadsZero) {
+  DramModel d = make();
+  EXPECT_EQ(d.read8(0x1000), 0u);
+  EXPECT_EQ(d.read32(0x2000), 0u);
+  EXPECT_EQ(d.read64(0x3000), 0u);
+  EXPECT_EQ(d.materialized_blocks(), 0u);  // reads don't materialize
+}
+
+TEST(DramModel, Write8ReadBack) {
+  DramModel d = make();
+  d.write8(0x100, 0xAB);
+  EXPECT_EQ(d.read8(0x100), 0xAB);
+  EXPECT_EQ(d.read8(0x101), 0u);
+}
+
+TEST(DramModel, Write32LittleEndianBytes) {
+  DramModel d = make();
+  d.write32(0x200, 0x61C6D730);
+  EXPECT_EQ(d.read8(0x200), 0x30);
+  EXPECT_EQ(d.read8(0x201), 0xD7);
+  EXPECT_EQ(d.read8(0x202), 0xC6);
+  EXPECT_EQ(d.read8(0x203), 0x61);
+}
+
+TEST(DramModel, Write64ReadBack) {
+  DramModel d = make();
+  d.write64(0x400, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.read64(0x400), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.read32(0x400), 0x89ABCDEFu);
+  EXPECT_EQ(d.read32(0x404), 0x01234567u);
+}
+
+TEST(DramModel, AccessesCrossingBlockBoundary) {
+  DramModel d = make();
+  // 4 KiB blocks: write across the 0x1000 boundary.
+  d.write64(0xFFC, 0x1122334455667788ULL);
+  EXPECT_EQ(d.read64(0xFFC), 0x1122334455667788ULL);
+  d.write32(0xFFE, 0xA1B2C3D4);
+  EXPECT_EQ(d.read32(0xFFE), 0xA1B2C3D4u);
+  d.write16(0xFFF, 0xBEEF);
+  EXPECT_EQ(d.read16(0xFFF), 0xBEEFu);
+}
+
+TEST(DramModel, OutOfRangeThrows) {
+  DramModel d = make();
+  const PhysAddr end = d.config().end();
+  EXPECT_THROW((void)d.read8(end), std::out_of_range);
+  EXPECT_THROW(d.write8(end, 1), std::out_of_range);
+  EXPECT_THROW((void)d.read32(end - 2), std::out_of_range);  // straddles the end
+  EXPECT_THROW((void)d.read64(end - 4), std::out_of_range);
+  EXPECT_NO_THROW((void)d.read32(end - 4));
+}
+
+TEST(DramModel, BlockRoundTrip) {
+  DramModel d = make();
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  d.write_block(0x800, data);
+  std::vector<std::uint8_t> out(data.size());
+  d.read_block(0x800, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(DramModel, ZeroRangeErasesContent) {
+  DramModel d = make();
+  d.fill_range(0x1000, 0x3000, 0x5A);
+  EXPECT_TRUE(d.any_nonzero(0x1000, 0x3000));
+  d.zero_range(0x1800, 0x1000);
+  EXPECT_TRUE(d.any_nonzero(0x1000, 0x800));
+  EXPECT_FALSE(d.any_nonzero(0x1800, 0x1000));
+  EXPECT_TRUE(d.any_nonzero(0x2800, 0x1800));
+}
+
+TEST(DramModel, WholeBlockZeroReleasesStorage) {
+  DramModel d = make();
+  d.fill_range(0x1000, 0x1000, 0xFF);
+  EXPECT_EQ(d.materialized_blocks(), 1u);
+  d.zero_range(0x1000, 0x1000);
+  EXPECT_EQ(d.materialized_blocks(), 0u);
+  EXPECT_EQ(d.read8(0x1234), 0u);
+}
+
+TEST(DramModel, AnyNonzeroOnUntouchedIsFalse) {
+  DramModel d = make();
+  EXPECT_FALSE(d.any_nonzero(0, d.config().size));
+}
+
+TEST(DramModel, RemanenceSemantics) {
+  // The core vulnerability: content persists until explicitly cleared.
+  DramModel d = make();
+  d.write32(0x5000, 0xDEADBEEF);
+  // ... nothing "frees" DRAM; a later reader sees the residue.
+  EXPECT_EQ(d.read32(0x5000), 0xDEADBEEFu);
+}
+
+TEST(DramModel, ChecksumDetectsDifference) {
+  DramModel d = make();
+  d.fill_range(0x2000, 0x1000, 0x11);
+  const std::uint32_t c1 = d.checksum(0x2000, 0x1000);
+  d.write8(0x2800, 0x22);
+  EXPECT_NE(d.checksum(0x2000, 0x1000), c1);
+}
+
+TEST(DramModel, ChecksumOfZeroRangeStable) {
+  DramModel d = make();
+  EXPECT_EQ(d.checksum(0, 4096), d.checksum(4096, 4096));
+}
+
+TEST(DramModel, StatsAccumulate) {
+  DramModel d = make();
+  d.reset_stats();
+  d.write32(0x100, 1);
+  (void)d.read32(0x100);
+  (void)d.read8(0x104);
+  EXPECT_EQ(d.stats().writes, 1u);
+  EXPECT_EQ(d.stats().reads, 2u);
+  EXPECT_EQ(d.stats().bytes_written, 4u);
+  EXPECT_EQ(d.stats().bytes_read, 5u);
+}
+
+TEST(DramModel, RejectsBadConfigs) {
+  DramConfig c = DramConfig::test_small();
+  c.size = 0;
+  EXPECT_THROW(DramModel{c}, std::invalid_argument);
+  c.size = 1000;  // not a multiple of 4 KiB
+  EXPECT_THROW(DramModel{c}, std::invalid_argument);
+}
+
+TEST(DramConfig, ContainsEdges) {
+  const DramConfig c = DramConfig::test_small();
+  EXPECT_TRUE(c.contains(c.base));
+  EXPECT_TRUE(c.contains(c.end() - 1));
+  EXPECT_FALSE(c.contains(c.end()));
+  EXPECT_TRUE(c.contains(c.base, c.size));
+  EXPECT_FALSE(c.contains(c.base, c.size + 1));
+  EXPECT_FALSE(c.contains(c.end() - 4, 8));
+}
+
+TEST(DramConfig, BoardPresets) {
+  EXPECT_EQ(DramConfig::zcu104().size, 2ULL << 30);
+  EXPECT_EQ(DramConfig::zcu102().size, 4ULL << 30);
+  EXPECT_EQ(DramConfig::zcu104().board_name, "zcu104");
+  EXPECT_GT(DramConfig::zcu104().frames(), 500000u);
+}
+
+class DramWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DramWidthSweep, WriteReadAtArbitraryAlignments) {
+  DramModel d = make();
+  const int width = GetParam();
+  for (PhysAddr base : {0x100ULL, 0xFFDULL, 0x1FFFULL}) {
+    const std::uint64_t value = 0xA5A5A5A5A5A5A5A5ULL >> (64 - 8 * width);
+    switch (width) {
+      case 1: d.write8(base, static_cast<std::uint8_t>(value)); break;
+      case 2: d.write16(base, static_cast<std::uint16_t>(value)); break;
+      case 4: d.write32(base, static_cast<std::uint32_t>(value)); break;
+      case 8: d.write64(base, value); break;
+    }
+    switch (width) {
+      case 1: EXPECT_EQ(d.read8(base), static_cast<std::uint8_t>(value)); break;
+      case 2: EXPECT_EQ(d.read16(base), static_cast<std::uint16_t>(value)); break;
+      case 4: EXPECT_EQ(d.read32(base), static_cast<std::uint32_t>(value)); break;
+      case 8: EXPECT_EQ(d.read64(base), value); break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DramWidthSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace msa::dram

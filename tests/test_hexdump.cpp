@@ -1,0 +1,128 @@
+#include "util/hexdump.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace msa::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(HexRow, PairGroupingMatchesPaperFigure) {
+  // Fig. 11 shows "6c73 2f72 6573 6e65 7435 305f 7074 2f72  ls/resnet50_pt/r"
+  const auto data = bytes_of("ls/resnet50_pt/r");
+  EXPECT_EQ(hex_row(data),
+            "6c73 2f72 6573 6e65 7435 305f 7074 2f72  ls/resnet50_pt/r");
+}
+
+TEST(HexRow, NonPrintableRenderedAsDot) {
+  const std::vector<std::uint8_t> data{0x00, 0x1F, 0x41, 0x7F, 0xFF, 0x20,
+                                       0x7E, 0x0A, 0x42, 0x43, 0x44, 0x45,
+                                       0x46, 0x47, 0x48, 0x49};
+  const std::string row = hex_row(data);
+  const std::string gutter = row.substr(row.size() - 16);
+  EXPECT_EQ(gutter, "..A.. ~.BCDEFGHI");
+}
+
+TEST(HexRow, ShortRowPadsHexColumn) {
+  const std::vector<std::uint8_t> data{0xAB, 0xCD};
+  const std::string row = hex_row(data);
+  // Hex column width must equal a full row's: 16 bytes -> 32 hex + 7 spaces.
+  const std::string full = hex_row(bytes_of("0123456789abcdef"));
+  const auto hex_width = full.rfind("  ");
+  EXPECT_EQ(row.rfind("  "), hex_width);
+}
+
+TEST(HexDump, RowsSplitAt16Bytes) {
+  std::vector<std::uint8_t> data(40, 0x41);
+  const std::string dump = hex_dump(data);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);  // 3 rows
+}
+
+TEST(HexDump, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(hex_dump({}).empty());
+}
+
+TEST(HexDump, UppercaseOption) {
+  const std::vector<std::uint8_t> data{0xAB};
+  HexDumpOptions opts;
+  opts.uppercase = true;
+  opts.ascii_gutter = false;
+  const std::string dump = hex_dump(data, opts);
+  EXPECT_NE(dump.find("AB"), std::string::npos);
+  EXPECT_EQ(dump.find("ab"), std::string::npos);
+}
+
+TEST(HexDump, OffsetsPrefixRows) {
+  std::vector<std::uint8_t> data(32, 0x00);
+  HexDumpOptions opts;
+  opts.offsets = true;
+  const std::string dump = hex_dump(data, opts);
+  EXPECT_EQ(dump.substr(0, 8), "00000000");
+  EXPECT_NE(dump.find("\n00000010"), std::string::npos);
+}
+
+TEST(ParseHexDump, RoundTripsDump) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  EXPECT_EQ(parse_hex_dump(hex_dump(data)), data);
+}
+
+TEST(ParseHexDump, RoundTripsWithAsciiGutterContainingHexChars) {
+  // Gutter text like "abcdef" must not be parsed as hex.
+  const auto data = bytes_of("abcdefabcdefabcd");
+  EXPECT_EQ(parse_hex_dump(hex_dump(data)), data);
+}
+
+TEST(ParseHexDump, RejectsDanglingNibble) {
+  EXPECT_THROW(parse_hex_dump("abc"), std::invalid_argument);
+}
+
+TEST(ParseHexDump, RejectsNonHex) {
+  EXPECT_THROW(parse_hex_dump("zz"), std::invalid_argument);
+}
+
+TEST(WordsToBytes, LittleEndianOrder) {
+  const std::vector<std::uint32_t> words{0x44434241};
+  const auto bytes = words_to_bytes_le(words);
+  EXPECT_EQ(bytes, bytes_of("ABCD"));
+}
+
+TEST(WordsToBytes, MultipleWords) {
+  const std::vector<std::uint32_t> words{0x03020100, 0x07060504};
+  const auto bytes = words_to_bytes_le(words);
+  ASSERT_EQ(bytes.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(bytes[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(AsciiOrDot, Boundaries) {
+  EXPECT_EQ(ascii_or_dot(0x1F), '.');
+  EXPECT_EQ(ascii_or_dot(0x20), ' ');
+  EXPECT_EQ(ascii_or_dot(0x7E), '~');
+  EXPECT_EQ(ascii_or_dot(0x7F), '.');
+  EXPECT_EQ(ascii_or_dot(0xFF), '.');
+}
+
+class HexDumpWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HexDumpWidthSweep, RoundTripAtAnyRowWidth) {
+  HexDumpOptions opts;
+  opts.bytes_per_row = GetParam();
+  std::vector<std::uint8_t> data(61);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  EXPECT_EQ(parse_hex_dump(hex_dump(data, opts)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HexDumpWidthSweep,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace msa::util

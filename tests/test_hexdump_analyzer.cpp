@@ -1,0 +1,112 @@
+#include "attack/hexdump_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::attack {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(HexDumpAnalyzer, GrepFindsNeedleWithRowText) {
+  // Fig. 11 replay: grep "resnet50" over the residue.
+  std::vector<std::uint8_t> residue(64, 0);
+  const std::string needle_ctx = "ls/resnet50_pt/r";
+  std::copy(needle_ctx.begin(), needle_ctx.end(), residue.begin() + 16);
+  HexDumpAnalyzer a{residue};
+  const auto hits = a.grep("resnet50");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].byte_offset, 19u);
+  EXPECT_EQ(hits[0].row, 1u);
+  EXPECT_EQ(hits[0].row_text,
+            "6c73 2f72 6573 6e65 7435 305f 7074 2f72  ls/resnet50_pt/r");
+}
+
+TEST(HexDumpAnalyzer, GrepMultipleHits) {
+  std::string s = "xxresnet50yyresnet50zz";
+  const auto data = bytes_of(s);
+  HexDumpAnalyzer a{data};
+  EXPECT_EQ(a.grep("resnet50").size(), 2u);
+}
+
+TEST(HexDumpAnalyzer, GrepMissReturnsEmpty) {
+  const auto data = bytes_of("nothing interesting here");
+  HexDumpAnalyzer a{data};
+  EXPECT_TRUE(a.grep("resnet50").empty());
+}
+
+TEST(HexDumpAnalyzer, UniformRunsFindFFBlocks) {
+  // Fig. 12 replay: rows of FFFF FFFF from the corrupted image.
+  std::vector<std::uint8_t> residue(16 * 20, 0x00);
+  for (std::size_t i = 16 * 4; i < 16 * 12; ++i) residue[i] = 0xFF;
+  for (std::size_t i = 16 * 15; i < 16 * 18; ++i) residue[i] = 0xFF;
+  HexDumpAnalyzer a{residue};
+  const auto runs = a.uniform_runs(0xFF, 3);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{4, 8}));
+  EXPECT_EQ(runs[1], (std::pair<std::size_t, std::size_t>{15, 3}));
+}
+
+TEST(HexDumpAnalyzer, UniformRunsRespectMinRows) {
+  std::vector<std::uint8_t> residue(16 * 6, 0x00);
+  for (std::size_t i = 16; i < 32; ++i) residue[i] = 0xFF;  // single row
+  HexDumpAnalyzer a{residue};
+  EXPECT_TRUE(a.uniform_runs(0xFF, 2).empty());
+  EXPECT_EQ(a.uniform_runs(0xFF, 1).size(), 1u);
+}
+
+TEST(HexDumpAnalyzer, FindByteRunLocatesMarker) {
+  // The 0x555555 profiling marker start.
+  std::vector<std::uint8_t> residue(500, 0x00);
+  for (std::size_t i = 123; i < 123 + 100; ++i) residue[i] = 0x55;
+  HexDumpAnalyzer a{residue};
+  EXPECT_EQ(a.find_byte_run(0x55, 48), 123u);
+  EXPECT_EQ(a.find_byte_run(0x55, 101), HexDumpAnalyzer::npos);
+  EXPECT_EQ(a.find_byte_run(0xAA, 1), HexDumpAnalyzer::npos);
+}
+
+TEST(HexDumpAnalyzer, FindByteRunIgnoresShorterRuns) {
+  std::vector<std::uint8_t> residue(200, 0x00);
+  for (std::size_t i = 10; i < 20; ++i) residue[i] = 0x55;    // 10 bytes
+  for (std::size_t i = 100; i < 160; ++i) residue[i] = 0x55;  // 60 bytes
+  HexDumpAnalyzer a{residue};
+  EXPECT_EQ(a.find_byte_run(0x55, 48), 100u);
+}
+
+TEST(HexDumpAnalyzer, FindByteRunEdgeCases) {
+  std::vector<std::uint8_t> tiny{0x55, 0x55};
+  HexDumpAnalyzer a{tiny};
+  EXPECT_EQ(a.find_byte_run(0x55, 2), 0u);
+  EXPECT_EQ(a.find_byte_run(0x55, 3), HexDumpAnalyzer::npos);
+  EXPECT_EQ(a.find_byte_run(0x55, 0), HexDumpAnalyzer::npos);
+}
+
+TEST(HexDumpAnalyzer, StringsExtraction) {
+  std::vector<std::uint8_t> residue;
+  const std::string path = "/usr/share/vitis_ai_library/models/resnet50_pt";
+  residue.push_back(0);
+  residue.insert(residue.end(), path.begin(), path.end());
+  residue.push_back(0);
+  HexDumpAnalyzer a{residue};
+  const auto strs = a.strings(6);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], path);
+}
+
+TEST(HexDumpAnalyzer, DumpTextRowCount) {
+  std::vector<std::uint8_t> residue(16 * 3, 0x41);
+  HexDumpAnalyzer a{residue};
+  const std::string dump = a.dump_text();
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(HexDumpAnalyzer, RenderRowOutOfRangeIsEmpty) {
+  std::vector<std::uint8_t> residue(16, 0);
+  HexDumpAnalyzer a{residue};
+  EXPECT_FALSE(a.render_row(0).empty());
+  EXPECT_TRUE(a.render_row(1).empty());
+}
+
+}  // namespace
+}  // namespace msa::attack

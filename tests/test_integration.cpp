@@ -1,0 +1,166 @@
+// Cross-module integration scenarios that exercise several subsystems in
+// one flow: monitoring + scraping + recovery, streams + scrubbers,
+// firewalls + shells — the combinations a real deployment would see.
+#include <gtest/gtest.h>
+
+#include "attack/command_shell.h"
+#include "attack/descriptor_scan.h"
+#include "attack/model_recovery.h"
+#include "attack/orchestrator.h"
+#include "attack/residue_monitor.h"
+#include "attack/scenario.h"
+#include "os/scrubber.h"
+#include "vitis/stream_runner.h"
+#include "vitis/workload.h"
+
+namespace msa {
+namespace {
+
+struct Board {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+
+  Board() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+  }
+};
+
+TEST(Integration, MonitorTriggersAttackWithoutPs) {
+  // Full ps-free attack chain: the monitor detects DRAM churn, the
+  // attacker finds the (single) new pid by diffing, then scrapes.
+  Board b;
+  attack::ResidueMonitor monitor{
+      b.dbg,
+      mem::PageFrameAllocator::frame_to_phys(b.sys.config().pool_first_pfn),
+      64};
+  (void)monitor.poll();
+
+  const img::Image secret = img::make_test_image(48, 48, 77);
+  const vitis::VictimRun run =
+      b.runtime.launch(1000, "resnet50_pt", secret, "pts/1");
+
+  const attack::ActivityDelta delta = monitor.poll();
+  ASSERT_TRUE(delta.any());
+
+  // The monitor's extent names the physical pages; scrape them directly.
+  attack::MemoryScraper scraper{b.dbg};
+  const dram::PhysAddr first_changed =
+      mem::PageFrameAllocator::frame_to_phys(b.sys.config().pool_first_pfn) +
+      delta.changed_pages.front() * mem::kPageSize;
+  b.sys.terminate(run.pid);
+  const attack::ScrapedDump scan = scraper.scrape_physical_range(
+      first_changed, delta.changed_bytes());
+
+  const attack::SignatureDb db = attack::SignatureDb::for_zoo();
+  EXPECT_EQ(db.identify(scan.bytes).value_or(""), "resnet50_pt");
+  EXPECT_TRUE(attack::recover_model(scan.bytes).has_value());
+}
+
+TEST(Integration, StreamVictimThenScrubberRace) {
+  // A video pipeline exits; a slow scrubber starts cleaning; the attacker
+  // arrives mid-scrub. Early ring slots (low pages) die first.
+  Board b;
+  const os::Pid pid = b.sys.spawn(1000, {"./pipeline"}, "pts/1");
+  vitis::StreamRunner runner{b.sys};
+  std::vector<img::Image> frames;
+  for (int i = 0; i < 6; ++i) {
+    frames.push_back(img::make_test_image(40, 40, 500 + i));
+  }
+  (void)runner.run(pid, vitis::make_zoo_model("resnet50_pt"), frames, 4);
+
+  attack::AddressResolver resolver{b.dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(pid);
+  b.sys.terminate(pid);
+
+  const auto full = attack::MemoryScraper{b.dbg}.scrape(target);
+  const std::size_t frames_before = attack::recover_frame_ring(full).size();
+  ASSERT_EQ(frames_before, 4u);
+
+  // Scrub half the heap's pages, then re-scrape.
+  os::ScrubberDaemon scrubber{b.sys, 1e12};
+  const std::uint64_t half_pages = target.page_pa.size() / 2;
+  // Rate chosen so run_for(1s) scrubs exactly half_pages pages.
+  os::ScrubberDaemon limited{b.sys, static_cast<double>(half_pages) *
+                                        mem::kPageSize};
+  (void)limited.run_for(1.0);
+
+  const auto partial = attack::MemoryScraper{b.dbg}.scrape(target);
+  const std::size_t frames_after = attack::recover_frame_ring(partial).size();
+  EXPECT_LT(frames_after, frames_before);
+  (void)scrubber;
+}
+
+TEST(Integration, ShellDrivenAttackUnderFirewallFailsClosed) {
+  Board b;
+  const vitis::VictimRun run = b.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 5), "pts/1");
+
+  dbg::MemoryFirewall fw{b.sys, dbg::FirewallMode::kOwnerOrResidue};
+  b.dbg.set_firewall(&fw);
+  attack::CommandShell shell{b.dbg};
+
+  // maps/v2p still work (the firewall guards only physical reads) ...
+  EXPECT_NE(shell.execute("maps " + std::to_string(run.pid)).find("[heap]"),
+            std::string::npos);
+  // ... but the scrape dies at the first devmem.
+  const std::string out = shell.execute("scrape " + std::to_string(run.pid));
+  EXPECT_EQ(out.substr(0, 6), "error:");
+  EXPECT_NE(out.find("firewall"), std::string::npos);
+  b.dbg.set_firewall(nullptr);
+}
+
+TEST(Integration, WorkloadChurnThenTargetedLiveAttack) {
+  // Churn fills the pool with residue; the attacker still singles out a
+  // specific live victim via the classic four steps, undisturbed by the
+  // noise of other tenants' leftovers.
+  Board b;
+  b.sys.add_user(1002, "tenant2");
+  vitis::WorkloadGenerator gen{29};
+  vitis::WorkloadParams p;
+  p.events = 6;
+  p.image_side = 40;
+  vitis::WorkloadExecutor exec{b.sys, b.runtime};
+  (void)exec.run(gen.generate(p));
+
+  attack::ProfileDb profiles;
+  {
+    attack::ScenarioConfig pc;
+    pc.system = os::SystemConfig::test_small();
+    pc.model_name = "squeezenet_pt";
+    pc.image_width = 40;
+    pc.image_height = 40;
+    profiles.add(attack::profile_on_twin_board(pc));
+  }
+  attack::AttackOrchestrator orch{b.dbg, attack::SignatureDb::for_zoo(),
+                                  std::move(profiles)};
+
+  const img::Image secret = img::make_test_image(40, 40, 4242);
+  const vitis::VictimRun victim =
+      b.runtime.launch(1000, "squeezenet_pt", secret, "pts/1");
+  const auto entry = orch.find_victim("squeezenet");
+  ASSERT_TRUE(entry.has_value());
+  const attack::ResolvedTarget target = orch.resolve(entry->pid);
+  b.sys.terminate(victim.pid);
+  const attack::AttackReport report = orch.attack_after_termination(target);
+
+  EXPECT_EQ(report.identified_model, "squeezenet_pt");
+  ASSERT_TRUE(report.reconstructed_image.has_value());
+  EXPECT_EQ(*report.reconstructed_image, secret);
+}
+
+TEST(Integration, DescriptorAndProfilePathsAgree) {
+  // The two independent reconstruction paths must produce the same image.
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 56;
+  cfg.image_height = 56;
+  const attack::ScenarioResult r = attack::run_scenario(cfg);
+  ASSERT_TRUE(r.report.reconstructed_image.has_value());
+  ASSERT_TRUE(r.report.descriptor_image.has_value());
+  EXPECT_EQ(*r.report.reconstructed_image, *r.report.descriptor_image);
+}
+
+}  // namespace
+}  // namespace msa

@@ -1,0 +1,84 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace msa::util {
+namespace {
+
+/// Captures log lines for assertions and restores global state on exit.
+struct LogCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogLevel saved_level = Log::level();
+
+  LogCapture() {
+    Log::set_sink([this](LogLevel level, std::string_view message) {
+      lines.emplace_back(level, std::string{message});
+    });
+  }
+  ~LogCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(saved_level);
+  }
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kWarn);
+  Log::debug("d");
+  Log::info("i");
+  Log::warn("w");
+  Log::error("e");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(cap.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(cap.lines[1].second, "e");
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kOff);
+  Log::error("should not appear");
+  EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Log, DebugLevelPassesAll) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kDebug);
+  Log::debug("d");
+  Log::info("i");
+  EXPECT_EQ(cap.lines.size(), 2u);
+}
+
+TEST(Log, ScopedLevelRestores) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kError);
+  {
+    ScopedLogLevel scoped{LogLevel::kDebug};
+    EXPECT_EQ(Log::level(), LogLevel::kDebug);
+    Log::info("inside");
+  }
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+  Log::info("outside");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.lines[0].second, "inside");
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "info");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_EQ(to_string(LogLevel::kError), "error");
+  EXPECT_EQ(to_string(LogLevel::kOff), "off");
+}
+
+TEST(Log, SinkReceivesExactMessage) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kInfo);
+  Log::info("spawn pid=1391 cmd=./resnet50_pt");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.lines[0].second, "spawn pid=1391 cmd=./resnet50_pt");
+}
+
+}  // namespace
+}  // namespace msa::util

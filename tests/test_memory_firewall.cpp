@@ -1,0 +1,122 @@
+#include "dbg/memory_firewall.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+#include "dbg/debugger.h"
+
+namespace msa::dbg {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  os::Pid victim = 0;
+  dram::PhysAddr victim_pa = 0;
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    victim = sys.spawn(1000, {"app"}, "pts/1");
+    const mem::VirtAddr heap = sys.sbrk(victim, mem::kPageSize);
+    sys.write_virt32(victim, heap, 0x5EC4E7u);
+    victim_pa = *sys.process(victim).page_table().translate(heap);
+  }
+};
+
+TEST(MemoryFirewall, DisabledModeAllowsEverything) {
+  Fixture f;
+  MemoryFirewall fw{f.sys, FirewallMode::kDisabled};
+  EXPECT_TRUE(fw.allows(1001, f.victim_pa));
+  EXPECT_EQ(fw.stats().denials, 0u);
+}
+
+TEST(MemoryFirewall, LiveFrameDeniedToOtherUser) {
+  Fixture f;
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  EXPECT_FALSE(fw.allows(1001, f.victim_pa));
+  EXPECT_TRUE(fw.allows(1000, f.victim_pa));  // owner may self-debug
+  EXPECT_TRUE(fw.allows(0, f.victim_pa));     // root bypass
+  EXPECT_EQ(fw.stats().denials, 1u);
+}
+
+TEST(MemoryFirewall, ResidueDeniedAfterTermination) {
+  // The surgical fix: the freed frame's residue belongs to the victim.
+  Fixture f;
+  f.sys.terminate(f.victim);
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  EXPECT_FALSE(fw.allows(1001, f.victim_pa));
+  EXPECT_TRUE(fw.allows(1000, f.victim_pa));  // producer may read back
+}
+
+TEST(MemoryFirewall, LiveOnlyModeLeavesResidueOpen) {
+  // The half measure: freed frames are world-readable — attack unaffected.
+  Fixture f;
+  f.sys.terminate(f.victim);
+  MemoryFirewall fw{f.sys, FirewallMode::kLiveOwnerOnly};
+  EXPECT_TRUE(fw.allows(1001, f.victim_pa));
+}
+
+TEST(MemoryFirewall, NeverUsedFramesOpen) {
+  Fixture f;
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  // A frame beyond anything allocated: never used, nothing to protect.
+  const dram::PhysAddr unused = mem::PageFrameAllocator::frame_to_phys(
+      f.sys.config().pool_first_pfn + f.sys.config().pool_frames - 1);
+  EXPECT_TRUE(fw.allows(1001, unused));
+}
+
+TEST(MemoryFirewall, OutsidePoolAlwaysAllowed) {
+  Fixture f;
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  EXPECT_TRUE(fw.allows(1001, 0x0));  // below the pool (carveout)
+}
+
+TEST(MemoryFirewall, DebuggerIntegrationThrowsOnDenial) {
+  Fixture f;
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  SystemDebugger dbg{f.sys, 1001};
+  dbg.set_firewall(&fw);
+  f.sys.terminate(f.victim);
+  EXPECT_THROW((void)dbg.devmem32(f.victim_pa), DebuggerAccessDenied);
+  EXPECT_GT(dbg.stats().denials, 0u);
+  // Clearing the firewall restores the vulnerable behaviour.
+  dbg.set_firewall(nullptr);
+  EXPECT_NO_THROW((void)dbg.devmem32(f.victim_pa));
+}
+
+TEST(MemoryFirewall, EndToEndScenarioBlocked) {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  cfg.firewall = FirewallMode::kOwnerOrResidue;
+  const attack::ScenarioResult r = attack::run_scenario(cfg);
+  EXPECT_TRUE(r.denied);
+  EXPECT_FALSE(r.model_identified_correctly);
+}
+
+TEST(MemoryFirewall, EndToEndWeakModeStillLeaks) {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  cfg.firewall = FirewallMode::kLiveOwnerOnly;
+  const attack::ScenarioResult r = attack::run_scenario(cfg);
+  EXPECT_FALSE(r.denied);
+  EXPECT_TRUE(r.full_success());  // half measures don't help
+}
+
+TEST(MemoryFirewall, ReuseTransfersProtectionToNewOwner) {
+  Fixture f;
+  f.sys.terminate(f.victim);
+  // A new process of a different user reuses the frame: it becomes the
+  // live owner and the old victim loses access.
+  const os::Pid next = f.sys.spawn(1001, {"app2"}, "pts/0");
+  (void)f.sys.sbrk(next, mem::kPageSize);  // LIFO reuse of the same frame
+  MemoryFirewall fw{f.sys, FirewallMode::kOwnerOrResidue};
+  EXPECT_TRUE(fw.allows(1001, f.victim_pa));
+  EXPECT_FALSE(fw.allows(1000, f.victim_pa));
+}
+
+}  // namespace
+}  // namespace msa::dbg

@@ -1,0 +1,81 @@
+#include "attack/model_recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/address_resolver.h"
+#include "vitis/model_zoo.h"
+#include "vitis/runtime.h"
+
+namespace msa::attack {
+namespace {
+
+attack::ScrapedDump scrape_one_run(const std::string& model_name) {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  const vitis::VictimRun run = runtime.launch(
+      1000, model_name, img::make_test_image(64, 64, 3), "pts/1");
+  AddressResolver resolver{dbg};
+  const ResolvedTarget target = resolver.resolve_heap(run.pid);
+  sys.terminate(run.pid);
+  MemoryScraper scraper{dbg};
+  return scraper.scrape(target);
+}
+
+TEST(ModelRecovery, RecoversExecutableCloneFromResidue) {
+  const ScrapedDump dump = scrape_one_run("resnet50_pt");
+  const auto recovered = recover_model(dump.bytes);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->model.name(), "resnet50_pt");
+  EXPECT_GT(recovered->container_bytes, 1000u);
+
+  // The clone is byte-identical, hence functionally identical.
+  const vitis::XModel original = vitis::make_zoo_model("resnet50_pt");
+  EXPECT_EQ(recovered->model.serialize(), original.serialize());
+  EXPECT_DOUBLE_EQ(clone_agreement(original, recovered->model, 16, 7), 1.0);
+}
+
+TEST(ModelRecovery, NothingToRecoverFromJunk) {
+  std::vector<std::uint8_t> junk(1 << 16, 0x3C);
+  EXPECT_FALSE(recover_model(junk).has_value());
+}
+
+TEST(ModelRecovery, SkipsDamagedContainer) {
+  ScrapedDump dump = scrape_one_run("squeezenet_pt");
+  const auto good = recover_model(dump.bytes);
+  ASSERT_TRUE(good.has_value());
+  dump.bytes[good->container_offset + good->container_bytes / 2] ^= 0xFF;
+  EXPECT_FALSE(recover_model(dump.bytes).has_value());
+}
+
+TEST(ModelRecovery, CloneAgreementDetectsDifferentModels) {
+  const vitis::XModel a = vitis::make_zoo_model("resnet50_pt");
+  const vitis::XModel b = vitis::make_zoo_model("squeezenet_pt");
+  // Different architectures/weights: agreement well below perfect.
+  EXPECT_LT(clone_agreement(a, b, 32, 11), 1.0);
+  EXPECT_DOUBLE_EQ(clone_agreement(a, a, 8, 11), 1.0);
+}
+
+TEST(ModelRecovery, ZeroProbesGivesZero) {
+  const vitis::XModel a = vitis::make_zoo_model("resnet50_pt");
+  EXPECT_DOUBLE_EQ(clone_agreement(a, a, 0, 1), 0.0);
+}
+
+class RecoverySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RecoverySweep, EveryZooModelIsStealable) {
+  const ScrapedDump dump = scrape_one_run(GetParam());
+  const auto recovered = recover_model(dump.bytes);
+  ASSERT_TRUE(recovered.has_value()) << GetParam();
+  EXPECT_EQ(recovered->model.name(), GetParam());
+  const vitis::XModel original = vitis::make_zoo_model(GetParam());
+  EXPECT_DOUBLE_EQ(clone_agreement(original, recovered->model, 8, 3), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RecoverySweep,
+                         ::testing::ValuesIn(vitis::zoo_model_names()));
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,98 @@
+#include "vitis/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace msa::vitis {
+namespace {
+
+TEST(ModelZoo, ListsFiveModels) {
+  EXPECT_EQ(zoo_model_names().size(), 5u);
+  EXPECT_TRUE(zoo_has_model("resnet50_pt"));
+  EXPECT_TRUE(zoo_has_model("yolov3_tiny_tf"));
+  EXPECT_FALSE(zoo_has_model("bert_large"));
+}
+
+TEST(ModelZoo, UnknownModelThrows) {
+  EXPECT_THROW(make_zoo_model("not_a_model"), std::invalid_argument);
+}
+
+TEST(ModelZoo, WeightsDeterministicPerName) {
+  EXPECT_EQ(make_zoo_model("resnet50_pt").serialize(),
+            make_zoo_model("resnet50_pt").serialize());
+}
+
+TEST(ModelZoo, ModelsAreDistinguishableBySize) {
+  // Heap layouts must differ per model (the paper identifies models partly
+  // by their memory footprints).
+  std::set<std::size_t> sizes;
+  for (const auto& name : zoo_model_names()) {
+    sizes.insert(make_zoo_model(name).serialize().size());
+  }
+  EXPECT_EQ(sizes.size(), zoo_model_names().size());
+}
+
+TEST(ModelZoo, AuxStringsContainIdentifyingNames) {
+  for (const auto& name : zoo_model_names()) {
+    const XModel m = make_zoo_model(name);
+    bool has_path = false;
+    for (const auto& s : m.aux_strings()) {
+      if (s.find(name) != std::string::npos) has_path = true;
+    }
+    EXPECT_TRUE(has_path) << name;
+  }
+}
+
+TEST(ModelZoo, PtModelsCarryTorchvisionString) {
+  const XModel m = make_zoo_model("resnet50_pt");
+  bool found = false;
+  for (const auto& s : m.aux_strings()) {
+    if (s == "torchvision/resnet50") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelZoo, TfModelsCarryTensorflowString) {
+  const XModel m = make_zoo_model("inception_v1_tf");
+  bool found = false;
+  for (const auto& s : m.aux_strings()) {
+    if (s.find("tensorflow") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelZoo, AllModelsRunInference) {
+  const img::Image in = img::make_test_image(64, 64, 5);
+  for (const auto& name : zoo_model_names()) {
+    const XModel m = make_zoo_model(name);
+    const auto probs = m.infer(tensor_from_image(in));
+    EXPECT_EQ(probs.size(), m.num_classes()) << name;
+    EXPECT_GT(m.num_classes(), 1u) << name;
+  }
+}
+
+TEST(ModelZoo, DifferentModelsProduceDifferentOutputs) {
+  const img::Image in = img::make_test_image(64, 64, 5);
+  EXPECT_NE(make_zoo_model("resnet50_pt").infer(tensor_from_image(in)),
+            make_zoo_model("squeezenet_pt").infer(tensor_from_image(in)));
+}
+
+class ZooSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooSweep, SerializeRoundTripEveryModel) {
+  const XModel m = make_zoo_model(GetParam());
+  const XModel copy = XModel::deserialize(m.serialize());
+  EXPECT_EQ(copy.name(), m.name());
+  EXPECT_EQ(copy.param_bytes(), m.param_bytes());
+  const img::Image in = img::make_test_image(64, 64, 31);
+  EXPECT_EQ(copy.infer(tensor_from_image(in)), m.infer(tensor_from_image(in)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooSweep,
+                         ::testing::Values("resnet50_pt", "squeezenet_pt",
+                                           "inception_v1_tf", "mobilenet_v2_tf",
+                                           "yolov3_tiny_tf"));
+
+}  // namespace
+}  // namespace msa::vitis

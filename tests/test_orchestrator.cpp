@@ -1,0 +1,137 @@
+#include "attack/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  ProfileDb profiles;
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    OfflineProfiler profiler{runtime, dbg};
+    profiles.add(profiler.profile_model("resnet50_pt", 48, 48, 1001));
+  }
+
+  AttackOrchestrator make_orchestrator() {
+    return AttackOrchestrator{dbg, SignatureDb::for_zoo(), profiles};
+  }
+};
+
+TEST(Orchestrator, FullFourStepAttack) {
+  Fixture f;
+  auto orch = f.make_orchestrator();
+
+  const img::Image input = img::make_test_image(48, 48, 7);
+  const vitis::VictimRun run =
+      f.runtime.launch(1000, "resnet50_pt", input, "pts/1");
+
+  const auto entry = orch.find_victim("resnet50");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->pid, run.pid);
+
+  const ResolvedTarget target = orch.resolve(entry->pid);
+  EXPECT_GT(target.pages_resolved(), 0u);
+  EXPECT_FALSE(orch.victim_terminated(entry->pid));
+
+  f.sys.terminate(run.pid);
+  EXPECT_TRUE(orch.victim_terminated(entry->pid));
+
+  const AttackReport report = orch.attack_after_termination(target);
+  EXPECT_EQ(report.victim_pid, run.pid);
+  EXPECT_EQ(report.identified_model, "resnet50_pt");
+  EXPECT_GT(report.signature_hits, 0u);
+  ASSERT_TRUE(report.deep_match.has_value());
+  EXPECT_EQ(report.deep_match->model_name, "resnet50_pt");
+  ASSERT_TRUE(report.reconstructed_image.has_value());
+  EXPECT_EQ(*report.reconstructed_image, input);
+  EXPECT_GT(report.devmem_reads, 0u);
+}
+
+TEST(Orchestrator, TranscriptNarratesSteps) {
+  Fixture f;
+  auto orch = f.make_orchestrator();
+  const vitis::VictimRun run = f.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 1), "pts/1");
+  const ResolvedTarget target = orch.resolve(run.pid);
+  f.sys.terminate(run.pid);
+  const AttackReport report = orch.attack_after_termination(target);
+  EXPECT_NE(report.transcript.find("[step 2]"), std::string::npos);
+  EXPECT_NE(report.transcript.find("[step 3]"), std::string::npos);
+  EXPECT_NE(report.transcript.find("[step 4a]"), std::string::npos);
+  EXPECT_NE(report.transcript.find("resnet50_pt"), std::string::npos);
+}
+
+TEST(Orchestrator, NoProfileMeansNoReconstruction) {
+  Fixture f;
+  AttackOrchestrator orch{f.dbg, SignatureDb::for_zoo(), ProfileDb{}};
+  const vitis::VictimRun run = f.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 2), "pts/1");
+  const ResolvedTarget target = orch.resolve(run.pid);
+  f.sys.terminate(run.pid);
+  const AttackReport report = orch.attack_after_termination(target);
+  EXPECT_TRUE(report.model_identified());   // strings still work
+  EXPECT_FALSE(report.image_recovered());   // no offset knowledge
+}
+
+TEST(Orchestrator, SanitizedResidueYieldsEmptyReport) {
+  os::SystemConfig cfg = os::SystemConfig::test_small();
+  cfg.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  AttackOrchestrator orch{dbg, SignatureDb::for_zoo(), ProfileDb{}};
+
+  const vitis::VictimRun run = runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 3), "pts/1");
+  const ResolvedTarget target = orch.resolve(run.pid);
+  sys.terminate(run.pid);
+  const AttackReport report = orch.attack_after_termination(target);
+  EXPECT_FALSE(report.model_identified());
+  EXPECT_FALSE(report.deep_match.has_value());
+  EXPECT_FALSE(report.image_recovered());
+}
+
+TEST(Orchestrator, PhysicalScanAttackRecoversEverything) {
+  Fixture f;
+  auto orch = f.make_orchestrator();
+  const img::Image input = img::make_test_image(48, 48, 4);
+  const vitis::VictimRun run =
+      f.runtime.launch(1000, "resnet50_pt", input, "pts/1");
+  f.sys.terminate(run.pid);
+
+  const dram::PhysAddr pool_base = mem::PageFrameAllocator::frame_to_phys(
+      f.sys.config().pool_first_pfn);
+  const std::uint64_t len = f.profiles.find("resnet50_pt")->heap_bytes * 2;
+  const AttackReport report = orch.attack_physical_scan(pool_base, len);
+  EXPECT_EQ(report.identified_model, "resnet50_pt");
+  ASSERT_TRUE(report.reconstructed_image.has_value());
+  EXPECT_EQ(*report.reconstructed_image, input);
+}
+
+TEST(Orchestrator, PhysicalScanOnCleanPoolFindsNothing) {
+  Fixture f;  // profiling ran on this board's twin... but Fixture profiles
+              // on the same board, so scan the *far* end of the pool.
+  auto orch = f.make_orchestrator();
+  const dram::PhysAddr far_base = mem::PageFrameAllocator::frame_to_phys(
+      f.sys.config().pool_first_pfn + f.sys.config().pool_frames / 2);
+  const AttackReport report = orch.attack_physical_scan(far_base, 64 * 1024);
+  EXPECT_FALSE(report.model_identified());
+  EXPECT_FALSE(report.image_recovered());
+}
+
+TEST(Orchestrator, FindVictimMissReturnsNullopt) {
+  Fixture f;
+  auto orch = f.make_orchestrator();
+  EXPECT_FALSE(orch.find_victim("nonexistent_model").has_value());
+}
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,67 @@
+#include "mem/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::mem {
+namespace {
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt;
+  pt.map(0x100, 0x60000);
+  EXPECT_TRUE(pt.is_mapped(0x100));
+  EXPECT_EQ(pt.lookup(0x100).value(), 0x60000u);
+  EXPECT_EQ(pt.unmap(0x100), 0x60000u);
+  EXPECT_FALSE(pt.is_mapped(0x100));
+}
+
+TEST(PageTable, DoubleMapThrows) {
+  PageTable pt;
+  pt.map(0x1, 0x2);
+  EXPECT_THROW(pt.map(0x1, 0x3), std::logic_error);
+}
+
+TEST(PageTable, UnmapMissingThrows) {
+  PageTable pt;
+  EXPECT_THROW(pt.unmap(0x1), std::logic_error);
+}
+
+TEST(PageTable, LookupMissingIsNullopt) {
+  PageTable pt;
+  EXPECT_FALSE(pt.lookup(0x42).has_value());
+}
+
+TEST(PageTable, TranslateCarriesPageOffset) {
+  PageTable pt;
+  // VA page 0xaaaaee775 -> PFN 0x61c6d (paper-sized numbers).
+  pt.map(0xaaaaee775ULL, 0x61c6dULL);
+  const auto pa = pt.translate(0xaaaaee775123ULL);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(*pa, 0x61c6d123ULL);
+}
+
+TEST(PageTable, TranslateUnmappedIsNullopt) {
+  PageTable pt;
+  EXPECT_FALSE(pt.translate(0xdead0000).has_value());
+}
+
+TEST(PageTable, EntriesOrderedByVpn) {
+  PageTable pt;
+  pt.map(30, 3);
+  pt.map(10, 1);
+  pt.map(20, 2);
+  std::vector<Vpn> vpns;
+  for (const auto& [vpn, pfn] : pt.entries()) vpns.push_back(vpn);
+  EXPECT_EQ(vpns, (std::vector<Vpn>{10, 20, 30}));
+  EXPECT_EQ(pt.mapped_pages(), 3u);
+}
+
+TEST(PageHelpers, VpnAndOffset) {
+  EXPECT_EQ(vpn_of(0xaaaaee775000ULL), 0xaaaaee775ULL);
+  EXPECT_EQ(vpn_of(0xaaaaee775FFFULL), 0xaaaaee775ULL);
+  EXPECT_EQ(vpn_of(0xaaaaee776000ULL), 0xaaaaee776ULL);
+  EXPECT_EQ(page_offset(0xaaaaee775123ULL), 0x123u);
+  EXPECT_EQ(page_offset(0xaaaaee775000ULL), 0u);
+}
+
+}  // namespace
+}  // namespace msa::mem

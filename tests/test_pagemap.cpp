@@ -1,0 +1,103 @@
+#include "mem/pagemap.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::mem {
+namespace {
+
+TEST(PagemapEntry, EncodeSetsLinuxBits) {
+  PagemapEntry e;
+  e.present = true;
+  e.pfn = 0x61c6d;
+  const std::uint64_t raw = e.encode();
+  EXPECT_NE(raw & (1ULL << 63), 0u);          // present bit
+  EXPECT_EQ(raw & ((1ULL << 55) - 1), 0x61c6du);  // pfn field
+}
+
+TEST(PagemapEntry, AbsentEntryIsZeroPfn) {
+  PagemapEntry e;  // not present
+  EXPECT_EQ(e.encode(), 0u);
+}
+
+TEST(PagemapEntry, RoundTripAllFlags) {
+  PagemapEntry e;
+  e.present = true;
+  e.soft_dirty = true;
+  e.exclusive = true;
+  e.file_page = true;
+  e.pfn = (1ULL << 54) | 0x12345;
+  EXPECT_EQ(PagemapEntry::decode(e.encode()), e);
+}
+
+TEST(PagemapEntry, SwappedEntryHidesPfn) {
+  PagemapEntry e;
+  e.present = true;
+  e.swapped = true;
+  e.pfn = 0x999;
+  const PagemapEntry d = PagemapEntry::decode(e.encode());
+  EXPECT_TRUE(d.swapped);
+  EXPECT_EQ(d.pfn, 0u);
+}
+
+TEST(PagemapEntry, PfnMaskedTo55Bits) {
+  PagemapEntry e;
+  e.present = true;
+  e.pfn = ~0ULL;  // overwide pfn must not clobber flag bits
+  const std::uint64_t raw = e.encode();
+  EXPECT_EQ(raw & ((1ULL << 55) - 1), (1ULL << 55) - 1);
+  EXPECT_TRUE(PagemapEntry::decode(raw).present);
+  EXPECT_FALSE(PagemapEntry::decode(raw).swapped);
+}
+
+TEST(PagemapWindow, ReflectsTableState) {
+  PageTable pt;
+  pt.map(100, 0x500);
+  pt.map(102, 0x501);
+  const auto window = pagemap_window(pt, 100, 4);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_TRUE(PagemapEntry::decode(window[0]).present);
+  EXPECT_EQ(PagemapEntry::decode(window[0]).pfn, 0x500u);
+  EXPECT_FALSE(PagemapEntry::decode(window[1]).present);
+  EXPECT_EQ(PagemapEntry::decode(window[2]).pfn, 0x501u);
+  EXPECT_FALSE(PagemapEntry::decode(window[3]).present);
+}
+
+TEST(PagemapWindow, EmptyWindow) {
+  PageTable pt;
+  EXPECT_TRUE(pagemap_window(pt, 0, 0).empty());
+}
+
+TEST(PhysFromPagemap, ReconstructsPhysicalAddress) {
+  // The attacker-side arithmetic of the paper's virtual_to_physical tool.
+  PagemapEntry e;
+  e.present = true;
+  e.pfn = 0x61c6d;
+  const auto pa = phys_from_pagemap(e.encode(), 0xaaaaee775730ULL);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(*pa, 0x61c6d730ULL);
+}
+
+TEST(PhysFromPagemap, AbsentOrSwappedGivesNullopt) {
+  EXPECT_FALSE(phys_from_pagemap(0, 0x1000).has_value());
+  PagemapEntry e;
+  e.present = true;
+  e.swapped = true;
+  EXPECT_FALSE(phys_from_pagemap(e.encode(), 0x1000).has_value());
+}
+
+TEST(PhysFromPagemap, MatchesPageTableTranslate) {
+  // Property: the external pagemap path and the internal page-table path
+  // must agree for every mapped page.
+  PageTable pt;
+  for (Vpn vpn = 0xaaaaee775ULL; vpn < 0xaaaaee775ULL + 16; ++vpn) {
+    pt.map(vpn, 0x60000 + (vpn & 0xFF));
+  }
+  const auto window = pagemap_window(pt, 0xaaaaee775ULL, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const VirtAddr va = ((0xaaaaee775ULL + i) << kPageShift) | 0x2AC;
+    EXPECT_EQ(phys_from_pagemap(window[i], va), pt.translate(va));
+  }
+}
+
+}  // namespace
+}  // namespace msa::mem

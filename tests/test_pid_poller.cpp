@@ -1,0 +1,87 @@
+#include "attack/pid_poller.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  dbg::SystemDebugger dbg{sys, 1001};
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+  }
+};
+
+TEST(ParsePs, ParsesWellFormedListing) {
+  const std::string ps =
+      "PID PPID C STIME TTY TIME CMD\n"
+      "1389 2 0 03:51 ? 00:00:00 [kworker/3:0-events]\n"
+      "1391 2430 18 12:33 pts/1 00:00:00 ./resnet50_pt model.xmodel img.jpg\n";
+  const auto entries = parse_ps(ps);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].pid, 1389);
+  EXPECT_EQ(entries[0].cmd, "[kworker/3:0-events]");
+  EXPECT_EQ(entries[1].pid, 1391);
+  EXPECT_EQ(entries[1].ppid, 2430);
+  EXPECT_EQ(entries[1].cmd, "./resnet50_pt model.xmodel img.jpg");
+}
+
+TEST(ParsePs, SkipsHeaderAndGarbage) {
+  const std::string ps =
+      "PID PPID C STIME TTY TIME CMD\n"
+      "garbage line\n"
+      "\n"
+      "10 1 0 00:00 pts/0 00:00:00 sh\n";
+  const auto entries = parse_ps(ps);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].pid, 10);
+}
+
+TEST(ParsePs, EmptyListing) {
+  EXPECT_TRUE(parse_ps("PID PPID C STIME TTY TIME CMD\n").empty());
+  EXPECT_TRUE(parse_ps("").empty());
+}
+
+TEST(PidPoller, FindsVictimByCommandSubstring) {
+  Fixture f;
+  (void)f.sys.spawn(0, {"sh"}, "pts/0");
+  const os::Pid victim =
+      f.sys.spawn(1000, {"./resnet50_pt", "m.xmodel", "img.jpg"}, "pts/1");
+  PidPoller poller{f.dbg};
+  const auto hit = poller.find("resnet50");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pid, victim);
+  EXPECT_EQ(poller.polls(), 1u);
+}
+
+TEST(PidPoller, ReturnsNulloptWhenAbsent) {
+  Fixture f;
+  (void)f.sys.spawn(0, {"sh"}, "pts/0");
+  PidPoller poller{f.dbg};
+  EXPECT_FALSE(poller.find("resnet50").has_value());
+}
+
+TEST(PidPoller, TracksLivenessAcrossTermination) {
+  // The paper's Figs. 6 -> 9 transition: pid visible, then gone.
+  Fixture f;
+  const os::Pid victim = f.sys.spawn(1000, {"./resnet50_pt"}, "pts/1");
+  PidPoller poller{f.dbg};
+  EXPECT_TRUE(poller.is_alive(victim));
+  f.sys.terminate(victim);
+  EXPECT_FALSE(poller.is_alive(victim));
+}
+
+TEST(PidPoller, LastListingIsRawPsText) {
+  Fixture f;
+  (void)f.sys.spawn(1000, {"./resnet50_pt"}, "pts/1");
+  PidPoller poller{f.dbg};
+  (void)poller.find("resnet50");
+  EXPECT_NE(poller.last_listing().find("PID PPID"), std::string::npos);
+  EXPECT_NE(poller.last_listing().find("./resnet50_pt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,68 @@
+#include "img/ppm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace msa::img {
+namespace {
+
+TEST(Ppm, RoundTrip) {
+  const Image img = make_test_image(13, 7, 21);
+  EXPECT_EQ(from_ppm(to_ppm(img)), img);
+}
+
+TEST(Ppm, HeaderShape) {
+  const Image img{3, 2};
+  const std::string ppm = to_ppm(img);
+  EXPECT_EQ(ppm.substr(0, 3), "P6\n");
+  EXPECT_NE(ppm.find("3 2\n255\n"), std::string::npos);
+  EXPECT_EQ(ppm.size(), std::string{"P6\n3 2\n255\n"}.size() + 3 * 2 * 3);
+}
+
+TEST(Ppm, ParsesComments) {
+  const Image img{2, 2, Rgb{1, 2, 3}};
+  std::string ppm = to_ppm(img);
+  ppm.insert(3, "# a comment line\n");
+  EXPECT_EQ(from_ppm(ppm), img);
+}
+
+TEST(Ppm, RejectsBadMagic) {
+  EXPECT_THROW(from_ppm("P5\n1 1\n255\nxxx"), std::invalid_argument);
+}
+
+TEST(Ppm, RejectsTruncatedRaster) {
+  const Image img{4, 4};
+  std::string ppm = to_ppm(img);
+  ppm.resize(ppm.size() - 5);
+  EXPECT_THROW(from_ppm(ppm), std::invalid_argument);
+}
+
+TEST(Ppm, RejectsBadMaxval) {
+  EXPECT_THROW(from_ppm("P6\n1 1\n65535\n" + std::string(6, 'x')),
+               std::invalid_argument);
+}
+
+TEST(Ppm, RejectsZeroDimensions) {
+  EXPECT_THROW(from_ppm("P6\n0 5\n255\n"), std::invalid_argument);
+}
+
+TEST(Ppm, RejectsGarbageHeader) {
+  EXPECT_THROW(from_ppm("P6\nabc def\n255\n"), std::invalid_argument);
+  EXPECT_THROW(from_ppm(""), std::invalid_argument);
+}
+
+TEST(Ppm, FileRoundTrip) {
+  const Image img = make_test_image(5, 5, 9);
+  const std::string path = ::testing::TempDir() + "/msa_test_image.ppm";
+  write_ppm_file(img, path);
+  EXPECT_EQ(read_ppm_file(path), img);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, MissingFileThrows) {
+  EXPECT_THROW(read_ppm_file("/nonexistent/dir/foo.ppm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msa::img

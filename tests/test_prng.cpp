@@ -1,0 +1,132 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace msa::util {
+namespace {
+
+TEST(Prng, SameSeedSameStream) {
+  Prng a{123};
+  Prng b{123};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a{1};
+  Prng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng p{7};
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(p.below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BelowOneAlwaysZero) {
+  Prng p{9};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p.below(1), 0u);
+}
+
+TEST(Prng, BetweenInclusiveBounds) {
+  Prng p{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = p.between(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values occur
+}
+
+TEST(Prng, BetweenDegenerateRange) {
+  Prng p{13};
+  EXPECT_EQ(p.between(42, 42), 42u);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Prng p{17};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = p.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // crude mean sanity
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng p{19};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(p.chance(0.0));
+    EXPECT_TRUE(p.chance(1.0));
+    EXPECT_FALSE(p.chance(-0.5));
+    EXPECT_TRUE(p.chance(1.5));
+  }
+}
+
+TEST(Prng, ChanceApproximatesProbability) {
+  Prng p{23};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Prng, ForkProducesIndependentStream) {
+  Prng a{31};
+  Prng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, Splitmix64KnownBehaviour) {
+  // splitmix64 is deterministic; two identical states produce identical
+  // outputs, and the state advances.
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);
+}
+
+class PrngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrngBoundSweep, NoModuloBiasSmoke) {
+  // Each residue class of a small bound should be hit roughly uniformly.
+  const std::uint64_t bound = GetParam();
+  Prng p{bound * 977 + 1};
+  std::vector<int> counts(static_cast<std::size_t>(bound), 0);
+  const int n = 3000 * static_cast<int>(bound);
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(p.below(bound))];
+  }
+  const double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, PrngBoundSweep,
+                         ::testing::Values(2, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace msa::util

@@ -1,0 +1,102 @@
+#include "os/proc_fs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace msa::os {
+namespace {
+
+TEST(ProcFs, StimeFormat) {
+  EXPECT_EQ(format_stime(3 * 3600 + 51 * 60), "03:51");
+  EXPECT_EQ(format_stime(12 * 3600 + 33 * 60), "12:33");
+  EXPECT_EQ(format_stime(0), "00:00");
+  EXPECT_EQ(format_stime(24 * 3600 + 60), "00:01");  // wraps at midnight
+}
+
+TEST(ProcFs, CpuTimeFormat) {
+  EXPECT_EQ(format_cpu_time(0), "00:00:00");
+  EXPECT_EQ(format_cpu_time(3661), "01:01:01");
+}
+
+TEST(ProcFs, PsLineMatchesPaperShape) {
+  // Fig. 6: "1391 2430 18 12:33 pts/1 00:00:00 ./resnet50_pt ..."
+  Process p{1391, 2430, 0,
+            {"./resnet50_pt",
+             "/usr/share/vitis_ai_library/models/resnet50_pt/resnet50_pt.xmodel",
+             "../images/001.jpg"},
+            "pts/1", 12 * 3600 + 33 * 60, 0xaaaaee775000ULL};
+  p.set_cpu_percent(18);
+  EXPECT_EQ(format_ps_line(p),
+            "1391 2430 18 12:33 pts/1 00:00:00 ./resnet50_pt "
+            "/usr/share/vitis_ai_library/models/resnet50_pt/resnet50_pt.xmodel "
+            "../images/001.jpg");
+}
+
+TEST(ProcFs, KernelThreadRendersQuestionTty) {
+  Process p{1389, 2, 0, {"[kworker/3:0-events]"}, "", 3 * 3600 + 51 * 60,
+            0xaaaaee775000ULL};
+  EXPECT_EQ(format_ps_line(p),
+            "1389 2 0 03:51 ? 00:00:00 [kworker/3:0-events]");
+}
+
+TEST(ProcFs, MapsHeapLineMatchesPaperShape) {
+  // Fig. 7: "aaaaee775000-aaaaefd8a000 rw-p 00000000 00:00 0 [heap]"
+  Process p{1391, 1, 0, {"x"}, "pts/1", 0, 0xaaaaee775000ULL};
+  p.add_vma(Vma{.start = 0xaaaaee775000ULL,
+                .end = 0xaaaaefd8a000ULL,
+                .readable = true,
+                .writable = true,
+                .name = "[heap]"});
+  EXPECT_EQ(format_maps(p),
+            "aaaaee775000-aaaaefd8a000 rw-p 00000000 00:00 0 [heap]\n");
+}
+
+TEST(ProcFs, ParseMapsRoundTrip) {
+  Process p{1, 1, 0, {"x"}, "pts/0", 0, 0xaaaaee775000ULL};
+  p.add_vma(Vma{.start = 0xaaaaac000000ULL,
+                .end = 0xaaaaac020000ULL,
+                .readable = true,
+                .executable = true,
+                .name = "./resnet50_pt"});
+  p.add_vma(Vma{.start = 0xaaaaee775000ULL,
+                .end = 0xaaaaee800000ULL,
+                .readable = true,
+                .writable = true,
+                .name = "[heap]"});
+  p.add_vma(Vma{.start = 0xffffb13b5000ULL,
+                .end = 0xffffb6c1f000ULL,
+                .readable = true,
+                .writable = true,
+                .shared = true,
+                .name = "/dev/dri/renderD128"});
+  const auto parsed = parse_maps(format_maps(p));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[1].start, 0xaaaaee775000ULL);
+  EXPECT_EQ(parsed[1].end, 0xaaaaee800000ULL);
+  EXPECT_EQ(parsed[1].perms, "rw-p");
+  EXPECT_EQ(parsed[1].name, "[heap]");
+  EXPECT_EQ(parsed[2].name, "/dev/dri/renderD128");
+  EXPECT_EQ(parsed[2].perms, "rw-s");
+}
+
+TEST(ProcFs, ParseMapsSkipsGarbage) {
+  const auto parsed = parse_maps("not a maps line\n\nxyz\n");
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(ProcFs, ParseMapsAnonymousRegionHasEmptyName) {
+  const auto parsed = parse_maps("1000-2000 rw-p 00000000 00:00 0\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].name.empty());
+}
+
+TEST(ProcFs, PsHeaderColumns) {
+  const auto fields = util::split_ws(ps_header());
+  ASSERT_EQ(fields.size(), 7u);
+  EXPECT_EQ(fields[0], "PID");
+  EXPECT_EQ(fields[6], "CMD");
+}
+
+}  // namespace
+}  // namespace msa::os

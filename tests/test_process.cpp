@@ -1,0 +1,89 @@
+#include "os/process.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::os {
+namespace {
+
+Process make() {
+  return Process{1391, 2430, 1000,
+                 {"./resnet50_pt", "model.xmodel", "../images/001.jpg"},
+                 "pts/1", 45180, 0xaaaaee775000ULL};
+}
+
+TEST(Process, IdentityAccessors) {
+  const Process p = make();
+  EXPECT_EQ(p.pid(), 1391);
+  EXPECT_EQ(p.ppid(), 2430);
+  EXPECT_EQ(p.uid(), 1000u);
+  EXPECT_EQ(p.tty(), "pts/1");
+  EXPECT_EQ(p.start_time_s(), 45180u);
+  EXPECT_EQ(p.state(), ProcState::kRunning);
+}
+
+TEST(Process, CmdlineJoinsArgv) {
+  const Process p = make();
+  EXPECT_EQ(p.cmdline(), "./resnet50_pt model.xmodel ../images/001.jpg");
+}
+
+TEST(Process, VmasKeptSorted) {
+  Process p = make();
+  p.add_vma(Vma{.start = 0x3000, .end = 0x4000, .name = "c"});
+  p.add_vma(Vma{.start = 0x1000, .end = 0x2000, .name = "a"});
+  p.add_vma(Vma{.start = 0x2000, .end = 0x3000, .name = "b"});
+  ASSERT_EQ(p.vmas().size(), 3u);
+  EXPECT_EQ(p.vmas()[0].start, 0x1000u);
+  EXPECT_EQ(p.vmas()[1].start, 0x2000u);
+  EXPECT_EQ(p.vmas()[2].start, 0x3000u);
+}
+
+TEST(Process, FindVmaByAddressAndName) {
+  Process p = make();
+  p.add_vma(Vma{.start = 0x1000, .end = 0x2000, .name = "[heap]"});
+  EXPECT_NE(p.find_vma(0x1800), nullptr);
+  EXPECT_EQ(p.find_vma(0x2000), nullptr);  // end exclusive
+  EXPECT_NE(p.find_vma_named("[heap]"), nullptr);
+  EXPECT_EQ(p.find_vma_named("[stack]"), nullptr);
+}
+
+TEST(Process, PushBrkGrowsHeapVma) {
+  Process p = make();
+  p.add_vma(Vma{.start = p.heap_base(), .end = p.heap_base(), .name = "[heap]"});
+  EXPECT_EQ(p.brk(), p.heap_base());
+  const auto old = p.push_brk(0x5000);
+  EXPECT_EQ(old, p.heap_base());
+  EXPECT_EQ(p.brk(), p.heap_base() + 0x5000);
+  EXPECT_EQ(p.find_vma_named("[heap]")->end, p.brk());
+}
+
+TEST(Process, StateAndCpuMutable) {
+  Process p = make();
+  p.set_state(ProcState::kSleeping);
+  p.set_cpu_percent(18);
+  EXPECT_EQ(p.state(), ProcState::kSleeping);
+  EXPECT_EQ(p.cpu_percent(), 18);
+}
+
+TEST(Vma, PermsRendering) {
+  Vma v;
+  v.readable = true;
+  v.writable = true;
+  EXPECT_EQ(v.perms(), "rw-p");
+  v.executable = true;
+  v.writable = false;
+  EXPECT_EQ(v.perms(), "r-xp");
+  v.shared = true;
+  EXPECT_EQ(v.perms(), "r-xs");
+}
+
+TEST(Vma, ContainsAndLength) {
+  Vma v{.start = 0x1000, .end = 0x3000, .name = ""};
+  EXPECT_EQ(v.length(), 0x2000u);
+  EXPECT_TRUE(v.contains(0x1000));
+  EXPECT_TRUE(v.contains(0x2FFF));
+  EXPECT_FALSE(v.contains(0x3000));
+  EXPECT_FALSE(v.contains(0xFFF));
+}
+
+}  // namespace
+}  // namespace msa::os

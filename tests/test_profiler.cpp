@@ -1,0 +1,110 @@
+#include "attack/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "vitis/dpu_runner.h"
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+
+  Fixture() { sys.add_user(1001, "attacker"); }
+};
+
+TEST(Profiler, MarkerOffsetMatchesRunnerLayout) {
+  // The profiler must rediscover, from the outside, the image offset the
+  // runner's layout defines.
+  Fixture f;
+  OfflineProfiler profiler{f.runtime, f.dbg};
+  const ModelProfile p = profiler.profile_model("resnet50_pt", 64, 64, 1001);
+  const vitis::HeapLayout lay =
+      vitis::DpuRunner::layout_for(f.runtime.model("resnet50_pt"), 64, 64);
+  EXPECT_EQ(p.image_offset, lay.image_off);
+  EXPECT_EQ(p.image_width, 64u);
+  EXPECT_EQ(p.heap_bytes, lay.total_bytes);
+  EXPECT_GT(p.path_string_offset, 0u);
+  EXPECT_LT(p.path_string_offset, lay.xmodel_off);
+}
+
+TEST(Profiler, OffsetStableAcrossRepeatedRuns) {
+  // "the image's offset within the heap remained consistent" — run the
+  // profiler twice on the same (already warm) board.
+  Fixture f;
+  OfflineProfiler profiler{f.runtime, f.dbg};
+  const ModelProfile p1 = profiler.profile_model("resnet50_pt", 64, 64, 1001);
+  const ModelProfile p2 = profiler.profile_model("resnet50_pt", 64, 64, 1001);
+  EXPECT_EQ(p1.image_offset, p2.image_offset);
+  EXPECT_EQ(p1.path_string_offset, p2.path_string_offset);
+  EXPECT_EQ(p1.heap_bytes, p2.heap_bytes);
+}
+
+TEST(Profiler, OffsetTransfersAcrossBoards) {
+  // Profile on one board, compare against a fresh board: the paper's
+  // offline-training-to-online-attack transfer.
+  Fixture f1, f2;
+  OfflineProfiler prof1{f1.runtime, f1.dbg};
+  OfflineProfiler prof2{f2.runtime, f2.dbg};
+  EXPECT_EQ(prof1.profile_model("squeezenet_pt", 64, 64, 1001).image_offset,
+            prof2.profile_model("squeezenet_pt", 64, 64, 1001).image_offset);
+}
+
+TEST(Profiler, DifferentModelsDifferentOffsets) {
+  Fixture f;
+  OfflineProfiler profiler{f.runtime, f.dbg};
+  const auto r = profiler.profile_model("resnet50_pt", 64, 64, 1001);
+  const auto s = profiler.profile_model("squeezenet_pt", 64, 64, 1001);
+  EXPECT_NE(r.image_offset, s.image_offset);
+}
+
+TEST(Profiler, ImageSizeChangesHeapNotOffset) {
+  Fixture f;
+  OfflineProfiler profiler{f.runtime, f.dbg};
+  const auto small = profiler.profile_model("resnet50_pt", 48, 48, 1001);
+  const auto big = profiler.profile_model("resnet50_pt", 96, 96, 1001);
+  EXPECT_EQ(small.image_offset, big.image_offset);
+  EXPECT_LT(small.heap_bytes, big.heap_bytes);
+}
+
+TEST(Profiler, SanitizingBoardBreaksProfiling) {
+  os::SystemConfig cfg = os::SystemConfig::test_small();
+  cfg.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  OfflineProfiler profiler{runtime, dbg};
+  EXPECT_THROW((void)profiler.profile_model("resnet50_pt", 64, 64, 1001),
+               std::runtime_error);
+}
+
+TEST(Profiler, ProfileZooCoversEveryModel) {
+  Fixture f;
+  OfflineProfiler profiler{f.runtime, f.dbg};
+  const ProfileDb db = profiler.profile_zoo(64, 64, 1001);
+  EXPECT_EQ(db.size(), vitis::zoo_model_names().size());
+  for (const auto& name : vitis::zoo_model_names()) {
+    EXPECT_TRUE(db.find(name).has_value()) << name;
+  }
+}
+
+TEST(ProfileDb, FindMissingReturnsNullopt) {
+  ProfileDb db;
+  EXPECT_FALSE(db.find("resnet50_pt").has_value());
+  db.add(ModelProfile{.model_name = "resnet50_pt", .image_offset = 42});
+  EXPECT_EQ(db.find("resnet50_pt")->image_offset, 42u);
+}
+
+TEST(ProfileDb, AddOverwritesExisting) {
+  ProfileDb db;
+  db.add(ModelProfile{.model_name = "m", .image_offset = 1});
+  db.add(ModelProfile{.model_name = "m", .image_offset = 2});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.find("m")->image_offset, 2u);
+}
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,203 @@
+// Property tests against reference models: each simulator component is
+// driven with seeded random operation streams and compared op-for-op
+// with a trivially correct oracle (flat byte array, std::set, etc.).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dram/dram_model.h"
+#include "mem/frame_allocator.h"
+#include "mem/pagemap.h"
+#include "util/hexdump.h"
+#include "util/prng.h"
+
+namespace msa {
+namespace {
+
+// ---------------------------------------------------------------- DRAM ----
+
+class DramVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DramVsOracle, RandomOpStreamMatchesFlatArray) {
+  constexpr std::uint64_t kSize = 1 << 20;  // 1 MiB window
+  dram::DramConfig cfg = dram::DramConfig::test_small();
+  dram::DramModel dut{cfg};
+  std::vector<std::uint8_t> oracle(kSize, 0);
+
+  util::Prng prng{GetParam()};
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t addr = prng.below(kSize - 16);
+    switch (prng.below(7)) {
+      case 0: {
+        const auto v = static_cast<std::uint8_t>(prng());
+        dut.write8(addr, v);
+        oracle[addr] = v;
+        break;
+      }
+      case 1: {
+        const auto v = static_cast<std::uint32_t>(prng());
+        dut.write32(addr, v);
+        for (int i = 0; i < 4; ++i) {
+          oracle[addr + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+        }
+        break;
+      }
+      case 2: {
+        const std::uint64_t v = prng();
+        dut.write64(addr, v);
+        for (int i = 0; i < 8; ++i) {
+          oracle[addr + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+        }
+        break;
+      }
+      case 3: {
+        const std::uint64_t len = prng.between(1, 64);
+        if (addr + len > kSize) break;
+        const auto fill = static_cast<std::uint8_t>(prng());
+        dut.fill_range(addr, len, fill);
+        for (std::uint64_t i = 0; i < len; ++i) oracle[addr + i] = fill;
+        break;
+      }
+      case 4: {
+        ASSERT_EQ(dut.read8(addr), oracle[addr]) << "op " << op;
+        break;
+      }
+      case 5: {
+        std::uint32_t expect = 0;
+        for (int i = 3; i >= 0; --i) {
+          expect = (expect << 8) | oracle[addr + i];
+        }
+        ASSERT_EQ(dut.read32(addr), expect) << "op " << op;
+        break;
+      }
+      case 6: {
+        std::uint8_t buf[32];
+        const std::size_t len = 1 + prng.below(32);
+        if (addr + len > kSize) break;
+        dut.read_block(addr, std::span{buf, len});
+        for (std::size_t i = 0; i < len; ++i) {
+          ASSERT_EQ(buf[i], oracle[addr + i]) << "op " << op << " i " << i;
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramVsOracle,
+                         ::testing::Values(1, 2, 3, 4, 99));
+
+// ----------------------------------------------------------- allocator ----
+
+class AllocatorVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorVsOracle, RandomAllocFreeKeepsExactOwnership) {
+  dram::DramModel dram{dram::DramConfig::test_small()};
+  mem::PageFrameAllocator alloc{
+      dram, mem::FrameAllocatorConfig{.first_pfn = 0x200,
+                                      .frame_count = 128,
+                                      .seed = GetParam()}};
+  std::set<mem::Pfn> held;  // oracle of allocated frames
+
+  util::Prng prng{GetParam() * 31 + 1};
+  for (int op = 0; op < 3000; ++op) {
+    if (held.empty() || prng.chance(0.55)) {
+      const auto p = alloc.allocate(7);
+      if (held.size() == 128) {
+        ASSERT_FALSE(p.has_value()) << "pool over-committed at op " << op;
+      } else {
+        ASSERT_TRUE(p.has_value());
+        ASSERT_TRUE(held.insert(*p).second) << "double hand-out at op " << op;
+        ASSERT_GE(*p, 0x200u);
+        ASSERT_LT(*p, 0x280u);
+      }
+    } else {
+      // Free a pseudo-random held frame.
+      auto it = held.begin();
+      std::advance(it, static_cast<long>(prng.below(held.size())));
+      alloc.free(*it);
+      held.erase(it);
+    }
+    ASSERT_EQ(alloc.used_frames(), held.size());
+    ASSERT_EQ(alloc.free_frames(), 128 - held.size());
+  }
+  // Drain and verify every frame is recoverable.
+  for (const mem::Pfn p : held) alloc.free(p);
+  for (int i = 0; i < 128; ++i) ASSERT_TRUE(alloc.allocate(9).has_value());
+  ASSERT_FALSE(alloc.allocate(9).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorVsOracle, ::testing::Values(5, 6, 7));
+
+// ----------------------------------------------------- page table + map ----
+
+TEST(PageTableVsOracle, RandomMapUnmapMatchesStdMap) {
+  mem::PageTable dut;
+  std::map<mem::Vpn, mem::Pfn> oracle;
+  util::Prng prng{4242};
+  for (int op = 0; op < 5000; ++op) {
+    const mem::Vpn vpn = 0xaaaa0000ULL + prng.below(256);
+    if (prng.chance(0.5)) {
+      if (oracle.count(vpn) == 0) {
+        const mem::Pfn pfn = 0x60000 + prng.below(1 << 16);
+        dut.map(vpn, pfn);
+        oracle[vpn] = pfn;
+      } else {
+        ASSERT_THROW(dut.map(vpn, 1), std::logic_error);
+      }
+    } else {
+      if (oracle.count(vpn) != 0) {
+        ASSERT_EQ(dut.unmap(vpn), oracle[vpn]);
+        oracle.erase(vpn);
+      } else {
+        ASSERT_THROW((void)dut.unmap(vpn), std::logic_error);
+      }
+    }
+    ASSERT_EQ(dut.mapped_pages(), oracle.size());
+  }
+  // Final translation agreement across the whole oracle.
+  for (const auto& [vpn, pfn] : oracle) {
+    const mem::VirtAddr va = (vpn << mem::kPageShift) | 0x123;
+    ASSERT_EQ(dut.translate(va).value(),
+              mem::PageFrameAllocator::frame_to_phys(pfn) + 0x123);
+  }
+}
+
+TEST(PagemapVsOracle, WindowAgreesWithTableForRandomLayouts) {
+  util::Prng prng{777};
+  for (int trial = 0; trial < 20; ++trial) {
+    mem::PageTable table;
+    const mem::Vpn base = 0xaaaaee775ULL;
+    std::set<std::uint64_t> mapped;
+    for (int i = 0; i < 64; ++i) {
+      if (prng.chance(0.6)) {
+        table.map(base + i, 0x60000 + static_cast<mem::Pfn>(i));
+        mapped.insert(static_cast<std::uint64_t>(i));
+      }
+    }
+    const auto window = mem::pagemap_window(table, base, 64);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const auto e = mem::PagemapEntry::decode(window[i]);
+      ASSERT_EQ(e.present, mapped.count(i) == 1);
+      if (e.present) {
+        ASSERT_EQ(e.pfn, 0x60000 + i);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- hexdump ----
+
+TEST(HexdumpVsOracle, RandomBuffersRoundTrip) {
+  util::Prng prng{31337};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(prng.between(0, 300));
+    for (auto& b : data) b = static_cast<std::uint8_t>(prng());
+    ASSERT_EQ(util::parse_hex_dump(util::hex_dump(data)), data);
+  }
+}
+
+}  // namespace
+}  // namespace msa

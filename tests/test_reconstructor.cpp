@@ -1,0 +1,128 @@
+#include "attack/reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+
+namespace msa::attack {
+namespace {
+
+/// Builds a (dump, profile, ground-truth image) triple by actually running
+/// a victim and scraping it.
+struct Harness {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  ModelProfile profile;
+  ScrapedDump dump;
+  img::Image truth;
+
+  explicit Harness(std::uint32_t w = 48, std::uint32_t h = 48) {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    OfflineProfiler profiler{runtime, dbg};
+    profile = profiler.profile_model("resnet50_pt", w, h, 1001);
+
+    truth = img::make_test_image(w, h, 99);
+    const vitis::VictimRun run =
+        runtime.launch(1000, "resnet50_pt", truth, "pts/1");
+    AddressResolver resolver{dbg};
+    const ResolvedTarget target = resolver.resolve_heap(run.pid);
+    sys.terminate(run.pid);
+    MemoryScraper scraper{dbg};
+    dump = scraper.scrape(target);
+  }
+};
+
+TEST(Reconstructor, PixelExactFromHeapDump) {
+  Harness h;
+  const auto image = ImageReconstructor::reconstruct(h.dump, h.profile);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(*image, h.truth);
+  EXPECT_DOUBLE_EQ(img::pixel_match_fraction(*image, h.truth), 1.0);
+}
+
+TEST(Reconstructor, TooSmallDumpReturnsNullopt) {
+  Harness h;
+  ScrapedDump truncated = h.dump;
+  truncated.bytes.resize(static_cast<std::size_t>(h.profile.image_offset) + 10);
+  EXPECT_FALSE(ImageReconstructor::reconstruct(truncated, h.profile).has_value());
+}
+
+TEST(Reconstructor, WrongProfileGeometryMisreconstructs) {
+  // A profile for the wrong image size yields garbage, not a crash.
+  Harness h;
+  ModelProfile wrong = h.profile;
+  wrong.image_width = 32;
+  wrong.image_height = 32;
+  const auto image = ImageReconstructor::reconstruct(h.dump, wrong);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_LT(img::pixel_match_fraction(*image,
+                                      img::resize_nearest(h.truth, 32, 32)),
+            0.5);
+}
+
+TEST(Reconstructor, FromPhysicalScanWithContiguousPlacement) {
+  // Post-mortem path: raw pool sweep, anchor on the install-path string.
+  Harness h;
+  dbg::SystemDebugger dbg2{h.sys, 1001};
+  MemoryScraper scraper{dbg2};
+  const dram::PhysAddr pool_base = mem::PageFrameAllocator::frame_to_phys(
+      h.sys.config().pool_first_pfn);
+  const ScrapedDump scan =
+      scraper.scrape_physical_range(pool_base, h.profile.heap_bytes * 2);
+  const auto image = ImageReconstructor::reconstruct_from_scan(scan, h.profile);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(*image, h.truth);
+}
+
+TEST(Reconstructor, FromScanFailsWithoutAnchor) {
+  Harness h;
+  ScrapedDump empty;
+  empty.bytes.assign(4096, 0);
+  EXPECT_FALSE(
+      ImageReconstructor::reconstruct_from_scan(empty, h.profile).has_value());
+}
+
+TEST(Reconstructor, FromScanFailsWhenImageCutOff) {
+  Harness h;
+  dbg::SystemDebugger dbg2{h.sys, 1001};
+  MemoryScraper scraper{dbg2};
+  const dram::PhysAddr pool_base = mem::PageFrameAllocator::frame_to_phys(
+      h.sys.config().pool_first_pfn);
+  // Sweep ends before the image does.
+  const ScrapedDump scan = scraper.scrape_physical_range(
+      pool_base, h.profile.image_offset + 100);
+  EXPECT_FALSE(
+      ImageReconstructor::reconstruct_from_scan(scan, h.profile).has_value());
+}
+
+TEST(Reconstructor, CorruptedVictimImageReconstructsAllFF) {
+  // Fig. 12: the corrupted input reads back as FF runs and reconstructs
+  // as the all-white image.
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+  OfflineProfiler profiler{runtime, dbg};
+  const ModelProfile profile =
+      profiler.profile_model("resnet50_pt", 40, 40, 1001);
+
+  img::Image corrupted{40, 40};
+  corrupted.fill_region(img::kCorruptPixel, 1.0);
+  const vitis::VictimRun run =
+      runtime.launch(1000, "resnet50_pt", corrupted, "pts/1");
+  AddressResolver resolver{dbg};
+  const ResolvedTarget target = resolver.resolve_heap(run.pid);
+  sys.terminate(run.pid);
+  MemoryScraper scraper{dbg};
+  const ScrapedDump dump = scraper.scrape(target);
+
+  const auto image = ImageReconstructor::reconstruct(dump, profile);
+  ASSERT_TRUE(image.has_value());
+  for (const img::Rgb& p : image->pixels()) EXPECT_EQ(p, img::kCorruptPixel);
+}
+
+}  // namespace
+}  // namespace msa::attack

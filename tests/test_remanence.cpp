@@ -1,0 +1,96 @@
+#include "dram/remanence.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::dram {
+namespace {
+
+TEST(Remanence, RefreshActiveMeansNoDecay) {
+  // The paper's setting: the board stays powered, DRAM refreshed; residue
+  // survives bit-exact.
+  DramModel d{DramConfig::test_small()};
+  d.fill_range(0x1000, 0x1000, 0xA7);
+  const std::uint32_t before = d.checksum(0x1000, 0x1000);
+
+  RemanenceModel rem{RemanenceParams{.refresh_active = true}};
+  util::Prng prng{1};
+  EXPECT_EQ(rem.apply(d, 0x1000, 0x1000, 3600.0, prng), 0u);
+  EXPECT_EQ(d.checksum(0x1000, 0x1000), before);
+}
+
+TEST(Remanence, DecayProbabilityZeroWhenRefreshed) {
+  RemanenceModel rem{RemanenceParams{.refresh_active = true}};
+  EXPECT_DOUBLE_EQ(rem.decay_probability(100.0), 0.0);
+}
+
+TEST(Remanence, DecayProbabilityMonotonicInTime) {
+  RemanenceModel rem{
+      RemanenceParams{.refresh_active = false, .retention_half_life_s = 2.0}};
+  double prev = 0.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = rem.decay_probability(t);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(rem.decay_probability(2.0), 0.5, 1e-9);  // one half-life
+  EXPECT_LT(rem.decay_probability(1e9), 1.0 + 1e-12);
+}
+
+TEST(Remanence, NegativeOrZeroElapsedNoDecay) {
+  RemanenceModel rem{RemanenceParams{.refresh_active = false}};
+  EXPECT_DOUBLE_EQ(rem.decay_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rem.decay_probability(-5.0), 0.0);
+}
+
+TEST(Remanence, UnrefreshedDataDegrades) {
+  DramModel d{DramConfig::test_small()};
+  d.fill_range(0x2000, 0x1000, 0xFF);
+  RemanenceModel rem{RemanenceParams{.refresh_active = false,
+                                     .retention_half_life_s = 1.0,
+                                     .anti_cell_fraction = 0.0}};
+  util::Prng prng{42};
+  const std::uint64_t flips = rem.apply(d, 0x2000, 0x1000, 1.0, prng);
+  // Half-life elapsed, all-ones data, true cells discharge to 0:
+  // expect roughly half of the 0x1000*8 bits flipped.
+  const double expected = 0x1000 * 8 * 0.5;
+  EXPECT_NEAR(static_cast<double>(flips), expected, expected * 0.1);
+  EXPECT_TRUE(d.any_nonzero(0x2000, 0x1000));  // partial, not total, loss
+}
+
+TEST(Remanence, ZeroDataWithTrueCellsDoesNotFlip) {
+  // All-zero content in pure true-cell DRAM is already at discharge value.
+  DramModel d{DramConfig::test_small()};
+  RemanenceModel rem{RemanenceParams{.refresh_active = false,
+                                     .retention_half_life_s = 1.0,
+                                     .anti_cell_fraction = 0.0}};
+  util::Prng prng{7};
+  EXPECT_EQ(rem.apply(d, 0x3000, 0x1000, 100.0, prng), 0u);
+}
+
+TEST(Remanence, AntiCellsFlipZerosUpward) {
+  DramModel d{DramConfig::test_small()};
+  d.zero_range(0x4000, 0x1000);
+  RemanenceModel rem{RemanenceParams{.refresh_active = false,
+                                     .retention_half_life_s = 1.0,
+                                     .anti_cell_fraction = 1.0}};
+  util::Prng prng{11};
+  const std::uint64_t flips = rem.apply(d, 0x4000, 0x1000, 1.0, prng);
+  EXPECT_GT(flips, 0u);
+  EXPECT_TRUE(d.any_nonzero(0x4000, 0x1000));
+}
+
+TEST(Remanence, DeterministicGivenSeed) {
+  RemanenceModel rem{RemanenceParams{.refresh_active = false,
+                                     .retention_half_life_s = 2.0}};
+  DramModel d1{DramConfig::test_small()};
+  DramModel d2{DramConfig::test_small()};
+  d1.fill_range(0x1000, 0x800, 0x3C);
+  d2.fill_range(0x1000, 0x800, 0x3C);
+  util::Prng p1{99}, p2{99};
+  EXPECT_EQ(rem.apply(d1, 0x1000, 0x800, 1.5, p1),
+            rem.apply(d2, 0x1000, 0x800, 1.5, p2));
+  EXPECT_EQ(d1.checksum(0x1000, 0x800), d2.checksum(0x1000, 0x800));
+}
+
+}  // namespace
+}  // namespace msa::dram

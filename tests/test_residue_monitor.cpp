@@ -1,0 +1,134 @@
+#include "attack/residue_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "dbg/memory_firewall.h"
+#include "vitis/runtime.h"
+
+namespace msa::attack {
+namespace {
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+  }
+
+  ResidueMonitor monitor(std::uint64_t pages = 64) {
+    return ResidueMonitor{
+        dbg, mem::PageFrameAllocator::frame_to_phys(sys.config().pool_first_pfn),
+        pages};
+  }
+};
+
+TEST(ResidueMonitor, ZeroWindowRejected) {
+  Fixture f;
+  EXPECT_THROW(
+      (ResidueMonitor{f.dbg, 0x100000, 0}), std::invalid_argument);
+}
+
+TEST(ResidueMonitor, IdleBoardShowsNoActivity) {
+  Fixture f;
+  auto mon = f.monitor();
+  (void)mon.poll();  // prime
+  const ActivityDelta delta = mon.poll();
+  EXPECT_FALSE(delta.any());
+  EXPECT_EQ(delta.changed_bytes(), 0u);
+}
+
+TEST(ResidueMonitor, FirstPollPrimesWithoutReporting) {
+  Fixture f;
+  auto mon = f.monitor();
+  EXPECT_FALSE(mon.poll().any());
+}
+
+TEST(ResidueMonitor, DetectsVictimLaunch) {
+  Fixture f;
+  auto mon = f.monitor();
+  (void)mon.poll();  // prime
+
+  const vitis::VictimRun run = f.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 3), "pts/1");
+  const ActivityDelta delta = mon.poll();
+  EXPECT_TRUE(delta.any());
+  // Working-set estimate matches the victim's heap page count.
+  const std::uint64_t heap_pages =
+      (f.sys.process(run.pid).brk() - run.heap_base + mem::kPageSize - 1) /
+      mem::kPageSize;
+  EXPECT_EQ(delta.largest_extent, heap_pages);
+}
+
+TEST(ResidueMonitor, TerminationWithoutSanitizationIsInvisible) {
+  // Key residue property from the monitor's viewpoint: exit changes no
+  // bytes, so a pure diff cannot tell "running" from "dead but scrapable".
+  Fixture f;
+  const vitis::VictimRun run = f.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 3), "pts/1");
+  auto mon = f.monitor();
+  (void)mon.poll();  // prime with the victim resident
+  f.sys.terminate(run.pid);
+  EXPECT_FALSE(mon.poll().any());
+}
+
+TEST(ResidueMonitor, ZeroOnFreeTerminationIsVisible) {
+  // With scrubbing, exit zeroes the frames — the monitor sees the wipe.
+  os::SystemConfig cfg = os::SystemConfig::test_small();
+  cfg.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  os::PetaLinuxSystem sys{cfg};
+  sys.add_user(1000, "victim");
+  sys.add_user(1001, "attacker");
+  vitis::VitisAiRuntime runtime{sys};
+  dbg::SystemDebugger dbg{sys, 1001};
+
+  const vitis::VictimRun run = runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 3), "pts/1");
+  ResidueMonitor mon{
+      dbg, mem::PageFrameAllocator::frame_to_phys(cfg.pool_first_pfn), 64};
+  (void)mon.poll();
+  sys.terminate(run.pid);
+  EXPECT_TRUE(mon.poll().any());
+}
+
+TEST(ResidueMonitor, DiffRejectsMismatchedWindows) {
+  Fixture f;
+  auto mon_a = f.monitor(16);
+  auto mon_b = f.monitor(32);
+  const PoolSnapshot a = mon_a.snapshot();
+  const PoolSnapshot b = mon_b.snapshot();
+  EXPECT_THROW((void)ResidueMonitor::diff(a, b), std::invalid_argument);
+}
+
+TEST(ResidueMonitor, ChangedPagesAreExact) {
+  Fixture f;
+  auto mon = f.monitor(16);
+  const PoolSnapshot before = mon.snapshot();
+  // Dirty exactly pages 3 and 7 of the window via raw devmem writes.
+  const dram::PhysAddr base =
+      mem::PageFrameAllocator::frame_to_phys(f.sys.config().pool_first_pfn);
+  f.sys.devmem_write32(base + 3 * 4096 + 100, 0xAA55AA55);
+  f.sys.devmem_write32(base + 7 * 4096, 0x12345678);
+  const PoolSnapshot after = mon.snapshot();
+  const ActivityDelta delta = ResidueMonitor::diff(before, after);
+  EXPECT_EQ(delta.changed_pages, (std::vector<std::uint64_t>{3, 7}));
+  EXPECT_EQ(delta.largest_extent, 1u);
+}
+
+TEST(ResidueMonitor, FirewallBlocksMonitoring) {
+  // The owner-residue firewall shuts down the surveillance channel too.
+  Fixture f;
+  const vitis::VictimRun run = f.runtime.launch(
+      1000, "resnet50_pt", img::make_test_image(48, 48, 3), "pts/1");
+  (void)run;
+  dbg::MemoryFirewall fw{f.sys, dbg::FirewallMode::kOwnerOrResidue};
+  f.dbg.set_firewall(&fw);
+  auto mon = f.monitor();
+  EXPECT_THROW((void)mon.snapshot(), dbg::DebuggerAccessDenied);
+  f.dbg.set_firewall(nullptr);
+}
+
+}  // namespace
+}  // namespace msa::attack

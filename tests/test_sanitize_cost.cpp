@@ -1,0 +1,99 @@
+#include "defense/sanitize_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::defense {
+namespace {
+
+SanitizeCostModel make() {
+  return SanitizeCostModel{dram::DramTimingModel{dram::DramConfig::zcu104()}};
+}
+
+TEST(SanitizeCost, MakeFrameSetShapes) {
+  EXPECT_EQ(make_frame_set(100, 3), (std::vector<mem::Pfn>{100, 101, 102}));
+  EXPECT_EQ(make_frame_set(100, 3, 4), (std::vector<mem::Pfn>{100, 104, 108}));
+  EXPECT_TRUE(make_frame_set(0, 0).empty());
+  EXPECT_EQ(make_frame_set(5, 2, 0), (std::vector<mem::Pfn>{5, 6}));  // stride 0 -> 1
+}
+
+TEST(SanitizeCost, InDramZeroingOrdersOfMagnitudeCheaper) {
+  auto model = make();
+  const auto freed = make_frame_set(0x60000, 256);
+  const auto r = model.cost(freed, {});
+  EXPECT_GT(r.cpu_zero_ns, r.rowclone_ns * 5);
+  EXPECT_GT(r.rowclone_ns, r.rowreset_ns);
+  EXPECT_EQ(r.frames, 256u);
+  EXPECT_EQ(r.bytes_requested, 256u * 4096);
+}
+
+TEST(SanitizeCost, ContiguousFramesShareRows) {
+  auto model = make();
+  // 8 KiB rows hold two 4 KiB pages: 256 contiguous frames -> 128 rows.
+  const auto r = model.cost(make_frame_set(0x60000, 256), {});
+  EXPECT_EQ(r.rows_touched, 128u);
+}
+
+TEST(SanitizeCost, ScatteredFramesTouchMoreRows) {
+  auto model = make();
+  const auto contiguous = model.cost(make_frame_set(0x60000, 128), {});
+  const auto scattered = model.cost(make_frame_set(0x60000, 128, 2), {});
+  EXPECT_GT(scattered.rows_touched, contiguous.rows_touched);
+  EXPECT_GT(scattered.rowclone_ns, contiguous.rowclone_ns);
+}
+
+TEST(SanitizeCost, NoCollateralWhenNoNeighbours) {
+  auto model = make();
+  const auto r = model.cost(make_frame_set(0x60000, 16), {});
+  EXPECT_EQ(r.collateral_bytes, 0u);
+}
+
+TEST(SanitizeCost, CollateralWhenTenantsInterleave) {
+  // Freed frames at even PFNs, a live tenant at odd PFNs: every row the
+  // in-DRAM op clears contains 4 KiB of live data.
+  auto model = make();
+  const auto freed = make_frame_set(0x60000, 16, 2);   // even
+  const auto live = make_frame_set(0x60001, 16, 2);    // odd
+  const auto r = model.cost(freed, live);
+  EXPECT_EQ(r.collateral_bytes, 16u * 4096);
+}
+
+TEST(SanitizeCost, ContiguousFreedNextToLiveBlockNoOverlap) {
+  // Live frames in different rows entirely -> zero collateral.
+  auto model = make();
+  const auto freed = make_frame_set(0x60000, 16);      // rows 0..7
+  const auto live = make_frame_set(0x60100, 16);       // far away
+  EXPECT_EQ(model.cost(freed, live).collateral_bytes, 0u);
+}
+
+TEST(SanitizeCost, LiveListedAsFreedIsIgnored) {
+  auto model = make();
+  const auto freed = make_frame_set(0x60000, 4);
+  const auto r = model.cost(freed, freed);  // caller error: same frames
+  EXPECT_EQ(r.collateral_bytes, 0u);
+}
+
+TEST(SanitizeCost, CpuCostScalesWithFrames) {
+  auto model = make();
+  const double c64 = model.cost(make_frame_set(0x60000, 64), {}).cpu_zero_ns;
+  const double c256 = model.cost(make_frame_set(0x60000, 256), {}).cpu_zero_ns;
+  EXPECT_NEAR(c256 / c64, 4.0, 0.5);
+}
+
+TEST(SanitizeCost, SpeedupAccessorConsistent) {
+  auto model = make();
+  const auto r = model.cost(make_frame_set(0x60000, 32), {});
+  EXPECT_NEAR(r.cpu_over_rowclone(), r.cpu_zero_ns / r.rowclone_ns, 1e-9);
+}
+
+TEST(SanitizeCost, EmptyFreeSetIsFree) {
+  auto model = make();
+  const auto r = model.cost({}, make_frame_set(0x60000, 8));
+  EXPECT_EQ(r.frames, 0u);
+  EXPECT_DOUBLE_EQ(r.cpu_zero_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.rowclone_ns, 0.0);
+  EXPECT_EQ(r.rows_touched, 0u);
+  EXPECT_EQ(r.collateral_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace msa::defense

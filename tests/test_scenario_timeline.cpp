@@ -1,0 +1,117 @@
+// Post-termination timeline scenarios: scrubber daemons and power-cycle
+// remanence acting between victim exit and the scrape.
+#include "attack/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::attack {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  return cfg;
+}
+
+TEST(ScenarioTimeline, ZeroDelayBaselineUnchanged) {
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 0.0;
+  cfg.scrubber_bytes_per_s = 1e9;  // irrelevant without a delay
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_TRUE(r.full_success());
+}
+
+TEST(ScenarioTimeline, FastScrubberBeatsSlowAttacker) {
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 5.0;
+  cfg.scrubber_bytes_per_s = 1e9;  // clears everything within the delay
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_FALSE(r.denied);
+  EXPECT_FALSE(r.model_identified_correctly);
+  EXPECT_DOUBLE_EQ(r.pixel_match, 0.0);
+}
+
+TEST(ScenarioTimeline, SlowScrubberLosesToFastAttacker) {
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 0.5;
+  cfg.scrubber_bytes_per_s = 4096.0;  // one page per second
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_TRUE(r.model_identified_correctly);
+  EXPECT_DOUBLE_EQ(r.pixel_match, 1.0);
+}
+
+TEST(ScenarioTimeline, PartialScrubDegradesGracefully) {
+  // The scrubber clears low frames first; the victim's heap spans several
+  // pages, so a mid-rate scrubber wipes the strings/model prefix before
+  // the image tail — model-id dies first, image may survive briefly.
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 1.0;
+  const std::uint64_t heap_guess = 40 * 1024;  // ~10 pages for 48x48
+  cfg.scrubber_bytes_per_s = static_cast<double>(heap_guess) / 2.0;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_FALSE(r.denied);
+  // At least one of the two recovery goals must have degraded.
+  EXPECT_TRUE(!r.model_identified_correctly || r.pixel_match < 1.0 ||
+              r.descriptor_pixel_match < 1.0);
+}
+
+TEST(ScenarioTimeline, PowerCycleDecayRuinsRecovery) {
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 20.0;  // ten half-lives unrefreshed
+  cfg.power_cycled = true;
+  cfg.retention_half_life_s = 2.0;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_FALSE(r.denied);
+  // Strings and CRCs cannot survive ~100% bit decay.
+  EXPECT_FALSE(r.model_identified_correctly);
+  EXPECT_LT(r.pixel_match, 0.1);
+}
+
+TEST(ScenarioTimeline, BriefPowerCyclePartiallyDegrades) {
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 0.2;  // a tenth of a half-life
+  cfg.power_cycled = true;
+  cfg.retention_half_life_s = 2.0;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_FALSE(r.denied);
+  // ~6.7 % of bits flip: exact string matching usually survives in some
+  // copy, pixel-exactness does not.
+  EXPECT_LT(r.pixel_match, 1.0);
+}
+
+TEST(ScenarioTimeline, RefreshedDelayIsHarmless) {
+  // Delay alone (board stays powered, no scrubber) changes nothing — the
+  // heart of the paper's remanence claim.
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 3600.0;
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_TRUE(r.full_success());
+}
+
+TEST(ScenarioTimeline, DescriptorPathScoresTracked) {
+  const ScenarioResult r = run_scenario(small_config());
+  EXPECT_DOUBLE_EQ(r.descriptor_pixel_match, 1.0);
+  ASSERT_TRUE(r.report.recovered_scores.has_value());
+  EXPECT_EQ(r.report.recovered_scores->size(), 10u);
+}
+
+class ScrubRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScrubRateSweep, RecoveryMonotonicInScrubRate) {
+  // Property: more scrub throughput never helps the attacker.
+  ScenarioConfig cfg = small_config();
+  cfg.attack_delay_s = 1.0;
+  cfg.scrubber_bytes_per_s = GetParam();
+  const ScenarioResult r = run_scenario(cfg);
+  cfg.scrubber_bytes_per_s = GetParam() * 4;
+  const ScenarioResult faster = run_scenario(cfg);
+  EXPECT_LE(faster.pixel_match, r.pixel_match + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ScrubRateSweep,
+                         ::testing::Values(4096.0, 16384.0, 65536.0));
+
+}  // namespace
+}  // namespace msa::attack

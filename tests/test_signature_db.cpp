@@ -1,0 +1,126 @@
+#include "attack/signature_db.h"
+
+#include <gtest/gtest.h>
+
+#include "vitis/dpu_runner.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::attack {
+namespace {
+
+std::vector<std::uint8_t> residue_for(const std::string& model_name) {
+  // Realistic residue: the staged strings area plus the serialized model,
+  // exactly what the DpuRunner leaves in the heap.
+  const vitis::XModel m = vitis::make_zoo_model(model_name);
+  std::vector<std::uint8_t> residue(64, 0);  // heap metadata padding
+  const auto strings = vitis::DpuRunner::staged_strings(m);
+  residue.insert(residue.end(), strings.begin(), strings.end());
+  const auto blob = m.serialize();
+  residue.insert(residue.end(), blob.begin(), blob.end());
+  return residue;
+}
+
+TEST(SignatureDb, ZooDbCoversAllModels) {
+  EXPECT_EQ(SignatureDb::for_zoo().size(), vitis::zoo_model_names().size());
+}
+
+TEST(SignatureDb, IdentifiesCorrectModelFromResidue) {
+  const SignatureDb db = SignatureDb::for_zoo();
+  for (const auto& name : vitis::zoo_model_names()) {
+    const auto residue = residue_for(name);
+    EXPECT_EQ(db.identify(residue).value_or("<none>"), name) << name;
+  }
+}
+
+TEST(SignatureDb, EmptyResidueNoMatch) {
+  const SignatureDb db = SignatureDb::for_zoo();
+  std::vector<std::uint8_t> zeros(4096, 0);
+  EXPECT_FALSE(db.identify(zeros).has_value());
+  EXPECT_TRUE(db.scan(zeros).empty());
+}
+
+TEST(SignatureDb, ScanRanksByDistinctNeedles) {
+  SignatureDb db;
+  db.add(Signature{"model_a", {"alpha", "beta"}});
+  db.add(Signature{"model_b", {"alpha"}});
+  const std::string text = "alpha beta alpha";
+  const std::vector<std::uint8_t> bytes{text.begin(), text.end()};
+  const auto matches = db.scan(bytes);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].model_name, "model_a");
+  EXPECT_EQ(matches[0].distinct_needles, 2u);
+  EXPECT_EQ(matches[0].hits, 3u);
+  EXPECT_EQ(matches[1].model_name, "model_b");
+}
+
+TEST(SignatureDb, OffsetsAreSortedAndCorrect) {
+  SignatureDb db;
+  db.add(Signature{"m", {"xy"}});
+  const std::string text = "..xy....xy";
+  const std::vector<std::uint8_t> bytes{text.begin(), text.end()};
+  const auto matches = db.scan(bytes);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].offsets, (std::vector<std::size_t>{2, 8}));
+}
+
+TEST(SignatureDb, SubstringNamesDontConfuse) {
+  // "resnet50_pt" residue must not be identified as squeezenet etc.
+  const SignatureDb db = SignatureDb::for_zoo();
+  const auto residue = residue_for("resnet50_pt");
+  const auto matches = db.scan(residue);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].model_name, "resnet50_pt");
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LT(matches[i].distinct_needles, matches[0].distinct_needles);
+  }
+}
+
+TEST(IdentifyDeep, ParsesFullContainerFromResidue) {
+  const auto residue = residue_for("yolov3_tiny_tf");
+  const auto deep = SignatureDb::identify_deep(residue);
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_EQ(deep->model_name, "yolov3_tiny_tf");
+  EXPECT_EQ(deep->param_bytes,
+            vitis::make_zoo_model("yolov3_tiny_tf").param_bytes());
+  EXPECT_GT(deep->container_offset, 0u);
+}
+
+TEST(IdentifyDeep, CorruptedContainerSkipped) {
+  auto residue = residue_for("resnet50_pt");
+  // Find the magic and damage a byte well inside the container.
+  const auto deep_before = SignatureDb::identify_deep(residue);
+  ASSERT_TRUE(deep_before.has_value());
+  residue[deep_before->container_offset + 40] ^= 0xFF;
+  EXPECT_FALSE(SignatureDb::identify_deep(residue).has_value());
+}
+
+TEST(IdentifyDeep, NoMagicNoMatch) {
+  std::vector<std::uint8_t> junk(10000, 0x5A);
+  EXPECT_FALSE(SignatureDb::identify_deep(junk).has_value());
+}
+
+TEST(IdentifyDeep, TruncatedContainerRejected) {
+  auto residue = residue_for("resnet50_pt");
+  const auto deep = SignatureDb::identify_deep(residue);
+  ASSERT_TRUE(deep.has_value());
+  residue.resize(deep->container_offset + 64);  // cut mid-container
+  EXPECT_FALSE(SignatureDb::identify_deep(residue).has_value());
+}
+
+class SignatureSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SignatureSweep, StringAndDeepIdentificationAgree) {
+  const SignatureDb db = SignatureDb::for_zoo();
+  const auto residue = residue_for(GetParam());
+  const auto shallow = db.identify(residue);
+  const auto deep = SignatureDb::identify_deep(residue);
+  ASSERT_TRUE(shallow.has_value());
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_EQ(*shallow, deep->model_name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SignatureSweep,
+                         ::testing::ValuesIn(vitis::zoo_model_names()));
+
+}  // namespace
+}  // namespace msa::attack

@@ -1,0 +1,171 @@
+#include "vitis/stream_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/address_resolver.h"
+#include "attack/descriptor_scan.h"
+#include "attack/scraper.h"
+#include "attack/signature_db.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::vitis {
+namespace {
+
+std::vector<img::Image> make_frames(std::size_t n, std::uint32_t side = 48) {
+  std::vector<img::Image> frames;
+  for (std::size_t i = 0; i < n; ++i) {
+    frames.push_back(img::make_test_image(side, side, 1000 + i));
+  }
+  return frames;
+}
+
+struct Fixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  os::Pid pid = 0;
+  XModel model = make_zoo_model("resnet50_pt");
+
+  Fixture() {
+    sys.add_user(1000, "victim");
+    sys.add_user(1001, "attacker");
+    pid = sys.spawn(1000, {"./video_pipeline"}, "pts/1");
+  }
+};
+
+TEST(StreamLayout, OrderedAndDeterministic) {
+  const XModel m = make_zoo_model("resnet50_pt");
+  const StreamLayout a = StreamRunner::layout_for(m, 48, 48, 4);
+  const StreamLayout b = StreamRunner::layout_for(m, 48, 48, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.meta_off, a.desc_ring_off);
+  EXPECT_LT(a.desc_ring_off, a.strings_off);
+  EXPECT_LT(a.strings_off, a.xmodel_off);
+  EXPECT_LT(a.xmodel_off, a.frame_ring_off);
+  EXPECT_LT(a.frame_ring_off, a.output_ring_off);
+  EXPECT_LE(a.output_ring_off, a.total_bytes);
+  EXPECT_EQ(a.frame_bytes(), 48u * 48 * 3);
+  EXPECT_EQ(a.frame_slot_off(1) - a.frame_slot_off(0), a.frame_bytes());
+}
+
+TEST(StreamLayout, ZeroRingThrows) {
+  const XModel m = make_zoo_model("resnet50_pt");
+  EXPECT_THROW((void)StreamRunner::layout_for(m, 48, 48, 0),
+               std::invalid_argument);
+}
+
+TEST(StreamRunner, ValidatesInput) {
+  Fixture f;
+  StreamRunner runner{f.sys};
+  EXPECT_THROW((void)runner.run(f.pid, f.model, {}, 4), std::invalid_argument);
+  std::vector<img::Image> mixed{img::make_test_image(48, 48, 1),
+                                img::make_test_image(32, 32, 2)};
+  EXPECT_THROW((void)runner.run(f.pid, f.model, mixed, 4),
+               std::invalid_argument);
+}
+
+TEST(StreamRunner, ProcessesEveryFrame) {
+  Fixture f;
+  StreamRunner runner{f.sys};
+  const auto frames = make_frames(10);
+  const StreamRunResult r = runner.run(f.pid, f.model, frames, 4);
+  EXPECT_EQ(r.top_classes.size(), 10u);
+  for (const std::size_t c : r.top_classes) EXPECT_LT(c, 10u);
+}
+
+TEST(StreamRunner, RingHoldsLastFrames) {
+  Fixture f;
+  StreamRunner runner{f.sys};
+  const auto frames = make_frames(10);
+  const StreamRunResult r = runner.run(f.pid, f.model, frames, 4);
+
+  // Slots hold frames 6..9 after ten frames through a 4-ring:
+  // slot s holds the last frame with index ≡ s (mod 4).
+  const mem::VirtAddr heap = f.sys.process(f.pid).heap_base();
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    std::vector<std::uint8_t> staged(
+        static_cast<std::size_t>(r.layout.frame_bytes()));
+    f.sys.read_virt(f.pid, heap + r.layout.frame_slot_off(slot), staged);
+    // Frame indices 8,9,6,7 live in slots 0,1,2,3 after 10 frames.
+    const std::size_t frame_index = slot < 2 ? 8 + slot : 4 + slot;
+    EXPECT_EQ(img::Image::from_rgb_bytes(staged, 48, 48), frames[frame_index])
+        << "slot " << slot;
+  }
+}
+
+TEST(StreamRunner, FewerFramesThanRingLeavesSlotsEmpty) {
+  Fixture f;
+  StreamRunner runner{f.sys};
+  const auto frames = make_frames(2);
+  const StreamRunResult r = runner.run(f.pid, f.model, frames, 4);
+  EXPECT_EQ(r.top_classes.size(), 2u);
+  // Slot 3 was never written: reads as zeros.
+  const mem::VirtAddr heap = f.sys.process(f.pid).heap_base();
+  std::vector<std::uint8_t> staged(
+      static_cast<std::size_t>(r.layout.frame_bytes()));
+  f.sys.read_virt(f.pid, heap + r.layout.frame_slot_off(3), staged);
+  for (const std::uint8_t b : staged) ASSERT_EQ(b, 0);
+}
+
+TEST(StreamRunner, AttackRecoversTheFrameRing) {
+  // End-to-end: terminate the pipeline, scrape, recover all ring frames
+  // via their descriptors.
+  Fixture f;
+  StreamRunner runner{f.sys};
+  const auto frames = make_frames(10);
+  (void)runner.run(f.pid, f.model, frames, 4);
+
+  dbg::SystemDebugger dbg{f.sys, 1001};
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(f.pid);
+  f.sys.terminate(f.pid);
+  attack::MemoryScraper scraper{dbg};
+  const attack::ScrapedDump dump = scraper.scrape(target);
+
+  const auto recovered = attack::recover_frame_ring(dump);
+  ASSERT_EQ(recovered.size(), 4u);
+  // Recovered frames (in slot order) are exactly the last four the
+  // pipeline saw: 8, 9, 6, 7.
+  EXPECT_EQ(recovered[0], frames[8]);
+  EXPECT_EQ(recovered[1], frames[9]);
+  EXPECT_EQ(recovered[2], frames[6]);
+  EXPECT_EQ(recovered[3], frames[7]);
+}
+
+TEST(StreamRunner, StreamResidueStillIdentifiesModel) {
+  Fixture f;
+  StreamRunner runner{f.sys};
+  (void)runner.run(f.pid, f.model, make_frames(3), 2);
+  dbg::SystemDebugger dbg{f.sys, 1001};
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(f.pid);
+  f.sys.terminate(f.pid);
+  attack::MemoryScraper scraper{dbg};
+  const attack::ScrapedDump dump = scraper.scrape(target);
+  const attack::SignatureDb db = attack::SignatureDb::for_zoo();
+  EXPECT_EQ(db.identify(dump.bytes).value_or("<none>"), "resnet50_pt");
+}
+
+class StreamRingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StreamRingSweep, RecoveredFrameCountEqualsRingDepth) {
+  // Property: after >= ring frames, the attacker recovers exactly `ring`
+  // distinct frames regardless of depth.
+  const std::uint32_t ring = GetParam();
+  Fixture f;
+  StreamRunner runner{f.sys};
+  const auto frames = make_frames(ring + 5);
+  (void)runner.run(f.pid, f.model, frames, ring);
+
+  dbg::SystemDebugger dbg{f.sys, 1001};
+  attack::AddressResolver resolver{dbg};
+  const attack::ResolvedTarget target = resolver.resolve_heap(f.pid);
+  f.sys.terminate(f.pid);
+  attack::MemoryScraper scraper{dbg};
+  const auto recovered = attack::recover_frame_ring(scraper.scrape(target));
+  EXPECT_EQ(recovered.size(), ring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, StreamRingSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace msa::vitis

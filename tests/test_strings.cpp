@@ -1,0 +1,133 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::util {
+namespace {
+
+TEST(HexFormat, NoPrefixMatchesMapsStyle) {
+  EXPECT_EQ(hex_no_prefix(0xaaaaee775000ULL), "aaaaee775000");
+  EXPECT_EQ(hex_no_prefix(0), "0");
+  EXPECT_EQ(hex_no_prefix(0xF), "f");
+}
+
+TEST(HexFormat, PrefixedWithWidth) {
+  EXPECT_EQ(hex_0x(0x61c6d730, 8), "0x61c6d730");
+  EXPECT_EQ(hex_0x(0x0, 8), "0x00000000");  // devmem zero read
+  EXPECT_EQ(hex_0x(0xF7F5F8FD, 8), "0xf7f5f8fd");
+  EXPECT_EQ(hex_0x(0x5, 0), "0x5");
+}
+
+TEST(ParseHex, AcceptsBothForms) {
+  EXPECT_EQ(parse_hex("0xaaaaee775000"), 0xaaaaee775000ULL);
+  EXPECT_EQ(parse_hex("aaaaee775000"), 0xaaaaee775000ULL);
+  EXPECT_EQ(parse_hex("0XFF"), 0xFFu);
+  EXPECT_EQ(parse_hex("0"), 0u);
+}
+
+TEST(ParseHex, RejectsBadInput) {
+  EXPECT_THROW((void)parse_hex(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("0x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("0x12345678123456789"), std::invalid_argument);
+}
+
+TEST(ParseHex, RoundTripsFormatting) {
+  for (const std::uint64_t v : {0ULL, 1ULL, 0x61c6d730ULL, ~0ULL}) {
+    EXPECT_EQ(parse_hex(hex_no_prefix(v)), v);
+    EXPECT_EQ(parse_hex(hex_0x(v)), v);
+  }
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a--b-", '-');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldNoDelimiter) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto parts = split_ws("  1391   2 \t 0  03:51\n");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1391");
+  EXPECT_EQ(parts[3], "03:51");
+}
+
+TEST(SplitWs, EmptyAndAllWhitespace) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n ").empty());
+}
+
+TEST(StartsWithContains, Basics) {
+  EXPECT_TRUE(starts_with("resnet50_pt", "resnet"));
+  EXPECT_FALSE(starts_with("res", "resnet"));
+  EXPECT_TRUE(contains("./resnet50_pt model.xmodel", "resnet50"));
+  EXPECT_FALSE(contains("squeezenet", "resnet"));
+}
+
+TEST(FindAll, FindsAllOccurrences) {
+  const std::string hay = "abcabcabc";
+  const std::vector<std::uint8_t> bytes{hay.begin(), hay.end()};
+  const auto hits = find_all(bytes, "abc");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 3u);
+  EXPECT_EQ(hits[2], 6u);
+}
+
+TEST(FindAll, OverlappingMatches) {
+  const std::string hay = "aaaa";
+  const std::vector<std::uint8_t> bytes{hay.begin(), hay.end()};
+  EXPECT_EQ(find_all(bytes, "aa").size(), 3u);
+}
+
+TEST(FindAll, EmptyNeedleAndOversizeNeedle) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  EXPECT_TRUE(find_all(bytes, "").empty());
+  EXPECT_TRUE(find_all(bytes, "abcdef").empty());
+}
+
+TEST(FindAll, BinaryHaystackWithEmbeddedNuls) {
+  std::vector<std::uint8_t> bytes{0x00, 'r', 'e', 's', 0x00, 'r', 'e', 's'};
+  EXPECT_EQ(find_all(bytes, "res").size(), 2u);
+}
+
+TEST(ExtractStrings, FindsRunsAboveThreshold) {
+  std::vector<std::uint8_t> data;
+  const std::string s1 = "resnet50_pt";
+  data.insert(data.end(), s1.begin(), s1.end());
+  data.push_back(0);
+  data.push_back(0xFF);
+  const std::string s2 = "abc";  // below default min_len 4
+  data.insert(data.end(), s2.begin(), s2.end());
+  data.push_back(0);
+  const auto strings = extract_strings(data, 4);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "resnet50_pt");
+}
+
+TEST(ExtractStrings, TrailingRunWithoutTerminator) {
+  const std::string s = "trailing_string";
+  std::vector<std::uint8_t> data{0x01};
+  data.insert(data.end(), s.begin(), s.end());
+  const auto strings = extract_strings(data, 4);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], s);
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, " "), "a b c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace msa::util

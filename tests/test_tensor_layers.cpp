@@ -1,0 +1,229 @@
+#include "vitis/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace msa::vitis {
+namespace {
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t{TensorShape{2, 3, 4}};
+  EXPECT_EQ(t.size(), 24u);
+  t.set(1, 2, 3, 42);
+  EXPECT_EQ(t.at(1, 2, 3), 42);
+  EXPECT_EQ(t.at(0, 0, 0), 0);
+}
+
+TEST(Tensor, OutOfRangeThrows) {
+  Tensor t{TensorShape{1, 2, 2}};
+  EXPECT_THROW((void)t.at(1, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.set(0, 2, 0, 1), std::out_of_range);
+}
+
+TEST(Tensor, EmptyShapeThrows) {
+  EXPECT_THROW((Tensor{TensorShape{0, 4, 4}}), std::invalid_argument);
+}
+
+TEST(Tensor, FromImageQuantizes) {
+  img::Image im{2, 1};
+  im.at(0, 0) = img::Rgb{128, 0, 255};
+  im.at(1, 0) = img::Rgb{200, 100, 50};
+  const Tensor t = tensor_from_image(im);
+  EXPECT_EQ(t.shape(), (TensorShape{3, 1, 2}));
+  EXPECT_EQ(t.at(0, 0, 0), 0);      // r=128 -> 0
+  EXPECT_EQ(t.at(1, 0, 0), -128);   // g=0 -> -128
+  EXPECT_EQ(t.at(2, 0, 0), 127);    // b=255 -> 127
+  EXPECT_EQ(t.at(0, 0, 1), 72);     // r=200 -> 72
+}
+
+Conv2d identity_conv1x1() {
+  // Single 1x1 kernel with weight 1, shift 0: passes channel 0 through.
+  return Conv2d{1, 1, 1, 1, 0, /*relu=*/false, /*shift=*/0, {1}, {0}};
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Tensor in{TensorShape{1, 2, 2}};
+  in.set(0, 0, 0, 5);
+  in.set(0, 1, 1, -7);
+  const Tensor out = identity_conv1x1().forward(in);
+  EXPECT_EQ(out.at(0, 0, 0), 5);
+  EXPECT_EQ(out.at(0, 1, 1), -7);
+}
+
+TEST(Conv2d, ReluClampsNegative) {
+  Conv2d conv{1, 1, 1, 1, 0, /*relu=*/true, 0, {1}, {0}};
+  Tensor in{TensorShape{1, 1, 1}};
+  in.set(0, 0, 0, -5);
+  EXPECT_EQ(conv.forward(in).at(0, 0, 0), 0);
+}
+
+TEST(Conv2d, KnownSumKernel) {
+  // 3x3 all-ones kernel, no padding: output = sum of the window.
+  Conv2d conv{1, 1, 3, 1, 0, false, 0, std::vector<std::int8_t>(9, 1), {0}};
+  Tensor in{TensorShape{1, 3, 3}};
+  std::int8_t v = 1;
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    for (std::uint32_t x = 0; x < 3; ++x) in.set(0, y, x, v++);
+  }
+  const Tensor out = conv.forward(in);
+  EXPECT_EQ(out.shape(), (TensorShape{1, 1, 1}));
+  EXPECT_EQ(out.at(0, 0, 0), 45);  // 1+2+...+9
+}
+
+TEST(Conv2d, BiasApplied) {
+  Conv2d conv{1, 1, 1, 1, 0, false, 0, {0}, {17}};
+  Tensor in{TensorShape{1, 1, 1}};
+  EXPECT_EQ(conv.forward(in).at(0, 0, 0), 17);
+}
+
+TEST(Conv2d, RequantShiftScalesDown) {
+  Conv2d conv{1, 1, 1, 1, 0, false, /*shift=*/3, {64}, {0}};
+  Tensor in{TensorShape{1, 1, 1}};
+  in.set(0, 0, 0, 8);  // 64*8 = 512; >>3 = 64
+  EXPECT_EQ(conv.forward(in).at(0, 0, 0), 64);
+}
+
+TEST(Conv2d, SaturatesToInt8) {
+  Conv2d conv{1, 1, 1, 1, 0, false, 0, {127}, {0}};
+  Tensor in{TensorShape{1, 1, 1}};
+  in.set(0, 0, 0, 127);  // 16129 clamps to 127
+  EXPECT_EQ(conv.forward(in).at(0, 0, 0), 127);
+}
+
+TEST(Conv2d, StrideAndPaddingGeometry) {
+  Conv2d conv{3, 8, 3, 2, 1, true, 6, std::vector<std::int8_t>(8 * 3 * 9, 0),
+              std::vector<std::int32_t>(8, 0)};
+  EXPECT_EQ(conv.output_shape(TensorShape{3, 64, 64}),
+            (TensorShape{8, 32, 32}));
+  EXPECT_EQ(conv.output_shape(TensorShape{3, 9, 9}), (TensorShape{8, 5, 5}));
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  Conv2d conv = identity_conv1x1();
+  EXPECT_THROW(conv.forward(Tensor{TensorShape{2, 2, 2}}),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, ParameterSizeValidation) {
+  EXPECT_THROW((Conv2d{1, 1, 3, 1, 0, false, 0, {1, 2}, {0}}),
+               std::invalid_argument);
+  EXPECT_THROW((Conv2d{1, 1, 3, 1, 0, false, 0,
+                       std::vector<std::int8_t>(9, 0), {0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(MaxPool2d, TakesWindowMax) {
+  MaxPool2d pool{2, 2};
+  Tensor in{TensorShape{1, 2, 4}};
+  in.set(0, 0, 0, 3);
+  in.set(0, 1, 1, 9);
+  in.set(0, 0, 2, -1);
+  in.set(0, 1, 3, -2);
+  const Tensor out = pool.forward(in);
+  EXPECT_EQ(out.shape(), (TensorShape{1, 1, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 9);
+  EXPECT_EQ(out.at(0, 0, 1), 0);  // max of {-1, 0, 0, -2} is 0
+}
+
+TEST(MaxPool2d, TooSmallInputThrows) {
+  MaxPool2d pool{3, 1};
+  EXPECT_THROW(pool.forward(Tensor{TensorShape{1, 2, 2}}),
+               std::invalid_argument);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  GlobalAvgPool gap;
+  Tensor in{TensorShape{2, 2, 2}};
+  for (std::uint32_t y = 0; y < 2; ++y) {
+    for (std::uint32_t x = 0; x < 2; ++x) {
+      in.set(0, y, x, 8);
+      in.set(1, y, x, static_cast<std::int8_t>(-4));
+    }
+  }
+  const Tensor out = gap.forward(in);
+  EXPECT_EQ(out.shape(), (TensorShape{2, 1, 1}));
+  EXPECT_EQ(out.at(0, 0, 0), 8);
+  EXPECT_EQ(out.at(1, 0, 0), -4);
+}
+
+TEST(Dense, MatVecWithBias) {
+  // 2 -> 2: y0 = x0 + 2*x1 + 1 ; y1 = -x0 + 3 (weights row-major [out][in])
+  Dense d{2, 2, false, 0, {1, 2, -1, 0}, {1, 3}};
+  Tensor in{TensorShape{2, 1, 1}};
+  in.set(0, 0, 0, 4);
+  in.set(1, 0, 0, 5);
+  const Tensor out = d.forward(in);
+  EXPECT_EQ(out.at(0, 0, 0), 15);
+  EXPECT_EQ(out.at(1, 0, 0), -1);
+}
+
+TEST(Dense, InputSizeMismatchThrows) {
+  Dense d{4, 2, false, 0, std::vector<std::int8_t>(8, 0), {0, 0}};
+  EXPECT_THROW(d.forward(Tensor{TensorShape{3, 1, 1}}), std::invalid_argument);
+}
+
+TEST(Softmax, SumsToOneAndOrdersLogits) {
+  Tensor logits{TensorShape{3, 1, 1}};
+  logits.set(0, 0, 0, 10);
+  logits.set(1, 0, 0, 20);
+  logits.set(2, 0, 0, -10);
+  const auto probs = softmax(logits);
+  const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(probs[1], probs[0]);
+  EXPECT_GT(probs[0], probs[2]);
+}
+
+TEST(LayerSerialization, RoundTripsEveryKind) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<Conv2d>(
+      2, 3, 3, 2, 1, true, 6, std::vector<std::int8_t>(2 * 3 * 9, 7),
+      std::vector<std::int32_t>{-1, 0, 1}));
+  layers.push_back(std::make_unique<MaxPool2d>(2, 2));
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(std::make_unique<Dense>(
+      3, 5, false, 4, std::vector<std::int8_t>(15, -3),
+      std::vector<std::int32_t>(5, 9)));
+
+  std::vector<std::uint8_t> blob;
+  for (const auto& l : layers) l->serialize(blob);
+
+  std::size_t pos = 0;
+  for (const auto& original : layers) {
+    const auto copy = deserialize_layer(blob, pos);
+    EXPECT_EQ(copy->kind(), original->kind());
+    EXPECT_EQ(copy->name(), original->name());
+    EXPECT_EQ(copy->param_bytes(), original->param_bytes());
+    // Behavioural equality on a probe input.
+    const TensorShape probe{original->kind() == LayerKind::kDense
+                                ? TensorShape{3, 1, 1}
+                                : TensorShape{2, 8, 8}};
+    if (original->kind() != LayerKind::kDense || probe.volume() == 3) {
+      Tensor in{probe, 3};
+      if (original->output_shape(probe) == copy->output_shape(probe)) {
+        EXPECT_EQ(original->forward(in).data(), copy->forward(in).data());
+      }
+    }
+  }
+  EXPECT_EQ(pos, blob.size());
+}
+
+TEST(LayerSerialization, TruncatedBlobThrows) {
+  Conv2d conv{1, 1, 1, 1, 0, false, 0, {1}, {0}};
+  std::vector<std::uint8_t> blob;
+  conv.serialize(blob);
+  blob.resize(blob.size() / 2);
+  std::size_t pos = 0;
+  EXPECT_THROW((void)deserialize_layer(blob, pos), std::invalid_argument);
+}
+
+TEST(LayerSerialization, UnknownKindThrows) {
+  std::vector<std::uint8_t> blob{0xEE};
+  std::size_t pos = 0;
+  EXPECT_THROW((void)deserialize_layer(blob, pos), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msa::vitis

@@ -1,0 +1,144 @@
+#include "dram/timing_model.h"
+
+#include <gtest/gtest.h>
+
+namespace msa::dram {
+namespace {
+
+DramTimingModel make() { return DramTimingModel{DramConfig::test_small()}; }
+
+TEST(TimingModel, FirstAccessIsRowMiss) {
+  DramTimingModel t = make();
+  const double ns = t.access_ns(0x0, 4);
+  EXPECT_EQ(t.row_misses(), 1u);
+  EXPECT_EQ(t.row_hits(), 0u);
+  const auto& p = t.params();
+  EXPECT_DOUBLE_EQ(ns, p.t_rcd + p.t_cas + p.t_burst);
+}
+
+TEST(TimingModel, SecondAccessSameRowIsHit) {
+  DramTimingModel t = make();
+  (void)t.access_ns(0x0, 4);
+  const double ns = t.access_ns(0x40, 4);
+  EXPECT_EQ(t.row_hits(), 1u);
+  EXPECT_DOUBLE_EQ(ns, t.params().t_cas + t.params().t_burst);
+}
+
+TEST(TimingModel, RowConflictPaysPrecharge) {
+  DramTimingModel t = make();
+  const DramConfig cfg = DramConfig::test_small();
+  (void)t.access_ns(0x0, 4);
+  // Same bank, different row: global row stride = banks * row_bytes.
+  const PhysAddr conflict = static_cast<PhysAddr>(cfg.banks) * cfg.row_bytes;
+  const double ns = t.access_ns(conflict, 4);
+  const auto& p = t.params();
+  EXPECT_DOUBLE_EQ(ns, p.t_rp + p.t_rcd + p.t_cas + p.t_burst);
+  EXPECT_EQ(t.row_misses(), 2u);
+}
+
+TEST(TimingModel, DifferentBanksDontConflict) {
+  DramTimingModel t = make();
+  const DramConfig cfg = DramConfig::test_small();
+  (void)t.access_ns(0x0, 4);
+  (void)t.access_ns(cfg.row_bytes, 4);  // adjacent row -> next bank
+  // Returning to bank 0 row 0 is still a hit: its row stayed open.
+  const double ns = t.access_ns(0x80, 4);
+  EXPECT_DOUBLE_EQ(ns, t.params().t_cas + t.params().t_burst);
+}
+
+TEST(TimingModel, LocateDecomposition) {
+  const DramTimingModel t = make();
+  const DramConfig cfg = DramConfig::test_small();
+  const DramLocation l0 = t.locate(0);
+  EXPECT_EQ(l0.bank, 0u);
+  EXPECT_EQ(l0.row, 0u);
+  EXPECT_EQ(l0.column, 0u);
+  const DramLocation l1 = t.locate(cfg.row_bytes + 100);
+  EXPECT_EQ(l1.bank, 1u);
+  EXPECT_EQ(l1.row, 0u);
+  EXPECT_EQ(l1.column, 100u);
+  const DramLocation l2 =
+      t.locate(static_cast<PhysAddr>(cfg.banks) * cfg.row_bytes);
+  EXPECT_EQ(l2.bank, 0u);
+  EXPECT_EQ(l2.row, 1u);
+}
+
+TEST(TimingModel, BurstCountScalesWithBytes) {
+  DramTimingModel t = make();
+  const double small = t.access_ns(0x0, 4);
+  t.reset();
+  const double big = t.access_ns(0x0, 256);  // 4 bursts
+  EXPECT_GT(big, small);
+  EXPECT_DOUBLE_EQ(big - small, t.params().t_burst * 3);
+}
+
+TEST(TimingModel, CpuZeroScalesRoughlyLinearly) {
+  DramTimingModel t = make();
+  const double one_page = t.cpu_zero_ns(0x0, 4096);
+  t.reset();
+  const double four_pages = t.cpu_zero_ns(0x0, 4 * 4096);
+  EXPECT_NEAR(four_pages / one_page, 4.0, 0.5);
+}
+
+TEST(TimingModel, RowCloneMuchCheaperThanCpuForBulk) {
+  DramTimingModel t = make();
+  const std::uint64_t len = 1 << 20;  // 1 MiB
+  const double cpu = t.cpu_zero_ns(0x0, len);
+  t.reset();
+  std::uint64_t rows = 0;
+  const double rc = t.rowclone_zero_ns(0x0, len, &rows);
+  EXPECT_EQ(rows, len / DramConfig::test_small().row_bytes);
+  EXPECT_GT(cpu / rc, 10.0);  // order-of-magnitude advantage
+}
+
+TEST(TimingModel, RowResetCheaperThanRowClone) {
+  DramTimingModel t = make();
+  const double rc = t.rowclone_zero_ns(0x0, 1 << 16);
+  const double rr = t.rowreset_zero_ns(0x0, 1 << 16);
+  EXPECT_LT(rr, rc);
+}
+
+TEST(TimingModel, RowOpsRoundUpToWholeRows) {
+  DramTimingModel t = make();
+  std::uint64_t rows = 0;
+  (void)t.rowclone_zero_ns(100, 10, &rows);  // 10 bytes inside one row
+  EXPECT_EQ(rows, 1u);
+  (void)t.rowclone_zero_ns(8190, 10, &rows);  // straddles two rows
+  EXPECT_EQ(rows, 2u);
+  (void)t.rowclone_zero_ns(0, 0, &rows);
+  EXPECT_EQ(rows, 0u);
+}
+
+TEST(TimingModel, RowFootprintBytes) {
+  DramTimingModel t = make();
+  EXPECT_EQ(t.row_footprint_bytes(0, 0), 0u);
+  EXPECT_EQ(t.row_footprint_bytes(0, 1), 8192u);
+  EXPECT_EQ(t.row_footprint_bytes(8191, 2), 16384u);
+  EXPECT_EQ(t.row_footprint_bytes(0, 8192), 8192u);
+}
+
+TEST(TimingModel, RowCloneInvalidatesOpenRow) {
+  DramTimingModel t = make();
+  (void)t.access_ns(0x0, 4);
+  (void)t.rowclone_zero_ns(0x0, 64);
+  t.reset();  // reset stats but also open rows; re-measure cleanly
+  const double ns = t.access_ns(0x0, 4);
+  EXPECT_DOUBLE_EQ(ns, t.params().t_rcd + t.params().t_cas + t.params().t_burst);
+}
+
+TEST(TimingModel, ResetClearsCounters) {
+  DramTimingModel t = make();
+  (void)t.access_ns(0x0, 4);
+  t.reset();
+  EXPECT_EQ(t.row_hits(), 0u);
+  EXPECT_EQ(t.row_misses(), 0u);
+}
+
+TEST(TimingModel, RejectsBadGeometry) {
+  DramConfig c = DramConfig::test_small();
+  c.banks = 0;
+  EXPECT_THROW(DramTimingModel{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msa::dram

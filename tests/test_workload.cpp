@@ -1,0 +1,152 @@
+#include "vitis/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/model_recovery.h"
+#include "attack/scraper.h"
+#include "attack/signature_db.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::vitis {
+namespace {
+
+TEST(WorkloadGenerator, DeterministicPerSeed) {
+  WorkloadGenerator g1{42}, g2{42}, g3{43};
+  WorkloadParams p;
+  const auto a = g1.generate(p);
+  const auto b = g2.generate(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].image_seed, b[i].image_seed);
+    EXPECT_DOUBLE_EQ(a[i].start_s, b[i].start_s);
+  }
+  const auto c = g3.generate(p);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].image_seed != c[i].image_seed) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadGenerator, EventsSortedAndPlausible) {
+  WorkloadGenerator g{7};
+  WorkloadParams p;
+  p.events = 25;
+  p.tenants = 4;
+  const auto events = g.generate(p);
+  ASSERT_EQ(events.size(), 25u);
+  std::set<os::Uid> uids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].start_s, events[i - 1].start_s);
+    }
+    EXPECT_GT(events[i].duration_s, 0.0);
+    EXPECT_TRUE(zoo_has_model(events[i].model));
+    EXPECT_GE(events[i].uid, 1000u);
+    EXPECT_LT(events[i].uid, 1004u);
+    uids.insert(events[i].uid);
+  }
+  EXPECT_GT(uids.size(), 1u);  // several tenants actually used
+}
+
+TEST(WorkloadGenerator, RejectsEmptyParams) {
+  WorkloadGenerator g{1};
+  WorkloadParams p;
+  p.events = 0;
+  EXPECT_THROW((void)g.generate(p), std::invalid_argument);
+  p.events = 1;
+  p.tenants = 0;
+  EXPECT_THROW((void)g.generate(p), std::invalid_argument);
+}
+
+struct ExecFixture {
+  os::PetaLinuxSystem sys{os::SystemConfig::test_small()};
+  VitisAiRuntime runtime{sys};
+
+  ExecFixture() {
+    for (os::Uid uid : {1000u, 1001u, 1002u, 1003u}) {
+      sys.add_user(uid, "tenant" + std::to_string(uid));
+    }
+  }
+};
+
+TEST(WorkloadExecutor, RunsScheduleToCompletion) {
+  ExecFixture f;
+  WorkloadGenerator gen{11};
+  WorkloadParams p;
+  p.events = 8;
+  p.image_side = 40;
+  const auto schedule = gen.generate(p);
+  WorkloadExecutor exec{f.sys, f.runtime};
+  const auto executed = exec.run(schedule);
+  ASSERT_EQ(executed.size(), 8u);
+  // Every job terminated: nothing of the workload remains alive and all
+  // frames returned to the pool.
+  EXPECT_EQ(f.sys.pids().size(), 0u);
+  EXPECT_EQ(f.sys.allocator().used_frames(), 0u);
+  EXPECT_EQ(f.sys.terminated().size(), 8u);
+}
+
+TEST(WorkloadExecutor, ClockAdvancesWithSchedule) {
+  ExecFixture f;
+  const auto t0 = f.sys.now_s();
+  WorkloadGenerator gen{13};
+  WorkloadParams p;
+  p.events = 4;
+  p.image_side = 40;
+  const auto schedule = gen.generate(p);
+  WorkloadExecutor exec{f.sys, f.runtime};
+  (void)exec.run(schedule);
+  const double last_end = schedule.back().end_s();
+  EXPECT_GE(f.sys.now_s(), t0 + static_cast<std::uint64_t>(last_end) - 4);
+}
+
+TEST(WorkloadExecutor, EmptyScheduleThrows) {
+  ExecFixture f;
+  WorkloadExecutor exec{f.sys, f.runtime};
+  EXPECT_THROW((void)exec.run({}), std::invalid_argument);
+}
+
+TEST(WorkloadExecutor, UnknownModelThrows) {
+  ExecFixture f;
+  WorkloadExecutor exec{f.sys, f.runtime};
+  WorkloadEvent e;
+  e.model = "not_a_model";
+  e.uid = 1000;
+  EXPECT_THROW((void)exec.run({e}), std::invalid_argument);
+}
+
+TEST(WorkloadExecutor, ResidueAccumulatesAcrossTenants) {
+  // After the churn, a single pool scan recovers multiple tenants' models
+  // — the cumulative version of the paper's attack.
+  ExecFixture f;
+  WorkloadGenerator gen{17};
+  WorkloadParams p;
+  p.events = 10;
+  p.image_side = 40;
+  WorkloadExecutor exec{f.sys, f.runtime};
+  const auto executed = exec.run(gen.generate(p));
+
+  dbg::SystemDebugger dbg{f.sys, 1001};
+  attack::MemoryScraper scraper{dbg};
+  const dram::PhysAddr pool_base = mem::PageFrameAllocator::frame_to_phys(
+      f.sys.config().pool_first_pfn);
+  const attack::ScrapedDump scan =
+      scraper.scrape_physical_range(pool_base, 2ULL * 1024 * 1024);
+
+  const auto recovered = attack::recover_all_models(scan.bytes);
+  EXPECT_GE(recovered.size(), 1u);
+
+  // Every recovered container names a model that actually ran.
+  std::set<std::string> ran;
+  for (const auto& e : executed) ran.insert(e.event.model);
+  for (const auto& r : recovered) {
+    EXPECT_TRUE(ran.count(r.model.name()) == 1) << r.model.name();
+  }
+}
+
+}  // namespace
+}  // namespace msa::vitis
