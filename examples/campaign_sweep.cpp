@@ -1,0 +1,192 @@
+// Parallel campaign sweep: fans the end-to-end scenario out over a
+// cartesian grid of defense preset x model x attack delay x scrubber
+// throughput, and prints (or writes) the aggregate report. The default
+// grid is 24 cells; the CSV is byte-identical for any --threads value.
+//
+//   campaign_sweep [--threads N] [--trials N]
+//                  [--defenses a,b,...] [--models a,b,...]
+//                  [--delays s1,s2,...] [--scrubbers r1,r2,...]
+//                  [--csv out.csv] [--json out.json] [--quiet]
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "defense/presets.h"
+#include "util/strings.h"
+#include "vitis/model_zoo.h"
+
+namespace {
+
+[[noreturn]] void bad_number(const char* flag, const std::string& value) {
+  std::fprintf(stderr, "%s: not a number: '%s'\n", flag, value.c_str());
+  std::exit(2);
+}
+
+double parse_double(const char* flag, const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size()) bad_number(flag, s);
+  return v;
+}
+
+unsigned parse_unsigned(const char* flag, const std::string& s) {
+  // strtoul accepts "-1" (wraps to ULONG_MAX); require plain digits and
+  // a value that fits in unsigned.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    bad_number(flag, s);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      v > std::numeric_limits<unsigned>::max()) {
+    bad_number(flag, s);
+  }
+  return static_cast<unsigned>(v);
+}
+
+std::vector<double> parse_doubles(const char* flag, const std::string& csv) {
+  std::vector<double> out;
+  for (const auto& piece : msa::util::split(csv, ',')) {
+    out.push_back(parse_double(flag, piece));
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--trials N] [--defenses a,b] "
+               "[--models a,b] [--delays s1,s2] [--scrubbers r1,r2] "
+               "[--csv PATH] [--json PATH] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msa;
+
+  unsigned threads = 0;
+  unsigned trials = 1;
+  bool quiet = false;
+  std::string csv_path;
+  std::string json_path;
+  // Defaults: 2 defenses x 2 models x 3 delays x 2 scrubber rates = 24
+  // cells spanning "attack wins" to "scrubber beat the attacker".
+  std::vector<std::string> defenses{"baseline", "zero_on_free"};
+  std::vector<std::string> models{"resnet50_pt", "squeezenet_pt"};
+  std::vector<double> delays{0.0, 5.0, 60.0};
+  std::vector<double> scrubbers{0.0, 4.0 * 1024 * 1024};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      threads = parse_unsigned("--threads", v);
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      trials = parse_unsigned("--trials", v);
+    } else if (arg == "--defenses") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      defenses = util::split(v, ',');
+    } else if (arg == "--models") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      models = util::split(v, ',');
+    } else if (arg == "--delays") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      delays = parse_doubles("--delays", v);
+    } else if (arg == "--scrubbers") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scrubbers = parse_doubles("--scrubbers", v);
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  attack::ScenarioConfig base;
+  base.image_width = 96;
+  base.image_height = 96;
+
+  campaign::GridBuilder grid{base};
+  grid.defenses(defenses).models(models).attack_delays_s(delays).scrubber_rates(
+      scrubbers);
+
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  options.trials_per_cell = trials;
+  if (!quiet) {
+    options.on_cell_done = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r[campaign] %zu/%zu cells", done, total);
+      if (done == total) std::fputc('\n', stderr);
+    };
+  }
+
+  campaign::SweepReport report;
+  try {
+    campaign::CampaignRunner runner{options};
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "[campaign] %zu cells x %u trial(s) on %u thread(s)\n",
+                   grid.size(), trials, runner.thread_count());
+    }
+    report = runner.run(grid);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string csv = report.to_csv();
+  if (csv_path.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else if (!write_file(csv_path, csv)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !write_file(json_path, report.to_json())) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "[campaign] %zu trials: %zu full successes, %zu denials\n",
+                 report.total_trials(), report.total_full_successes(),
+                 report.total_denials());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "campaign/grid.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "defense/presets.h"
+#include "vitis/model_zoo.h"
+
+namespace msa::campaign {
+
+GridBuilder::GridBuilder(attack::ScenarioConfig base) : base_{std::move(base)} {}
+
+GridBuilder& GridBuilder::defenses(std::vector<std::string> preset_names) {
+  defenses_ = std::move(preset_names);
+  return *this;
+}
+
+GridBuilder& GridBuilder::models(std::vector<std::string> model_names) {
+  models_ = std::move(model_names);
+  return *this;
+}
+
+GridBuilder& GridBuilder::attack_delays_s(std::vector<double> delays) {
+  delays_ = std::move(delays);
+  return *this;
+}
+
+GridBuilder& GridBuilder::scrubber_rates(std::vector<double> bytes_per_s) {
+  scrubbers_ = std::move(bytes_per_s);
+  return *this;
+}
+
+std::size_t GridBuilder::size() const noexcept {
+  const std::size_t models = models_.empty() ? 1 : models_.size();
+  return defenses_.size() * models * delays_.size() * scrubbers_.size();
+}
+
+std::vector<CampaignCell> GridBuilder::build() const {
+  const std::vector<std::string> models =
+      models_.empty() ? std::vector<std::string>{base_.model_name} : models_;
+  for (const auto& m : models) {
+    if (!vitis::zoo_has_model(m)) {
+      throw std::invalid_argument("campaign: unknown zoo model: " + m);
+    }
+  }
+
+  std::vector<CampaignCell> cells;
+  cells.reserve(size());
+  for (const auto& defense_name : defenses_) {
+    // Throws on unknown preset names before any cell is emitted.
+    const defense::DefensePreset& preset = defense::preset(defense_name);
+    for (const auto& model : models) {
+      for (const double delay : delays_) {
+        for (const double scrubber : scrubbers_) {
+          CampaignCell cell;
+          cell.index = cells.size();
+          cell.defense = defense_name;
+          cell.model = model;
+          cell.attack_delay_s = delay;
+          cell.scrubber_bytes_per_s = scrubber;
+          cell.config = preset.apply(base_);
+          cell.config.model_name = model;
+          cell.config.attack_delay_s = delay;
+          cell.config.scrubber_bytes_per_s = scrubber;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace msa::campaign

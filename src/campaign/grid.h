@@ -1,0 +1,59 @@
+// Cartesian sweep grids over attack::ScenarioConfig. A campaign is the
+// paper's defense-matrix experiment scaled up: every combination of
+// post-termination delay, scrubber throughput, defense preset, and model
+// becomes one cell, and each cell is scored over a number of independent
+// trials. The grid is built eagerly and in a deterministic order so a
+// sweep's output is a pure function of (grid, trials), never of the
+// thread schedule that executed it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/scenario.h"
+
+namespace msa::campaign {
+
+/// One point of the sweep: the fully-applied scenario config plus the
+/// axis coordinates it came from (kept for report labelling).
+struct CampaignCell {
+  std::size_t index = 0;            ///< position in deterministic grid order
+  std::string defense;              ///< defense preset name
+  std::string model;                ///< zoo model name
+  double attack_delay_s = 0.0;
+  double scrubber_bytes_per_s = 0.0;
+  attack::ScenarioConfig config;    ///< preset-applied, axes folded in
+};
+
+/// Builds the cartesian product defense x model x delay x scrubber over a
+/// shared base config. Axis setters replace the axis wholesale; every
+/// axis defaults to a single neutral value so a builder with no setters
+/// called yields exactly one cell (the base scenario under "baseline").
+class GridBuilder {
+ public:
+  explicit GridBuilder(attack::ScenarioConfig base = {});
+
+  GridBuilder& defenses(std::vector<std::string> preset_names);
+  GridBuilder& models(std::vector<std::string> model_names);
+  GridBuilder& attack_delays_s(std::vector<double> delays);
+  GridBuilder& scrubber_rates(std::vector<double> bytes_per_s);
+
+  /// Number of cells build() will produce.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Materializes the grid. Order is the nested loop
+  /// defense > model > delay > scrubber, so cell indices are stable
+  /// across runs and thread counts. Throws std::invalid_argument for an
+  /// unknown defense preset or model name.
+  [[nodiscard]] std::vector<CampaignCell> build() const;
+
+ private:
+  attack::ScenarioConfig base_;
+  std::vector<std::string> defenses_{"baseline"};
+  std::vector<std::string> models_;     // empty = keep base_.model_name
+  std::vector<double> delays_{0.0};
+  std::vector<double> scrubbers_{0.0};
+};
+
+}  // namespace msa::campaign

@@ -1,0 +1,168 @@
+#include "campaign/report.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace msa::campaign {
+
+namespace {
+
+/// Shortest round-trip-exact decimal form (std::to_chars), with "inf" /
+/// "-inf" / "nan" spelled out so CSV and JSON agree byte-for-byte across
+/// runs. Integral values keep their plain form ("60", not "6e+01").
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Magnitude check first: casting |v| >= 2^63 to long long is UB.
+  if (std::abs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    char ibuf[32];
+    const auto res =
+        std::to_chars(ibuf, ibuf + sizeof ibuf, static_cast<long long>(v));
+    return std::string(ibuf, res.ptr);
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no literal for infinity; psnr of an exact reconstruction is
+/// serialized as a large sentinel instead (documented in README).
+std::string json_double(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  return format_double(v);
+}
+
+}  // namespace
+
+void CellStats::accumulate(const attack::ScenarioResult& result) {
+  ++trials;
+  if (result.full_success()) ++full_successes;
+  if (result.model_identified_correctly) ++model_identified;
+  if (result.denied) {
+    ++denials;
+    if (first_denial_reason.empty()) first_denial_reason = result.denial_reason;
+  }
+  mean_pixel_match += result.pixel_match;
+  mean_psnr_db += result.psnr;
+  mean_descriptor_pixel_match += result.descriptor_pixel_match;
+}
+
+void CellStats::finalize() {
+  if (trials == 0) return;
+  const auto n = static_cast<double>(trials);
+  mean_pixel_match /= n;
+  mean_psnr_db /= n;
+  mean_descriptor_pixel_match /= n;
+}
+
+std::size_t SweepReport::total_trials() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells) n += c.trials;
+  return n;
+}
+
+std::size_t SweepReport::total_full_successes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells) n += c.full_successes;
+  return n;
+}
+
+std::size_t SweepReport::total_denials() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells) n += c.denials;
+  return n;
+}
+
+std::string SweepReport::to_csv() const {
+  std::string out =
+      "index,defense,model,attack_delay_s,scrubber_bytes_per_s,trials,"
+      "full_successes,model_identified,denials,success_rate,"
+      "mean_pixel_match,mean_psnr_db,mean_descriptor_pixel_match,"
+      "first_denial_reason\n";
+  for (const auto& c : cells) {
+    out += std::to_string(c.index);
+    out += ',' + csv_escape(c.defense);
+    out += ',' + csv_escape(c.model);
+    out += ',' + format_double(c.attack_delay_s);
+    out += ',' + format_double(c.scrubber_bytes_per_s);
+    out += ',' + std::to_string(c.trials);
+    out += ',' + std::to_string(c.full_successes);
+    out += ',' + std::to_string(c.model_identified);
+    out += ',' + std::to_string(c.denials);
+    out += ',' + format_double(c.success_rate());
+    out += ',' + format_double(c.mean_pixel_match);
+    out += ',' + format_double(c.mean_psnr_db);
+    out += ',' + format_double(c.mean_descriptor_pixel_match);
+    out += ',' + csv_escape(c.first_denial_reason);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SweepReport::to_json() const {
+  std::string out = "{\"cells\":[";
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"index\":" + std::to_string(c.index);
+    out += ",\"defense\":\"" + json_escape(c.defense) + '"';
+    out += ",\"model\":\"" + json_escape(c.model) + '"';
+    out += ",\"attack_delay_s\":" + json_double(c.attack_delay_s);
+    out += ",\"scrubber_bytes_per_s\":" + json_double(c.scrubber_bytes_per_s);
+    out += ",\"trials\":" + std::to_string(c.trials);
+    out += ",\"full_successes\":" + std::to_string(c.full_successes);
+    out += ",\"model_identified\":" + std::to_string(c.model_identified);
+    out += ",\"denials\":" + std::to_string(c.denials);
+    out += ",\"success_rate\":" + json_double(c.success_rate());
+    out += ",\"mean_pixel_match\":" + json_double(c.mean_pixel_match);
+    out += ",\"mean_psnr_db\":" + json_double(c.mean_psnr_db);
+    out += ",\"mean_descriptor_pixel_match\":" +
+           json_double(c.mean_descriptor_pixel_match);
+    out += ",\"first_denial_reason\":\"" + json_escape(c.first_denial_reason) +
+           "\"}";
+  }
+  out += "],\"totals\":{\"trials\":" + std::to_string(total_trials());
+  out += ",\"full_successes\":" + std::to_string(total_full_successes());
+  out += ",\"denials\":" + std::to_string(total_denials());
+  out += "}}";
+  return out;
+}
+
+}  // namespace msa::campaign

@@ -1,0 +1,163 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace msa::campaign {
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : threads_{options.threads != 0 ? options.threads
+                                    : std::max(1u,
+                                               std::thread::hardware_concurrency())},
+      options_{std::move(options)} {
+  pool_.reserve(threads_);
+  try {
+    for (unsigned i = 0; i < threads_; ++i) {
+      pool_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Partial spawn (std::system_error on resource exhaustion): the
+    // destructor won't run, so join the threads that did start before
+    // letting the exception escape.
+    {
+      const std::lock_guard lock{mutex_};
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : pool_) t.join();
+    throw;
+  }
+}
+
+CampaignRunner::~CampaignRunner() {
+  {
+    const std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : pool_) t.join();
+}
+
+CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
+                                     std::uint64_t trial_salt) {
+  CellStats stats;
+  stats.index = cell.index;
+  stats.defense = cell.defense;
+  stats.model = cell.model;
+  stats.attack_delay_s = cell.attack_delay_s;
+  stats.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    attack::ScenarioConfig cfg = cell.config;
+    if (trial > 0) {
+      // Fresh board layout and input per trial, derived only from
+      // (cell, trial, salt) so any thread may run it.
+      std::uint64_t stream = trial_salt + trial +
+                             (static_cast<std::uint64_t>(cell.index) << 32);
+      cfg.system.seed ^= util::splitmix64(stream);
+      cfg.image_seed ^= util::splitmix64(stream);
+    }
+    stats.accumulate(attack::run_scenario(cfg));
+  }
+  stats.finalize();
+  return stats;
+}
+
+SweepReport CampaignRunner::run(const GridBuilder& grid) {
+  return run(grid.build());
+}
+
+SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
+  SweepReport report;
+  report.cells.resize(cells.size());
+  if (cells.empty()) return report;
+
+  {
+    const std::lock_guard lock{mutex_};
+    batch_cells_ = &cells;
+    batch_stats_ = &report.cells;
+    batch_size_ = cells.size();
+    next_index_ = 0;
+    cells_done_ = 0;
+    in_flight_ = 0;
+    batch_error_ = nullptr;
+    ++batch_generation_;
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock lock{mutex_};
+    done_cv_.wait(lock, [this] {
+      return next_index_ >= batch_size_ && in_flight_ == 0;
+    });
+    batch_cells_ = nullptr;
+    batch_stats_ = nullptr;
+    if (batch_error_) std::rethrow_exception(batch_error_);
+  }
+  return report;
+}
+
+void CampaignRunner::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock lock{mutex_};
+    work_cv_.wait(lock, [&] {
+      return stopping_ ||
+             (batch_generation_ != seen_generation && next_index_ < batch_size_);
+    });
+    if (stopping_) return;
+    seen_generation = batch_generation_;
+
+    while (next_index_ < batch_size_) {
+      const std::size_t index = next_index_++;
+      const CampaignCell& cell = (*batch_cells_)[index];
+      ++in_flight_;
+      lock.unlock();
+
+      CellStats stats;
+      std::exception_ptr error;
+      try {
+        stats = score_cell(cell, options_.trials_per_cell, options_.trial_salt);
+      } catch (...) {
+        error = std::current_exception();
+      }
+
+      lock.lock();
+      if (error) {
+        if (!batch_error_) batch_error_ = error;
+        next_index_ = batch_size_;  // abandon the rest of the batch
+      } else {
+        (*batch_stats_)[index] = std::move(stats);
+        ++cells_done_;
+        if (options_.on_cell_done) {
+          // Invoke the hook outside the pool lock (a slow hook must not
+          // stall cell claiming); hook_mutex_ keeps invocations
+          // serialized. A throwing hook must not escape the worker
+          // thread (std::terminate) — surface it like a cell error.
+          const std::size_t done = cells_done_;
+          const std::size_t total = batch_size_;
+          lock.unlock();
+          std::exception_ptr hook_error;
+          try {
+            const std::lock_guard hook_lock{hook_mutex_};
+            options_.on_cell_done(done, total);
+          } catch (...) {
+            hook_error = std::current_exception();
+          }
+          lock.lock();
+          if (hook_error) {
+            if (!batch_error_) batch_error_ = hook_error;
+            next_index_ = batch_size_;
+          }
+        }
+      }
+      --in_flight_;
+      if (next_index_ >= batch_size_ && in_flight_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace msa::campaign

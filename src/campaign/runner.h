@@ -1,0 +1,98 @@
+// Parallel campaign engine: fans a grid of scenario configs out over
+// run_scenario on an internal thread pool and aggregates per-cell stats.
+//
+// Determinism contract: the report produced by run() is byte-identical
+// for any thread count, because
+//   * cells are scored independently (run_scenario shares no mutable
+//     state between boards; util::Log, the one process-wide global, is
+//     thread-safe and not part of the result),
+//   * each trial's seeds derive only from (cell, trial index), and
+//   * per-cell accumulation happens serially in trial order on whichever
+//     worker owns the cell, with results stored by cell index.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/report.h"
+
+namespace msa::campaign {
+
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Independent scenario runs per cell. Trial 0 runs the cell's config
+  /// verbatim; later trials re-seed the board and input image.
+  unsigned trials_per_cell = 1;
+  /// Salt folded into the per-trial reseeding (vary to get a fresh
+  /// family of trials over the same grid).
+  std::uint64_t trial_salt = 0xca3face0ULL;
+  /// Optional progress hook, invoked after each finished cell with
+  /// (cells_done, cells_total). Called from worker threads, serialized
+  /// by a dedicated mutex (outside the pool lock, so a slow hook does
+  /// not stall workers — consecutive counts may arrive out of order
+  /// under contention). If it throws, the sweep is aborted and the
+  /// exception rethrown from run().
+  std::function<void(std::size_t, std::size_t)> on_cell_done;
+};
+
+/// Owns a pool of worker threads for its whole lifetime; run() may be
+/// called repeatedly (e.g. one sweep per defense family) without
+/// re-spawning threads. Not itself thread-safe: call run() from one
+/// thread at a time.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+  /// Scores every cell (trials_per_cell runs each) and returns the
+  /// aggregate report, cells in grid order. Infrastructure exceptions
+  /// from run_scenario abort the sweep and rethrow; defense denials are
+  /// data, not errors.
+  [[nodiscard]] SweepReport run(const std::vector<CampaignCell>& cells);
+  [[nodiscard]] SweepReport run(const GridBuilder& grid);
+
+  /// Scores one cell exactly as a pool worker would — the unit the
+  /// determinism tests pin down.
+  [[nodiscard]] static CellStats score_cell(const CampaignCell& cell,
+                                            unsigned trials,
+                                            std::uint64_t trial_salt);
+
+ private:
+  void worker_loop();
+
+  unsigned threads_;
+  CampaignOptions options_;
+  std::vector<std::thread> pool_;
+
+  // Pool state, guarded by mutex_. A "batch" is one run() call; workers
+  // claim cell indices from next_index_ until it reaches batch_size_.
+  // The batch is drained when nothing is claimable AND nothing is in
+  // flight (an error abandons the unclaimed tail, so counting finished
+  // cells alone would deadlock).
+  std::mutex mutex_;
+  std::mutex hook_mutex_;             ///< serializes on_cell_done only
+  std::condition_variable work_cv_;   ///< wakes workers for a new batch
+  std::condition_variable done_cv_;   ///< wakes run() when a batch drains
+  bool stopping_ = false;
+  std::uint64_t batch_generation_ = 0;
+  std::size_t batch_size_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t cells_done_ = 0;
+  std::size_t in_flight_ = 0;
+  const std::vector<CampaignCell>* batch_cells_ = nullptr;
+  std::vector<CellStats>* batch_stats_ = nullptr;
+  std::exception_ptr batch_error_;
+};
+
+}  // namespace msa::campaign

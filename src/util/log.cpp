@@ -1,12 +1,19 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace msa::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards g_sink — both replacement and invocation. Invoking under the
+// lock also serializes concurrent writes, so sinks (and stderr lines)
+// never interleave mid-message.
+std::mutex g_sink_mutex;
 Log::Sink g_sink;
 
 void default_sink(LogLevel level, std::string_view message) {
@@ -28,14 +35,23 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel Log::level() noexcept { return g_level; }
+LogLevel Log::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_sink(Sink sink) {
+  const std::lock_guard lock{g_sink_mutex};
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel level, std::string_view message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
+  const std::lock_guard lock{g_sink_mutex};
   if (g_sink) {
     g_sink(level, message);
   } else {

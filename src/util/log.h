@@ -1,7 +1,9 @@
 // Minimal leveled logger. Components log attack/system events through this
 // so examples can show the step-by-step transcript the paper's figures
-// present, while tests run silently. Not thread-safe by design: the
-// simulator is single-threaded (discrete steps), per DESIGN.md.
+// present, while tests run silently. Thread-safe: the campaign engine
+// runs boards concurrently, so the level is atomic and sink access is
+// mutex-guarded (a custom sink is invoked under that mutex — keep sinks
+// non-reentrant and fast).
 #pragma once
 
 #include <functional>

@@ -101,8 +101,10 @@ std::vector<float> XModel::infer(const Tensor& input) const {
 }
 
 std::vector<std::uint8_t> XModel::serialize() const {
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  // Range-construct rather than insert into an empty vector: GCC 12's
+  // -Wstringop-overflow misfires on the latter at -O2 and the build is
+  // warning-clean under -Werror.
+  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
   put_u16(out, kVersion);
   put_string(out, name_);
   put_string(out, framework_);

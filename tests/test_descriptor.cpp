@@ -2,6 +2,8 @@
 #include "vitis/dpu_descriptor.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
+#include <iterator>
 
 #include "attack/address_resolver.h"
 #include "util/crc32.h"
@@ -51,8 +53,10 @@ TEST(DpuDescriptor, DecodeRejectsTruncation) {
 
 TEST(DpuDescriptor, DecodeAtNonZeroOffset) {
   const auto payload = sample_descriptor().encode();
+  // back_inserter rather than range-insert: GCC 12's -Warray-bounds
+  // misfires on the latter at -O2 and CI builds with -Werror.
   std::vector<std::uint8_t> residue(100, 0xAB);
-  residue.insert(residue.end(), payload.begin(), payload.end());
+  std::copy(payload.begin(), payload.end(), std::back_inserter(residue));
   const auto decoded = vitis::DpuDescriptor::decode_at(residue, 100);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->input_width, 96u);

@@ -1,6 +1,8 @@
 #include "vitis/xmodel.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
+#include <iterator>
 
 #include "util/prng.h"
 #include "vitis/model_zoo.h"
@@ -55,8 +57,10 @@ TEST(XModel, DeserializeAtFindsContainerInsideResidue) {
   // The forensic path: container embedded mid-buffer among junk.
   const XModel m = make_zoo_model("mobilenet_v2_tf");
   const auto blob = m.serialize();
+  // back_inserter rather than range-insert: GCC 12's -Warray-bounds
+  // misfires on the latter at -O2 and CI builds with -Werror.
   std::vector<std::uint8_t> residue(100, 0xAB);
-  residue.insert(residue.end(), blob.begin(), blob.end());
+  std::copy(blob.begin(), blob.end(), std::back_inserter(residue));
   residue.insert(residue.end(), 50, 0xCD);
   std::size_t consumed = 0;
   const XModel parsed = XModel::deserialize_at(residue, 100, &consumed);
