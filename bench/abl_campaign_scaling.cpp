@@ -1,0 +1,108 @@
+// Ablation — campaign engine scaling. Two questions the ROADMAP asks the
+// numbers for: how do cells/second scale with worker-thread count, and
+// what does streaming every trial/cell into the durable store cost over
+// the in-memory sweep? Regressions in either show up here before they
+// show up in a week-long production sweep.
+#include "bench_common.h"
+
+#include <filesystem>
+
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "persist/campaign_store.h"
+
+namespace {
+
+using namespace msa;
+
+attack::ScenarioConfig base_config() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();  // fast trials
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  return cfg;
+}
+
+/// 2 defenses x 2 delays x 2 scrubbers = 8 cells, the same shape the
+/// campaign tests sweep.
+campaign::GridBuilder bench_grid() {
+  campaign::GridBuilder grid{base_config()};
+  grid.defenses({"baseline", "zero_on_free"})
+      .attack_delays_s({0.0, 5.0})
+      .scrubber_rates({0.0, 512.0 * 1024});
+  return grid;
+}
+
+void print_intro() {
+  bench::print_header("Abl. campaign scaling",
+                      "cells/second vs threads; store overhead");
+  std::puts("SweepThreads/N: one 8-cell sweep on N workers (items = cells).");
+  std::puts("SweepInMemory vs SweepWithStore: identical sweep, the latter");
+  std::puts("streaming per-trial + per-cell records to an on-disk store.\n");
+}
+
+void BM_SweepThreads(benchmark::State& state) {
+  campaign::CampaignOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.trials_per_cell = 1;
+  campaign::CampaignRunner runner{options};
+  const auto cells = bench_grid().build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(cells));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+// UseRealTime: the work happens on pool threads, so wall clock — not the
+// calling thread's CPU time — is what cells/second must be charged to.
+BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SweepInMemory(benchmark::State& state) {
+  campaign::CampaignOptions options;
+  options.threads = 4;
+  options.trials_per_cell = 2;
+  campaign::CampaignRunner runner{options};
+  const auto cells = bench_grid().build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(cells));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepInMemory)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SweepWithStore(benchmark::State& state) {
+  campaign::CampaignOptions options;
+  options.threads = 4;
+  options.trials_per_cell = 2;
+  campaign::CampaignRunner runner{options};
+  const campaign::GridBuilder grid = bench_grid();
+  const auto cells = grid.build();
+
+  persist::StoreManifest manifest;
+  manifest.grid_fingerprint = grid.fingerprint();
+  manifest.grid_cells = grid.full_size();
+  manifest.trials_per_cell = options.trials_per_cell;
+  manifest.trial_salt = options.trial_salt;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "abl_campaign_scaling.store")
+          .string();
+  for (auto _ : state) {
+    // A fresh store each iteration: the cost measured includes the
+    // manifest write, per-trial streaming and the per-cell flushes.
+    std::filesystem::remove(path);
+    persist::CampaignStore store{path, manifest,
+                                 persist::CampaignStore::Mode::kCreate};
+    benchmark::DoNotOptimize(runner.run(cells, store));
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepWithStore)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+MSA_BENCH_MAIN(print_intro)

@@ -6,7 +6,23 @@
 //   campaign_sweep [--threads N] [--trials N]
 //                  [--defenses a,b,...] [--models a,b,...]
 //                  [--delays s1,s2,...] [--scrubbers r1,r2,...]
+//                  [--store PATH [--resume]] [--shard I/N]
+//                  [--cell-budget K]
 //                  [--csv out.csv] [--json out.json] [--quiet]
+//   campaign_sweep merge [--csv out.csv] [--json out.json] [--quiet]
+//                  STORE...
+//
+// With --store, every finished trial and completed cell is streamed to a
+// crash-safe on-disk record store; an interrupted sweep is continued with
+// --resume (already-completed cells are skipped and the final report is
+// byte-identical to an uninterrupted run). --shard I/N sweeps only the
+// cells with index % N == I so N processes can cover the grid in
+// parallel, one store file each; `merge` reassembles shard stores into
+// the single-process report. --cell-budget K scores at most K new cells
+// and exits 3 if that leaves the shard incomplete (the CI crash/restart
+// harness and batch schedulers use this to bound one invocation's work).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 sweep incomplete.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -19,45 +35,83 @@
 #include "campaign/report.h"
 #include "campaign/runner.h"
 #include "defense/presets.h"
+#include "persist/campaign_store.h"
 #include "util/strings.h"
 #include "vitis/model_zoo.h"
 
 namespace {
 
-[[noreturn]] void bad_number(const char* flag, const std::string& value) {
-  std::fprintf(stderr, "%s: not a number: '%s'\n", flag, value.c_str());
-  std::exit(2);
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threads N] [--trials N] [--defenses a,b] [--models a,b]\n"
+      "          [--delays s1,s2] [--scrubbers r1,r2] [--store PATH"
+      " [--resume]]\n"
+      "          [--shard I/N] [--cell-budget K] [--csv PATH] [--json PATH]"
+      " [--quiet]\n"
+      "       %s merge [--csv PATH] [--json PATH] [--quiet] STORE...\n"
+      "  --threads/--trials/--cell-budget take positive integers\n",
+      argv0, argv0);
+  return 2;
 }
 
-double parse_double(const char* flag, const std::string& s) {
+[[noreturn]] void bad_number(const char* argv0, const char* flag,
+                             const std::string& value) {
+  std::fprintf(stderr, "%s: bad value '%s'\n", flag, value.c_str());
+  std::exit(usage(argv0));
+}
+
+double parse_double(const char* argv0, const char* flag,
+                    const std::string& s) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (s.empty() || end != s.c_str() + s.size()) bad_number(flag, s);
+  if (s.empty() || end != s.c_str() + s.size()) bad_number(argv0, flag, s);
   return v;
 }
 
-unsigned parse_unsigned(const char* flag, const std::string& s) {
+unsigned parse_unsigned(const char* argv0, const char* flag,
+                        const std::string& s) {
   // strtoul accepts "-1" (wraps to ULONG_MAX); require plain digits and
   // a value that fits in unsigned.
   if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
-    bad_number(flag, s);
+    bad_number(argv0, flag, s);
   }
   char* end = nullptr;
   errno = 0;
   const unsigned long v = std::strtoul(s.c_str(), &end, 10);
   if (end != s.c_str() + s.size() || errno == ERANGE ||
       v > std::numeric_limits<unsigned>::max()) {
-    bad_number(flag, s);
+    bad_number(argv0, flag, s);
   }
   return static_cast<unsigned>(v);
 }
 
-std::vector<double> parse_doubles(const char* flag, const std::string& csv) {
+/// Rejects zero as well: "--threads 0" and "--trials 0" are almost always
+/// typos, and silently mapping them to a default hides the mistake.
+unsigned parse_positive(const char* argv0, const char* flag,
+                        const std::string& s) {
+  const unsigned v = parse_unsigned(argv0, flag, s);
+  if (v == 0) bad_number(argv0, flag, s);
+  return v;
+}
+
+std::vector<double> parse_doubles(const char* argv0, const char* flag,
+                                  const std::string& csv) {
   std::vector<double> out;
   for (const auto& piece : msa::util::split(csv, ',')) {
-    out.push_back(parse_double(flag, piece));
+    out.push_back(parse_double(argv0, flag, piece));
   }
   return out;
+}
+
+/// "--shard I/N" with 0 <= I < N.
+void parse_shard(const char* argv0, const std::string& s,
+                 unsigned* shard_index, unsigned* shard_count) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) bad_number(argv0, "--shard", s);
+  *shard_index = parse_unsigned(argv0, "--shard", s.substr(0, slash));
+  *shard_count = parse_positive(argv0, "--shard", s.substr(slash + 1));
+  if (*shard_index >= *shard_count) bad_number(argv0, "--shard", s);
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -68,13 +122,70 @@ bool write_file(const std::string& path, const std::string& content) {
   return std::fclose(f) == 0 && ok;
 }
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--threads N] [--trials N] [--defenses a,b] "
-               "[--models a,b] [--delays s1,s2] [--scrubbers r1,r2] "
-               "[--csv PATH] [--json PATH] [--quiet]\n",
-               argv0);
-  return 2;
+/// Emits the report as CSV (stdout or --csv) and optional JSON.
+int emit_report(const msa::campaign::SweepReport& report,
+                const std::string& csv_path, const std::string& json_path,
+                bool quiet) {
+  const std::string csv = report.to_csv();
+  if (csv_path.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else if (!write_file(csv_path, csv)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !write_file(json_path, report.to_json())) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "[campaign] %zu trials: %zu full successes, %zu denials\n",
+                 report.total_trials(), report.total_full_successes(),
+                 report.total_denials());
+  }
+  return 0;
+}
+
+int run_merge(const char* argv0, int argc, char** argv) {
+  bool quiet = false;
+  std::string csv_path;
+  std::string json_path;
+  std::vector<std::string> stores;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return usage(argv0);
+      csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return usage(argv0);
+      json_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv0);
+    } else {
+      stores.push_back(arg);
+    }
+  }
+  if (stores.empty()) return usage(argv0);
+
+  msa::campaign::SweepReport report;
+  try {
+    report = msa::persist::merge_stores(stores);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merge failed: %s\n", e.what());
+    return 1;
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "[campaign] merged %zu store(s): %zu cells\n",
+                 stores.size(), report.cells.size());
+  }
+  return emit_report(report, csv_path, json_path, quiet);
 }
 
 }  // namespace
@@ -82,9 +193,18 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace msa;
 
-  unsigned threads = 0;
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return run_merge(argv[0], argc - 2, argv + 2);
+  }
+
+  unsigned threads = 0;  // 0 = hardware concurrency (flag rejects 0)
   unsigned trials = 1;
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  unsigned cell_budget = 0;  // 0 = unlimited
+  bool resume = false;
   bool quiet = false;
+  std::string store_path;
   std::string csv_path;
   std::string json_path;
   // Defaults: 2 defenses x 2 models x 3 delays x 2 scrubber rates = 24
@@ -102,11 +222,11 @@ int main(int argc, char** argv) {
     if (arg == "--threads") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      threads = parse_unsigned("--threads", v);
+      threads = parse_positive(argv[0], "--threads", v);
     } else if (arg == "--trials") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      trials = parse_unsigned("--trials", v);
+      trials = parse_positive(argv[0], "--trials", v);
     } else if (arg == "--defenses") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -118,11 +238,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--delays") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      delays = parse_doubles("--delays", v);
+      delays = parse_doubles(argv[0], "--delays", v);
     } else if (arg == "--scrubbers") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      scrubbers = parse_doubles("--scrubbers", v);
+      scrubbers = parse_doubles(argv[0], "--scrubbers", v);
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      store_path = v;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--shard") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      parse_shard(argv[0], v, &shard_index, &shard_count);
+    } else if (arg == "--cell-budget") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cell_budget = parse_positive(argv[0], "--cell-budget", v);
     } else if (arg == "--csv") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -137,6 +271,10 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (store_path.empty() && (resume || cell_budget != 0)) {
+    std::fprintf(stderr, "--resume/--cell-budget require --store\n");
+    return usage(argv[0]);
+  }
 
   attack::ScenarioConfig base;
   base.image_width = 96;
@@ -145,6 +283,7 @@ int main(int argc, char** argv) {
   campaign::GridBuilder grid{base};
   grid.defenses(defenses).models(models).attack_delays_s(delays).scrubber_rates(
       scrubbers);
+  if (shard_count > 1) grid.shard(shard_index, shard_count);
 
   campaign::CampaignOptions options;
   options.threads = threads;
@@ -157,36 +296,50 @@ int main(int argc, char** argv) {
   }
 
   campaign::SweepReport report;
+  std::size_t shard_cells = 0;
+  std::size_t completed = 0;
   try {
     campaign::CampaignRunner runner{options};
+    shard_cells = grid.size();
     if (!quiet) {
       std::fprintf(stderr,
-                   "[campaign] %zu cells x %u trial(s) on %u thread(s)\n",
-                   grid.size(), trials, runner.thread_count());
+                   "[campaign] %zu cells x %u trial(s) on %u thread(s)%s\n",
+                   shard_cells, trials, runner.thread_count(),
+                   shard_count > 1 ? " (sharded)" : "");
     }
-    report = runner.run(grid);
+    if (store_path.empty()) {
+      report = runner.run(grid);
+      completed = shard_cells;
+    } else {
+      persist::StoreManifest manifest;
+      manifest.grid_fingerprint = grid.fingerprint();
+      manifest.grid_cells = grid.full_size();
+      manifest.trials_per_cell = trials;
+      manifest.trial_salt = options.trial_salt;
+      manifest.shard_index = shard_index;
+      manifest.shard_count = shard_count;
+      persist::CampaignStore store{store_path, manifest,
+                                   resume
+                                       ? persist::CampaignStore::Mode::kResume
+                                       : persist::CampaignStore::Mode::kCreate};
+      if (resume && !quiet) {
+        std::fprintf(stderr, "[campaign] resuming: %zu/%zu cells on disk\n",
+                     store.completed_count(), shard_cells);
+      }
+      report = runner.run(grid, store, cell_budget);
+      completed = store.completed_count();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
   }
 
-  const std::string csv = report.to_csv();
-  if (csv_path.empty()) {
-    std::fputs(csv.c_str(), stdout);
-  } else if (!write_file(csv_path, csv)) {
-    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-    return 1;
-  }
-  if (!json_path.empty() && !write_file(json_path, report.to_json())) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-
-  if (!quiet) {
+  if (completed < shard_cells) {
     std::fprintf(stderr,
-                 "[campaign] %zu trials: %zu full successes, %zu denials\n",
-                 report.total_trials(), report.total_full_successes(),
-                 report.total_denials());
+                 "[campaign] cell budget reached: %zu/%zu cells persisted; "
+                 "re-run with --resume to continue\n",
+                 completed, shard_cells);
+    return 3;
   }
-  return 0;
+  return emit_report(report, csv_path, json_path, quiet);
 }

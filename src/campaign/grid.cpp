@@ -1,5 +1,6 @@
 #include "campaign/grid.h"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -30,9 +31,59 @@ GridBuilder& GridBuilder::scrubber_rates(std::vector<double> bytes_per_s) {
   return *this;
 }
 
-std::size_t GridBuilder::size() const noexcept {
+GridBuilder& GridBuilder::shard(std::uint32_t shard_index,
+                                std::uint32_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument("campaign: bad shard " +
+                                std::to_string(shard_index) + "/" +
+                                std::to_string(shard_count));
+  }
+  shard_index_ = shard_index;
+  shard_count_ = shard_count;
+  return *this;
+}
+
+std::size_t GridBuilder::full_size() const noexcept {
   const std::size_t models = models_.empty() ? 1 : models_.size();
   return defenses_.size() * models * delays_.size() * scrubbers_.size();
+}
+
+std::size_t GridBuilder::size() const noexcept {
+  const std::size_t full = full_size();
+  // Cells i with i % count == index: one per full stride plus the ragged
+  // head.
+  return full / shard_count_ + (shard_index_ < full % shard_count_ ? 1 : 0);
+}
+
+std::uint64_t GridBuilder::fingerprint() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix_byte = [&h](std::uint8_t b) noexcept {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) noexcept {
+    for (int shift = 0; shift < 64; shift += 8) {
+      mix_byte(static_cast<std::uint8_t>((v >> shift) & 0xff));
+    }
+  };
+  const auto mix_str = [&](const std::string& s) noexcept {
+    mix_u64(s.size());  // length prefix keeps {"a","b"} != {"ab"}
+    for (const char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  };
+
+  mix_str(base_.model_name);
+  mix_u64(base_.image_width);
+  mix_u64(base_.image_height);
+  mix_u64(base_.image_seed);
+  mix_u64(defenses_.size());
+  for (const auto& d : defenses_) mix_str(d);
+  mix_u64(models_.size());
+  for (const auto& m : models_) mix_str(m);
+  mix_u64(delays_.size());
+  for (const double d : delays_) mix_u64(std::bit_cast<std::uint64_t>(d));
+  mix_u64(scrubbers_.size());
+  for (const double s : scrubbers_) mix_u64(std::bit_cast<std::uint64_t>(s));
+  return h;
 }
 
 std::vector<CampaignCell> GridBuilder::build() const {
@@ -46,14 +97,17 @@ std::vector<CampaignCell> GridBuilder::build() const {
 
   std::vector<CampaignCell> cells;
   cells.reserve(size());
+  std::size_t global_index = 0;
   for (const auto& defense_name : defenses_) {
     // Throws on unknown preset names before any cell is emitted.
     const defense::DefensePreset& preset = defense::preset(defense_name);
     for (const auto& model : models) {
       for (const double delay : delays_) {
         for (const double scrubber : scrubbers_) {
+          const std::size_t index = global_index++;
+          if (index % shard_count_ != shard_index_) continue;
           CampaignCell cell;
-          cell.index = cells.size();
+          cell.index = index;
           cell.defense = defense_name;
           cell.model = model;
           cell.attack_delay_s = delay;

@@ -39,10 +39,29 @@ class GridBuilder {
   GridBuilder& attack_delays_s(std::vector<double> delays);
   GridBuilder& scrubber_rates(std::vector<double> bytes_per_s);
 
-  /// Number of cells build() will produce.
+  /// Restricts build() to the cells whose global index i satisfies
+  /// i % shard_count == shard_index — a deterministic, disjoint partition
+  /// of the full grid so N processes can sweep N slices into separate
+  /// stores and a merge reassembles them in grid order. Cell indices stay
+  /// GLOBAL (full-grid) under sharding. Throws std::invalid_argument for
+  /// shard_count == 0 or shard_index >= shard_count.
+  GridBuilder& shard(std::uint32_t shard_index, std::uint32_t shard_count);
+
+  /// Number of cells build() will produce (the shard slice when sharded).
   [[nodiscard]] std::size_t size() const noexcept;
 
-  /// Materializes the grid. Order is the nested loop
+  /// Cells in the FULL grid, ignoring shard().
+  [[nodiscard]] std::size_t full_size() const noexcept;
+
+  /// Stable 64-bit identity of the full grid: FNV-1a over a canonical
+  /// serialization of the axes plus the base scenario's model/image
+  /// parameters. Identical for every shard of the same sweep — it is the
+  /// value a campaign store's manifest pins so resume/merge can reject a
+  /// store from a different experiment. (Other base-config fields are not
+  /// folded in; callers varying those must not reuse store paths.)
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Materializes the grid (or its shard slice). Order is the nested loop
   /// defense > model > delay > scrubber, so cell indices are stable
   /// across runs and thread counts. Throws std::invalid_argument for an
   /// unknown defense preset or model name.
@@ -54,6 +73,8 @@ class GridBuilder {
   std::vector<std::string> models_;     // empty = keep base_.model_name
   std::vector<double> delays_{0.0};
   std::vector<double> scrubbers_{0.0};
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_count_ = 1;
 };
 
 }  // namespace msa::campaign

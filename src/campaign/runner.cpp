@@ -1,7 +1,9 @@
 #include "campaign/runner.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "persist/campaign_store.h"
 #include "util/prng.h"
 
 namespace msa::campaign {
@@ -40,7 +42,8 @@ CampaignRunner::~CampaignRunner() {
 }
 
 CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
-                                     std::uint64_t trial_salt) {
+                                     std::uint64_t trial_salt,
+                                     const TrialHook& on_trial) {
   CellStats stats;
   stats.index = cell.index;
   stats.defense = cell.defense;
@@ -58,7 +61,9 @@ CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
       cfg.system.seed ^= util::splitmix64(stream);
       cfg.image_seed ^= util::splitmix64(stream);
     }
-    stats.accumulate(attack::run_scenario(cfg));
+    const attack::ScenarioResult result = attack::run_scenario(cfg);
+    if (on_trial) on_trial(trial, result);
+    stats.accumulate(result);
   }
   stats.finalize();
   return stats;
@@ -68,15 +73,72 @@ SweepReport CampaignRunner::run(const GridBuilder& grid) {
   return run(grid.build());
 }
 
+SweepReport CampaignRunner::run(const GridBuilder& grid,
+                                persist::CampaignStore& store,
+                                std::size_t max_new_cells) {
+  return run(grid.build(), store, max_new_cells);
+}
+
 SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
   SweepReport report;
+  report.cells = execute(cells, nullptr);
+  return report;
+}
+
+SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells,
+                                persist::CampaignStore& store,
+                                std::size_t max_new_cells) {
+  const persist::StoreManifest& manifest = store.manifest();
+  if (manifest.trials_per_cell != options_.trials_per_cell ||
+      manifest.trial_salt != options_.trial_salt) {
+    throw std::invalid_argument(
+        "campaign: store was written with different trials/salt than this "
+        "runner");
+  }
+
+  SweepReport report;
   report.cells.resize(cells.size());
-  if (cells.empty()) return report;
+  std::vector<CampaignCell> pending;
+  std::vector<std::size_t> pending_pos;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CampaignCell& cell = cells[i];
+    if (cell.index >= manifest.grid_cells ||
+        cell.index % manifest.shard_count != manifest.shard_index) {
+      throw std::invalid_argument(
+          "campaign: cell " + std::to_string(cell.index) +
+          " does not belong to store shard " +
+          std::to_string(manifest.shard_index) + "/" +
+          std::to_string(manifest.shard_count));
+    }
+    if (const CellStats* done = store.completed_stats(cell.index)) {
+      report.cells[i] = *done;  // resume: skip, reuse the stored bytes
+    } else {
+      pending.push_back(cell);
+      pending_pos.push_back(i);
+    }
+  }
+  if (max_new_cells != 0 && pending.size() > max_new_cells) {
+    pending.resize(max_new_cells);
+    pending_pos.resize(max_new_cells);
+  }
+
+  std::vector<CellStats> stats = execute(pending, &store);
+  for (std::size_t j = 0; j < stats.size(); ++j) {
+    report.cells[pending_pos[j]] = std::move(stats[j]);
+  }
+  return report;
+}
+
+std::vector<CellStats> CampaignRunner::execute(
+    const std::vector<CampaignCell>& cells, persist::CampaignStore* store) {
+  std::vector<CellStats> stats(cells.size());
+  if (cells.empty()) return stats;
 
   {
     const std::lock_guard lock{mutex_};
     batch_cells_ = &cells;
-    batch_stats_ = &report.cells;
+    batch_stats_ = &stats;
+    batch_store_ = store;
     batch_size_ = cells.size();
     next_index_ = 0;
     cells_done_ = 0;
@@ -93,9 +155,10 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
     });
     batch_cells_ = nullptr;
     batch_stats_ = nullptr;
+    batch_store_ = nullptr;
     if (batch_error_) std::rethrow_exception(batch_error_);
   }
-  return report;
+  return stats;
 }
 
 void CampaignRunner::worker_loop() {
@@ -112,13 +175,28 @@ void CampaignRunner::worker_loop() {
     while (next_index_ < batch_size_) {
       const std::size_t index = next_index_++;
       const CampaignCell& cell = (*batch_cells_)[index];
+      persist::CampaignStore* store = batch_store_;
       ++in_flight_;
       lock.unlock();
 
       CellStats stats;
       std::exception_ptr error;
       try {
-        stats = score_cell(cell, options_.trials_per_cell, options_.trial_salt);
+        if (store != nullptr) {
+          // Stream every trial as it finishes, then durably mark the cell
+          // complete. A store I/O failure aborts the batch like any other
+          // infrastructure error.
+          stats = score_cell(
+              cell, options_.trials_per_cell, options_.trial_salt,
+              [&](std::uint32_t trial, const attack::ScenarioResult& result) {
+                store->append_trial(persist::TrialRecord::from_result(
+                    cell.index, trial, result));
+              });
+          store->complete_cell(stats);
+        } else {
+          stats =
+              score_cell(cell, options_.trials_per_cell, options_.trial_salt);
+        }
       } catch (...) {
         error = std::current_exception();
       }

@@ -21,6 +21,10 @@
 #include "campaign/grid.h"
 #include "campaign/report.h"
 
+namespace msa::persist {
+class CampaignStore;
+}
+
 namespace msa::campaign {
 
 struct CampaignOptions {
@@ -62,13 +66,45 @@ class CampaignRunner {
   [[nodiscard]] SweepReport run(const std::vector<CampaignCell>& cells);
   [[nodiscard]] SweepReport run(const GridBuilder& grid);
 
+  /// Durable, resumable run. Cells already complete in `store` are NOT
+  /// re-scored: their stats are loaded from the store (bit-exact, so the
+  /// final report matches an uninterrupted run byte for byte). Each
+  /// remaining cell streams one trial record per finished trial into the
+  /// store and is marked complete (durably flushed) when its last trial
+  /// lands. `max_new_cells` > 0 caps how many previously-incomplete cells
+  /// this call scores — the cell-budget used to bound one process's slice
+  /// of work (and to simulate crashes in tests); cells skipped by the
+  /// budget are left default-initialized (trials == 0) in the returned
+  /// report, and store.completed_count() tells the caller whether the
+  /// sweep is finished. The progress hook sees (done, total) over the
+  /// cells actually scored this call. Throws std::invalid_argument when
+  /// the store manifest disagrees with this runner's trials/salt or a
+  /// cell falls outside the store's shard.
+  [[nodiscard]] SweepReport run(const std::vector<CampaignCell>& cells,
+                                persist::CampaignStore& store,
+                                std::size_t max_new_cells = 0);
+  [[nodiscard]] SweepReport run(const GridBuilder& grid,
+                                persist::CampaignStore& store,
+                                std::size_t max_new_cells = 0);
+
+  /// Per-trial observer: (trial index, that trial's result).
+  using TrialHook =
+      std::function<void(std::uint32_t, const attack::ScenarioResult&)>;
+
   /// Scores one cell exactly as a pool worker would — the unit the
-  /// determinism tests pin down.
+  /// determinism tests pin down. `on_trial`, when set, observes every
+  /// trial in order (the store streaming path).
   [[nodiscard]] static CellStats score_cell(const CampaignCell& cell,
                                             unsigned trials,
-                                            std::uint64_t trial_salt);
+                                            std::uint64_t trial_salt,
+                                            const TrialHook& on_trial = {});
 
  private:
+  /// Pool execution over `cells` into a stats vector aligned by position;
+  /// persists per-trial/per-cell records when `store` is non-null.
+  [[nodiscard]] std::vector<CellStats> execute(
+      const std::vector<CampaignCell>& cells, persist::CampaignStore* store);
+
   void worker_loop();
 
   unsigned threads_;
@@ -92,6 +128,7 @@ class CampaignRunner {
   std::size_t in_flight_ = 0;
   const std::vector<CampaignCell>* batch_cells_ = nullptr;
   std::vector<CellStats>* batch_stats_ = nullptr;
+  persist::CampaignStore* batch_store_ = nullptr;
   std::exception_ptr batch_error_;
 };
 

@@ -1,0 +1,349 @@
+#include "persist/campaign_store.h"
+
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "attack/scenario.h"
+#include "persist/encoding.h"
+
+namespace msa::persist {
+
+namespace {
+
+// Record types inside a campaign store. Unknown types are skipped on
+// read so later format additions stay backward-readable.
+constexpr std::uint8_t kRecManifest = 1;
+constexpr std::uint8_t kRecTrial = 2;
+constexpr std::uint8_t kRecCell = 3;
+
+constexpr std::uint32_t kFormatVersion = 1;
+
+constexpr std::uint8_t kTrialDenied = 1u << 0;
+constexpr std::uint8_t kTrialModelIdentified = 1u << 1;
+
+std::vector<std::uint8_t> encode_manifest(const StoreManifest& m) {
+  ByteWriter w;
+  w.u32(kFormatVersion);
+  w.u64(m.grid_fingerprint);
+  w.u64(m.grid_cells);
+  w.u32(m.trials_per_cell);
+  w.u64(m.trial_salt);
+  w.u32(m.shard_index);
+  w.u32(m.shard_count);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+StoreManifest decode_manifest(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("persist: unsupported store format version " +
+                             std::to_string(version));
+  }
+  StoreManifest m;
+  m.grid_fingerprint = r.u64();
+  m.grid_cells = r.u64();
+  m.trials_per_cell = r.u32();
+  m.trial_salt = r.u64();
+  m.shard_index = r.u32();
+  m.shard_count = r.u32();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_trial(const TrialRecord& t) {
+  ByteWriter w;
+  w.varint(t.cell_index);
+  w.varint(t.trial);
+  std::uint8_t flags = 0;
+  if (t.denied) flags |= kTrialDenied;
+  if (t.model_identified) flags |= kTrialModelIdentified;
+  w.u8(flags);
+  w.f64(t.pixel_match);
+  w.f64(t.psnr);
+  w.f64(t.descriptor_pixel_match);
+  w.str(t.denial_reason);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+TrialRecord decode_trial(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  TrialRecord t;
+  t.cell_index = r.varint();
+  t.trial = static_cast<std::uint32_t>(r.varint());
+  const std::uint8_t flags = r.u8();
+  t.denied = (flags & kTrialDenied) != 0;
+  t.model_identified = (flags & kTrialModelIdentified) != 0;
+  t.pixel_match = r.f64();
+  t.psnr = r.f64();
+  t.descriptor_pixel_match = r.f64();
+  t.denial_reason = r.str();
+  return t;
+}
+
+std::vector<std::uint8_t> encode_cell(const campaign::CellStats& c) {
+  ByteWriter w;
+  w.varint(c.index);
+  w.str(c.defense);
+  w.str(c.model);
+  w.f64(c.attack_delay_s);
+  w.f64(c.scrubber_bytes_per_s);
+  w.varint(c.trials);
+  w.varint(c.full_successes);
+  w.varint(c.model_identified);
+  w.varint(c.denials);
+  w.f64(c.mean_pixel_match);
+  w.f64(c.mean_psnr_db);
+  w.f64(c.mean_descriptor_pixel_match);
+  w.str(c.first_denial_reason);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+campaign::CellStats decode_cell(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  campaign::CellStats c;
+  c.index = static_cast<std::size_t>(r.varint());
+  c.defense = r.str();
+  c.model = r.str();
+  c.attack_delay_s = r.f64();
+  c.scrubber_bytes_per_s = r.f64();
+  c.trials = static_cast<std::size_t>(r.varint());
+  c.full_successes = static_cast<std::size_t>(r.varint());
+  c.model_identified = static_cast<std::size_t>(r.varint());
+  c.denials = static_cast<std::size_t>(r.varint());
+  c.mean_pixel_match = r.f64();
+  c.mean_psnr_db = r.f64();
+  c.mean_descriptor_pixel_match = r.f64();
+  c.first_denial_reason = r.str();
+  return c;
+}
+
+std::string manifest_diff(const StoreManifest& have, const StoreManifest& want) {
+  std::string out;
+  auto field = [&](const char* name, auto a, auto b) {
+    if (a != b) {
+      if (!out.empty()) out += ", ";
+      out += std::string(name) + " " + std::to_string(a) + " != " +
+             std::to_string(b);
+    }
+  };
+  field("grid_fingerprint", have.grid_fingerprint, want.grid_fingerprint);
+  field("grid_cells", have.grid_cells, want.grid_cells);
+  field("trials_per_cell", have.trials_per_cell, want.trials_per_cell);
+  field("trial_salt", have.trial_salt, want.trial_salt);
+  field("shard_index", have.shard_index, want.shard_index);
+  field("shard_count", have.shard_count, want.shard_count);
+  return out;
+}
+
+}  // namespace
+
+TrialRecord TrialRecord::from_result(std::uint64_t cell_index,
+                                     std::uint32_t trial,
+                                     const attack::ScenarioResult& result) {
+  TrialRecord t;
+  t.cell_index = cell_index;
+  t.trial = trial;
+  t.denied = result.denied;
+  t.model_identified = result.model_identified_correctly;
+  t.pixel_match = result.pixel_match;
+  t.psnr = result.psnr;
+  t.descriptor_pixel_match = result.descriptor_pixel_match;
+  t.denial_reason = result.denial_reason;
+  return t;
+}
+
+CampaignStore::CampaignStore(const std::string& path,
+                             const StoreManifest& manifest, Mode mode)
+    : path_{path},
+      manifest_{manifest},
+      resuming_{[&] {
+        const bool exists = std::filesystem::exists(path);
+        if (mode == Mode::kCreate && exists) {
+          throw std::runtime_error(
+              "persist: store already exists (resume instead?): " + path);
+        }
+        if (mode == Mode::kResume && !exists) {
+          throw std::runtime_error("persist: no store to resume: " + path);
+        }
+        return exists;
+      }()},
+      writer_{path, [&] {
+                if (!resuming_) return RecordWriter::Mode::kTruncate;
+                // One pass: validate manifest, reload completed cells,
+                // find the torn-tail truncation point — all before the
+                // writer opens (and without rejecting the file by
+                // mutating it first).
+                const std::uint64_t keep = scan_existing();
+                std::error_code ec;
+                std::filesystem::resize_file(path, keep, ec);
+                if (ec) {
+                  throw std::runtime_error(
+                      "persist: cannot truncate torn tail: " + path + ": " +
+                      ec.message());
+                }
+                return RecordWriter::Mode::kAppendClean;
+              }()} {
+  if (!resuming_ || !manifest_on_disk_) {
+    // Fresh store — or an existing file whose every record was torn off.
+    writer_.append(kRecManifest, encode_manifest(manifest_));
+    writer_.flush();
+  }
+}
+
+std::uint64_t CampaignStore::scan_existing() {
+  bool any_records = false;
+  RecordReader reader{path_};
+  for (std::optional<Record> rec = reader.next(); rec.has_value();
+       rec = reader.next()) {
+    any_records = true;
+    if (rec->type == kRecManifest) {
+      manifest_on_disk_ = true;
+      const StoreManifest on_disk = decode_manifest(rec->payload);
+      if (!(on_disk == manifest_)) {
+        throw std::runtime_error(
+            "persist: store belongs to a different sweep (" +
+            manifest_diff(on_disk, manifest_) + "): " + path_);
+      }
+    } else if (rec->type == kRecCell) {
+      campaign::CellStats cell = decode_cell(rec->payload);
+      const std::uint64_t index = cell.index;
+      completed_[index] = std::move(cell);
+    }
+    // Trial records are not replayed here: resume re-runs incomplete
+    // cells from scratch, and deterministic reseeding reproduces the
+    // identical trials.
+  }
+  if (any_records && !manifest_on_disk_) {
+    throw std::runtime_error("persist: store has no manifest record: " +
+                             path_);
+  }
+  return reader.valid_bytes();
+}
+
+void CampaignStore::append_trial(const TrialRecord& trial) {
+  const std::lock_guard lock{mutex_};
+  writer_.append(kRecTrial, encode_trial(trial));
+}
+
+void CampaignStore::complete_cell(const campaign::CellStats& stats) {
+  const std::lock_guard lock{mutex_};
+  writer_.append(kRecCell, encode_cell(stats));
+  writer_.flush();
+  completed_[stats.index] = stats;
+}
+
+bool CampaignStore::cell_complete(std::uint64_t cell_index) const {
+  const std::lock_guard lock{mutex_};
+  return completed_.contains(cell_index);
+}
+
+const campaign::CellStats* CampaignStore::completed_stats(
+    std::uint64_t cell_index) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = completed_.find(cell_index);
+  return it == completed_.end() ? nullptr : &it->second;
+}
+
+std::size_t CampaignStore::completed_count() const {
+  const std::lock_guard lock{mutex_};
+  return completed_.size();
+}
+
+StoreContents read_store(const std::string& path) {
+  StoreContents out;
+  bool saw_manifest = false;
+  std::map<std::uint64_t, campaign::CellStats> cells;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord> trials;
+
+  RecordReader reader{path};
+  for (std::optional<Record> rec = reader.next(); rec.has_value();
+       rec = reader.next()) {
+    switch (rec->type) {
+      case kRecManifest:
+        out.manifest = decode_manifest(rec->payload);
+        saw_manifest = true;
+        break;
+      case kRecTrial: {
+        TrialRecord t = decode_trial(rec->payload);
+        trials[{t.cell_index, t.trial}] = std::move(t);
+        break;
+      }
+      case kRecCell: {
+        campaign::CellStats c = decode_cell(rec->payload);
+        cells[c.index] = std::move(c);
+        break;
+      }
+      default:
+        break;  // unknown record type: forward-compatible skip
+    }
+  }
+  out.truncated_tail = reader.truncated();
+  if (!saw_manifest) {
+    throw std::runtime_error("persist: store has no manifest record: " + path);
+  }
+  out.cells.reserve(cells.size());
+  for (auto& [index, cell] : cells) out.cells.push_back(std::move(cell));
+  out.trials.reserve(trials.size());
+  for (auto& [key, trial] : trials) out.trials.push_back(std::move(trial));
+  return out;
+}
+
+campaign::SweepReport merge_stores(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw std::runtime_error("persist: merge needs at least one store");
+  }
+
+  std::vector<StoreContents> stores;
+  stores.reserve(paths.size());
+  for (const std::string& path : paths) stores.push_back(read_store(path));
+
+  const StoreManifest& first = stores.front().manifest;
+  std::map<std::uint32_t, const std::string*> shards_seen;
+  std::map<std::uint64_t, campaign::CellStats> merged;
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    const StoreManifest& m = stores[i].manifest;
+    StoreManifest sweep_identity = m;
+    sweep_identity.shard_index = first.shard_index;
+    if (!(sweep_identity == first)) {
+      throw std::runtime_error(
+          "persist: store is from a different sweep: " + paths[i]);
+    }
+    if (m.shard_index >= m.shard_count) {
+      throw std::runtime_error("persist: shard index out of range: " +
+                               paths[i]);
+    }
+    const auto [it, inserted] = shards_seen.emplace(m.shard_index, &paths[i]);
+    if (!inserted) {
+      throw std::runtime_error("persist: duplicate shard " +
+                               std::to_string(m.shard_index) + ": " + paths[i] +
+                               " and " + *it->second);
+    }
+    for (campaign::CellStats& cell : stores[i].cells) {
+      if (cell.index >= m.grid_cells) {
+        throw std::runtime_error("persist: cell index beyond grid in " +
+                                 paths[i]);
+      }
+      const std::uint64_t index = cell.index;
+      if (!merged.emplace(index, std::move(cell)).second) {
+        throw std::runtime_error("persist: cell " + std::to_string(index) +
+                                 " reported by more than one store");
+      }
+    }
+  }
+
+  if (merged.size() != first.grid_cells) {
+    throw std::runtime_error(
+        "persist: merged stores cover " + std::to_string(merged.size()) +
+        " of " + std::to_string(first.grid_cells) +
+        " cells (incomplete shard? missing store?)");
+  }
+
+  campaign::SweepReport report;
+  report.cells.reserve(merged.size());
+  for (auto& [index, cell] : merged) report.cells.push_back(std::move(cell));
+  return report;
+}
+
+}  // namespace msa::persist

@@ -1,0 +1,143 @@
+// Durable campaign results: one record per finished trial, one per
+// completed cell, streamed into an append-only RecordWriter file as
+// workers finish. A store file belongs to exactly one (grid, shard): the
+// manifest record written first pins the grid fingerprint, full-grid cell
+// count, trials per cell, trial salt and shard coordinates, so a resumed
+// or merged sweep can refuse a store produced by a different experiment.
+//
+// Durability contract: complete_cell() flushes, so a killed process loses
+// at most the trials of cells that had not completed — exactly the cells
+// a resume re-runs. Trial records of an incomplete cell may therefore
+// appear twice after a resume; readers deduplicate by (cell, trial),
+// which is lossless because trials are deterministic functions of
+// (cell, trial, salt).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/report.h"
+#include "persist/record_io.h"
+
+namespace msa::attack {
+struct ScenarioResult;
+}
+
+namespace msa::persist {
+
+/// Identity of the sweep a store file belongs to.
+struct StoreManifest {
+  std::uint64_t grid_fingerprint = 0;  ///< campaign::GridBuilder::fingerprint
+  std::uint64_t grid_cells = 0;        ///< FULL (unsharded) grid size
+  std::uint32_t trials_per_cell = 0;
+  std::uint64_t trial_salt = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+
+  friend bool operator==(const StoreManifest&, const StoreManifest&) = default;
+};
+
+/// One scenario run, keyed by (global cell index, trial index). Carries
+/// every field CellStats::accumulate consumes, with doubles bit-exact, so
+/// per-cell aggregates rebuilt from the trial stream match the in-memory
+/// sweep byte for byte.
+struct TrialRecord {
+  std::uint64_t cell_index = 0;
+  std::uint32_t trial = 0;
+  bool denied = false;
+  bool model_identified = false;
+  double pixel_match = 0.0;
+  double psnr = 0.0;
+  double descriptor_pixel_match = 0.0;
+  std::string denial_reason;
+
+  [[nodiscard]] static TrialRecord from_result(
+      std::uint64_t cell_index, std::uint32_t trial,
+      const attack::ScenarioResult& result);
+};
+
+/// Writable store bound to one shard's file. Thread-safe: workers append
+/// trials and complete cells concurrently.
+class CampaignStore {
+ public:
+  enum class Mode {
+    kCreate,          ///< fresh file; an existing one is an error
+    kResume,          ///< existing file required; manifest must match
+    kCreateOrResume,  ///< resume if the file exists, else create
+  };
+
+  /// Opens `path`. On resume the torn tail (if any) is truncated and the
+  /// completed-cell map reloaded; a manifest that does not equal
+  /// `manifest` throws std::runtime_error (wrong grid / trials / shard).
+  CampaignStore(const std::string& path, const StoreManifest& manifest,
+                Mode mode);
+
+  CampaignStore(const CampaignStore&) = delete;
+  CampaignStore& operator=(const CampaignStore&) = delete;
+
+  /// Streams one finished trial; buffered until the owning cell completes.
+  void append_trial(const TrialRecord& trial);
+
+  /// Marks a cell done: writes its aggregate stats and flushes, making
+  /// the cell (and every buffered trial before it) durable.
+  void complete_cell(const campaign::CellStats& stats);
+
+  [[nodiscard]] bool cell_complete(std::uint64_t cell_index) const;
+  /// Stored aggregate for a completed cell, nullptr when incomplete.
+  [[nodiscard]] const campaign::CellStats* completed_stats(
+      std::uint64_t cell_index) const;
+  [[nodiscard]] std::size_t completed_count() const;
+
+  [[nodiscard]] const StoreManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  /// Resume path: single pass over the existing file that validates the
+  /// on-disk manifest, reloads completed_, and returns the byte offset
+  /// of the last intact frame (the truncation point for the torn tail).
+  /// Must run before writer_ opens — declaration order matters below.
+  [[nodiscard]] std::uint64_t scan_existing();
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  StoreManifest manifest_;
+  std::unordered_map<std::uint64_t, campaign::CellStats> completed_;
+  bool resuming_ = false;
+  bool manifest_on_disk_ = false;  ///< set by scan_existing()
+  // Writer last: constructed after the resume scan decided the append
+  // point (kAppendClean skips RecordWriter's own recovery pass, so the
+  // file is read exactly once on resume).
+  RecordWriter writer_;
+};
+
+/// Read-only snapshot of a store file.
+struct StoreContents {
+  StoreManifest manifest;
+  /// Completed cells sorted by global index (duplicates last-wins).
+  std::vector<campaign::CellStats> cells;
+  /// Trial stream sorted by (cell index, trial), deduplicated last-wins.
+  std::vector<TrialRecord> trials;
+  /// True when a torn/corrupt tail was dropped while reading.
+  bool truncated_tail = false;
+};
+
+/// Loads everything readable from a store, stopping cleanly at a torn
+/// tail. Throws std::runtime_error for a missing/misframed file or a
+/// store with no manifest record.
+[[nodiscard]] StoreContents read_store(const std::string& path);
+
+/// Reassembles shard stores into the single-process sweep report, cells
+/// in grid order. Validates that every store belongs to the same sweep
+/// (equal fingerprint/grid/trials/salt/shard_count), shard indices are
+/// distinct, no cell is reported twice, and the union covers the full
+/// grid — throws std::runtime_error otherwise. A single complete
+/// unsharded store is the N=1 case.
+[[nodiscard]] campaign::SweepReport merge_stores(
+    const std::vector<std::string>& paths);
+
+}  // namespace msa::persist

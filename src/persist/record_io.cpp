@@ -1,0 +1,164 @@
+#include "persist/record_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "persist/encoding.h"
+#include "util/crc32.h"
+
+namespace msa::persist {
+
+namespace {
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("persist: " + what + ": " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// True when all n bytes arrived; false only at end-of-data. A genuine
+/// stream error (EIO, ...) throws instead — conflating it with EOF would
+/// make append recovery "truncate" intact records behind a transient
+/// read failure.
+bool read_exact(std::FILE* f, const std::string& path, std::uint8_t* out,
+                std::size_t n, std::size_t* got = nullptr) {
+  const std::size_t r = std::fread(out, 1, n, f);
+  if (got != nullptr) *got = r;
+  if (r != n && std::ferror(f) != 0) io_error("read failed", path);
+  return r == n;
+}
+
+}  // namespace
+
+RecordReader::RecordReader(const std::string& path) : path_{path} {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) io_error("cannot open store", path);
+  std::array<std::uint8_t, kRecordMagic.size()> magic{};
+  if (!read_exact(file_, path_, magic.data(), magic.size()) ||
+      magic != kRecordMagic) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("persist: not a record store (bad magic): " +
+                             path);
+  }
+  valid_bytes_ = kRecordMagic.size();
+}
+
+RecordReader::~RecordReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<Record> RecordReader::next() {
+  if (done_) return std::nullopt;
+
+  std::array<std::uint8_t, 8> header{};
+  std::size_t got = 0;
+  if (!read_exact(file_, path_, header.data(), header.size(), &got)) {
+    done_ = true;
+    truncated_ = got != 0;  // a partial header is a torn frame
+    return std::nullopt;
+  }
+  ByteReader hr{header};
+  const std::uint32_t body_len = hr.u32();
+  const std::uint32_t stored_crc = hr.u32();
+  if (body_len == 0 || body_len > kMaxRecordBody) {
+    done_ = true;
+    truncated_ = true;
+    return std::nullopt;
+  }
+
+  std::vector<std::uint8_t> body(body_len);
+  if (!read_exact(file_, path_, body.data(), body.size())) {
+    done_ = true;
+    truncated_ = true;
+    return std::nullopt;
+  }
+  if (util::crc32(std::span<const std::uint8_t>{body}) != stored_crc) {
+    done_ = true;
+    truncated_ = true;
+    return std::nullopt;
+  }
+
+  valid_bytes_ += header.size() + body.size();
+  Record record;
+  record.type = body[0];
+  record.payload.assign(body.begin() + 1, body.end());
+  return record;
+}
+
+RecordWriter::RecordWriter(const std::string& path, Mode mode) : path_{path} {
+  const bool exists = std::filesystem::exists(path);
+  if (mode == Mode::kTruncate || !exists) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) io_error("cannot create store", path);
+    if (std::fwrite(kRecordMagic.data(), 1, kRecordMagic.size(), file_) !=
+        kRecordMagic.size()) {
+      std::fclose(file_);
+      file_ = nullptr;
+      io_error("cannot write store magic", path);
+    }
+    return;
+  }
+
+  if (mode == Mode::kAppendRecover) {
+    // Append recovery: find the end of the last intact frame, drop any
+    // torn tail so new frames land on a clean boundary.
+    std::uint64_t keep = 0;
+    {
+      RecordReader reader{path};  // throws on bad magic — never clobber
+      while (reader.next().has_value()) {
+      }
+      keep = reader.valid_bytes();
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) {
+      throw std::runtime_error("persist: cannot truncate torn tail: " + path +
+                               ": " + ec.message());
+    }
+  } else {
+    // kAppendClean: the caller scanned and truncated already; just make
+    // sure this really is a record store before appending to it.
+    RecordReader magic_check{path};
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) io_error("cannot open store for append", path);
+}
+
+RecordWriter::~RecordWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void RecordWriter::append(std::uint8_t type,
+                          std::span<const std::uint8_t> payload) {
+  if (payload.size() >= kMaxRecordBody) {
+    throw std::length_error("persist: record payload too large");
+  }
+  util::Crc32 crc;
+  crc.update(std::span<const std::uint8_t>{&type, 1});
+  crc.update(payload);
+
+  ByteWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  header.u32(crc.value());
+  if (std::fwrite(header.bytes().data(), 1, header.size(), file_) !=
+          header.size() ||
+      std::fwrite(&type, 1, 1, file_) != 1 ||
+      // payload.data() may be null for an empty payload; fwrite's pointer
+      // argument must not be.
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    io_error("short write", path_);
+  }
+}
+
+void RecordWriter::flush() {
+  if (std::fflush(file_) != 0) io_error("flush failed", path_);
+}
+
+}  // namespace msa::persist

@@ -1,0 +1,106 @@
+// Crash-safe, append-only record streams: the storage layer under the
+// campaign store. A store file is an 8-byte magic followed by frames of
+//
+//   [u32 body_len][u32 crc32(body)][body: u8 type + payload]
+//
+// with all integers little-endian on disk. A process killed mid-write
+// leaves at most one torn frame at the tail; the reader detects it (short
+// read or CRC mismatch), reports the stream truncated, and exposes the
+// byte offset of the last intact frame so a writer reopening the file can
+// chop the garbage off and keep appending. Corruption is never "skipped":
+// the first bad frame ends the stream, because in an append-only log
+// everything after a bad length prefix is unframed noise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace msa::persist {
+
+inline constexpr std::array<std::uint8_t, 8> kRecordMagic = {
+    'M', 'S', 'A', 'R', 'E', 'C', '0', '1'};
+
+/// Frames larger than this are treated as corruption (a torn length
+/// prefix can otherwise claim gigabytes and stall the reader).
+inline constexpr std::uint32_t kMaxRecordBody = 1u << 28;
+
+struct Record {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Sequential reader. Construct, call next() until it returns nullopt,
+/// then check truncated() to distinguish a clean EOF from a torn tail.
+class RecordReader {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened or does not
+  /// start with the record magic.
+  explicit RecordReader(const std::string& path);
+  ~RecordReader();
+
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  /// Next intact record, or nullopt at end of stream (clean or torn).
+  /// Throws std::runtime_error on a genuine stream error (EIO etc.) —
+  /// an I/O fault is not a torn tail and must not trigger truncation.
+  [[nodiscard]] std::optional<Record> next();
+
+  /// True once next() has hit a short or CRC-mismatched frame.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+  /// Byte offset just past the last intact frame (>= magic size); the
+  /// safe truncation point for append recovery.
+  [[nodiscard]] std::uint64_t valid_bytes() const noexcept {
+    return valid_bytes_;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;  ///< for error messages
+  std::uint64_t valid_bytes_ = 0;
+  bool truncated_ = false;
+  bool done_ = false;
+};
+
+/// Append-only writer.
+class RecordWriter {
+ public:
+  enum class Mode {
+    kTruncate,        ///< start a fresh file (magic + nothing)
+    kAppendRecover,   ///< keep existing records, chop any torn tail
+    kAppendClean,     ///< append as-is: caller already scanned/truncated
+  };
+
+  /// kTruncate creates/overwrites `path`. kAppendRecover scans an
+  /// existing file with RecordReader, truncates it to the last intact
+  /// frame, and positions for append (a missing file is created fresh).
+  /// kAppendClean skips the recovery scan — only the magic is checked —
+  /// for callers that just read the file themselves and already chopped
+  /// any torn tail (CampaignStore resume, which needs the records anyway
+  /// and should not pay a second full pass).
+  /// Throws std::runtime_error on I/O failure or bad magic.
+  RecordWriter(const std::string& path, Mode mode);
+  ~RecordWriter();
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Appends one frame. Buffered; call flush() to push to the OS.
+  void append(std::uint8_t type, std::span<const std::uint8_t> payload);
+
+  /// Flushes stdio buffers so a subsequent process kill cannot tear
+  /// already-appended frames.
+  void flush();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace msa::persist

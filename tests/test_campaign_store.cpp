@@ -1,0 +1,378 @@
+// Campaign store tests: the durability/resume/sharding contract. The
+// load-bearing properties are byte-identity — a resumed or sharded sweep
+// must reproduce the uninterrupted single-process report exactly — and
+// crash recovery: a torn tail costs only the incomplete cell.
+#include "persist/campaign_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+
+namespace msa::persist {
+namespace {
+
+using campaign::CampaignCell;
+using campaign::CampaignOptions;
+using campaign::CampaignRunner;
+using campaign::CellStats;
+using campaign::GridBuilder;
+using campaign::SweepReport;
+
+std::string tmp_store(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "msa_store_tests";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+attack::ScenarioConfig small_base() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  return cfg;
+}
+
+/// 2 defenses x 2 delays x 2 scrubbers = 8 cells mixing successes,
+/// scrub-defeated scrapes and denial-free baselines.
+GridBuilder small_grid() {
+  GridBuilder grid{small_base()};
+  grid.defenses({"baseline", "zero_on_free"})
+      .attack_delays_s({0.0, 5.0})
+      .scrubber_rates({0.0, 512.0 * 1024});
+  return grid;
+}
+
+CampaignOptions make_options(unsigned threads, unsigned trials = 2) {
+  CampaignOptions options;
+  options.threads = threads;
+  options.trials_per_cell = trials;
+  return options;
+}
+
+StoreManifest manifest_for(const GridBuilder& grid,
+                           const CampaignOptions& options,
+                           std::uint32_t shard_index = 0,
+                           std::uint32_t shard_count = 1) {
+  StoreManifest m;
+  m.grid_fingerprint = grid.fingerprint();
+  m.grid_cells = grid.full_size();
+  m.trials_per_cell = options.trials_per_cell;
+  m.trial_salt = options.trial_salt;
+  m.shard_index = shard_index;
+  m.shard_count = shard_count;
+  return m;
+}
+
+TEST(GridShard, PartitionIsDisjointAndComplete) {
+  GridBuilder full = small_grid();
+  ASSERT_EQ(full.full_size(), 8u);
+
+  std::vector<bool> covered(8, false);
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    GridBuilder shard = small_grid();
+    shard.shard(s, 3);
+    const auto cells = shard.build();
+    EXPECT_EQ(cells.size(), shard.size());
+    EXPECT_EQ(shard.full_size(), 8u);
+    for (const CampaignCell& cell : cells) {
+      EXPECT_EQ(cell.index % 3, s);
+      ASSERT_LT(cell.index, covered.size());
+      EXPECT_FALSE(covered[cell.index]) << "cell in two shards";
+      covered[cell.index] = true;
+    }
+    total += cells.size();
+  }
+  EXPECT_EQ(total, 8u);
+
+  // Shard cells are the same cells as the full build, global indices kept.
+  const auto all = full.build();
+  GridBuilder s1 = small_grid();
+  const auto slice = s1.shard(1, 3).build();
+  for (const CampaignCell& cell : slice) {
+    EXPECT_EQ(cell.defense, all[cell.index].defense);
+    EXPECT_EQ(cell.attack_delay_s, all[cell.index].attack_delay_s);
+  }
+}
+
+TEST(GridShard, BadShardArgumentsThrow) {
+  GridBuilder grid = small_grid();
+  EXPECT_THROW(grid.shard(0, 0), std::invalid_argument);
+  EXPECT_THROW(grid.shard(2, 2), std::invalid_argument);
+}
+
+TEST(GridShard, FingerprintIsShardInvariantButAxisSensitive) {
+  GridBuilder a = small_grid();
+  GridBuilder b = small_grid();
+  b.shard(1, 4);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  GridBuilder c = small_grid();
+  c.attack_delays_s({0.0, 6.0});
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CampaignStore, RoundTripMatchesInMemoryReport) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(2);
+  CampaignRunner runner{options};
+  const SweepReport in_memory = runner.run(grid);
+
+  const std::string path = tmp_store("roundtrip.store");
+  {
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    const SweepReport stored = runner.run(grid, store);
+    EXPECT_EQ(stored.to_csv(), in_memory.to_csv());
+    EXPECT_EQ(store.completed_count(), 8u);
+  }
+
+  // Reload from disk alone: byte-identical CSV and JSON.
+  const SweepReport reloaded = merge_stores({path});
+  EXPECT_EQ(reloaded.to_csv(), in_memory.to_csv());
+  EXPECT_EQ(reloaded.to_json(), in_memory.to_json());
+}
+
+TEST(CampaignStore, TrialStreamReconstructsCellAggregates) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(4, 3);
+  const std::string path = tmp_store("trialstream.store");
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+
+  const StoreContents contents = read_store(path);
+  EXPECT_FALSE(contents.truncated_tail);
+  ASSERT_EQ(contents.cells.size(), 8u);
+  ASSERT_EQ(contents.trials.size(), 8u * 3u);
+
+  // Re-accumulate the per-trial stream; it must land on the exact stored
+  // aggregates (same doubles bit for bit, since both sides ran the same
+  // accumulation in trial order).
+  for (const CellStats& cell : contents.cells) {
+    CellStats rebuilt;
+    rebuilt.index = cell.index;
+    rebuilt.defense = cell.defense;
+    rebuilt.model = cell.model;
+    rebuilt.attack_delay_s = cell.attack_delay_s;
+    rebuilt.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+    for (const TrialRecord& t : contents.trials) {
+      if (t.cell_index != cell.index) continue;
+      attack::ScenarioResult result;
+      result.denied = t.denied;
+      result.denial_reason = t.denial_reason;
+      result.model_identified_correctly = t.model_identified;
+      result.pixel_match = t.pixel_match;
+      result.psnr = t.psnr;
+      result.descriptor_pixel_match = t.descriptor_pixel_match;
+      rebuilt.accumulate(result);
+    }
+    rebuilt.finalize();
+    EXPECT_EQ(rebuilt.trials, cell.trials);
+    EXPECT_EQ(rebuilt.full_successes, cell.full_successes);
+    EXPECT_EQ(rebuilt.model_identified, cell.model_identified);
+    EXPECT_EQ(rebuilt.denials, cell.denials);
+    EXPECT_EQ(rebuilt.first_denial_reason, cell.first_denial_reason);
+    EXPECT_EQ(rebuilt.mean_pixel_match, cell.mean_pixel_match);
+    EXPECT_EQ(rebuilt.mean_psnr_db, cell.mean_psnr_db);
+    EXPECT_EQ(rebuilt.mean_descriptor_pixel_match,
+              cell.mean_descriptor_pixel_match);
+  }
+}
+
+TEST(CampaignStore, InterruptedSweepResumesByteIdentical) {
+  // The acceptance criterion: interrupt after K cells, reopen, finish —
+  // the final report matches an uninterrupted run at any thread count.
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  CampaignRunner uninterrupted{make_options(4, 2)};
+  const SweepReport golden = uninterrupted.run(grid);
+
+  const std::string path = tmp_store("resume.store");
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store, /*max_new_cells=*/3);  // "crash" here
+    EXPECT_EQ(store.completed_count(), 3u);
+  }
+
+  std::size_t resumed_total = 0;
+  CampaignOptions resume_options = make_options(4, 2);
+  resume_options.on_cell_done = [&](std::size_t, std::size_t total) {
+    resumed_total = total;
+  };
+  CampaignRunner resumer{resume_options};
+  CampaignStore store{path, manifest_for(grid, resume_options),
+                      CampaignStore::Mode::kResume};
+  const SweepReport finished = resumer.run(grid, store);
+  EXPECT_EQ(resumed_total, 5u);  // only the cells the "crash" lost
+  EXPECT_EQ(store.completed_count(), 8u);
+  EXPECT_EQ(finished.to_csv(), golden.to_csv());
+  EXPECT_EQ(finished.to_json(), golden.to_json());
+}
+
+TEST(CampaignStore, TornTailRedoesOnlyIncompleteCell) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  CampaignRunner runner{options};
+  const SweepReport golden = runner.run(grid);
+
+  const std::string path = tmp_store("torntail.store");
+  {
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+  // Tear the tail: with one worker the file ends with the last cell's
+  // completion record, so this reverts exactly one cell to "incomplete".
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+
+  std::size_t redone = 0;
+  CampaignOptions resume_options = make_options(2, 2);
+  resume_options.on_cell_done = [&](std::size_t, std::size_t total) {
+    redone = total;
+  };
+  CampaignRunner resumer{resume_options};
+  CampaignStore store{path, manifest_for(grid, resume_options),
+                      CampaignStore::Mode::kResume};
+  EXPECT_EQ(store.completed_count(), 7u);
+  const SweepReport finished = resumer.run(grid, store);
+  EXPECT_EQ(redone, 1u);
+  EXPECT_EQ(finished.to_csv(), golden.to_csv());
+}
+
+TEST(CampaignStore, ManifestMismatchAndModeErrors) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  const std::string path = tmp_store("mismatch.store");
+  {
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+  }
+
+  // Same path, different trial count: a different sweep.
+  EXPECT_THROW((CampaignStore{path, manifest_for(grid, make_options(1, 3)),
+                              CampaignStore::Mode::kResume}),
+               std::runtime_error);
+  // Different grid axes: different fingerprint.
+  GridBuilder other = small_grid();
+  other.defenses({"baseline"});
+  EXPECT_THROW((CampaignStore{path, manifest_for(other, options),
+                              CampaignStore::Mode::kResume}),
+               std::runtime_error);
+  // kCreate refuses to clobber, kResume refuses to invent.
+  EXPECT_THROW((CampaignStore{path, manifest_for(grid, options),
+                              CampaignStore::Mode::kCreate}),
+               std::runtime_error);
+  EXPECT_THROW((CampaignStore{tmp_store("absent.store"),
+                              manifest_for(grid, options),
+                              CampaignStore::Mode::kResume}),
+               std::runtime_error);
+
+  // A runner whose trials/salt disagree with the store must refuse.
+  CampaignStore store{path, manifest_for(grid, options),
+                      CampaignStore::Mode::kResume};
+  CampaignRunner wrong_trials{make_options(1, 3)};
+  EXPECT_THROW((void)wrong_trials.run(grid, store), std::invalid_argument);
+}
+
+TEST(CampaignStore, CreateOrResumeTakesBothBranches) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 1);
+  const std::string path = tmp_store("createorresume.store");
+
+  // File absent: behaves like kCreate.
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreateOrResume};
+    (void)runner.run(grid, store, /*max_new_cells=*/2);
+    EXPECT_EQ(store.completed_count(), 2u);
+  }
+  // File present: behaves like kResume — completed cells survive, and a
+  // mismatched manifest is still rejected.
+  {
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreateOrResume};
+    EXPECT_EQ(store.completed_count(), 2u);
+  }
+  EXPECT_THROW((CampaignStore{path, manifest_for(grid, make_options(1, 5)),
+                              CampaignStore::Mode::kCreateOrResume}),
+               std::runtime_error);
+}
+
+TEST(CampaignStore, WrongShardCellsRejected) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 1);
+  const std::string path = tmp_store("wrongshard.store");
+  CampaignStore store{path, manifest_for(grid, options, /*shard_index=*/1,
+                                         /*shard_count=*/2),
+                      CampaignStore::Mode::kCreate};
+  GridBuilder shard0 = small_grid();
+  shard0.shard(0, 2);
+  CampaignRunner runner{options};
+  EXPECT_THROW((void)runner.run(shard0, store), std::invalid_argument);
+}
+
+TEST(CampaignStore, ShardedSweepMergesToSingleProcessReport) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(2, 2);
+  CampaignRunner single{make_options(4, 2)};
+  const SweepReport golden = single.run(grid);
+
+  std::vector<std::string> paths;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    GridBuilder shard = small_grid();
+    shard.shard(s, 2);
+    const std::string path =
+        tmp_store((std::string{"shard"} + std::to_string(s) + ".store").c_str());
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(shard, options, s, 2),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(shard, store);
+    paths.push_back(path);
+  }
+
+  const SweepReport merged = merge_stores(paths);
+  EXPECT_EQ(merged.to_csv(), golden.to_csv());
+  EXPECT_EQ(merged.to_json(), golden.to_json());
+
+  // Merge order must not matter: report is reassembled in grid order.
+  const SweepReport reversed = merge_stores({paths[1], paths[0]});
+  EXPECT_EQ(reversed.to_csv(), golden.to_csv());
+}
+
+TEST(CampaignStore, MergeRejectsDuplicateAndIncompleteShards) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(2, 1);
+  GridBuilder shard0 = small_grid();
+  shard0.shard(0, 2);
+  const std::string path = tmp_store("lonely.store");
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(shard0, options, 0, 2),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(shard0, store);
+  }
+  // Half the grid missing.
+  EXPECT_THROW((void)merge_stores({path}), std::runtime_error);
+  // Same shard twice.
+  EXPECT_THROW((void)merge_stores({path, path}), std::runtime_error);
+  EXPECT_THROW((void)merge_stores({}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msa::persist
