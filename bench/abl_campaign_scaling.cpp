@@ -33,12 +33,34 @@ campaign::GridBuilder bench_grid() {
   return grid;
 }
 
+/// Defense-matrix-shaped grid for the profile-cache series: 5 defenses x
+/// 2 delays = 10 cells over one (model, dims, placement) profile key, so
+/// a multi-trial sweep reuses the key heavily — the campaign shape the
+/// cross-cell cache exists for.
+campaign::GridBuilder cache_grid() {
+  // The production sweep shape, not the test_small fixture: the
+  // campaign_sweep default board (zcu104) and image geometry, over the
+  // paper's access-control defense family plus the vulnerable baseline.
+  // On this board the uncached offline phase pays for a full twin
+  // PetaLinuxSystem + model build + marker scrape per trial.
+  attack::ScenarioConfig cfg;
+  cfg.image_width = 96;
+  cfg.image_height = 96;
+  campaign::GridBuilder grid{cfg};
+  grid.defenses({"baseline", "proc_owner_only", "dbg_owner_only",
+                 "dbg_disabled", "fw_owner_residue"})
+      .attack_delays_s({0.0, 5.0});
+  return grid;
+}
+
 void print_intro() {
   bench::print_header("Abl. campaign scaling",
-                      "cells/second vs threads; store overhead");
+                      "cells/second vs threads; store & profiling overhead");
   std::puts("SweepThreads/N: one 8-cell sweep on N workers (items = cells).");
   std::puts("SweepInMemory vs SweepWithStore: identical sweep, the latter");
-  std::puts("streaming per-trial + per-cell records to an on-disk store.\n");
+  std::puts("streaming per-trial + per-cell records to an on-disk store.");
+  std::puts("SweepProfileCache/1 vs /0: 4-trial defense-matrix sweep with the");
+  std::puts("shared profile cache on vs re-profiling a twin board per trial.\n");
 }
 
 void BM_SweepThreads(benchmark::State& state) {
@@ -71,6 +93,27 @@ void BM_SweepInMemory(benchmark::State& state) {
                           static_cast<std::int64_t>(cells.size()));
 }
 BENCHMARK(BM_SweepInMemory)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The ROADMAP's cross-board-batching item, measured: cells/second with
+/// the cross-cell profile cache (Arg 1) vs per-trial re-profiling (Arg 0)
+/// on a grid whose 40 trials share one profile key. The cached runner
+/// keeps its cache across iterations, so this reports the steady-state
+/// win of a long campaign, not the cold first cell.
+void BM_SweepProfileCache(benchmark::State& state) {
+  campaign::CampaignOptions options;
+  options.threads = 4;
+  options.trials_per_cell = 4;
+  options.share_profiles = state.range(0) != 0;
+  campaign::CampaignRunner runner{options};
+  const auto cells = cache_grid().build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(cells));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepProfileCache)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SweepWithStore(benchmark::State& state) {
   campaign::CampaignOptions options;

@@ -6,6 +6,7 @@
 //   campaign_sweep [--threads N] [--trials N]
 //                  [--defenses a,b,...] [--models a,b,...]
 //                  [--delays s1,s2,...] [--scrubbers r1,r2,...]
+//                  [--no-profile-cache]
 //                  [--store PATH [--resume]] [--shard I/N]
 //                  [--cell-budget K]
 //                  [--csv out.csv] [--json out.json] [--quiet]
@@ -21,6 +22,11 @@
 // the single-process report. --cell-budget K scores at most K new cells
 // and exits 3 if that leaves the shard incomplete (the CI crash/restart
 // harness and batch schedulers use this to bound one invocation's work).
+//
+// The offline-profiling phase is cached across cells and trials by
+// default (reports are byte-identical either way; the cache only changes
+// cells/second). --no-profile-cache re-profiles a fresh twin board per
+// trial — the escape hatch for A/B-ing the cache itself.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage, 3 sweep incomplete.
 #include <cerrno>
@@ -45,10 +51,9 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N] [--trials N] [--defenses a,b] [--models a,b]\n"
-      "          [--delays s1,s2] [--scrubbers r1,r2] [--store PATH"
-      " [--resume]]\n"
-      "          [--shard I/N] [--cell-budget K] [--csv PATH] [--json PATH]"
-      " [--quiet]\n"
+      "          [--delays s1,s2] [--scrubbers r1,r2] [--no-profile-cache]\n"
+      "          [--store PATH [--resume]] [--shard I/N] [--cell-budget K]\n"
+      "          [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s merge [--csv PATH] [--json PATH] [--quiet] STORE...\n"
       "  --threads/--trials/--cell-budget take positive integers\n",
       argv0, argv0);
@@ -204,6 +209,7 @@ int main(int argc, char** argv) {
   unsigned cell_budget = 0;  // 0 = unlimited
   bool resume = false;
   bool quiet = false;
+  bool profile_cache = true;
   std::string store_path;
   std::string csv_path;
   std::string json_path;
@@ -249,6 +255,8 @@ int main(int argc, char** argv) {
       store_path = v;
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--no-profile-cache") {
+      profile_cache = false;
     } else if (arg == "--shard") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -288,6 +296,7 @@ int main(int argc, char** argv) {
   campaign::CampaignOptions options;
   options.threads = threads;
   options.trials_per_cell = trials;
+  options.share_profiles = profile_cache;
   if (!quiet) {
     options.on_cell_done = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\r[campaign] %zu/%zu cells", done, total);
@@ -332,6 +341,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
+  }
+
+  if (!quiet && profile_cache) {
+    std::fprintf(stderr,
+                 "[campaign] profile cache: %llu hits, %llu misses "
+                 "(%llu twin boards built, %llu reused)\n",
+                 static_cast<unsigned long long>(report.profile_cache_hits),
+                 static_cast<unsigned long long>(report.profile_cache_misses),
+                 static_cast<unsigned long long>(report.twin_boards_built),
+                 static_cast<unsigned long long>(report.twin_boards_reused));
   }
 
   if (completed < shard_cells) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI bench-smoke: run the campaign-scaling ablation with machine-readable
+# JSON output — the seed of the BENCH_*.json perf trajectory tracked as a
+# workflow artifact per push.
+#
+#   ci_bench.sh path/to/build-dir [out.json]
+#
+# The human-readable console report still goes to the job log; the JSON
+# (benchmark names, real/cpu time, items_per_second) goes to the artifact
+# so regressions in cells/second — including the cached-vs-uncached
+# profile series — are diffable across commits.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ci_bench.sh path/to/build-dir [out.json]}
+OUT=${2:-BENCH_campaign_scaling.json}
+BIN="$BUILD_DIR/bench/abl_campaign_scaling"
+if [ ! -x "$BIN" ]; then
+  echo "ci_bench.sh: missing bench binary $BIN" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# A wedged benchmark must fail the job fast instead of stalling the
+# runner until the 6-hour job limit (the full run takes well under a
+# minute on an idle machine).
+timeout 600 "$BIN" \
+  --benchmark_out="$tmp/bench.json" --benchmark_out_format=json
+
+# Sanity-check before publishing: the artifact must actually contain the
+# benchmark entries, including the profile-cache series.
+grep -q '"benchmarks"' "$tmp/bench.json"
+grep -q 'BM_SweepProfileCache' "$tmp/bench.json"
+grep -q 'BM_SweepThreads' "$tmp/bench.json"
+mv "$tmp/bench.json" "$OUT"
+echo "ci_bench.sh: wrote $OUT"

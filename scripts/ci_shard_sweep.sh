@@ -7,31 +7,37 @@ set -euo pipefail
 
 BIN=${1:?usage: ci_shard_sweep.sh path/to/campaign_sweep}
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# Each sweep finishes in seconds; a shard that hangs (deadlocked pool,
+# wedged store flush) must fail the job fast, not stall it for hours.
+SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
 
 common=(--trials 2 --delays 0,5 --quiet)
 
 # Golden: one process, whole grid.
-"$BIN" "${common[@]}" --threads 4 --csv "$tmp/single.csv" --json "$tmp/single.json"
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" --threads 4 \
+  --csv "$tmp/single.csv" --json "$tmp/single.json"
 
 # Shard 0 sweeps its half of the grid to completion.
-"$BIN" "${common[@]}" --threads 2 --shard 0/2 --store "$tmp/s0.store" > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" --threads 2 --shard 0/2 \
+  --store "$tmp/s0.store" > /dev/null
 
 # Shard 1 is killed after 2 cells (exit 3 = incomplete), then restarted
 # with --resume on a different thread count.
 rc=0
-"$BIN" "${common[@]}" --threads 1 --shard 1/2 --store "$tmp/s1.store" \
-  --cell-budget 2 > /dev/null || rc=$?
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" --threads 1 --shard 1/2 \
+  --store "$tmp/s1.store" --cell-budget 2 > /dev/null || rc=$?
 if [ "$rc" -ne 3 ]; then
   echo "expected exit 3 from the budget-interrupted shard, got $rc" >&2
   exit 1
 fi
-"$BIN" "${common[@]}" --threads 4 --shard 1/2 --store "$tmp/s1.store" \
-  --resume > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" --threads 4 --shard 1/2 \
+  --store "$tmp/s1.store" --resume > /dev/null
 
 # Merge the shard stores and diff against the single-process report.
-"$BIN" merge --quiet --csv "$tmp/merged.csv" --json "$tmp/merged.json" \
-  "$tmp/s0.store" "$tmp/s1.store"
+timeout "$SWEEP_TIMEOUT" "$BIN" merge --quiet --csv "$tmp/merged.csv" \
+  --json "$tmp/merged.json" "$tmp/s0.store" "$tmp/s1.store"
 cmp "$tmp/single.csv" "$tmp/merged.csv"
 cmp "$tmp/single.json" "$tmp/merged.json"
 echo "shard + crash/resume + merge report is byte-identical to single-process sweep"

@@ -1,5 +1,6 @@
 #include "attack/profiler.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "attack/hexdump_analyzer.h"
@@ -46,8 +47,9 @@ ModelProfile OfflineProfiler::profile_model(const std::string& model_name,
   }
 
   // 5. Anchor string for physical-scan reconstruction.
-  const auto path_hits =
-      analyzer.grep("models/" + model_name + "/" + model_name + ".xmodel");
+  const std::string path_needle =
+      "models/" + model_name + "/" + model_name + ".xmodel";
+  const auto path_hits = analyzer.grep(path_needle);
   const std::uint64_t path_off = path_hits.empty() ? 0 : path_hits.front().byte_offset;
 
   ModelProfile p;
@@ -57,6 +59,37 @@ ModelProfile OfflineProfiler::profile_model(const std::string& model_name,
   p.image_height = height;
   p.heap_bytes = dump.bytes.size();
   p.path_string_offset = path_off;
+
+  // 6. Verification runs: replay with non-marker images and require the
+  //    profiled offsets to hold byte-for-byte.
+  for (unsigned v = 0; v < verification_runs_; ++v) {
+    const img::Image sample =
+        img::make_test_image(width, height, 0x5EEDF00DULL + v);
+    const vitis::VictimRun vrun =
+        runtime_.launch(as_uid, model_name, sample, tty);
+    const ResolvedTarget vtarget = resolver.resolve_heap(vrun.pid);
+    runtime_.system().terminate(vrun.pid);
+    const ScrapedDump vdump = scraper.scrape(vtarget);
+
+    const std::vector<std::uint8_t> expect = sample.to_rgb_bytes();
+    const bool image_ok =
+        vdump.bytes.size() == p.heap_bytes &&
+        p.image_offset + expect.size() <= vdump.bytes.size() &&
+        std::equal(expect.begin(), expect.end(),
+                   vdump.bytes.begin() +
+                       static_cast<std::ptrdiff_t>(p.image_offset));
+    const bool path_ok =
+        p.path_string_offset == 0 ||
+        (p.path_string_offset + path_needle.size() <= vdump.bytes.size() &&
+         std::equal(path_needle.begin(), path_needle.end(),
+                    vdump.bytes.begin() +
+                        static_cast<std::ptrdiff_t>(p.path_string_offset)));
+    if (!image_ok || !path_ok) {
+      throw std::runtime_error(
+          "profile_model: offset verification failed for " + model_name +
+          " (run " + std::to_string(v + 1) + ")");
+    }
+  }
   return p;
 }
 

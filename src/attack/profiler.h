@@ -48,10 +48,26 @@ class OfflineProfiler {
   OfflineProfiler(vitis::VitisAiRuntime& runtime, dbg::SystemDebugger& debugger)
       : runtime_{runtime}, debugger_{debugger} {}
 
+  /// Extra runs after the marker run, each with a differently-seeded
+  /// sample image, requiring the image (and path string) to land at the
+  /// profiled offsets — the paper's "the image's offset within the heap
+  /// remained consistent for any image used with this model" observation
+  /// turned into a checked invariant. A verified profile is what makes
+  /// caching it across thousands of campaign trials safe: one bad
+  /// profile would otherwise poison every cell that hits it. 0 disables.
+  void set_verification_runs(unsigned runs) noexcept {
+    verification_runs_ = runs;
+  }
+  [[nodiscard]] unsigned verification_runs() const noexcept {
+    return verification_runs_;
+  }
+
   /// Profiles one model: runs it with a 0x555555-filled image of the given
-  /// geometry under `as_uid`, scrapes the terminated run, and derives the
-  /// marker offset. Throws std::runtime_error if the marker is not found
-  /// (e.g. sanitization wiped it).
+  /// geometry under `as_uid`, scrapes the terminated run, derives the
+  /// marker offset, and replays `verification_runs()` differently-imaged
+  /// runs to confirm the offsets transfer. Throws std::runtime_error if
+  /// the marker is not found (e.g. sanitization wiped it) or a
+  /// verification run contradicts the profile.
   [[nodiscard]] ModelProfile profile_model(const std::string& model_name,
                                            std::uint32_t width,
                                            std::uint32_t height, os::Uid as_uid,
@@ -64,6 +80,7 @@ class OfflineProfiler {
  private:
   vitis::VitisAiRuntime& runtime_;
   dbg::SystemDebugger& debugger_;
+  unsigned verification_runs_ = 1;
 };
 
 }  // namespace msa::attack

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "attack/profile_cache.h"
 #include "dram/remanence.h"
 #include "os/scrubber.h"
 #include "util/log.h"
@@ -49,15 +50,15 @@ img::Image make_victim_input(const ScenarioConfig& cfg) {
 
 }  // namespace
 
-ModelProfile profile_on_twin_board(const ScenarioConfig& config) {
-  // The attacker's own board: identical hardware and allocator behaviour,
-  // but none of the victim's defensive policies apply (the attacker
-  // configures their own board to be fully observable).
+os::SystemConfig twin_system_config(const ScenarioConfig& config) {
   os::SystemConfig twin = config.system;
   twin.sanitize = mem::SanitizePolicy::kNone;
   twin.proc_access = os::ProcAccessPolicy::kWorldReadable;
+  return twin;
+}
 
-  os::PetaLinuxSystem board{twin};
+ModelProfile profile_on_twin_board(const ScenarioConfig& config) {
+  os::PetaLinuxSystem board{twin_system_config(config)};
   board.add_user(config.attacker_uid, "attacker");
   vitis::VitisAiRuntime runtime{board};
   dbg::SystemDebugger dbg{board, config.attacker_uid,
@@ -68,11 +69,18 @@ ModelProfile profile_on_twin_board(const ScenarioConfig& config) {
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  return run_scenario(config, nullptr);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            ProfileCache* profile_cache) {
   ScenarioResult result;
 
   // ---- offline phase (attacker's twin board) -----------------------------
   ProfileDb profiles;
-  profiles.add(profile_on_twin_board(config));
+  profiles.add(profile_cache != nullptr
+                   ? profile_cache->get_or_profile(config)
+                   : profile_on_twin_board(config));
 
   // ---- victim board -------------------------------------------------------
   os::PetaLinuxSystem board{config.system};

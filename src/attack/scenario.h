@@ -77,10 +77,22 @@ struct ScenarioResult {
   }
 };
 
+class ProfileCache;
+
 /// Runs the complete scenario. Never throws on defense interference —
 /// blocked steps surface as denied/denial_reason; infrastructure faults
-/// (bugs) still throw.
+/// (bugs) still throw. When `profiles` is non-null the offline phase is
+/// served from (and populates) the shared cache instead of profiling a
+/// fresh twin board per call; results are identical either way — the
+/// campaign engine's byte-identity tests pin this down.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          ProfileCache* profiles);
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The attacker's own board derived from `config`: identical hardware and
+/// layout policy, but none of the victim's defensive policies apply (the
+/// attacker configures their board to be fully observable).
+[[nodiscard]] os::SystemConfig twin_system_config(const ScenarioConfig& config);
 
 /// Profiles `model_name` on a fresh attacker-controlled board with the
 /// given placement policy (the rest of the config is forced vulnerable —

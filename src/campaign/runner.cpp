@@ -43,7 +43,8 @@ CampaignRunner::~CampaignRunner() {
 
 CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
                                      std::uint64_t trial_salt,
-                                     const TrialHook& on_trial) {
+                                     const TrialHook& on_trial,
+                                     attack::ProfileCache* profiles) {
   CellStats stats;
   stats.index = cell.index;
   stats.defense = cell.defense;
@@ -61,7 +62,7 @@ CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
       cfg.system.seed ^= util::splitmix64(stream);
       cfg.image_seed ^= util::splitmix64(stream);
     }
-    const attack::ScenarioResult result = attack::run_scenario(cfg);
+    const attack::ScenarioResult result = attack::run_scenario(cfg, profiles);
     if (on_trial) on_trial(trial, result);
     stats.accumulate(result);
   }
@@ -79,9 +80,20 @@ SweepReport CampaignRunner::run(const GridBuilder& grid,
   return run(grid.build(), store, max_new_cells);
 }
 
+void CampaignRunner::fill_cache_stats(
+    SweepReport& report, const attack::ProfileCacheStats& before) const {
+  const attack::ProfileCacheStats now = profile_cache_.stats();
+  report.profile_cache_hits = now.hits - before.hits;
+  report.profile_cache_misses = now.misses - before.misses;
+  report.twin_boards_built = now.boards_built - before.boards_built;
+  report.twin_boards_reused = now.boards_reused - before.boards_reused;
+}
+
 SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
   SweepReport report;
+  const attack::ProfileCacheStats before = profile_cache_.stats();
   report.cells = execute(cells, nullptr);
+  fill_cache_stats(report, before);
   return report;
 }
 
@@ -122,7 +134,9 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells,
     pending_pos.resize(max_new_cells);
   }
 
+  const attack::ProfileCacheStats before = profile_cache_.stats();
   std::vector<CellStats> stats = execute(pending, &store);
+  fill_cache_stats(report, before);
   for (std::size_t j = 0; j < stats.size(); ++j) {
     report.cells[pending_pos[j]] = std::move(stats[j]);
   }
@@ -179,6 +193,8 @@ void CampaignRunner::worker_loop() {
       ++in_flight_;
       lock.unlock();
 
+      attack::ProfileCache* profiles =
+          options_.share_profiles ? &profile_cache_ : nullptr;
       CellStats stats;
       std::exception_ptr error;
       try {
@@ -191,11 +207,12 @@ void CampaignRunner::worker_loop() {
               [&](std::uint32_t trial, const attack::ScenarioResult& result) {
                 store->append_trial(persist::TrialRecord::from_result(
                     cell.index, trial, result));
-              });
+              },
+              profiles);
           store->complete_cell(stats);
         } else {
-          stats =
-              score_cell(cell, options_.trials_per_cell, options_.trial_salt);
+          stats = score_cell(cell, options_.trials_per_cell,
+                             options_.trial_salt, {}, profiles);
         }
       } catch (...) {
         error = std::current_exception();

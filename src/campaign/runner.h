@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "attack/profile_cache.h"
 #include "campaign/grid.h"
 #include "campaign/report.h"
 
@@ -36,6 +37,13 @@ struct CampaignOptions {
   /// Salt folded into the per-trial reseeding (vary to get a fresh
   /// family of trials over the same grid).
   std::uint64_t trial_salt = 0xca3face0ULL;
+  /// Share one attack::ProfileCache (and its twin-board pool) across
+  /// every cell and trial of this runner's sweeps, so the offline
+  /// profiling phase runs once per distinct (model, dims, layout) key
+  /// instead of once per trial. Reports are byte-identical with the
+  /// cache on or off; only the cells/second changes. The cache persists
+  /// across run() calls on the same runner.
+  bool share_profiles = true;
   /// Optional progress hook, invoked after each finished cell with
   /// (cells_done, cells_total). Called from worker threads, serialized
   /// by a dedicated mutex (outside the pool lock, so a slow hook does
@@ -93,13 +101,20 @@ class CampaignRunner {
 
   /// Scores one cell exactly as a pool worker would — the unit the
   /// determinism tests pin down. `on_trial`, when set, observes every
-  /// trial in order (the store streaming path).
+  /// trial in order (the store streaming path); `profiles`, when set,
+  /// serves the offline phase of every trial from the shared cache.
   [[nodiscard]] static CellStats score_cell(const CampaignCell& cell,
                                             unsigned trials,
                                             std::uint64_t trial_salt,
-                                            const TrialHook& on_trial = {});
+                                            const TrialHook& on_trial = {},
+                                            attack::ProfileCache* profiles =
+                                                nullptr);
 
  private:
+  /// Copies the cache-counter delta accumulated since `before` into the
+  /// report's telemetry fields.
+  void fill_cache_stats(SweepReport& report,
+                        const attack::ProfileCacheStats& before) const;
   /// Pool execution over `cells` into a stats vector aligned by position;
   /// persists per-trial/per-cell records when `store` is non-null.
   [[nodiscard]] std::vector<CellStats> execute(
@@ -109,6 +124,9 @@ class CampaignRunner {
 
   unsigned threads_;
   CampaignOptions options_;
+  /// Shared across all cells/trials when options_.share_profiles is set;
+  /// lives as long as the runner so back-to-back sweeps reuse profiles.
+  attack::ProfileCache profile_cache_;
   std::vector<std::thread> pool_;
 
   // Pool state, guarded by mutex_. A "batch" is one run() call; workers

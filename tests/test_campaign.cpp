@@ -148,6 +148,78 @@ TEST(CampaignRunner, ReportInvariantUnderThreadCount) {
   EXPECT_EQ(a.to_csv(), c.to_csv());
 }
 
+TEST(CampaignRunner, CachedAndUncachedReportsAreByteIdentical) {
+  // The PR-3 acceptance property: the shared profile cache may only
+  // change cells/second, never a byte of the report — at 1 thread and
+  // at 8.
+  const GridBuilder grid = small_grid();
+  std::string csv[2][2];
+  std::string json[2][2];
+  for (const bool cache : {false, true}) {
+    for (const unsigned threads : {1u, 8u}) {
+      CampaignOptions options = make_options(threads, 2);
+      options.share_profiles = cache;
+      CampaignRunner runner{options};
+      const SweepReport report = runner.run(grid);
+      csv[cache][threads == 8] = report.to_csv();
+      json[cache][threads == 8] = report.to_json();
+      // Telemetry reflects the mode: 8 cells x 2 trials = 16 lookups
+      // over 2 models x 1 board shape = 2 profile keys.
+      if (cache) {
+        EXPECT_EQ(report.profile_cache_misses, 2u);
+        EXPECT_EQ(report.profile_cache_hits, 14u);
+      } else {
+        EXPECT_EQ(report.profile_cache_misses, 0u);
+        EXPECT_EQ(report.profile_cache_hits, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(csv[0][0], csv[0][1]);
+  EXPECT_EQ(csv[0][0], csv[1][0]);
+  EXPECT_EQ(csv[0][0], csv[1][1]);
+  EXPECT_EQ(json[0][0], json[0][1]);
+  EXPECT_EQ(json[0][0], json[1][0]);
+  EXPECT_EQ(json[0][0], json[1][1]);
+}
+
+TEST(CampaignRunner, CacheCountersMatchGridShapeAndPersistAcrossRuns) {
+  // 2 defenses share one twin-board shape, so keys = models(2) x
+  // dims(1) x shape(1); every later run on the same runner is all-hits
+  // (the cache outlives run()), and each miss acquires exactly one
+  // board from the pool.
+  const GridBuilder grid = small_grid();
+  CampaignOptions options = make_options(4, 2);
+  CampaignRunner runner{options};
+
+  const SweepReport first = runner.run(grid);
+  EXPECT_EQ(first.profile_cache_misses, 2u);
+  EXPECT_EQ(first.profile_cache_hits, 14u);
+  EXPECT_EQ(first.twin_boards_built + first.twin_boards_reused,
+            first.profile_cache_misses);
+  EXPECT_GE(first.twin_boards_built, 1u);
+
+  const SweepReport second = runner.run(grid);
+  EXPECT_EQ(second.profile_cache_misses, 0u);
+  EXPECT_EQ(second.profile_cache_hits, 16u);
+  EXPECT_EQ(second.twin_boards_built, 0u);
+  EXPECT_EQ(first.to_csv(), second.to_csv());
+}
+
+TEST(CampaignRunner, AslrDefensesAddProfileKeysDeterministically) {
+  // physical_aslr and heap_va_aslr change the twin-board layout, so a
+  // grid spanning them must profile one key per (defense-shape, model):
+  // {sequential, randomized, va-aslr} x 1 model = 3 misses, regardless
+  // of schedule.
+  GridBuilder grid{small_base()};
+  grid.defenses({"baseline", "physical_aslr", "heap_va_aslr"})
+      .models({"resnet50_pt"})
+      .attack_delays_s({0.0, 5.0});
+  CampaignRunner runner{make_options(8, 2)};
+  const SweepReport report = runner.run(grid);
+  EXPECT_EQ(report.profile_cache_misses, 3u);
+  EXPECT_EQ(report.profile_cache_hits, 6u * 2u - 3u);
+}
+
 TEST(CampaignRunner, TrialZeroMatchesDirectScenarioRun) {
   // A single-trial cell must agree with calling run_scenario directly on
   // the preset-applied config — the campaign adds aggregation, not drift.

@@ -1,0 +1,234 @@
+// Profile-cache tests: key discrimination, the per-key once-latch under
+// concurrency, twin-board-pool reuse purity (a reused board must yield
+// the same profile a fresh board would), seed invariance (the property
+// that makes caching across reseeded trials sound), and failure caching.
+#include "attack/profile_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "attack/profiler.h"
+#include "defense/presets.h"
+
+namespace msa::attack {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  return cfg;
+}
+
+void expect_same_profile(const ModelProfile& a, const ModelProfile& b) {
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_EQ(a.image_offset, b.image_offset);
+  EXPECT_EQ(a.image_width, b.image_width);
+  EXPECT_EQ(a.image_height, b.image_height);
+  EXPECT_EQ(a.heap_bytes, b.heap_bytes);
+  EXPECT_EQ(a.path_string_offset, b.path_string_offset);
+}
+
+TEST(ProfileKey, DiscriminatesTheLayoutKnobs) {
+  const ScenarioConfig base = small_config();
+  const ProfileKey key = ProfileKey::from_config(base);
+
+  ScenarioConfig other = base;
+  other.model_name = "squeezenet_pt";
+  EXPECT_NE(ProfileKey::from_config(other), key);
+
+  other = base;
+  other.image_width = 64;
+  EXPECT_NE(ProfileKey::from_config(other), key);
+
+  other = base;
+  other.system.placement = mem::PlacementPolicy::kRandomized;
+  EXPECT_NE(ProfileKey::from_config(other), key);
+
+  other = base;
+  other.system.heap_va_aslr = true;
+  EXPECT_NE(ProfileKey::from_config(other), key);
+
+  other = base;
+  other.attacker_uid = 4242;
+  EXPECT_NE(ProfileKey::from_config(other), key);
+}
+
+TEST(ProfileKey, IgnoresSeedAndVictimSideKnobs) {
+  // Per-trial reseeding and the victim's defensive policies must map to
+  // the SAME key, or the cache would never hit inside a campaign.
+  const ScenarioConfig base = small_config();
+  const ProfileKey key = ProfileKey::from_config(base);
+
+  ScenarioConfig other = base;
+  other.system.seed ^= 0xDEADBEEFULL;
+  other.image_seed ^= 0xDEADBEEFULL;
+  EXPECT_EQ(ProfileKey::from_config(other), key);
+
+  other = base;
+  other.system.sanitize = mem::SanitizePolicy::kZeroOnFree;
+  other.acl.mode = dbg::AclMode::kDisabled;
+  other.firewall = dbg::FirewallMode::kOwnerOrResidue;
+  other.attack_delay_s = 60.0;
+  EXPECT_EQ(ProfileKey::from_config(other), key);
+}
+
+TEST(ProfileCache, HitReturnsTheProfiledValue) {
+  ProfileCache cache;
+  const ScenarioConfig cfg = small_config();
+  const ModelProfile direct = profile_on_twin_board(cfg);
+  const ModelProfile first = cache.get_or_profile(cfg);
+  const ModelProfile second = cache.get_or_profile(cfg);
+  expect_same_profile(first, direct);
+  expect_same_profile(second, direct);
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCache, SeedChangesHitTheSameEntry) {
+  // The invariant the campaign's byte-identity rests on: a profile
+  // served to a reseeded trial equals the profile that trial would have
+  // measured itself.
+  ProfileCache cache;
+  ScenarioConfig cfg = small_config();
+  (void)cache.get_or_profile(cfg);
+
+  ScenarioConfig reseeded = cfg;
+  reseeded.system.seed ^= 0x1234567890ULL;
+  reseeded.image_seed ^= 0x42ULL;
+  const ModelProfile cached = cache.get_or_profile(reseeded);
+  expect_same_profile(cached, profile_on_twin_board(reseeded));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ProfileCache, RandomizedPlacementProfileIsSeedInvariant) {
+  // Physical-layout randomization scrambles frame placement, but the
+  // scrape reassembles in VA order — profiles must not depend on the
+  // seed even there, or caching under the physical_aslr defense would
+  // corrupt campaign results.
+  ScenarioConfig cfg =
+      defense::preset("physical_aslr").apply(small_config());
+  ScenarioConfig reseeded = cfg;
+  reseeded.system.seed ^= 0xABCDEFULL;
+  expect_same_profile(profile_on_twin_board(cfg),
+                      profile_on_twin_board(reseeded));
+
+  ProfileCache cache;
+  expect_same_profile(cache.get_or_profile(cfg),
+                      profile_on_twin_board(reseeded));
+}
+
+TEST(ProfileCache, ConcurrentMissesOnOneKeyProfileExactlyOnce) {
+  // 8 threads race on a cold key: the once-latch must let exactly one
+  // profile (1 miss) and serve the other 7 as hits, all with identical
+  // bytes.
+  ProfileCache cache;
+  const ScenarioConfig cfg = small_config();
+  const ModelProfile direct = profile_on_twin_board(cfg);
+
+  constexpr unsigned kThreads = 8;
+  std::vector<ModelProfile> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = cache.get_or_profile(cfg); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const ModelProfile& p : results) expect_same_profile(p, direct);
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.boards_built, 1u);
+  EXPECT_EQ(stats.boards_reused, 0u);
+}
+
+TEST(ProfileCache, DistinctModelsMissSeparatelyAndReuseBoards) {
+  // Sequential misses on the same board shape: the second model must
+  // profile on the first's parked (scrubbed) board and still match a
+  // fresh-board profile bit for bit — the pool-reuse purity property.
+  ProfileCache cache;
+  ScenarioConfig cfg = small_config();
+  (void)cache.get_or_profile(cfg);
+
+  ScenarioConfig other = cfg;
+  other.model_name = "squeezenet_pt";
+  const ModelProfile reused_board = cache.get_or_profile(other);
+  expect_same_profile(reused_board, profile_on_twin_board(other));
+
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.boards_built, 1u);
+  EXPECT_EQ(stats.boards_reused, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProfileCache, DifferentPlacementNeverSharesBoards) {
+  ProfileCache cache;
+  ScenarioConfig sequential = small_config();
+  ScenarioConfig randomized =
+      defense::preset("physical_aslr").apply(small_config());
+  (void)cache.get_or_profile(sequential);
+  (void)cache.get_or_profile(randomized);
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.boards_built, 2u);
+  EXPECT_EQ(stats.boards_reused, 0u);
+}
+
+TEST(ProfileCache, ProfilingFailureIsCachedAndRethrown) {
+  // An unknown model makes the profiler throw; the cache must rethrow
+  // the same error on the first call AND on later lookups (matching the
+  // uncached behaviour of failing every trial), without deadlocking the
+  // once-latch.
+  ProfileCache cache;
+  ScenarioConfig cfg = small_config();
+  cfg.model_name = "no_such_model";
+  EXPECT_THROW((void)cache.get_or_profile(cfg), std::invalid_argument);
+  EXPECT_THROW((void)cache.get_or_profile(cfg), std::invalid_argument);
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // The half-profiled board was discarded, not parked.
+  EXPECT_EQ(stats.boards_built, 1u);
+  EXPECT_EQ(stats.boards_reused, 0u);
+
+  // A healthy key still works after a failed one.
+  ScenarioConfig good = small_config();
+  expect_same_profile(cache.get_or_profile(good),
+                      profile_on_twin_board(good));
+}
+
+TEST(ProfileCache, RunScenarioWithCacheMatchesWithout) {
+  // The integration seam run_scenario(config, cache): identical result
+  // fields with and without the cache, for a success and a denial cell.
+  ProfileCache cache;
+  for (const char* preset : {"baseline", "dbg_disabled"}) {
+    const ScenarioConfig cfg =
+        defense::preset(preset).apply(small_config());
+    const ScenarioResult with = run_scenario(cfg, &cache);
+    const ScenarioResult without = run_scenario(cfg);
+    EXPECT_EQ(with.denied, without.denied) << preset;
+    EXPECT_EQ(with.denial_reason, without.denial_reason) << preset;
+    EXPECT_EQ(with.model_identified_correctly,
+              without.model_identified_correctly)
+        << preset;
+    EXPECT_DOUBLE_EQ(with.pixel_match, without.pixel_match) << preset;
+    EXPECT_DOUBLE_EQ(with.psnr, without.psnr) << preset;
+    EXPECT_DOUBLE_EQ(with.descriptor_pixel_match,
+                     without.descriptor_pixel_match)
+        << preset;
+  }
+}
+
+}  // namespace
+}  // namespace msa::attack
