@@ -6,12 +6,16 @@
 //   campaign_sweep [--threads N] [--trials N]
 //                  [--defenses a,b,...] [--models a,b,...]
 //                  [--delays s1,s2,...] [--scrubbers r1,r2,...]
-//                  [--no-profile-cache]
+//                  [--no-profile-cache] [--fsync-every K]
 //                  [--store PATH [--resume]] [--shard I/N]
 //                  [--cell-budget K]
+//                  [--workers-dir DIR --worker-id ID
+//                   [--expiry-scans K] [--idle-backoff-ms M]]
 //                  [--csv out.csv] [--json out.json] [--quiet]
-//   campaign_sweep merge [--csv out.csv] [--json out.json] [--quiet]
-//                  STORE...
+//   campaign_sweep merge [--workers-dir DIR | STORE...]
+//                  [--csv out.csv] [--json out.json] [--quiet]
+//   campaign_sweep stats [--workers-dir DIR | STORE...]
+//   campaign_sweep compact STORE...
 //
 // With --store, every finished trial and completed cell is streamed to a
 // crash-safe on-disk record store; an interrupted sweep is continued with
@@ -23,16 +27,32 @@
 // and exits 3 if that leaves the shard incomplete (the CI crash/restart
 // harness and batch schedulers use this to bound one invocation's work).
 //
+// --workers-dir replaces the static --shard partition with work-stealing:
+// every worker process points at the same directory (a shared filesystem
+// across machines works), leases cells through its own append-only lease
+// log, and streams results into its own store there. Heterogeneous cell
+// costs even out automatically, a SIGKILLed worker's leases expire and
+// its cells are re-run by survivors, and a restarted worker (same
+// --worker-id) resumes its store. Each worker exits only when the WHOLE
+// grid is complete and prints the merged report — byte-identical to the
+// single-process run. `merge --workers-dir DIR` reassembles the report
+// offline; `stats` prints per-cell percentiles/CIs and per-axis
+// marginals from the trial stream; `compact` drops superseded duplicate
+// records a resumed or raced sweep leaves behind.
+//
 // The offline-profiling phase is cached across cells and trials by
 // default (reports are byte-identical either way; the cache only changes
 // cells/second). --no-profile-cache re-profiles a fresh twin board per
 // trial — the escape hatch for A/B-ing the cache itself.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage, 3 sweep incomplete.
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <vector>
@@ -40,8 +60,10 @@
 #include "campaign/grid.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
+#include "campaign/stats.h"
 #include "defense/presets.h"
 #include "persist/campaign_store.h"
+#include "persist/lease_log.h"
 #include "util/strings.h"
 #include "vitis/model_zoo.h"
 
@@ -53,11 +75,34 @@ int usage(const char* argv0) {
       "usage: %s [--threads N] [--trials N] [--defenses a,b] [--models a,b]\n"
       "          [--delays s1,s2] [--scrubbers r1,r2] [--no-profile-cache]\n"
       "          [--store PATH [--resume]] [--shard I/N] [--cell-budget K]\n"
+      "          [--workers-dir DIR --worker-id ID [--expiry-scans K]\n"
+      "           [--idle-backoff-ms M]] [--fsync-every K]\n"
       "          [--csv PATH] [--json PATH] [--quiet]\n"
-      "       %s merge [--csv PATH] [--json PATH] [--quiet] STORE...\n"
-      "  --threads/--trials/--cell-budget take positive integers\n",
-      argv0, argv0);
+      "       %s merge [--workers-dir DIR | STORE...]\n"
+      "                [--csv PATH] [--json PATH] [--quiet]\n"
+      "       %s stats [--workers-dir DIR | STORE...]\n"
+      "       %s compact STORE...\n"
+      "  --threads/--trials/--cell-budget/--fsync-every/--expiry-scans/\n"
+      "  --idle-backoff-ms take positive integers\n"
+      "  --workers-dir is work-stealing mode (one process per --worker-id,\n"
+      "  any number of machines over a shared filesystem); it excludes\n"
+      "  --store/--resume/--shard/--cell-budget\n",
+      argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// All "*.store" files under a workers directory, sorted for stable
+/// error messages.
+std::vector<std::string> worker_stores(const std::string& dir) {
+  std::vector<std::string> stores;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".store") {
+      stores.push_back(entry.path().string());
+    }
+  }
+  std::sort(stores.begin(), stores.end());
+  return stores;
 }
 
 [[noreturn]] void bad_number(const char* argv0, const char* flag,
@@ -155,6 +200,7 @@ int run_merge(const char* argv0, int argc, char** argv) {
   bool quiet = false;
   std::string csv_path;
   std::string json_path;
+  std::string workers_dir;
   std::vector<std::string> stores;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -169,6 +215,10 @@ int run_merge(const char* argv0, int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv0);
       json_path = v;
+    } else if (arg == "--workers-dir") {
+      const char* v = next();
+      if (!v) return usage(argv0);
+      workers_dir = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -177,11 +227,23 @@ int run_merge(const char* argv0, int argc, char** argv) {
       stores.push_back(arg);
     }
   }
-  if (stores.empty()) return usage(argv0);
+  if (workers_dir.empty() == stores.empty()) return usage(argv0);
 
   msa::campaign::SweepReport report;
   try {
-    report = msa::persist::merge_stores(stores);
+    if (!workers_dir.empty()) {
+      stores = worker_stores(workers_dir);
+      if (stores.empty()) {
+        std::fprintf(stderr, "merge failed: no *.store files in %s\n",
+                     workers_dir.c_str());
+        return 1;
+      }
+      // Worker stores may legally duplicate a cell (lease reclaimed,
+      // original worker resurrected); shard stores may not.
+      report = msa::persist::merge_worker_stores(stores);
+    } else {
+      report = msa::persist::merge_stores(stores);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "merge failed: %s\n", e.what());
     return 1;
@@ -193,6 +255,79 @@ int run_merge(const char* argv0, int argc, char** argv) {
   return emit_report(report, csv_path, json_path, quiet);
 }
 
+int run_stats(const char* argv0, int argc, char** argv) {
+  std::string workers_dir;
+  std::vector<std::string> stores;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers-dir") {
+      const char* v = next();
+      if (!v) return usage(argv0);
+      workers_dir = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv0);
+    } else {
+      stores.push_back(arg);
+    }
+  }
+  if (workers_dir.empty() == stores.empty()) return usage(argv0);
+
+  try {
+    if (!workers_dir.empty()) {
+      stores = worker_stores(workers_dir);
+      if (stores.empty()) {
+        std::fprintf(stderr, "stats failed: no *.store files in %s\n",
+                     workers_dir.c_str());
+        return 1;
+      }
+    }
+    const msa::persist::SweepData data = msa::persist::load_sweep(stores);
+    const msa::campaign::StatsReport report = msa::campaign::analyze_sweep(data);
+    const std::string text = report.to_text();
+    std::fputs(text.c_str(), stdout);
+    if (data.truncated_tail) {
+      std::fprintf(stderr,
+                   "[campaign] warning: a store had a torn tail (crashed "
+                   "writer); its unflushed records were skipped\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stats failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_compact(const char* argv0, int argc, char** argv) {
+  std::vector<std::string> stores;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') return usage(argv0);
+    stores.push_back(arg);
+  }
+  if (stores.empty()) return usage(argv0);
+
+  for (const std::string& path : stores) {
+    try {
+      const msa::persist::CompactionResult result =
+          msa::persist::compact_store(path);
+      std::fprintf(stderr,
+                   "[campaign] compacted %s: %llu -> %llu bytes "
+                   "(%zu trial record(s), %zu cell record(s) dropped)\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(result.bytes_before),
+                   static_cast<unsigned long long>(result.bytes_after),
+                   result.trials_dropped, result.cells_dropped);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "compact failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,16 +336,27 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
     return run_merge(argv[0], argc - 2, argv + 2);
   }
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return run_stats(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "compact") == 0) {
+    return run_compact(argv[0], argc - 2, argv + 2);
+  }
 
   unsigned threads = 0;  // 0 = hardware concurrency (flag rejects 0)
   unsigned trials = 1;
   unsigned shard_index = 0;
   unsigned shard_count = 1;
   unsigned cell_budget = 0;  // 0 = unlimited
+  unsigned fsync_every = 0;  // 0 = flush only (default durability)
+  unsigned expiry_scans = 8;
+  unsigned idle_backoff_ms = 25;
   bool resume = false;
   bool quiet = false;
   bool profile_cache = true;
   std::string store_path;
+  std::string workers_dir;
+  std::string worker_id;
   std::string csv_path;
   std::string json_path;
   // Defaults: 2 defenses x 2 models x 3 delays x 2 scrubber rates = 24
@@ -253,6 +399,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       store_path = v;
+    } else if (arg == "--workers-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      workers_dir = v;
+    } else if (arg == "--worker-id") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      worker_id = v;
+    } else if (arg == "--expiry-scans") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      expiry_scans = parse_positive(argv[0], "--expiry-scans", v);
+    } else if (arg == "--idle-backoff-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      // Zero would busy-spin the endgame AND shrink the lease-expiry
+      // window to ~nothing (mass-stealing live peers' cells).
+      idle_backoff_ms = parse_positive(argv[0], "--idle-backoff-ms", v);
+    } else if (arg == "--fsync-every") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      fsync_every = parse_positive(argv[0], "--fsync-every", v);
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg == "--no-profile-cache") {
@@ -281,6 +449,22 @@ int main(int argc, char** argv) {
   }
   if (store_path.empty() && (resume || cell_budget != 0)) {
     std::fprintf(stderr, "--resume/--cell-budget require --store\n");
+    return usage(argv[0]);
+  }
+  if (workers_dir.empty() != worker_id.empty()) {
+    std::fprintf(stderr, "--workers-dir and --worker-id go together\n");
+    return usage(argv[0]);
+  }
+  if (!workers_dir.empty() &&
+      (!store_path.empty() || resume || cell_budget != 0 || shard_count > 1)) {
+    std::fprintf(stderr,
+                 "--workers-dir (work-stealing) excludes "
+                 "--store/--resume/--shard/--cell-budget\n");
+    return usage(argv[0]);
+  }
+  if (!worker_id.empty() &&
+      !persist::LeaseScheduler::valid_worker_id(worker_id)) {
+    std::fprintf(stderr, "--worker-id must match [A-Za-z0-9_-]+\n");
     return usage(argv[0]);
   }
 
@@ -314,9 +498,50 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "[campaign] %zu cells x %u trial(s) on %u thread(s)%s\n",
                    shard_cells, trials, runner.thread_count(),
-                   shard_count > 1 ? " (sharded)" : "");
+                   !workers_dir.empty()    ? " (work-stealing)"
+                   : shard_count > 1 ? " (sharded)" : "");
     }
-    if (store_path.empty()) {
+    if (!workers_dir.empty()) {
+      // Work-stealing mode: lease cells from the shared directory, stream
+      // results into this worker's own store there, and exit only when
+      // the WHOLE grid is complete — at which point the merged report can
+      // be emitted locally (every worker computes identical bytes).
+      persist::StoreManifest manifest;
+      manifest.grid_fingerprint = grid.fingerprint();
+      manifest.grid_cells = grid.full_size();
+      manifest.trials_per_cell = trials;
+      manifest.trial_salt = options.trial_salt;
+      std::filesystem::create_directories(workers_dir);
+      persist::CampaignStore store{
+          persist::LeaseScheduler::store_path(workers_dir, worker_id),
+          manifest, persist::CampaignStore::Mode::kCreateOrResume,
+          persist::StoreOptions{fsync_every}};
+      persist::LeaseSchedulerOptions lease_options;
+      lease_options.expiry_scans = expiry_scans;
+      lease_options.idle_backoff = std::chrono::milliseconds{idle_backoff_ms};
+      persist::LeaseScheduler scheduler{workers_dir,    worker_id,
+                                        grid.build(),   manifest,
+                                        &store,         lease_options};
+      if (!quiet && scheduler.planned() < shard_cells) {
+        std::fprintf(stderr, "[campaign] joining: %zu/%zu cells already done\n",
+                     shard_cells - scheduler.planned(), shard_cells);
+      }
+      (void)runner.run(scheduler, store);
+      const persist::LeaseScheduler::Telemetry t = scheduler.telemetry();
+      if (!quiet) {
+        std::fprintf(stderr,
+                     "[campaign] worker %s: %llu claim(s) (%llu stolen), "
+                     "%llu forfeit(s), %llu scan(s), %zu cell(s) in store\n",
+                     worker_id.c_str(),
+                     static_cast<unsigned long long>(t.claims),
+                     static_cast<unsigned long long>(t.steals),
+                     static_cast<unsigned long long>(t.forfeits),
+                     static_cast<unsigned long long>(t.scans),
+                     store.completed_count());
+      }
+      report = persist::merge_worker_stores(worker_stores(workers_dir));
+      completed = shard_cells;
+    } else if (store_path.empty()) {
       report = runner.run(grid);
       completed = shard_cells;
     } else {
@@ -330,7 +555,8 @@ int main(int argc, char** argv) {
       persist::CampaignStore store{store_path, manifest,
                                    resume
                                        ? persist::CampaignStore::Mode::kResume
-                                       : persist::CampaignStore::Mode::kCreate};
+                                       : persist::CampaignStore::Mode::kCreate,
+                                   persist::StoreOptions{fsync_every}};
       if (resume && !quiet) {
         std::fprintf(stderr, "[campaign] resuming: %zu/%zu cells on disk\n",
                      store.completed_count(), shard_cells);
@@ -343,7 +569,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!quiet && profile_cache) {
+  // In lease mode the emitted report is the merged cross-worker one,
+  // which carries no cache telemetry — printing its zeros would mislead.
+  if (!quiet && profile_cache && workers_dir.empty()) {
     std::fprintf(stderr,
                  "[campaign] profile cache: %llu hits, %llu misses "
                  "(%llu twin boards built, %llu reused)\n",

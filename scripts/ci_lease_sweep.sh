@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Kill-and-reclaim drill for the work-stealing scheduler: three worker
+# processes lease cells from one shared store directory, one of them is
+# SIGKILLed mid-sweep, and the survivors must finish the whole grid with
+# the merged report byte-identical to an uninterrupted single-process
+# run. Also smoke-tests the `stats` and `compact` subcommands over the
+# surviving stores (compaction must not change the merged report).
+set -euo pipefail
+
+BIN=${1:?usage: ci_lease_sweep.sh path/to/campaign_sweep}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# A worker that hangs (deadlocked scheduler, wedged lease scan) must
+# fail the job fast, not stall it for hours.
+SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+
+# Enough cells x trials that the victim is still mid-sweep when killed;
+# delays include 60s so cell costs are heterogeneous like a real matrix.
+common=(--trials 3 --delays 0,5,60 --quiet)
+# ~400ms of lease silence before survivors presume a peer dead: well
+# above one trial's duration (renewals land per trial), well below the
+# job timeout.
+lease=(--workers-dir "$tmp/wd" --expiry-scans 8 --idle-backoff-ms 50)
+
+# Golden: one process, whole grid.
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" --threads 2 \
+  --csv "$tmp/single.csv" --json "$tmp/single.json"
+
+# Three workers race the same grid; the victim starts first so it holds
+# claims when the kill lands. NO `timeout` wrapper here: $! must be the
+# sweep process itself, or the kill below would hit the wrapper and
+# leave the worker alive (making the whole drill vacuous). The kill IS
+# this process's timeout.
+"$BIN" "${common[@]}" "${lease[@]}" --threads 1 \
+  --worker-id victim > /dev/null 2>&1 &
+victim_pid=$!
+
+# Kill only once the victim demonstrably holds leases: its lease log has
+# grown past the manifest record. Polling keeps the drill timing-robust.
+manifest_bytes=0
+for _ in $(seq 1 500); do
+  if [ -f "$tmp/wd/victim.lease" ]; then
+    size=$(stat -c %s "$tmp/wd/victim.lease" 2>/dev/null || echo 0)
+    if [ "$manifest_bytes" -eq 0 ] && [ "$size" -gt 8 ]; then
+      manifest_bytes=$size  # magic + manifest landed
+    elif [ "$manifest_bytes" -gt 0 ] && [ "$size" -gt "$manifest_bytes" ]; then
+      break  # at least one claim record is on disk
+    fi
+  fi
+  sleep 0.01
+done
+if ! kill -9 "$victim_pid" 2>/dev/null; then
+  echo "victim finished before the kill landed; drill inconclusive" >&2
+  exit 1
+fi
+rc=0
+wait "$victim_pid" 2>/dev/null || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "victim exited $rc, not SIGKILL (137); drill inconclusive" >&2
+  exit 1
+fi
+echo "[lease drill] victim SIGKILLed mid-sweep"
+
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${lease[@]}" --threads 1 \
+  --worker-id live-a --csv "$tmp/a.csv" 2> /dev/null &
+a_pid=$!
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${lease[@]}" --threads 1 \
+  --worker-id live-b --csv "$tmp/b.csv" 2> /dev/null &
+b_pid=$!
+wait "$a_pid"
+wait "$b_pid"
+
+# Every survivor saw the grid to completion and emitted the merged
+# report — byte-identical to the single-process run, victim's partial
+# store included.
+cmp "$tmp/single.csv" "$tmp/a.csv"
+cmp "$tmp/single.csv" "$tmp/b.csv"
+timeout "$SWEEP_TIMEOUT" "$BIN" merge --workers-dir "$tmp/wd" --quiet \
+  --csv "$tmp/merged.csv" --json "$tmp/merged.json"
+cmp "$tmp/single.csv" "$tmp/merged.csv"
+cmp "$tmp/single.json" "$tmp/merged.json"
+
+# Store-backed analysis runs over the same directory.
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --workers-dir "$tmp/wd" \
+  > "$tmp/stats.txt"
+grep -q "per-cell distributions" "$tmp/stats.txt"
+grep -q "per-axis marginals" "$tmp/stats.txt"
+
+# Compaction drops the kill's leftovers without changing the report.
+for store in "$tmp"/wd/*.store; do
+  timeout "$SWEEP_TIMEOUT" "$BIN" compact "$store"
+done
+timeout "$SWEEP_TIMEOUT" "$BIN" merge --workers-dir "$tmp/wd" --quiet \
+  --csv "$tmp/merged2.csv"
+cmp "$tmp/single.csv" "$tmp/merged2.csv"
+
+echo "lease sweep with SIGKILL + reclaim merges byte-identical to single-process run"

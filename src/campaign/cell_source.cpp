@@ -1,0 +1,28 @@
+#include "campaign/cell_source.h"
+
+namespace msa::campaign {
+
+CellSource::~CellSource() = default;
+
+std::optional<ClaimedCell> StaticCellSource::acquire() {
+  const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= cells_->size()) return std::nullopt;
+  return ClaimedCell{(*cells_)[i], i};
+}
+
+bool StaticCellSource::commit(const ClaimedCell& claim, const CellStats& stats,
+                              const std::function<void()>& persist) {
+  (void)claim;
+  (void)stats;
+  if (persist) persist();
+  return true;
+}
+
+void StaticCellSource::abort() {
+  // Jump the cursor past the end; an acquire that already fetched its
+  // index may still hand out one cell, which the runner tolerates (the
+  // failed batch's results are discarded anyway).
+  next_.store(cells_->size(), std::memory_order_relaxed);
+}
+
+}  // namespace msa::campaign

@@ -1,0 +1,93 @@
+// Cell dispatch for campaign sweeps, split out of CampaignRunner so the
+// "where does the next cell come from" policy is pluggable. The runner's
+// pool threads pull work through this interface; the two implementations
+// are the in-process static queue below (the old vector/shard dispatch)
+// and persist::LeaseScheduler, which leases cells dynamically from a
+// shared store directory so N independent processes can work-steal one
+// grid (see persist/lease_log.h).
+//
+// Threading contract: every method may be called concurrently from many
+// pool workers; implementations do their own locking. acquire() may
+// block (the lease scheduler waits on stragglers); abort() must unblock
+// it. Slots handed out by acquire() are dense (0, 1, 2, ... in claim
+// order) so the runner can collect results into a flat vector.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/report.h"
+
+namespace msa::campaign {
+
+/// One unit of claimed work: the cell plus the dense result slot the
+/// runner stores its stats under.
+struct ClaimedCell {
+  CampaignCell cell;
+  std::size_t slot = 0;
+};
+
+/// Hands cells to CampaignRunner workers and witnesses their completion.
+class CellSource {
+ public:
+  virtual ~CellSource();
+
+  /// Upper bound on the cells this source may hand out over its
+  /// lifetime — the progress-hook total. (For a lease scheduler this is
+  /// the cells not yet complete when the source was opened; other
+  /// workers finishing cells can make the real number smaller.)
+  [[nodiscard]] virtual std::size_t planned() const = 0;
+
+  /// Claims the next cell, or nullopt when the source is drained for
+  /// this worker. Once any call returns nullopt the source stays
+  /// drained: pool workers treat it as the batch-exit signal.
+  [[nodiscard]] virtual std::optional<ClaimedCell> acquire() = 0;
+
+  /// Offers a finished cell's aggregate. Returns true when this worker
+  /// owns the completion; `persist` is invoked between the ownership
+  /// decision and any completion record the source writes, so durable
+  /// stats always precede the "done" marker (a crash in between costs a
+  /// re-run, never a dangling completion). Returns false when the cell
+  /// was lost to another worker (lease reclaimed and re-completed
+  /// elsewhere) — the caller must NOT persist the stats; the stale
+  /// completion is ignored.
+  [[nodiscard]] virtual bool commit(const ClaimedCell& claim,
+                                    const CellStats& stats,
+                                    const std::function<void()>& persist) = 0;
+
+  /// Liveness beacon from the trial loop: called after every finished
+  /// trial of a claimed cell so long-running cells keep their lease
+  /// fresh. Default: nothing to renew.
+  virtual void renew(const ClaimedCell& claim) { (void)claim; }
+
+  /// Drains the source early: pending and future acquire() calls return
+  /// nullopt as soon as possible. Called by the runner when a worker
+  /// hits an infrastructure error, so the surviving workers stop
+  /// claiming instead of finishing the sweep around a poisoned batch.
+  virtual void abort() = 0;
+};
+
+/// The static dispatch the runner always had: a fixed vector of cells
+/// handed out in order, slot == position. Non-owning — the vector must
+/// outlive the source (the runner keeps it alive for the batch).
+class StaticCellSource final : public CellSource {
+ public:
+  explicit StaticCellSource(const std::vector<CampaignCell>& cells)
+      : cells_{&cells} {}
+
+  [[nodiscard]] std::size_t planned() const override { return cells_->size(); }
+  [[nodiscard]] std::optional<ClaimedCell> acquire() override;
+  [[nodiscard]] bool commit(const ClaimedCell& claim, const CellStats& stats,
+                            const std::function<void()>& persist) override;
+  void abort() override;
+
+ private:
+  const std::vector<CampaignCell>* cells_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace msa::campaign

@@ -92,8 +92,41 @@ void CampaignRunner::fill_cache_stats(
 SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
   SweepReport report;
   const attack::ProfileCacheStats before = profile_cache_.stats();
-  report.cells = execute(cells, nullptr);
+  StaticCellSource source{cells};
+  report.cells = execute(source, nullptr);
   fill_cache_stats(report, before);
+  return report;
+}
+
+SweepReport CampaignRunner::run(CellSource& source) {
+  SweepReport report;
+  const attack::ProfileCacheStats before = profile_cache_.stats();
+  report.cells = execute(source, nullptr);
+  fill_cache_stats(report, before);
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellStats& a, const CellStats& b) {
+              return a.index < b.index;
+            });
+  return report;
+}
+
+SweepReport CampaignRunner::run(CellSource& source,
+                                persist::CampaignStore& store) {
+  const persist::StoreManifest& manifest = store.manifest();
+  if (manifest.trials_per_cell != options_.trials_per_cell ||
+      manifest.trial_salt != options_.trial_salt) {
+    throw std::invalid_argument(
+        "campaign: store was written with different trials/salt than this "
+        "runner");
+  }
+  SweepReport report;
+  const attack::ProfileCacheStats before = profile_cache_.stats();
+  report.cells = execute(source, &store);
+  fill_cache_stats(report, before);
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellStats& a, const CellStats& b) {
+              return a.index < b.index;
+            });
   return report;
 }
 
@@ -135,7 +168,8 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells,
   }
 
   const attack::ProfileCacheStats before = profile_cache_.stats();
-  std::vector<CellStats> stats = execute(pending, &store);
+  StaticCellSource source{pending};
+  std::vector<CellStats> stats = execute(source, &store);
   fill_cache_stats(report, before);
   for (std::size_t j = 0; j < stats.size(); ++j) {
     report.cells[pending_pos[j]] = std::move(stats[j]);
@@ -143,20 +177,21 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells,
   return report;
 }
 
-std::vector<CellStats> CampaignRunner::execute(
-    const std::vector<CampaignCell>& cells, persist::CampaignStore* store) {
-  std::vector<CellStats> stats(cells.size());
-  if (cells.empty()) return stats;
+std::vector<CellStats> CampaignRunner::execute(CellSource& source,
+                                               persist::CampaignStore* store) {
+  std::vector<CellStats> stats;
+  stats.resize(source.planned());
 
   {
     const std::lock_guard lock{mutex_};
-    batch_cells_ = &cells;
+    batch_source_ = &source;
     batch_stats_ = &stats;
     batch_store_ = store;
-    batch_size_ = cells.size();
-    next_index_ = 0;
+    batch_total_ = source.planned();
+    batch_slots_used_ = 0;
     cells_done_ = 0;
-    in_flight_ = 0;
+    participants_ = 0;
+    source_drained_ = false;
     batch_error_ = nullptr;
     ++batch_generation_;
   }
@@ -164,14 +199,17 @@ std::vector<CellStats> CampaignRunner::execute(
 
   {
     std::unique_lock lock{mutex_};
-    done_cv_.wait(lock, [this] {
-      return next_index_ >= batch_size_ && in_flight_ == 0;
-    });
-    batch_cells_ = nullptr;
+    done_cv_.wait(lock,
+                  [this] { return source_drained_ && participants_ == 0; });
+    batch_source_ = nullptr;
     batch_stats_ = nullptr;
     batch_store_ = nullptr;
     if (batch_error_) std::rethrow_exception(batch_error_);
   }
+  // A dynamic source may hand out fewer cells than planned (peers took
+  // the rest); drop the never-claimed tail slots. batch_slots_used_ is
+  // exact — every placement recorded its slot under the lock.
+  stats.resize(batch_slots_used_);
   return stats;
 }
 
@@ -181,77 +219,106 @@ void CampaignRunner::worker_loop() {
     std::unique_lock lock{mutex_};
     work_cv_.wait(lock, [&] {
       return stopping_ ||
-             (batch_generation_ != seen_generation && next_index_ < batch_size_);
+             (batch_generation_ != seen_generation && batch_source_ != nullptr);
     });
     if (stopping_) return;
     seen_generation = batch_generation_;
+    CellSource* source = batch_source_;
+    persist::CampaignStore* store = batch_store_;
+    ++participants_;
+    lock.unlock();
 
-    while (next_index_ < batch_size_) {
-      const std::size_t index = next_index_++;
-      const CampaignCell& cell = (*batch_cells_)[index];
-      persist::CampaignStore* store = batch_store_;
-      ++in_flight_;
-      lock.unlock();
-
-      attack::ProfileCache* profiles =
-          options_.share_profiles ? &profile_cache_ : nullptr;
+    while (true) {
+      std::optional<ClaimedCell> claim;
       CellStats stats;
       std::exception_ptr error;
       try {
-        if (store != nullptr) {
-          // Stream every trial as it finishes, then durably mark the cell
-          // complete. A store I/O failure aborts the batch like any other
-          // infrastructure error.
+        // May block on a dynamic source (lease endgame); abort() — from
+        // an error elsewhere or the destructor path — unblocks it.
+        claim = source->acquire();
+        if (claim.has_value()) {
+          attack::ProfileCache* profiles =
+              options_.share_profiles ? &profile_cache_ : nullptr;
+          const CampaignCell& cell = claim->cell;
+          // Stream every trial as it finishes (a store I/O failure
+          // aborts the batch like any other infrastructure error) and
+          // keep the source's lease fresh between trials.
           stats = score_cell(
               cell, options_.trials_per_cell, options_.trial_salt,
               [&](std::uint32_t trial, const attack::ScenarioResult& result) {
-                store->append_trial(persist::TrialRecord::from_result(
-                    cell.index, trial, result));
+                if (store != nullptr) {
+                  store->append_trial(persist::TrialRecord::from_result(
+                      cell.index, trial, result));
+                }
+                source->renew(*claim);
               },
               profiles);
-          store->complete_cell(stats);
-        } else {
-          stats = score_cell(cell, options_.trials_per_cell,
-                             options_.trial_salt, {}, profiles);
+          // The source arbitrates ownership; the persist callback runs
+          // between the decision and the source's own completion record
+          // so durable stats always precede the "done" marker. A false
+          // return means the cell was re-completed elsewhere after our
+          // lease expired — the stale stats must not reach the store.
+          (void)source->commit(*claim, stats, [&] {
+            if (store != nullptr) store->complete_cell(stats);
+          });
         }
       } catch (...) {
         error = std::current_exception();
       }
 
-      lock.lock();
       if (error) {
-        if (!batch_error_) batch_error_ = error;
-        next_index_ = batch_size_;  // abandon the rest of the batch
-      } else {
-        (*batch_stats_)[index] = std::move(stats);
-        ++cells_done_;
-        if (options_.on_cell_done) {
-          // Invoke the hook outside the pool lock (a slow hook must not
-          // stall cell claiming); hook_mutex_ keeps invocations
-          // serialized. A throwing hook must not escape the worker
-          // thread (std::terminate) — surface it like a cell error.
-          const std::size_t done = cells_done_;
-          const std::size_t total = batch_size_;
+        {
+          const std::lock_guard relock{mutex_};
+          if (!batch_error_) batch_error_ = error;
+        }
+        source->abort();  // drain every other participant's acquire()
+        lock.lock();
+        break;
+      }
+      if (!claim.has_value()) {
+        lock.lock();
+        break;
+      }
+
+      lock.lock();
+      if (batch_stats_->size() <= claim->slot) {
+        batch_stats_->resize(claim->slot + 1);
+      }
+      (*batch_stats_)[claim->slot] = std::move(stats);
+      batch_slots_used_ = std::max(batch_slots_used_, claim->slot + 1);
+      ++cells_done_;
+      if (options_.on_cell_done) {
+        // Invoke the hook outside the pool lock (a slow hook must not
+        // stall cell claiming); hook_mutex_ keeps invocations
+        // serialized. A throwing hook must not escape the worker
+        // thread (std::terminate) — surface it like a cell error.
+        const std::size_t done = cells_done_;
+        const std::size_t total = batch_total_;
+        lock.unlock();
+        std::exception_ptr hook_error;
+        try {
+          const std::lock_guard hook_lock{hook_mutex_};
+          options_.on_cell_done(done, total);
+        } catch (...) {
+          hook_error = std::current_exception();
+        }
+        lock.lock();
+        if (hook_error) {
+          if (!batch_error_) batch_error_ = hook_error;
           lock.unlock();
-          std::exception_ptr hook_error;
-          try {
-            const std::lock_guard hook_lock{hook_mutex_};
-            options_.on_cell_done(done, total);
-          } catch (...) {
-            hook_error = std::current_exception();
-          }
+          source->abort();
           lock.lock();
-          if (hook_error) {
-            if (!batch_error_) batch_error_ = hook_error;
-            next_index_ = batch_size_;
-          }
+          break;
         }
       }
-      --in_flight_;
-      if (next_index_ >= batch_size_ && in_flight_ == 0) {
-        done_cv_.notify_all();
-      }
+      lock.unlock();
     }
+
+    // Participant exit: either the source drained for us or we aborted;
+    // both mean we will claim nothing more from this batch.
+    source_drained_ = true;
+    --participants_;
+    if (participants_ == 0) done_cv_.notify_all();
   }
 }
 

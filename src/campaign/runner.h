@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "attack/profile_cache.h"
+#include "campaign/cell_source.h"
 #include "campaign/grid.h"
 #include "campaign/report.h"
 
@@ -74,6 +75,21 @@ class CampaignRunner {
   [[nodiscard]] SweepReport run(const std::vector<CampaignCell>& cells);
   [[nodiscard]] SweepReport run(const GridBuilder& grid);
 
+  /// Scores whatever `source` hands out — the scheduler-agnostic entry
+  /// point the vector/grid overloads route through (they wrap the cells
+  /// in a StaticCellSource). With a dynamic source (persist::
+  /// LeaseScheduler) the cells scored and their order depend on the race
+  /// with other workers, so the returned report is sorted by global cell
+  /// index; it covers the cells THIS worker scored, and with a store the
+  /// committed ones are durable — the cross-worker report comes from
+  /// persist::merge_worker_stores, byte-identical to a single-process
+  /// run. Trial records stream into `store` as they finish; a cell's
+  /// aggregate is persisted only when the source confirms this worker
+  /// owns the completion (exactly-once against lease reclaims).
+  [[nodiscard]] SweepReport run(CellSource& source);
+  [[nodiscard]] SweepReport run(CellSource& source,
+                                persist::CampaignStore& store);
+
   /// Durable, resumable run. Cells already complete in `store` are NOT
   /// re-scored: their stats are loaded from the store (bit-exact, so the
   /// final report matches an uninterrupted run byte for byte). Each
@@ -115,10 +131,10 @@ class CampaignRunner {
   /// report's telemetry fields.
   void fill_cache_stats(SweepReport& report,
                         const attack::ProfileCacheStats& before) const;
-  /// Pool execution over `cells` into a stats vector aligned by position;
-  /// persists per-trial/per-cell records when `store` is non-null.
-  [[nodiscard]] std::vector<CellStats> execute(
-      const std::vector<CampaignCell>& cells, persist::CampaignStore* store);
+  /// Pool execution over `source` into a stats vector indexed by claim
+  /// slot; persists per-trial/per-cell records when `store` is non-null.
+  [[nodiscard]] std::vector<CellStats> execute(CellSource& source,
+                                               persist::CampaignStore* store);
 
   void worker_loop();
 
@@ -130,21 +146,24 @@ class CampaignRunner {
   std::vector<std::thread> pool_;
 
   // Pool state, guarded by mutex_. A "batch" is one run() call; workers
-  // claim cell indices from next_index_ until it reaches batch_size_.
-  // The batch is drained when nothing is claimable AND nothing is in
-  // flight (an error abandons the unclaimed tail, so counting finished
-  // cells alone would deadlock).
+  // pull cells from batch_source_ until it drains. The batch is done when
+  // the source has drained AND every worker that joined it has left its
+  // claim loop (participants_ == 0) — execute() must not return, and
+  // destroy the source, while a worker is still blocked inside
+  // acquire(). Workers that never woke for the batch never join it, so
+  // they cannot stall the drain.
   std::mutex mutex_;
   std::mutex hook_mutex_;             ///< serializes on_cell_done only
   std::condition_variable work_cv_;   ///< wakes workers for a new batch
   std::condition_variable done_cv_;   ///< wakes run() when a batch drains
   bool stopping_ = false;
   std::uint64_t batch_generation_ = 0;
-  std::size_t batch_size_ = 0;
-  std::size_t next_index_ = 0;
+  std::size_t batch_total_ = 0;       ///< source->planned(), hook totals
+  std::size_t batch_slots_used_ = 0;  ///< max placed slot + 1 (exact trim)
   std::size_t cells_done_ = 0;
-  std::size_t in_flight_ = 0;
-  const std::vector<CampaignCell>* batch_cells_ = nullptr;
+  std::size_t participants_ = 0;      ///< workers inside the claim loop
+  bool source_drained_ = false;       ///< some worker saw acquire()==nullopt
+  CellSource* batch_source_ = nullptr;
   std::vector<CellStats>* batch_stats_ = nullptr;
   persist::CampaignStore* batch_store_ = nullptr;
   std::exception_ptr batch_error_;

@@ -1,0 +1,251 @@
+#include "campaign/stats.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+namespace msa::campaign {
+
+namespace {
+
+/// Same shortest-round-trip formatting as the report CSV (report.cpp);
+/// duplicated rather than exported because the two files must be allowed
+/// to evolve their formats independently.
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::abs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    char ibuf[32];
+    const auto res =
+        std::to_chars(ibuf, ibuf + sizeof ibuf, static_cast<long long>(v));
+    return std::string(ibuf, res.ptr);
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// Fixed decimals for table columns (alignment beats round-tripping in
+/// human-facing output).
+std::string fixed(double v, int decimals) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pad(std::string s, std::size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+bool trial_full_success(const persist::TrialRecord& t) {
+  // Mirrors attack::ScenarioResult::full_success().
+  return t.model_identified && t.pixel_match > 0.999;
+}
+
+struct MarginalAccumulator {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  std::size_t denials = 0;
+  double psnr_sum = 0.0;
+  std::size_t order = 0;  ///< first-appearance rank, for stable output
+};
+
+}  // namespace
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("stats: percentile of an empty sample");
+  }
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  // Nearest-rank: the smallest value with at least q% of the sample at
+  // or below it.
+  const double n = static_cast<double>(sorted.size());
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+StatsReport analyze_sweep(const persist::SweepData& data) {
+  StatsReport report;
+
+  // Trials grouped per completed cell; the rest are orphans.
+  std::map<std::uint64_t, std::vector<const persist::TrialRecord*>> by_cell;
+  std::map<std::uint64_t, const CellStats*> cells;
+  for (const CellStats& cell : data.cells) cells.emplace(cell.index, &cell);
+  for (const persist::TrialRecord& trial : data.trials) {
+    if (cells.contains(trial.cell_index)) {
+      by_cell[trial.cell_index].push_back(&trial);
+      ++report.trials_analyzed;
+    } else {
+      ++report.orphan_trials;
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, MarginalAccumulator> marginals;
+  auto marginal = [&](const std::string& axis,
+                      const std::string& value) -> MarginalAccumulator& {
+    const auto [it, inserted] =
+        marginals.try_emplace({axis, value}, MarginalAccumulator{});
+    if (inserted) it->second.order = marginals.size() - 1;
+    return it->second;
+  };
+
+  report.cells.reserve(data.cells.size());
+  for (const CellStats& cell : data.cells) {
+    const auto it = by_cell.find(cell.index);
+    if (it == by_cell.end()) {
+      throw std::runtime_error(
+          "stats: completed cell " + std::to_string(cell.index) +
+          " has no trial records (incompatible or hand-edited store)");
+    }
+    const std::vector<const persist::TrialRecord*>& trials = it->second;
+
+    CellDistribution dist;
+    dist.index = cell.index;
+    dist.defense = cell.defense;
+    dist.model = cell.model;
+    dist.attack_delay_s = cell.attack_delay_s;
+    dist.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+    dist.trials = trials.size();
+
+    std::vector<double> psnrs;
+    psnrs.reserve(trials.size());
+    double psnr_sum = 0.0;
+    for (const persist::TrialRecord* t : trials) {
+      if (trial_full_success(*t)) ++dist.successes;
+      if (t->denied) ++dist.denials;
+      psnrs.push_back(t->psnr);
+      psnr_sum += t->psnr;
+    }
+    std::sort(psnrs.begin(), psnrs.end());
+    dist.p50_psnr = percentile_sorted(psnrs, 50.0);
+    dist.p90_psnr = percentile_sorted(psnrs, 90.0);
+    dist.p99_psnr = percentile_sorted(psnrs, 99.0);
+    dist.success_rate =
+        static_cast<double>(dist.successes) / static_cast<double>(dist.trials);
+    dist.success_ci = wilson_interval(dist.successes, dist.trials);
+
+    const std::pair<const char*, std::string> axes[] = {
+        {"defense", cell.defense},
+        {"model", cell.model},
+        {"delay_s", format_double(cell.attack_delay_s)},
+        {"scrubber_Bps", format_double(cell.scrubber_bytes_per_s)},
+    };
+    for (const auto& [axis, value] : axes) {
+      MarginalAccumulator& acc = marginal(axis, value);
+      acc.trials += dist.trials;
+      acc.successes += dist.successes;
+      acc.denials += dist.denials;
+      acc.psnr_sum += psnr_sum;
+    }
+
+    report.cells.push_back(std::move(dist));
+  }
+
+  // Axis blocks in a fixed order; values by first appearance (== grid
+  // order, since cells ascend by index).
+  const char* axis_order[] = {"defense", "model", "delay_s", "scrubber_Bps"};
+  for (const char* axis : axis_order) {
+    std::vector<
+        std::pair<std::size_t, std::pair<std::string, MarginalAccumulator>>>
+        entries;
+    for (const auto& [key, acc] : marginals) {
+      if (key.first != axis) continue;
+      entries.push_back({acc.order, {key.second, acc}});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [order, entry] : entries) {
+      const auto& [value, acc] = entry;
+      AxisMarginal m;
+      m.axis = axis;
+      m.value = value;
+      m.trials = acc.trials;
+      m.successes = acc.successes;
+      m.denials = acc.denials;
+      m.success_rate = acc.trials == 0
+                           ? 0.0
+                           : static_cast<double>(acc.successes) /
+                                 static_cast<double>(acc.trials);
+      m.success_ci = wilson_interval(acc.successes, acc.trials);
+      m.mean_psnr = acc.trials == 0
+                        ? 0.0
+                        : acc.psnr_sum / static_cast<double>(acc.trials);
+      report.marginals.push_back(std::move(m));
+    }
+  }
+
+  return report;
+}
+
+std::string StatsReport::to_text() const {
+  std::string out;
+  out += "== per-cell distributions (" + std::to_string(cells.size()) +
+         " cells, " + std::to_string(trials_analyzed) + " trials";
+  if (orphan_trials > 0) {
+    out += ", " + std::to_string(orphan_trials) + " orphan trials excluded";
+  }
+  out += ") ==\n";
+  out +=
+      "index  defense          model            delay_s  scrub_Bps  trials"
+      "  success        ci95          denials  p50_psnr  p90_psnr  p99_psnr\n";
+  for (const CellDistribution& c : cells) {
+    out += pad_right(std::to_string(c.index), 5) + "  ";
+    out += pad_right(c.defense, 15) + "  ";
+    out += pad_right(c.model, 15) + "  ";
+    out += pad(format_double(c.attack_delay_s), 7) + "  ";
+    out += pad(format_double(c.scrubber_bytes_per_s), 9) + "  ";
+    out += pad(std::to_string(c.trials), 6) + "  ";
+    out += pad(fixed(c.success_rate, 3), 7) + "  ";
+    out += "[" + fixed(c.success_ci.low, 3) + "," +
+           fixed(c.success_ci.high, 3) + "]  ";
+    out += pad(std::to_string(c.denials), 7) + "  ";
+    out += pad(fixed(c.p50_psnr, 2), 8) + "  ";
+    out += pad(fixed(c.p90_psnr, 2), 8) + "  ";
+    out += pad(fixed(c.p99_psnr, 2), 8) + "\n";
+  }
+
+  out += "\n== per-axis marginals ==\n";
+  out +=
+      "axis          value            trials  success        ci95        "
+      "  denials  mean_psnr\n";
+  for (const AxisMarginal& m : marginals) {
+    out += pad_right(m.axis, 12) + "  ";
+    out += pad_right(m.value, 15) + "  ";
+    out += pad(std::to_string(m.trials), 6) + "  ";
+    out += pad(fixed(m.success_rate, 3), 7) + "  ";
+    out += "[" + fixed(m.success_ci.low, 3) + "," +
+           fixed(m.success_ci.high, 3) + "]  ";
+    out += pad(std::to_string(m.denials), 7) + "  ";
+    out += pad(fixed(m.mean_psnr, 2), 9) + "\n";
+  }
+  return out;
+}
+
+}  // namespace msa::campaign

@@ -1,0 +1,86 @@
+// Store-backed sweep analysis: distributional statistics computed from
+// the per-trial record stream (persist::read_store / load_sweep), not
+// from the per-cell means the report carries. This is the `campaign_sweep
+// stats` subcommand's engine — percentiles need every trial, which only
+// the store has. All output is deterministic: cells ascend by global
+// index, marginals follow first-appearance order, doubles use the same
+// shortest-round-trip formatting as the report CSV.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/campaign_store.h"
+
+namespace msa::campaign {
+
+/// Wilson score interval for a binomial proportion — the small-n-safe
+/// confidence interval for per-cell success rates (a normal interval is
+/// garbage at the 3-of-5 sample sizes sweeps actually have).
+struct WilsonInterval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// z defaults to the 95% two-sided normal quantile. trials == 0 yields
+/// the no-information interval [0, 1].
+[[nodiscard]] WilsonInterval wilson_interval(std::size_t successes,
+                                             std::size_t trials,
+                                             double z = 1.959964);
+
+/// Nearest-rank percentile of an ASCENDING-sorted, non-empty sample;
+/// q in [0, 100]. q = 0 is the minimum, q = 100 the maximum.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
+
+/// Per-cell distribution over that cell's trial stream.
+struct CellDistribution {
+  std::uint64_t index = 0;
+  std::string defense;
+  std::string model;
+  double attack_delay_s = 0.0;
+  double scrubber_bytes_per_s = 0.0;
+
+  std::size_t trials = 0;
+  std::size_t successes = 0;  ///< full successes (id'd + pixel_match>0.999)
+  std::size_t denials = 0;
+  double p50_psnr = 0.0;
+  double p90_psnr = 0.0;
+  double p99_psnr = 0.0;
+  double success_rate = 0.0;
+  WilsonInterval success_ci;
+};
+
+/// One value of one sweep axis, pooled over every cell carrying it.
+struct AxisMarginal {
+  std::string axis;   ///< "defense" | "model" | "delay_s" | "scrubber_Bps"
+  std::string value;  ///< the axis value's label
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  std::size_t denials = 0;
+  double success_rate = 0.0;
+  WilsonInterval success_ci;
+  double mean_psnr = 0.0;
+};
+
+struct StatsReport {
+  std::size_t trials_analyzed = 0;
+  /// Trial records whose cell never completed (a killed worker's
+  /// leftovers) — excluded from every statistic below.
+  std::size_t orphan_trials = 0;
+  std::vector<CellDistribution> cells;
+  std::vector<AxisMarginal> marginals;
+
+  /// Fixed-layout text tables (cells, then marginals).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Computes the report from loaded store data. Only completed cells are
+/// analyzed; their trial streams are complete by the store's durability
+/// contract. Throws std::runtime_error when a completed cell has no
+/// trial records at all (a store written by a pre-trial-stream tool).
+[[nodiscard]] StatsReport analyze_sweep(const persist::SweepData& data);
+
+}  // namespace msa::campaign

@@ -1,5 +1,6 @@
 #include "persist/campaign_store.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <map>
 #include <stdexcept>
@@ -22,35 +23,6 @@ constexpr std::uint32_t kFormatVersion = 1;
 
 constexpr std::uint8_t kTrialDenied = 1u << 0;
 constexpr std::uint8_t kTrialModelIdentified = 1u << 1;
-
-std::vector<std::uint8_t> encode_manifest(const StoreManifest& m) {
-  ByteWriter w;
-  w.u32(kFormatVersion);
-  w.u64(m.grid_fingerprint);
-  w.u64(m.grid_cells);
-  w.u32(m.trials_per_cell);
-  w.u64(m.trial_salt);
-  w.u32(m.shard_index);
-  w.u32(m.shard_count);
-  return {w.bytes().begin(), w.bytes().end()};
-}
-
-StoreManifest decode_manifest(std::span<const std::uint8_t> payload) {
-  ByteReader r{payload};
-  const std::uint32_t version = r.u32();
-  if (version != kFormatVersion) {
-    throw std::runtime_error("persist: unsupported store format version " +
-                             std::to_string(version));
-  }
-  StoreManifest m;
-  m.grid_fingerprint = r.u64();
-  m.grid_cells = r.u64();
-  m.trials_per_cell = r.u32();
-  m.trial_salt = r.u64();
-  m.shard_index = r.u32();
-  m.shard_count = r.u32();
-  return m;
-}
 
 std::vector<std::uint8_t> encode_trial(const TrialRecord& t) {
   ByteWriter w;
@@ -119,7 +91,39 @@ campaign::CellStats decode_cell(std::span<const std::uint8_t> payload) {
   return c;
 }
 
-std::string manifest_diff(const StoreManifest& have, const StoreManifest& want) {
+}  // namespace
+
+std::vector<std::uint8_t> encode_store_manifest(const StoreManifest& m) {
+  ByteWriter w;
+  w.u32(kFormatVersion);
+  w.u64(m.grid_fingerprint);
+  w.u64(m.grid_cells);
+  w.u32(m.trials_per_cell);
+  w.u64(m.trial_salt);
+  w.u32(m.shard_index);
+  w.u32(m.shard_count);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+StoreManifest decode_store_manifest(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("persist: unsupported store format version " +
+                             std::to_string(version));
+  }
+  StoreManifest m;
+  m.grid_fingerprint = r.u64();
+  m.grid_cells = r.u64();
+  m.trials_per_cell = r.u32();
+  m.trial_salt = r.u64();
+  m.shard_index = r.u32();
+  m.shard_count = r.u32();
+  return m;
+}
+
+std::string describe_manifest_mismatch(const StoreManifest& have,
+                                       const StoreManifest& want) {
   std::string out;
   auto field = [&](const char* name, auto a, auto b) {
     if (a != b) {
@@ -137,8 +141,6 @@ std::string manifest_diff(const StoreManifest& have, const StoreManifest& want) 
   return out;
 }
 
-}  // namespace
-
 TrialRecord TrialRecord::from_result(std::uint64_t cell_index,
                                      std::uint32_t trial,
                                      const attack::ScenarioResult& result) {
@@ -155,19 +157,24 @@ TrialRecord TrialRecord::from_result(std::uint64_t cell_index,
 }
 
 CampaignStore::CampaignStore(const std::string& path,
-                             const StoreManifest& manifest, Mode mode)
+                             const StoreManifest& manifest, Mode mode,
+                             StoreOptions options)
     : path_{path},
       manifest_{manifest},
+      options_{options},
       resuming_{[&] {
-        const bool exists = std::filesystem::exists(path);
-        if (mode == Mode::kCreate && exists) {
+        // A file shorter than the magic is the debris of a kill between
+        // create and the magic write — not a resumable store. Only
+        // explicit kCreate refuses to clobber it.
+        const bool usable = record_file_usable(path);
+        if (mode == Mode::kCreate && std::filesystem::exists(path)) {
           throw std::runtime_error(
               "persist: store already exists (resume instead?): " + path);
         }
-        if (mode == Mode::kResume && !exists) {
+        if (mode == Mode::kResume && !usable) {
           throw std::runtime_error("persist: no store to resume: " + path);
         }
-        return exists;
+        return usable;
       }()},
       writer_{path, [&] {
                 if (!resuming_) return RecordWriter::Mode::kTruncate;
@@ -187,7 +194,7 @@ CampaignStore::CampaignStore(const std::string& path,
               }()} {
   if (!resuming_ || !manifest_on_disk_) {
     // Fresh store — or an existing file whose every record was torn off.
-    writer_.append(kRecManifest, encode_manifest(manifest_));
+    writer_.append(kRecManifest, encode_store_manifest(manifest_));
     writer_.flush();
   }
 }
@@ -200,11 +207,11 @@ std::uint64_t CampaignStore::scan_existing() {
     any_records = true;
     if (rec->type == kRecManifest) {
       manifest_on_disk_ = true;
-      const StoreManifest on_disk = decode_manifest(rec->payload);
+      const StoreManifest on_disk = decode_store_manifest(rec->payload);
       if (!(on_disk == manifest_)) {
         throw std::runtime_error(
             "persist: store belongs to a different sweep (" +
-            manifest_diff(on_disk, manifest_) + "): " + path_);
+            describe_manifest_mismatch(on_disk, manifest_) + "): " + path_);
       }
     } else if (rec->type == kRecCell) {
       campaign::CellStats cell = decode_cell(rec->payload);
@@ -230,7 +237,12 @@ void CampaignStore::append_trial(const TrialRecord& trial) {
 void CampaignStore::complete_cell(const campaign::CellStats& stats) {
   const std::lock_guard lock{mutex_};
   writer_.append(kRecCell, encode_cell(stats));
-  writer_.flush();
+  if (options_.fsync_every != 0 && ++cells_since_sync_ >= options_.fsync_every) {
+    writer_.sync();
+    cells_since_sync_ = 0;
+  } else {
+    writer_.flush();
+  }
   completed_[stats.index] = stats;
 }
 
@@ -251,6 +263,21 @@ std::size_t CampaignStore::completed_count() const {
   return completed_.size();
 }
 
+std::vector<std::uint64_t> CampaignStore::completed_cells() const {
+  const std::lock_guard lock{mutex_};
+  std::vector<std::uint64_t> out;
+  out.reserve(completed_.size());
+  for (const auto& [index, stats] : completed_) out.push_back(index);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CampaignStore::sync() {
+  const std::lock_guard lock{mutex_};
+  writer_.sync();
+  cells_since_sync_ = 0;
+}
+
 StoreContents read_store(const std::string& path) {
   StoreContents out;
   bool saw_manifest = false;
@@ -262,7 +289,7 @@ StoreContents read_store(const std::string& path) {
        rec = reader.next()) {
     switch (rec->type) {
       case kRecManifest:
-        out.manifest = decode_manifest(rec->payload);
+        out.manifest = decode_store_manifest(rec->payload);
         saw_manifest = true;
         break;
       case kRecTrial: {
@@ -344,6 +371,185 @@ campaign::SweepReport merge_stores(const std::vector<std::string>& paths) {
   report.cells.reserve(merged.size());
   for (auto& [index, cell] : merged) report.cells.push_back(std::move(cell));
   return report;
+}
+
+SweepData load_sweep(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw std::runtime_error("persist: load_sweep needs at least one store");
+  }
+
+  SweepData out;
+  // Keyed views with the encoded bytes kept alongside, so a duplicate is
+  // accepted only when it is the SAME bytes — the only duplicates a
+  // deterministic sweep can legally produce.
+  std::map<std::uint64_t,
+           std::pair<campaign::CellStats, std::vector<std::uint8_t>>>
+      cells;
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::pair<TrialRecord, std::vector<std::uint8_t>>>
+      trials;
+
+  bool first = true;
+  for (const std::string& path : paths) {
+    StoreContents contents = read_store(path);
+    if (first) {
+      out.manifest = contents.manifest;
+      first = false;
+    } else {
+      StoreManifest identity = contents.manifest;
+      identity.shard_index = out.manifest.shard_index;
+      identity.shard_count = out.manifest.shard_count;
+      if (!(identity == out.manifest)) {
+        throw std::runtime_error(
+            "persist: store is from a different sweep (" +
+            describe_manifest_mismatch(contents.manifest, out.manifest) +
+            "): " + path);
+      }
+    }
+    out.truncated_tail = out.truncated_tail || contents.truncated_tail;
+
+    for (campaign::CellStats& cell : contents.cells) {
+      if (cell.index >= contents.manifest.grid_cells) {
+        throw std::runtime_error("persist: cell index beyond grid in " + path);
+      }
+      std::vector<std::uint8_t> bytes = encode_cell(cell);
+      const std::uint64_t index = cell.index;
+      const auto it = cells.find(index);
+      if (it == cells.end()) {
+        cells.emplace(index, std::pair{std::move(cell), std::move(bytes)});
+      } else if (it->second.second == bytes) {
+        ++out.duplicate_cells;
+      } else {
+        throw std::runtime_error(
+            "persist: cell " + std::to_string(index) +
+            " has conflicting copies (corrupt store or mixed sweeps): " +
+            path);
+      }
+    }
+    for (TrialRecord& trial : contents.trials) {
+      std::vector<std::uint8_t> bytes = encode_trial(trial);
+      const std::pair<std::uint64_t, std::uint32_t> key{trial.cell_index,
+                                                        trial.trial};
+      const auto it = trials.find(key);
+      if (it == trials.end()) {
+        trials.emplace(key, std::pair{std::move(trial), std::move(bytes)});
+      } else if (it->second.second == bytes) {
+        ++out.duplicate_trials;
+      } else {
+        throw std::runtime_error(
+            "persist: trial (" + std::to_string(key.first) + ", " +
+            std::to_string(key.second) +
+            ") has conflicting copies (corrupt store or mixed sweeps): " +
+            path);
+      }
+    }
+  }
+
+  out.cells.reserve(cells.size());
+  for (auto& [index, entry] : cells) out.cells.push_back(std::move(entry.first));
+  out.trials.reserve(trials.size());
+  for (auto& [key, entry] : trials) {
+    out.trials.push_back(std::move(entry.first));
+  }
+  return out;
+}
+
+campaign::SweepReport merge_worker_stores(const std::vector<std::string>& paths) {
+  SweepData data = load_sweep(paths);
+  if (data.cells.size() != data.manifest.grid_cells) {
+    throw std::runtime_error(
+        "persist: worker stores cover " + std::to_string(data.cells.size()) +
+        " of " + std::to_string(data.manifest.grid_cells) +
+        " cells (sweep still in flight? missing store?)");
+  }
+  campaign::SweepReport report;
+  report.cells = std::move(data.cells);
+  return report;
+}
+
+CompactionResult compact_store(const std::string& path) {
+  CompactionResult result;
+  result.bytes_before = std::filesystem::file_size(path);
+
+  // Single raw pass: last-wins maps plus the counts the dedupe drops.
+  StoreManifest manifest;
+  bool saw_manifest = false;
+  std::map<std::uint64_t, campaign::CellStats> cells;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord> trials;
+  std::vector<Record> unknown;  // forward-compat: preserved verbatim
+  std::size_t trial_records = 0;
+  std::size_t cell_records = 0;
+  {
+    RecordReader reader{path};
+    for (std::optional<Record> rec = reader.next(); rec.has_value();
+         rec = reader.next()) {
+      switch (rec->type) {
+        case kRecManifest: {
+          const StoreManifest m = decode_store_manifest(rec->payload);
+          if (saw_manifest && !(m == manifest)) {
+            throw std::runtime_error(
+                "persist: conflicting manifest records in " + path);
+          }
+          manifest = m;
+          saw_manifest = true;
+          break;
+        }
+        case kRecTrial: {
+          ++trial_records;
+          TrialRecord t = decode_trial(rec->payload);
+          trials[{t.cell_index, t.trial}] = std::move(t);
+          break;
+        }
+        case kRecCell: {
+          ++cell_records;
+          campaign::CellStats c = decode_cell(rec->payload);
+          const std::uint64_t index = c.index;
+          cells[index] = std::move(c);
+          break;
+        }
+        default:
+          unknown.push_back(std::move(*rec));
+          break;
+      }
+    }
+  }
+  if (!saw_manifest) {
+    throw std::runtime_error("persist: store has no manifest record: " + path);
+  }
+
+  // Orphan trials (their cell never completed) are superseded too: a
+  // resume re-runs those cells and re-streams identical trials.
+  for (auto it = trials.begin(); it != trials.end();) {
+    if (!cells.contains(it->first.first)) {
+      it = trials.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result.trials_dropped = trial_records - trials.size();
+  result.cells_dropped = cell_records - cells.size();
+
+  // Rewrite to a sibling and rename over the original only once the
+  // replacement is durable; a crash mid-compaction leaves the source
+  // untouched (plus at most a stale .compact file the next run clobbers).
+  const std::string tmp = path + ".compact";
+  {
+    RecordWriter writer{tmp, RecordWriter::Mode::kTruncate};
+    writer.append(kRecManifest, encode_store_manifest(manifest));
+    for (const auto& [key, trial] : trials) {
+      writer.append(kRecTrial, encode_trial(trial));
+    }
+    for (const auto& [index, cell] : cells) {
+      writer.append(kRecCell, encode_cell(cell));
+    }
+    for (const Record& rec : unknown) {
+      writer.append(rec.type, rec.payload);
+    }
+    writer.sync();
+  }
+  std::filesystem::rename(tmp, path);
+  result.bytes_after = std::filesystem::file_size(path);
+  return result;
 }
 
 }  // namespace msa::persist

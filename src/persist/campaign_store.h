@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,18 @@ struct StoreManifest {
   friend bool operator==(const StoreManifest&, const StoreManifest&) = default;
 };
 
+/// On-disk encoding of the manifest payload — shared by campaign stores
+/// and lease logs (both pin the same sweep identity so a stray file from
+/// a different experiment is rejected).
+[[nodiscard]] std::vector<std::uint8_t> encode_store_manifest(
+    const StoreManifest& m);
+[[nodiscard]] StoreManifest decode_store_manifest(
+    std::span<const std::uint8_t> payload);
+
+/// Human-readable field-by-field diff, "" when equal (error messages).
+[[nodiscard]] std::string describe_manifest_mismatch(const StoreManifest& have,
+                                                     const StoreManifest& want);
+
 /// One scenario run, keyed by (global cell index, trial index). Carries
 /// every field CellStats::accumulate consumes, with doubles bit-exact, so
 /// per-cell aggregates rebuilt from the trial stream match the in-memory
@@ -59,6 +72,16 @@ struct TrialRecord {
       const attack::ScenarioResult& result);
 };
 
+/// Durability knobs beyond CampaignStore's per-cell flush.
+struct StoreOptions {
+  /// When nonzero, fsync(2) the store after every K completed cells so
+  /// results survive power loss, not just process death. Off by
+  /// default: fsync per cell can dominate a fast sweep, and the
+  /// per-cell flush already covers the kill/crash cases the resume
+  /// machinery is built for.
+  unsigned fsync_every = 0;
+};
+
 /// Writable store bound to one shard's file. Thread-safe: workers append
 /// trials and complete cells concurrently.
 class CampaignStore {
@@ -73,7 +96,7 @@ class CampaignStore {
   /// completed-cell map reloaded; a manifest that does not equal
   /// `manifest` throws std::runtime_error (wrong grid / trials / shard).
   CampaignStore(const std::string& path, const StoreManifest& manifest,
-                Mode mode);
+                Mode mode, StoreOptions options = {});
 
   CampaignStore(const CampaignStore&) = delete;
   CampaignStore& operator=(const CampaignStore&) = delete;
@@ -90,6 +113,13 @@ class CampaignStore {
   [[nodiscard]] const campaign::CellStats* completed_stats(
       std::uint64_t cell_index) const;
   [[nodiscard]] std::size_t completed_count() const;
+  /// Global indices of every completed cell, ascending (the lease
+  /// scheduler seeds its "already done" view from this on restart).
+  [[nodiscard]] std::vector<std::uint64_t> completed_cells() const;
+
+  /// fsync the store now, regardless of the batching option (the final
+  /// durability point a caller can take at sweep end).
+  void sync();
 
   [[nodiscard]] const StoreManifest& manifest() const noexcept {
     return manifest_;
@@ -106,7 +136,9 @@ class CampaignStore {
   mutable std::mutex mutex_;
   std::string path_;
   StoreManifest manifest_;
+  StoreOptions options_;
   std::unordered_map<std::uint64_t, campaign::CellStats> completed_;
+  unsigned cells_since_sync_ = 0;  ///< fsync batching counter
   bool resuming_ = false;
   bool manifest_on_disk_ = false;  ///< set by scan_existing()
   // Writer last: constructed after the resume scan decided the append
@@ -139,5 +171,50 @@ struct StoreContents {
 /// unsharded store is the N=1 case.
 [[nodiscard]] campaign::SweepReport merge_stores(
     const std::vector<std::string>& paths);
+
+/// Union of several stores from ONE sweep, with duplicates tolerated —
+/// the reader for lease-mode worker stores, where a reclaimed-then-
+/// resurrected lease can leave the same cell (bit-identical, because
+/// trials are deterministic) in two workers' stores. Stores must agree
+/// on fingerprint/grid/trials/salt (shard coordinates are NOT compared,
+/// so shard stores can be analyzed with the same call); a duplicated
+/// cell or trial whose bytes differ from the first copy throws — that is
+/// data corruption or a mixed-up directory, never a legal lease race.
+struct SweepData {
+  StoreManifest manifest;  ///< identity fields of the first store
+  /// Completed cells, deduplicated, ascending global index.
+  std::vector<campaign::CellStats> cells;
+  /// Trial stream, deduplicated by (cell, trial), ascending.
+  std::vector<TrialRecord> trials;
+  std::size_t duplicate_cells = 0;   ///< identical copies dropped
+  std::size_t duplicate_trials = 0;  ///< identical copies dropped
+  bool truncated_tail = false;       ///< any store had a torn tail
+};
+[[nodiscard]] SweepData load_sweep(const std::vector<std::string>& paths);
+
+/// Lease-mode merge: load_sweep over the worker stores plus the full-
+/// coverage check, yielding the report in grid order — byte-identical to
+/// the single-process run. Throws std::runtime_error when cells are
+/// missing (sweep still in flight or a worker store was lost).
+[[nodiscard]] campaign::SweepReport merge_worker_stores(
+    const std::vector<std::string>& paths);
+
+/// Rewrites a store in place, dropping superseded records a resumed or
+/// raced sweep leaves behind: duplicate trial records (same cell+trial;
+/// last wins), duplicate cell records (last wins), trial records of
+/// cells that never completed (a resume re-runs and re-streams them),
+/// and the torn tail if any. Record framing is unchanged (every rewritten
+/// record is one the store already held, so kMaxRecordBody is respected
+/// by construction). The rewrite goes to `path + ".compact"` and is
+/// renamed over the original only after a flush+fsync — a crash mid-
+/// compaction never harms the source. Do not compact a store a live
+/// worker has open.
+struct CompactionResult {
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  std::size_t trials_dropped = 0;  ///< duplicates + orphans of incomplete cells
+  std::size_t cells_dropped = 0;   ///< superseded duplicate cell records
+};
+[[nodiscard]] CompactionResult compact_store(const std::string& path);
 
 }  // namespace msa::persist

@@ -5,6 +5,10 @@
 #include <filesystem>
 #include <stdexcept>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "persist/encoding.h"
 #include "util/crc32.h"
 
@@ -31,7 +35,15 @@ bool read_exact(std::FILE* f, const std::string& path, std::uint8_t* out,
 
 }  // namespace
 
-RecordReader::RecordReader(const std::string& path) : path_{path} {
+bool record_file_usable(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return !ec && size >= kRecordMagic.size();
+}
+
+RecordReader::RecordReader(const std::string& path,
+                           std::uint64_t resume_offset)
+    : path_{path} {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) io_error("cannot open store", path);
   std::array<std::uint8_t, kRecordMagic.size()> magic{};
@@ -43,6 +55,23 @@ RecordReader::RecordReader(const std::string& path) : path_{path} {
                              path);
   }
   valid_bytes_ = kRecordMagic.size();
+  if (resume_offset > kRecordMagic.size()) {
+    // 64-bit seek: plain fseek takes a long, which is 32 bits on
+    // Windows — a >2 GiB log (one renew record per trial adds up) must
+    // still resume.
+#if defined(_WIN32)
+    const int rc =
+        _fseeki64(file_, static_cast<long long>(resume_offset), SEEK_SET);
+#else
+    const int rc = fseeko(file_, static_cast<off_t>(resume_offset), SEEK_SET);
+#endif
+    if (rc != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      io_error("cannot seek to resume offset", path);
+    }
+    valid_bytes_ = resume_offset;
+  }
 }
 
 RecordReader::~RecordReader() {
@@ -159,6 +188,16 @@ void RecordWriter::append(std::uint8_t type,
 
 void RecordWriter::flush() {
   if (std::fflush(file_) != 0) io_error("flush failed", path_);
+}
+
+void RecordWriter::sync() {
+  flush();
+#if defined(_WIN32)
+  // No fsync on the MSVC runtime's stdio handle without _commit; flush
+  // is the best available there.
+#else
+  if (::fsync(fileno(file_)) != 0) io_error("fsync failed", path_);
+#endif
 }
 
 }  // namespace msa::persist

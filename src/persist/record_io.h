@@ -34,13 +34,27 @@ struct Record {
   std::vector<std::uint8_t> payload;
 };
 
+/// True when `path` exists and is at least magic-sized — i.e. worth
+/// opening for append-resume. A shorter file is the debris of a process
+/// killed between creating the file and writing the magic; resuming
+/// writers treat it as absent (start fresh) rather than throwing
+/// bad-magic forever, which would brick the path until manual cleanup.
+[[nodiscard]] bool record_file_usable(const std::string& path);
+
 /// Sequential reader. Construct, call next() until it returns nullopt,
 /// then check truncated() to distinguish a clean EOF from a torn tail.
 class RecordReader {
  public:
   /// Throws std::runtime_error if the file cannot be opened or does not
-  /// start with the record magic.
-  explicit RecordReader(const std::string& path);
+  /// start with the record magic. `resume_offset`, when nonzero, must be
+  /// a frame boundary previously obtained from valid_bytes(): reading
+  /// continues from there instead of the first frame — the incremental
+  /// path for pollers (lease-log scans) that re-read a growing file.
+  /// Note a tail that looked torn on the previous pass may have been an
+  /// in-flight append that has since completed, so resuming at the LAST
+  /// INTACT offset and re-parsing is exactly right: the "tear" heals.
+  explicit RecordReader(const std::string& path,
+                        std::uint64_t resume_offset = 0);
   ~RecordReader();
 
   RecordReader(const RecordReader&) = delete;
@@ -97,6 +111,11 @@ class RecordWriter {
   /// Flushes stdio buffers so a subsequent process kill cannot tear
   /// already-appended frames.
   void flush();
+
+  /// flush() plus fsync(2): already-appended frames survive power loss,
+  /// not just a process kill. Much slower than flush — callers batch it
+  /// (CampaignStore's opt-in --fsync-every).
+  void sync();
 
  private:
   std::FILE* file_ = nullptr;

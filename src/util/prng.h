@@ -11,8 +11,22 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace msa::util {
+
+/// FNV-1a over a byte string: the deterministic, seed-free identity hash
+/// used wherever a stable value must agree across processes and runs
+/// (worker-rotation spread; campaign::GridBuilder::fingerprint streams
+/// the same constants over a structured serialization).
+[[nodiscard]] constexpr std::uint64_t fnv1a_64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// splitmix64 step; used to expand a single 64-bit seed into stream state.
 [[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <vector>
 
@@ -353,6 +355,161 @@ TEST(CampaignStore, ShardedSweepMergesToSingleProcessReport) {
   // Merge order must not matter: report is reassembled in grid order.
   const SweepReport reversed = merge_stores({paths[1], paths[0]});
   EXPECT_EQ(reversed.to_csv(), golden.to_csv());
+}
+
+TEST(CampaignStore, FsyncBatchingChangesNoBytes) {
+  // fsync is a durability knob, not a format knob: a store written with
+  // --fsync-every 1 is byte-identical to the default flush-only store.
+  // One worker thread: the trial-record interleaving (not the report) is
+  // schedule-dependent at higher thread counts.
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  const std::string plain = tmp_store("fsync_off.store");
+  const std::string synced = tmp_store("fsync_on.store");
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{plain, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+  {
+    CampaignRunner runner{options};
+    StoreOptions durability;
+    durability.fsync_every = 1;
+    CampaignStore store{synced, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate, durability};
+    (void)runner.run(grid, store);
+    store.sync();  // the explicit final sync point is also byte-neutral
+  }
+  std::ifstream a{plain, std::ios::binary};
+  std::ifstream b{synced, std::ios::binary};
+  const std::string bytes_a{std::istreambuf_iterator<char>{a}, {}};
+  const std::string bytes_b{std::istreambuf_iterator<char>{b}, {}};
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(CampaignStore, CompactionDropsSupersededRecords) {
+  // A resume leaves duplicate trial records behind (the interrupted
+  // cell's trials are re-streamed); compaction removes them without
+  // changing what any reader sees.
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  CampaignRunner runner{options};
+  const SweepReport golden = runner.run(grid);
+
+  const std::string path = tmp_store("compact.store");
+  {
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+  // Tear the final cell record: its trials stay behind as duplicates
+  // once the resume re-runs the cell.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  {
+    CampaignRunner resumer{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kResume};
+    (void)resumer.run(grid, store);
+  }
+  const StoreContents before = read_store(path);
+  ASSERT_EQ(before.cells.size(), 8u);
+
+  const CompactionResult result = compact_store(path);
+  EXPECT_GT(result.trials_dropped, 0u);   // the re-streamed duplicates
+  EXPECT_EQ(result.cells_dropped, 0u);    // every cell completed once
+  EXPECT_LT(result.bytes_after, result.bytes_before);
+
+  // Identical view after compaction, and still a valid mergeable store.
+  const StoreContents after = read_store(path);
+  EXPECT_FALSE(after.truncated_tail);
+  ASSERT_EQ(after.cells.size(), before.cells.size());
+  ASSERT_EQ(after.trials.size(), before.trials.size());
+  const SweepReport merged = merge_stores({path});
+  EXPECT_EQ(merged.to_csv(), golden.to_csv());
+  EXPECT_EQ(merged.to_json(), golden.to_json());
+
+  // Re-compacting a compact store is a no-op.
+  const CompactionResult again = compact_store(path);
+  EXPECT_EQ(again.trials_dropped, 0u);
+  EXPECT_EQ(again.bytes_after, again.bytes_before);
+}
+
+TEST(CampaignStore, CompactionDropsOrphanTrialsAndTornTail) {
+  // A sweep killed mid-cell leaves that cell's already-streamed trials
+  // behind with no completion record — orphans a future resume will
+  // supersede. Compaction drops them (and the torn tail) now, and the
+  // compacted store still resumes to the golden report.
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 2);
+  const std::string path = tmp_store("compact_orphans.store");
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+  // Tear the last cell's completion record mid-frame: its trials become
+  // orphans and the file ends in garbage.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  ASSERT_TRUE(read_store(path).truncated_tail);
+
+  const CompactionResult result = compact_store(path);
+  EXPECT_EQ(result.cells_dropped, 0u);
+  EXPECT_EQ(result.trials_dropped, 2u);  // the incomplete cell's 2 trials
+  const StoreContents after = read_store(path);
+  EXPECT_FALSE(after.truncated_tail);
+  EXPECT_EQ(after.cells.size(), 7u);
+  EXPECT_EQ(after.trials.size(), 14u);  // only completed cells' trials
+
+  // The compacted store still resumes to the full golden report.
+  CampaignRunner resumer{options};
+  const SweepReport golden = resumer.run(grid);
+  CampaignStore store{path, manifest_for(grid, options),
+                      CampaignStore::Mode::kResume};
+  const SweepReport finished = resumer.run(grid, store);
+  EXPECT_EQ(finished.to_csv(), golden.to_csv());
+}
+
+TEST(CampaignStore, LoadSweepDeduplicatesIdenticalCopiesOnly) {
+  const GridBuilder grid = small_grid();
+  const CampaignOptions options = make_options(1, 1);
+  // Two "workers" that both completed the same cells — the lease-race
+  // shape. Deterministic trials make the copies bit-identical.
+  const std::string a = tmp_store("dup_a.store");
+  const std::string b = tmp_store("dup_b.store");
+  for (const std::string& path : {a, b}) {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+
+  const SweepData data = load_sweep({a, b});
+  EXPECT_EQ(data.cells.size(), 8u);
+  EXPECT_EQ(data.duplicate_cells, 8u);
+  EXPECT_EQ(data.duplicate_trials, 8u);
+  const SweepReport merged = merge_worker_stores({a, b});
+  CampaignRunner runner{options};
+  EXPECT_EQ(merged.to_csv(), runner.run(grid).to_csv());
+
+  // Conflicting bytes for the same key are corruption, never tolerated.
+  const std::string c = tmp_store("dup_c.store");
+  {
+    CampaignStore store{c, manifest_for(grid, options),
+                        CampaignStore::Mode::kCreate};
+    // Hand-write a conflicting completed cell for index 0.
+    CellStats fake;
+    fake.index = 0;
+    fake.defense = "baseline";
+    fake.model = "resnet50_pt";
+    fake.trials = 1;
+    fake.mean_psnr_db = -1.0;  // cannot match the real cell
+    store.complete_cell(fake);
+  }
+  EXPECT_THROW((void)load_sweep({a, c}), std::runtime_error);
+  // Strict shard-merge still rejects duplicates outright.
+  EXPECT_THROW((void)merge_stores({a, b}), std::runtime_error);
 }
 
 TEST(CampaignStore, MergeRejectsDuplicateAndIncompleteShards) {

@@ -1,0 +1,180 @@
+// Stats-engine tests: Wilson intervals against published values,
+// nearest-rank percentiles, and analyze_sweep over a real store's trial
+// stream (cells, marginals, orphan exclusion).
+#include "campaign/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "persist/campaign_store.h"
+
+namespace msa::campaign {
+namespace {
+
+using persist::CampaignStore;
+using persist::StoreManifest;
+using persist::SweepData;
+using persist::TrialRecord;
+
+TEST(WilsonInterval, MatchesKnownValues) {
+  // 8/10 at 95%: the standard worked example — Wilson gives
+  // approximately [0.490, 0.943].
+  const WilsonInterval ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.low, 0.4902, 5e-4);
+  EXPECT_NEAR(ci.high, 0.9433, 5e-4);
+
+  // 0/5 and 5/5: one-sided but never outside [0, 1], never degenerate
+  // like the normal approximation (0 +/- 0).
+  const WilsonInterval none = wilson_interval(0, 5);
+  EXPECT_EQ(none.low, 0.0);
+  EXPECT_GT(none.high, 0.0);
+  EXPECT_LT(none.high, 0.55);
+  const WilsonInterval all = wilson_interval(5, 5);
+  EXPECT_EQ(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_GT(all.low, 0.45);
+  // Symmetry of the complementary counts.
+  EXPECT_NEAR(all.low, 1.0 - none.high, 1e-12);
+
+  // No data: the no-information interval.
+  const WilsonInterval empty = wilson_interval(0, 0);
+  EXPECT_EQ(empty.low, 0.0);
+  EXPECT_EQ(empty.high, 1.0);
+}
+
+TEST(Percentile, NearestRank) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+  EXPECT_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_EQ(percentile_sorted(v, 50.0), 5.0);   // ceil(0.5*10) = 5th
+  EXPECT_EQ(percentile_sorted(v, 90.0), 9.0);
+  EXPECT_EQ(percentile_sorted(v, 99.0), 10.0);  // ceil(0.99*10) = 10th
+  EXPECT_EQ(percentile_sorted(v, 100.0), 10.0);
+
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(percentile_sorted(one, 50.0), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 99.0), 42.0);
+  EXPECT_THROW((void)percentile_sorted({}, 50.0), std::invalid_argument);
+}
+
+TEST(AnalyzeSweep, CellsAndMarginalsFromRealStore) {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  GridBuilder grid{cfg};
+  grid.defenses({"baseline", "zero_on_free"}).attack_delays_s({0.0, 5.0});
+
+  CampaignOptions options;
+  options.threads = 2;
+  options.trials_per_cell = 3;
+
+  StoreManifest manifest;
+  manifest.grid_fingerprint = grid.fingerprint();
+  manifest.grid_cells = grid.full_size();
+  manifest.trials_per_cell = options.trials_per_cell;
+  manifest.trial_salt = options.trial_salt;
+
+  const auto dir = std::filesystem::temp_directory_path() / "msa_stats_tests";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "analyze.store").string();
+  std::filesystem::remove(path);
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path, manifest, CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+
+  const SweepData data = persist::load_sweep({path});
+  const StatsReport report = analyze_sweep(data);
+
+  ASSERT_EQ(report.cells.size(), 4u);
+  EXPECT_EQ(report.trials_analyzed, 12u);
+  EXPECT_EQ(report.orphan_trials, 0u);
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellDistribution& c = report.cells[i];
+    const CellStats& stored = data.cells[i];
+    EXPECT_EQ(c.index, stored.index);
+    EXPECT_EQ(c.trials, 3u);
+    EXPECT_EQ(c.successes, stored.full_successes);
+    EXPECT_EQ(c.denials, stored.denials);
+    // Percentiles are order statistics of the same sample the mean came
+    // from: p50 <= p90 <= p99, all within [min, max] around the mean.
+    EXPECT_LE(c.p50_psnr, c.p90_psnr);
+    EXPECT_LE(c.p90_psnr, c.p99_psnr);
+    EXPECT_LE(c.success_ci.low, c.success_rate);
+    EXPECT_GE(c.success_ci.high, c.success_rate);
+  }
+
+  // Marginals: axis blocks in fixed order, values in grid order, trial
+  // counts conserved (every trial lands in exactly one value per axis).
+  ASSERT_EQ(report.marginals.size(), 2u + 1u + 2u + 1u);
+  EXPECT_EQ(report.marginals[0].axis, "defense");
+  EXPECT_EQ(report.marginals[0].value, "baseline");
+  EXPECT_EQ(report.marginals[1].value, "zero_on_free");
+  for (const AxisMarginal& m : report.marginals) {
+    if (m.axis == "defense") {
+      EXPECT_EQ(m.trials, 6u);
+    } else if (m.axis == "model") {
+      EXPECT_EQ(m.trials, 12u);
+    } else if (m.axis == "delay_s") {
+      EXPECT_EQ(m.trials, 6u);
+    } else if (m.axis == "scrubber_Bps") {
+      EXPECT_EQ(m.trials, 12u);
+    }
+  }
+
+  // Deterministic, non-empty rendering.
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("per-cell distributions"), std::string::npos);
+  EXPECT_NE(text.find("per-axis marginals"), std::string::npos);
+  EXPECT_EQ(text, analyze_sweep(data).to_text());
+}
+
+TEST(AnalyzeSweep, OrphanTrialsOfIncompleteCellsExcluded) {
+  // Synthesize: one completed cell with 2 trials, plus a trial of a cell
+  // that never completed (a killed worker's leftovers).
+  SweepData data;
+  data.manifest.grid_cells = 4;
+  CellStats cell;
+  cell.index = 1;
+  cell.defense = "baseline";
+  cell.model = "m";
+  cell.trials = 2;
+  cell.full_successes = 1;
+  data.cells.push_back(cell);
+  TrialRecord t;
+  t.cell_index = 1;
+  t.trial = 0;
+  t.model_identified = true;
+  t.pixel_match = 1.0;
+  t.psnr = 99.0;
+  data.trials.push_back(t);
+  t.trial = 1;
+  t.model_identified = false;
+  t.pixel_match = 0.3;
+  t.psnr = 12.5;
+  data.trials.push_back(t);
+  t.cell_index = 3;  // orphan: no completed cell 3
+  t.trial = 0;
+  data.trials.push_back(t);
+
+  const StatsReport report = analyze_sweep(data);
+  EXPECT_EQ(report.trials_analyzed, 2u);
+  EXPECT_EQ(report.orphan_trials, 1u);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].successes, 1u);
+  EXPECT_EQ(report.cells[0].p50_psnr, 12.5);
+  EXPECT_EQ(report.cells[0].p99_psnr, 99.0);
+
+  // A completed cell with no trial stream at all is a broken store.
+  data.trials.clear();
+  EXPECT_THROW((void)analyze_sweep(data), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msa::campaign
