@@ -14,7 +14,9 @@
 //                  [--csv out.csv] [--json out.json] [--quiet]
 //   campaign_sweep merge [--workers-dir DIR | STORE...]
 //                  [--csv out.csv] [--json out.json] [--quiet]
-//   campaign_sweep stats [--workers-dir DIR | STORE...]
+//   campaign_sweep stats [--format text|csv|json]
+//                  [--workers-dir DIR | STORE...]
+//   campaign_sweep diff [--format text|csv|json] A B
 //   campaign_sweep compact STORE...
 //
 // With --store, every finished trial and completed cell is streamed to a
@@ -37,8 +39,17 @@
 // grid is complete and prints the merged report — byte-identical to the
 // single-process run. `merge --workers-dir DIR` reassembles the report
 // offline; `stats` prints per-cell percentiles/CIs and per-axis
-// marginals from the trial stream; `compact` drops superseded duplicate
-// records a resumed or raced sweep leaves behind.
+// marginals from the trial stream (--format selects text, strict CSV,
+// or JSON); `compact` drops superseded duplicate records a resumed or
+// raced sweep leaves behind.
+//
+// `diff A B` compares two sweeps: each side is a store file or a
+// workers directory, cells are aligned by AXIS VALUES (defense, model,
+// delay, scrubber — never by index, so reordered or partially
+// overlapping grids still pair up), and every matched cell gets its
+// success-rate delta (B minus A) with a Newcombe/Wilson 95% CI, PSNR
+// percentile shifts, and denial-rate change; unmatched cells are listed
+// per side.
 //
 // The offline-profiling phase is cached across cells and trials by
 // default (reports are byte-identical either way; the cache only changes
@@ -49,6 +60,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/compare.h"
 #include "campaign/grid.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
@@ -80,29 +93,34 @@ int usage(const char* argv0) {
       "          [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s merge [--workers-dir DIR | STORE...]\n"
       "                [--csv PATH] [--json PATH] [--quiet]\n"
-      "       %s stats [--workers-dir DIR | STORE...]\n"
+      "       %s stats [--format text|csv|json] [--workers-dir DIR | STORE...]\n"
+      "       %s diff [--format text|csv|json] A B\n"
+      "                (A and B are each a store file or a workers dir)\n"
       "       %s compact STORE...\n"
       "  --threads/--trials/--cell-budget/--fsync-every/--expiry-scans/\n"
-      "  --idle-backoff-ms take positive integers\n"
+      "  --idle-backoff-ms take positive integers; --delays/--scrubbers\n"
+      "  take comma-separated finite non-negative reals\n"
       "  --workers-dir is work-stealing mode (one process per --worker-id,\n"
       "  any number of machines over a shared filesystem); it excludes\n"
       "  --store/--resume/--shard/--cell-budget\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
 /// All "*.store" files under a workers directory, sorted for stable
 /// error messages.
 std::vector<std::string> worker_stores(const std::string& dir) {
-  std::vector<std::string> stores;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() == ".store") {
-      stores.push_back(entry.path().string());
-    }
-  }
-  std::sort(stores.begin(), stores.end());
-  return stores;
+  return msa::persist::list_store_files(dir);
+}
+
+enum class OutputFormat { kText, kCsv, kJson };
+
+bool parse_format(const std::string& s, OutputFormat* format) {
+  if (s == "text") *format = OutputFormat::kText;
+  else if (s == "csv") *format = OutputFormat::kCsv;
+  else if (s == "json") *format = OutputFormat::kJson;
+  else return false;
+  return true;
 }
 
 [[noreturn]] void bad_number(const char* argv0, const char* flag,
@@ -111,11 +129,18 @@ std::vector<std::string> worker_stores(const std::string& dir) {
   std::exit(usage(argv0));
 }
 
+/// Axis values (--delays/--scrubbers) must be finite and non-negative:
+/// strtod happily parses "nan", "inf", and "-5", all of which would
+/// silently build a nonsense grid axis (NaN delays never compare equal,
+/// negative scrubber rates underflow the simulated timeline).
 double parse_double(const char* argv0, const char* flag,
                     const std::string& s) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (s.empty() || end != s.c_str() + s.size()) bad_number(argv0, flag, s);
+  if (s.empty() || end != s.c_str() + s.size() || !std::isfinite(v) ||
+      v < 0.0) {
+    bad_number(argv0, flag, s);
+  }
   return v;
 }
 
@@ -256,6 +281,7 @@ int run_merge(const char* argv0, int argc, char** argv) {
 }
 
 int run_stats(const char* argv0, int argc, char** argv) {
+  OutputFormat format = OutputFormat::kText;
   std::string workers_dir;
   std::vector<std::string> stores;
   for (int i = 0; i < argc; ++i) {
@@ -267,6 +293,9 @@ int run_stats(const char* argv0, int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv0);
       workers_dir = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v || !parse_format(v, &format)) return usage(argv0);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv0);
     } else {
@@ -286,8 +315,11 @@ int run_stats(const char* argv0, int argc, char** argv) {
     }
     const msa::persist::SweepData data = msa::persist::load_sweep(stores);
     const msa::campaign::StatsReport report = msa::campaign::analyze_sweep(data);
-    const std::string text = report.to_text();
-    std::fputs(text.c_str(), stdout);
+    const std::string out = format == OutputFormat::kText ? report.to_text()
+                            : format == OutputFormat::kCsv ? report.to_csv()
+                                                           : report.to_json();
+    std::fputs(out.c_str(), stdout);
+    if (format == OutputFormat::kJson) std::fputc('\n', stdout);
     if (data.truncated_tail) {
       std::fprintf(stderr,
                    "[campaign] warning: a store had a torn tail (crashed "
@@ -295,6 +327,50 @@ int run_stats(const char* argv0, int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stats failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_diff(const char* argv0, int argc, char** argv) {
+  OutputFormat format = OutputFormat::kText;
+  std::vector<std::string> sides;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--format") {
+      const char* v = next();
+      if (!v || !parse_format(v, &format)) return usage(argv0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv0);
+    } else {
+      sides.push_back(arg);
+    }
+  }
+  if (sides.size() != 2) return usage(argv0);
+
+  try {
+    const msa::persist::SweepData a = msa::persist::load_sweep_path(sides[0]);
+    const msa::persist::SweepData b = msa::persist::load_sweep_path(sides[1]);
+    for (std::size_t side = 0; side < 2; ++side) {
+      if ((side == 0 ? a : b).truncated_tail) {
+        std::fprintf(stderr,
+                     "[campaign] warning: %s had a torn tail (crashed "
+                     "writer); its unflushed records were skipped\n",
+                     sides[side].c_str());
+      }
+    }
+    const msa::campaign::DiffReport report = msa::campaign::diff_sweeps(
+        msa::campaign::analyze_sweep(a), msa::campaign::analyze_sweep(b));
+    const std::string out = format == OutputFormat::kText ? report.to_text()
+                            : format == OutputFormat::kCsv ? report.to_csv()
+                                                           : report.to_json();
+    std::fputs(out.c_str(), stdout);
+    if (format == OutputFormat::kJson) std::fputc('\n', stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "diff failed: %s\n", e.what());
     return 1;
   }
   return 0;
@@ -338,6 +414,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     return run_stats(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
+    return run_diff(argv[0], argc - 2, argv + 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "compact") == 0) {
     return run_compact(argv[0], argc - 2, argv + 2);

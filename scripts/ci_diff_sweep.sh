@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Structured-output drill for `campaign_sweep stats/diff`: every emitted
+# CSV/JSON artifact must survive a strict parser, a store diffed against
+# a sharded copy of the same sweep must align by axis values with every
+# delta exactly zero, a cross-family diff must pair the shared axes, and
+# the grid-axis flags must reject non-finite/negative values.
+set -euo pipefail
+
+BIN=${1:?usage: ci_diff_sweep.sh path/to/campaign_sweep}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+
+# Small but non-trivial grid: 2 defenses x 2 models x 2 delays = 8 cells.
+axes=(--defenses baseline,zero_on_free --delays 0,5 --scrubbers 0)
+common=(--trials 2 --threads 2 --quiet)
+
+# Sweep A, plus the SAME sweep split into two shard stores. Shards keep
+# global cell indices, so the shard pair is a byte-faithful copy of A's
+# results distributed over two files in a directory.
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --store "$tmp/a.store" > /dev/null
+mkdir "$tmp/shards"
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --shard 0/2 --store "$tmp/shards/s0.store" > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --shard 1/2 --store "$tmp/shards/s1.store" > /dev/null
+# A different defense family on the same attack axes (the paper's A/B).
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" \
+  --defenses physical_aslr --delays 0,5 --scrubbers 0 \
+  --store "$tmp/c.store" > /dev/null
+
+# --- stats: every format round-trips through a strict parser ----------
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format json "$tmp/a.store" \
+  > "$tmp/stats.json"
+python3 -m json.tool "$tmp/stats.json" > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format csv "$tmp/a.store" \
+  > "$tmp/stats.csv"
+python3 - "$tmp/stats.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1], newline="") as f:
+    rows = list(csv.reader(f, strict=True))
+header, data = rows[0], rows[1:]
+assert header[0] == "section", header
+assert all(len(r) == len(header) for r in data), "ragged CSV"
+sections = {r[0] for r in data}
+assert sections == {"cell", "marginal"}, sections
+assert sum(r[0] == "cell" for r in data) == 8, "expected 8 cell rows"
+# Numeric columns of cell rows parse as floats (round-trip formatting).
+rate = header.index("success_rate")
+for r in data:
+    if r[0] == "cell":
+        assert 0.0 <= float(r[rate]) <= 1.0, r
+print("stats CSV strict-parse OK:", len(data), "rows")
+EOF
+# Byte-stability: a second run emits identical bytes.
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format json "$tmp/a.store" \
+  > "$tmp/stats2.json"
+cmp "$tmp/stats.json" "$tmp/stats2.json"
+
+# --- diff vs a sharded copy: axis alignment, all deltas exactly zero --
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json \
+  "$tmp/a.store" "$tmp/shards" > "$tmp/diff_zero.json"
+python3 - "$tmp/diff_zero.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["matched_cells"] == 8, d["matched_cells"]
+assert d["significant_cells"] == 0
+assert d["only_in_a"] == [] and d["only_in_b"] == []
+for cell in d["cells"]:
+    assert cell["success_delta"] == 0, cell
+    assert cell["denial_delta"] == 0, cell
+    assert cell["p50_shift"] == 0 and cell["p90_shift"] == 0, cell
+    assert cell["significant"] is False, cell
+for m in d["marginals"]:
+    assert m["success_delta"] == 0 and m["mean_psnr_shift"] == 0, m
+print("diff vs sharded copy: 8/8 cells aligned, all deltas zero")
+EOF
+
+# --- cross-family diff: disjoint defenses, shared attack axes ---------
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json \
+  "$tmp/a.store" "$tmp/c.store" > "$tmp/diff_ab.json"
+python3 - "$tmp/diff_ab.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["matched_cells"] == 0
+assert len(d["only_in_a"]) == 8 and len(d["only_in_b"]) == 4
+axes = {(m["axis"], m["value"]) for m in d["marginals"]}
+# Defense values are disjoint; models/delays/scrubbers are shared.
+assert not any(a == "defense" for a, _ in axes), axes
+assert ("delay_s", "0") in axes and ("delay_s", "5") in axes, axes
+print("cross-family diff: per-axis deltas over shared axes only")
+EOF
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format csv \
+  "$tmp/a.store" "$tmp/c.store" > "$tmp/diff_ab.csv"
+python3 - "$tmp/diff_ab.csv" <<'EOF'
+import csv, sys
+rows = list(csv.reader(open(sys.argv[1], newline=""), strict=True))
+assert all(len(r) == len(rows[0]) for r in rows), "ragged CSV"
+print("diff CSV strict-parse OK:", len(rows) - 1, "rows")
+EOF
+# Text format still renders the human tables.
+timeout "$SWEEP_TIMEOUT" "$BIN" diff "$tmp/a.store" "$tmp/c.store" \
+  | grep -q "cross-sweep diff (B minus A)"
+
+# --- grid-axis validation: non-finite / negative values exit usage (2)
+for bad in nan inf -1 -0.5 1e999; do
+  rc=0
+  "$BIN" --delays "$bad" --quiet > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "--delays $bad exited $rc, expected usage error 2" >&2
+    exit 1
+  fi
+  rc=0
+  "$BIN" --scrubbers "$bad" --quiet > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "--scrubbers $bad exited $rc, expected usage error 2" >&2
+    exit 1
+  fi
+done
+
+echo "stats/diff structured output validates; axis-aligned diff is exact"

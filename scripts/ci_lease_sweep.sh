@@ -87,6 +87,16 @@ timeout "$SWEEP_TIMEOUT" "$BIN" stats --workers-dir "$tmp/wd" \
 grep -q "per-cell distributions" "$tmp/stats.txt"
 grep -q "per-axis marginals" "$tmp/stats.txt"
 
+# Structured emitters stay parseable even over the kill's leftovers
+# (orphan trials, duplicated cells), and diffing the directory against
+# itself pairs every cell with zero delta.
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format json --workers-dir "$tmp/wd" \
+  | python3 -m json.tool > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json "$tmp/wd" "$tmp/wd" \
+  > "$tmp/selfdiff.json"
+python3 -m json.tool "$tmp/selfdiff.json" > /dev/null
+grep -q '"significant_cells":0' "$tmp/selfdiff.json"
+
 # Compaction drops the kill's leftovers without changing the report.
 for store in "$tmp"/wd/*.store; do
   timeout "$SWEEP_TIMEOUT" "$BIN" compact "$store"

@@ -17,6 +17,20 @@
 
 namespace msa::attack {
 
+/// Pixel-match threshold above which a reconstruction counts as exact.
+/// The paper's "full success" criterion is is_full_success() below; this
+/// constant and helper are THE definition — the scenario result, the
+/// campaign stats engine, and the defense evaluator all call it, so the
+/// predicate cannot drift between layers.
+inline constexpr double kFullSuccessPixelMatch = 0.999;
+
+/// Full success: the model was identified AND the reconstructed input is
+/// pixel-exact (match above kFullSuccessPixelMatch).
+[[nodiscard]] constexpr bool is_full_success(bool model_identified,
+                                             double pixel_match) noexcept {
+  return model_identified && pixel_match > kFullSuccessPixelMatch;
+}
+
 struct ScenarioConfig {
   /// Victim-board configuration (the defense knobs live here).
   os::SystemConfig system = os::SystemConfig::zcu104();
@@ -73,7 +87,7 @@ struct ScenarioResult {
   double descriptor_pixel_match = 0.0;
 
   [[nodiscard]] bool full_success() const noexcept {
-    return model_identified_correctly && pixel_match > 0.999;
+    return is_full_success(model_identified_correctly, pixel_match);
   }
 };
 

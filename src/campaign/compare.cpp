@@ -1,0 +1,423 @@
+#include "campaign/compare.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "campaign/table.h"
+
+namespace msa::campaign {
+
+namespace {
+
+using table::Align;
+using table::Cell;
+using table::Column;
+using table::Table;
+using table::bool_cell;
+using table::count_cell;
+using table::empty_cell;
+using table::num_cell;
+using table::str_cell;
+
+double rate(std::size_t numerator, std::size_t denominator) {
+  return denominator == 0 ? 0.0
+                          : static_cast<double>(numerator) /
+                                static_cast<double>(denominator);
+}
+
+AxisKey key_of(const CellDistribution& c) {
+  return {c.defense, c.model, c.attack_delay_s, c.scrubber_bytes_per_s};
+}
+
+/// Cells keyed by axis values; a duplicate key makes the cross-sweep
+/// pairing ambiguous and is rejected outright. Non-finite axis values
+/// are rejected too — the CLI no longer produces them, but a store
+/// written by an older binary can still carry them, and a NaN key would
+/// break the map's strict weak ordering.
+std::map<AxisKey, const CellDistribution*> index_cells(const StatsReport& r,
+                                                       const char* side) {
+  std::map<AxisKey, const CellDistribution*> out;
+  for (const CellDistribution& c : r.cells) {
+    if (!std::isfinite(c.attack_delay_s) ||
+        !std::isfinite(c.scrubber_bytes_per_s)) {
+      throw std::runtime_error(
+          std::string("diff: sweep ") + side + " cell " +
+          std::to_string(c.index) +
+          " has a non-finite axis value (store written by a pre-validation "
+          "tool?) — axis alignment needs finite coordinates");
+    }
+    const auto [it, inserted] = out.emplace(key_of(c), &c);
+    if (!inserted) {
+      throw std::runtime_error(
+          std::string("diff: sweep ") + side +
+          " has two cells with the same axis values (" + key_of(c).label() +
+          ") — alignment by axis is ambiguous");
+    }
+  }
+  return out;
+}
+
+std::map<std::pair<std::string, std::string>, const AxisMarginal*>
+index_marginals(const StatsReport& r, const char* side) {
+  std::map<std::pair<std::string, std::string>, const AxisMarginal*> out;
+  for (const AxisMarginal& m : r.marginals) {
+    const auto [it, inserted] = out.emplace(std::pair{m.axis, m.value}, &m);
+    if (!inserted) {
+      throw std::runtime_error(std::string("diff: sweep ") + side +
+                               " repeats marginal " + m.axis + "=" + m.value);
+    }
+  }
+  return out;
+}
+
+Cell delta_ci_cell(const DeltaInterval& ci) {
+  return table::interval_cell(ci.low, ci.high);
+}
+
+}  // namespace
+
+bool AxisKey::operator<(const AxisKey& other) const {
+  return std::tie(defense, model, attack_delay_s, scrubber_bytes_per_s) <
+         std::tie(other.defense, other.model, other.attack_delay_s,
+                  other.scrubber_bytes_per_s);
+}
+
+std::string AxisKey::label() const {
+  return defense + "/" + model +
+         "/delay=" + table::format_double(attack_delay_s) +
+         "/scrubber=" + table::format_double(scrubber_bytes_per_s);
+}
+
+DeltaInterval newcombe_interval(std::size_t successes_a, std::size_t trials_a,
+                                std::size_t successes_b, std::size_t trials_b,
+                                double z) {
+  const double pa = rate(successes_a, trials_a);
+  const double pb = rate(successes_b, trials_b);
+  const WilsonInterval wa = wilson_interval(successes_a, trials_a, z);
+  const WilsonInterval wb = wilson_interval(successes_b, trials_b, z);
+  const double delta = pb - pa;
+  // Newcombe (1998) method 10 / MOVER: compose the two Wilson intervals
+  // into an interval for the difference.
+  const double low = delta - std::sqrt((pb - wb.low) * (pb - wb.low) +
+                                       (wa.high - pa) * (wa.high - pa));
+  const double high = delta + std::sqrt((wb.high - pb) * (wb.high - pb) +
+                                        (pa - wa.low) * (pa - wa.low));
+  return {std::max(-1.0, low), std::min(1.0, high)};
+}
+
+DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
+  const auto cells_a = index_cells(a, "A");
+  const auto cells_b = index_cells(b, "B");
+  const auto marginals_a = index_marginals(a, "A");
+  const auto marginals_b = index_marginals(b, "B");
+
+  DiffReport out;
+  for (const auto& [key, ca] : cells_a) {
+    const auto it = cells_b.find(key);
+    if (it == cells_b.end()) {
+      out.only_in_a.push_back(*ca);
+      continue;
+    }
+    const CellDistribution& cb = *it->second;
+
+    CellDelta d;
+    d.key = key;
+    d.index_a = ca->index;
+    d.index_b = cb.index;
+    d.trials_a = ca->trials;
+    d.trials_b = cb.trials;
+    d.successes_a = ca->successes;
+    d.successes_b = cb.successes;
+    d.denials_a = ca->denials;
+    d.denials_b = cb.denials;
+    d.success_rate_a = ca->success_rate;
+    d.success_rate_b = cb.success_rate;
+    d.success_delta = cb.success_rate - ca->success_rate;
+    d.success_delta_ci = newcombe_interval(ca->successes, ca->trials,
+                                           cb.successes, cb.trials);
+    d.significant = d.success_delta_ci.excludes_zero();
+    d.denial_rate_a = rate(ca->denials, ca->trials);
+    d.denial_rate_b = rate(cb.denials, cb.trials);
+    d.denial_delta = d.denial_rate_b - d.denial_rate_a;
+    d.p50_shift = cb.p50_psnr - ca->p50_psnr;
+    d.p90_shift = cb.p90_psnr - ca->p90_psnr;
+    d.p99_shift = cb.p99_psnr - ca->p99_psnr;
+    if (d.significant) ++out.significant_cells;
+    out.cells.push_back(std::move(d));
+  }
+  for (const auto& [key, cb] : cells_b) {
+    if (!cells_a.contains(key)) out.only_in_b.push_back(*cb);
+  }
+
+  // Marginals in side A's order (axis blocks fixed, values by side-A
+  // first appearance); side-B-only values have no delta to report and
+  // surface through the unmatched cell lists instead.
+  (void)marginals_a;  // built for its duplicate validation
+  for (const AxisMarginal& ma : a.marginals) {
+    const auto it = marginals_b.find(std::pair{ma.axis, ma.value});
+    if (it == marginals_b.end()) continue;
+    const AxisMarginal& mb = *it->second;
+
+    AxisDelta d;
+    d.axis = ma.axis;
+    d.value = ma.value;
+    d.trials_a = ma.trials;
+    d.trials_b = mb.trials;
+    d.successes_a = ma.successes;
+    d.successes_b = mb.successes;
+    d.denials_a = ma.denials;
+    d.denials_b = mb.denials;
+    d.success_rate_a = ma.success_rate;
+    d.success_rate_b = mb.success_rate;
+    d.success_delta = mb.success_rate - ma.success_rate;
+    d.success_delta_ci =
+        newcombe_interval(ma.successes, ma.trials, mb.successes, mb.trials);
+    d.significant = d.success_delta_ci.excludes_zero();
+    d.denial_delta = rate(mb.denials, mb.trials) - rate(ma.denials, ma.trials);
+    d.mean_psnr_shift = mb.mean_psnr - ma.mean_psnr;
+    out.marginals.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+namespace {
+
+Table unmatched_table(const std::vector<CellDistribution>& cells) {
+  Table t{{{"index", Align::kLeft},
+           {"defense", Align::kLeft},
+           {"model", Align::kLeft},
+           {"delay_s", Align::kRight},
+           {"scrub_Bps", Align::kRight},
+           {"trials", Align::kRight},
+           {"success", Align::kRight},
+           {"denials", Align::kRight}}};
+  for (const CellDistribution& c : cells) {
+    t.add_row({count_cell(c.index), str_cell(c.defense), str_cell(c.model),
+               num_cell(c.attack_delay_s), num_cell(c.scrubber_bytes_per_s),
+               count_cell(c.trials), num_cell(c.success_rate, 3),
+               count_cell(c.denials)});
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string DiffReport::to_text() const {
+  std::string out;
+  out += "== cross-sweep diff (B minus A): " + std::to_string(cells.size()) +
+         " matched cell(s), " + std::to_string(significant_cells) +
+         " significant, " + std::to_string(only_in_a.size()) + " A-only, " +
+         std::to_string(only_in_b.size()) + " B-only ==\n";
+  Table cell_table{{{"defense", Align::kLeft},
+                    {"model", Align::kLeft},
+                    {"delay_s", Align::kRight},
+                    {"scrub_Bps", Align::kRight},
+                    {"trials_a", Align::kRight},
+                    {"trials_b", Align::kRight},
+                    {"succ_a", Align::kRight},
+                    {"succ_b", Align::kRight},
+                    {"delta", Align::kRight},
+                    {"delta_ci95", Align::kRight},
+                    {"sig", Align::kLeft},
+                    {"den_delta", Align::kRight},
+                    {"p50_shift", Align::kRight},
+                    {"p90_shift", Align::kRight},
+                    {"p99_shift", Align::kRight}}};
+  for (const CellDelta& d : cells) {
+    cell_table.add_row(
+        {str_cell(d.key.defense), str_cell(d.key.model),
+         num_cell(d.key.attack_delay_s),
+         num_cell(d.key.scrubber_bytes_per_s), count_cell(d.trials_a),
+         count_cell(d.trials_b), num_cell(d.success_rate_a, 3),
+         num_cell(d.success_rate_b, 3), num_cell(d.success_delta, 3),
+         delta_ci_cell(d.success_delta_ci), bool_cell(d.significant),
+         num_cell(d.denial_delta, 3), num_cell(d.p50_shift, 2),
+         num_cell(d.p90_shift, 2), num_cell(d.p99_shift, 2)});
+  }
+  out += cell_table.to_text();
+
+  out += "\n== unmatched cells (A only: " + std::to_string(only_in_a.size()) +
+         ") ==\n";
+  out += unmatched_table(only_in_a).to_text();
+  out += "\n== unmatched cells (B only: " + std::to_string(only_in_b.size()) +
+         ") ==\n";
+  out += unmatched_table(only_in_b).to_text();
+
+  out += "\n== per-axis marginal deltas ==\n";
+  Table marginal_table{{{"axis", Align::kLeft},
+                        {"value", Align::kLeft},
+                        {"trials_a", Align::kRight},
+                        {"trials_b", Align::kRight},
+                        {"succ_a", Align::kRight},
+                        {"succ_b", Align::kRight},
+                        {"delta", Align::kRight},
+                        {"delta_ci95", Align::kRight},
+                        {"sig", Align::kLeft},
+                        {"den_delta", Align::kRight},
+                        {"psnr_shift", Align::kRight}}};
+  for (const AxisDelta& d : marginals) {
+    marginal_table.add_row(
+        {str_cell(d.axis), str_cell(d.value), count_cell(d.trials_a),
+         count_cell(d.trials_b), num_cell(d.success_rate_a, 3),
+         num_cell(d.success_rate_b, 3), num_cell(d.success_delta, 3),
+         delta_ci_cell(d.success_delta_ci), bool_cell(d.significant),
+         num_cell(d.denial_delta, 3), num_cell(d.mean_psnr_shift, 2)});
+  }
+  out += marginal_table.to_text();
+  return out;
+}
+
+std::string DiffReport::to_csv() const {
+  Table t{{{"section"},        {"defense"},        {"model"},
+           {"delay_s"},        {"scrubber_Bps"},   {"axis"},
+           {"value"},          {"index_a"},        {"index_b"},
+           {"trials_a"},       {"trials_b"},       {"successes_a"},
+           {"successes_b"},    {"denials_a"},      {"denials_b"},
+           {"success_rate_a"}, {"success_rate_b"}, {"success_delta"},
+           {"delta_ci95_low"}, {"delta_ci95_high"}, {"significant"},
+           {"denial_rate_a"},  {"denial_rate_b"},  {"denial_delta"},
+           {"p50_shift"},      {"p90_shift"},      {"p99_shift"},
+           {"mean_psnr_shift"}}};
+  for (const CellDelta& d : cells) {
+    t.add_row({str_cell("cell"), str_cell(d.key.defense),
+               str_cell(d.key.model), num_cell(d.key.attack_delay_s),
+               num_cell(d.key.scrubber_bytes_per_s), empty_cell(),
+               empty_cell(), count_cell(d.index_a), count_cell(d.index_b),
+               count_cell(d.trials_a), count_cell(d.trials_b),
+               count_cell(d.successes_a), count_cell(d.successes_b),
+               count_cell(d.denials_a), count_cell(d.denials_b),
+               num_cell(d.success_rate_a), num_cell(d.success_rate_b),
+               num_cell(d.success_delta), num_cell(d.success_delta_ci.low),
+               num_cell(d.success_delta_ci.high), bool_cell(d.significant),
+               num_cell(d.denial_rate_a), num_cell(d.denial_rate_b),
+               num_cell(d.denial_delta), num_cell(d.p50_shift),
+               num_cell(d.p90_shift), num_cell(d.p99_shift), empty_cell()});
+  }
+  auto add_unmatched = [&](const char* section,
+                           const std::vector<CellDistribution>& side,
+                           bool is_a) {
+    for (const CellDistribution& c : side) {
+      std::vector<Cell> row{str_cell(section), str_cell(c.defense),
+                            str_cell(c.model), num_cell(c.attack_delay_s),
+                            num_cell(c.scrubber_bytes_per_s), empty_cell(),
+                            empty_cell()};
+      // index / trials / successes / denials / success_rate land in the
+      // matching side's columns; the partner side stays empty.
+      auto pair = [&](Cell value) {
+        row.push_back(is_a ? value : empty_cell());
+        row.push_back(is_a ? empty_cell() : value);
+      };
+      pair(count_cell(c.index));
+      pair(count_cell(c.trials));
+      pair(count_cell(c.successes));
+      pair(count_cell(c.denials));
+      pair(num_cell(c.success_rate));
+      // No delta columns for a one-sided cell.
+      for (int i = 0; i < 4; ++i) row.push_back(empty_cell());
+      pair(num_cell(rate(c.denials, c.trials)));
+      for (int i = 0; i < 5; ++i) row.push_back(empty_cell());
+      t.add_row(std::move(row));
+    }
+  };
+  add_unmatched("only_in_a", only_in_a, true);
+  add_unmatched("only_in_b", only_in_b, false);
+  for (const AxisDelta& d : marginals) {
+    t.add_row({str_cell("axis"), empty_cell(), empty_cell(), empty_cell(),
+               empty_cell(), str_cell(d.axis), str_cell(d.value),
+               empty_cell(), empty_cell(), count_cell(d.trials_a),
+               count_cell(d.trials_b), count_cell(d.successes_a),
+               count_cell(d.successes_b), count_cell(d.denials_a),
+               count_cell(d.denials_b), num_cell(d.success_rate_a),
+               num_cell(d.success_rate_b), num_cell(d.success_delta),
+               num_cell(d.success_delta_ci.low),
+               num_cell(d.success_delta_ci.high), bool_cell(d.significant),
+               empty_cell(), empty_cell(), num_cell(d.denial_delta),
+               empty_cell(), empty_cell(), empty_cell(),
+               num_cell(d.mean_psnr_shift)});
+  }
+  return t.to_csv();
+}
+
+std::string DiffReport::to_json() const {
+  Table cell_table{{{"defense"},        {"model"},
+                    {"delay_s"},        {"scrubber_Bps"},
+                    {"index_a"},        {"index_b"},
+                    {"trials_a"},       {"trials_b"},
+                    {"successes_a"},    {"successes_b"},
+                    {"denials_a"},      {"denials_b"},
+                    {"success_rate_a"}, {"success_rate_b"},
+                    {"success_delta"},  {"delta_ci95_low"},
+                    {"delta_ci95_high"}, {"significant"},
+                    {"denial_rate_a"},  {"denial_rate_b"},
+                    {"denial_delta"},   {"p50_shift"},
+                    {"p90_shift"},      {"p99_shift"}}};
+  for (const CellDelta& d : cells) {
+    cell_table.add_row(
+        {str_cell(d.key.defense), str_cell(d.key.model),
+         num_cell(d.key.attack_delay_s),
+         num_cell(d.key.scrubber_bytes_per_s), count_cell(d.index_a),
+         count_cell(d.index_b), count_cell(d.trials_a),
+         count_cell(d.trials_b), count_cell(d.successes_a),
+         count_cell(d.successes_b), count_cell(d.denials_a),
+         count_cell(d.denials_b), num_cell(d.success_rate_a),
+         num_cell(d.success_rate_b), num_cell(d.success_delta),
+         num_cell(d.success_delta_ci.low),
+         num_cell(d.success_delta_ci.high), bool_cell(d.significant),
+         num_cell(d.denial_rate_a), num_cell(d.denial_rate_b),
+         num_cell(d.denial_delta), num_cell(d.p50_shift),
+         num_cell(d.p90_shift), num_cell(d.p99_shift)});
+  }
+  auto side_table = [](const std::vector<CellDistribution>& side) {
+    Table t{{{"index"},
+             {"defense"},
+             {"model"},
+             {"delay_s"},
+             {"scrubber_Bps"},
+             {"trials"},
+             {"successes"},
+             {"denials"},
+             {"success_rate"}}};
+    for (const CellDistribution& c : side) {
+      t.add_row({count_cell(c.index), str_cell(c.defense), str_cell(c.model),
+                 num_cell(c.attack_delay_s),
+                 num_cell(c.scrubber_bytes_per_s), count_cell(c.trials),
+                 count_cell(c.successes), count_cell(c.denials),
+                 num_cell(c.success_rate)});
+    }
+    return t;
+  };
+  Table marginal_table{{{"axis"},           {"value"},
+                        {"trials_a"},       {"trials_b"},
+                        {"successes_a"},    {"successes_b"},
+                        {"denials_a"},      {"denials_b"},
+                        {"success_rate_a"}, {"success_rate_b"},
+                        {"success_delta"},  {"delta_ci95_low"},
+                        {"delta_ci95_high"}, {"significant"},
+                        {"denial_delta"},   {"mean_psnr_shift"}}};
+  for (const AxisDelta& d : marginals) {
+    marginal_table.add_row(
+        {str_cell(d.axis), str_cell(d.value), count_cell(d.trials_a),
+         count_cell(d.trials_b), count_cell(d.successes_a),
+         count_cell(d.successes_b), count_cell(d.denials_a),
+         count_cell(d.denials_b), num_cell(d.success_rate_a),
+         num_cell(d.success_rate_b), num_cell(d.success_delta),
+         num_cell(d.success_delta_ci.low),
+         num_cell(d.success_delta_ci.high), bool_cell(d.significant),
+         num_cell(d.denial_delta), num_cell(d.mean_psnr_shift)});
+  }
+
+  std::string out = "{\"matched_cells\":" + std::to_string(cells.size());
+  out += ",\"significant_cells\":" + std::to_string(significant_cells);
+  out += ",\"cells\":" + cell_table.to_json();
+  out += ",\"only_in_a\":" + side_table(only_in_a).to_json();
+  out += ",\"only_in_b\":" + side_table(only_in_b).to_json();
+  out += ",\"marginals\":" + marginal_table.to_json();
+  out += '}';
+  return out;
+}
+
+}  // namespace msa::campaign

@@ -1,0 +1,131 @@
+// Cross-sweep comparison: aligns the cells of two analyzed sweeps by
+// AXIS VALUES (defense, model, delay, scrubber rate) — never by cell
+// index — and reports per-cell and per-axis outcome deltas with
+// Newcombe/Wilson confidence intervals on the success-rate difference.
+// Index-independence is the point: two stores whose grids enumerate the
+// same combinations in different orders (or only partially overlap)
+// still pair up, and the unmatched remainder is reported per side
+// instead of silently dropped. This is the `campaign_sweep diff`
+// subcommand's engine, the one-command answer to "did defense family B
+// beat defense family A under the same attack grid".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/stats.h"
+
+namespace msa::campaign {
+
+/// Axis coordinates of a cell — the join key for cross-sweep alignment.
+/// Ordered lexicographically (defense, model, delay, scrubber) so diff
+/// output is deterministic regardless of either side's grid order.
+struct AxisKey {
+  std::string defense;
+  std::string model;
+  double attack_delay_s = 0.0;
+  double scrubber_bytes_per_s = 0.0;
+
+  friend bool operator==(const AxisKey&, const AxisKey&) = default;
+  [[nodiscard]] bool operator<(const AxisKey& other) const;
+  /// "defense/model/delay=X/scrubber=Y" for error messages and text rows.
+  [[nodiscard]] std::string label() const;
+};
+
+/// CI on a difference of proportions; excludes_zero() is the per-row
+/// significance flag ("the grids disagree on this cell beyond what the
+/// trial counts can explain").
+struct DeltaInterval {
+  double low = 0.0;
+  double high = 0.0;
+  [[nodiscard]] bool excludes_zero() const noexcept {
+    return low > 0.0 || high < 0.0;
+  }
+};
+
+/// Newcombe's score interval (MOVER over two Wilson intervals) for the
+/// difference p_b - p_a. Small-n-safe like Wilson itself: never
+/// degenerate at 0/n or n/n, always inside [-1, 1]. A side with zero
+/// trials contributes the no-information interval [0, 1].
+[[nodiscard]] DeltaInterval newcombe_interval(std::size_t successes_a,
+                                              std::size_t trials_a,
+                                              std::size_t successes_b,
+                                              std::size_t trials_b,
+                                              double z = 1.959964);
+
+/// One axis-matched cell pair. Every delta is B minus A, so a positive
+/// success_delta means the attack succeeds MORE under sweep B.
+struct CellDelta {
+  AxisKey key;
+  std::uint64_t index_a = 0;  ///< global cell index on side A
+  std::uint64_t index_b = 0;  ///< may differ — alignment is by key
+
+  std::size_t trials_a = 0, trials_b = 0;
+  std::size_t successes_a = 0, successes_b = 0;
+  std::size_t denials_a = 0, denials_b = 0;
+
+  double success_rate_a = 0.0, success_rate_b = 0.0;
+  double success_delta = 0.0;       ///< rate_b - rate_a (exactly 0 on self)
+  DeltaInterval success_delta_ci;   ///< Newcombe 95% on the delta
+  bool significant = false;         ///< CI excludes zero
+
+  double denial_rate_a = 0.0, denial_rate_b = 0.0;
+  double denial_delta = 0.0;
+
+  // PSNR percentile shifts, B minus A.
+  double p50_shift = 0.0;
+  double p90_shift = 0.0;
+  double p99_shift = 0.0;
+};
+
+/// One axis value pooled over each side's own cells. Marginals are
+/// matched by (axis, value) independently of cell matching: two sweeps
+/// with disjoint defense families but a shared delay axis still compare
+/// per-delay — exactly the cross-family question the paper asks.
+struct AxisDelta {
+  std::string axis;
+  std::string value;
+
+  std::size_t trials_a = 0, trials_b = 0;
+  std::size_t successes_a = 0, successes_b = 0;
+  std::size_t denials_a = 0, denials_b = 0;
+
+  double success_rate_a = 0.0, success_rate_b = 0.0;
+  double success_delta = 0.0;
+  DeltaInterval success_delta_ci;
+  bool significant = false;
+
+  double denial_delta = 0.0;
+  double mean_psnr_shift = 0.0;
+};
+
+struct DiffReport {
+  /// Matched cells ascending by AxisKey.
+  std::vector<CellDelta> cells;
+  /// Cells with no axis-value partner on the other side, ascending by
+  /// AxisKey (copies of the per-side distributions, untouched).
+  std::vector<CellDistribution> only_in_a;
+  std::vector<CellDistribution> only_in_b;
+  /// Matched (axis, value) marginals, in side A's marginal order (axis
+  /// blocks fixed, values by side-A first appearance).
+  std::vector<AxisDelta> marginals;
+  std::size_t significant_cells = 0;  ///< cells whose CI excludes zero
+
+  [[nodiscard]] std::string to_text() const;
+  /// One strict CSV table; `section` is cell | axis | only_in_a |
+  /// only_in_b, with the columns a section does not populate left empty.
+  [[nodiscard]] std::string to_csv() const;
+  /// {"matched_cells":..,"significant_cells":..,"cells":[..],
+  ///  "only_in_a":[..],"only_in_b":[..],"marginals":[..]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Aligns two analyzed sweeps. Throws std::runtime_error when one side
+/// carries two cells with the same axis key (duplicate axis values in a
+/// grid make the pairing ambiguous).
+[[nodiscard]] DiffReport diff_sweeps(const StatsReport& a,
+                                     const StatsReport& b);
+
+}  // namespace msa::campaign

@@ -1,74 +1,17 @@
 #include "campaign/report.h"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
+#include "campaign/table.h"
 
 namespace msa::campaign {
 
-namespace {
-
-/// Shortest round-trip-exact decimal form (std::to_chars), with "inf" /
-/// "-inf" / "nan" spelled out so CSV and JSON agree byte-for-byte across
-/// runs. Integral values keep their plain form ("60", not "6e+01").
-std::string format_double(double v) {
-  if (std::isnan(v)) return "nan";
-  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
-  // Magnitude check first: casting |v| >= 2^63 to long long is UB.
-  if (std::abs(v) < 1e15 &&
-      v == static_cast<double>(static_cast<long long>(v))) {
-    char ibuf[32];
-    const auto res =
-        std::to_chars(ibuf, ibuf + sizeof ibuf, static_cast<long long>(v));
-    return std::string(ibuf, res.ptr);
-  }
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, res.ptr);
-}
-
-std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// JSON has no literal for infinity; psnr of an exact reconstruction is
-/// serialized as a large sentinel instead (documented in README).
-std::string json_double(double v) {
-  if (std::isnan(v)) return "null";
-  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
-  return format_double(v);
-}
-
-}  // namespace
+// Value formatting lives in campaign/table.h, shared with the stats and
+// diff emitters: format_double is shortest-round-trip-exact, csv_escape
+// is RFC-4180 (quoting on comma/quote/newline/CR), json_double spells
+// infinities as the +/-1e999 sentinels (documented in README).
+using table::csv_escape;
+using table::format_double;
+using table::json_double;
+using table::json_escape;
 
 void CellStats::accumulate(const attack::ScenarioResult& result) {
   ++trials;

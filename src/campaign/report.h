@@ -23,7 +23,7 @@ struct CellStats {
   double scrubber_bytes_per_s = 0.0;
 
   std::size_t trials = 0;
-  std::size_t full_successes = 0;     ///< model id'd AND pixel_match > 0.999
+  std::size_t full_successes = 0;  ///< attack::is_full_success per trial
   std::size_t model_identified = 0;
   std::size_t denials = 0;            ///< a defense blocked an attack step
   double mean_pixel_match = 0.0;

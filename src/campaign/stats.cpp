@@ -1,57 +1,29 @@
 #include "campaign/stats.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <map>
 #include <stdexcept>
+
+#include "attack/scenario.h"
+#include "campaign/table.h"
 
 namespace msa::campaign {
 
 namespace {
 
-/// Same shortest-round-trip formatting as the report CSV (report.cpp);
-/// duplicated rather than exported because the two files must be allowed
-/// to evolve their formats independently.
-std::string format_double(double v) {
-  if (std::isnan(v)) return "nan";
-  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
-  if (std::abs(v) < 1e15 &&
-      v == static_cast<double>(static_cast<long long>(v))) {
-    char ibuf[32];
-    const auto res =
-        std::to_chars(ibuf, ibuf + sizeof ibuf, static_cast<long long>(v));
-    return std::string(ibuf, res.ptr);
-  }
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, res.ptr);
-}
-
-/// Fixed decimals for table columns (alignment beats round-tripping in
-/// human-facing output).
-std::string fixed(double v, int decimals) {
-  if (std::isnan(v)) return "nan";
-  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
-  return buf;
-}
-
-std::string pad(std::string s, std::size_t width) {
-  if (s.size() < width) s.insert(0, width - s.size(), ' ');
-  return s;
-}
-
-std::string pad_right(std::string s, std::size_t width) {
-  if (s.size() < width) s.append(width - s.size(), ' ');
-  return s;
-}
+using table::Align;
+using table::Cell;
+using table::Column;
+using table::Table;
+using table::count_cell;
+using table::empty_cell;
+using table::format_double;
+using table::num_cell;
+using table::str_cell;
 
 bool trial_full_success(const persist::TrialRecord& t) {
-  // Mirrors attack::ScenarioResult::full_success().
-  return t.model_identified && t.pixel_match > 0.999;
+  return attack::is_full_success(t.model_identified, t.pixel_match);
 }
 
 struct MarginalAccumulator {
@@ -204,6 +176,16 @@ StatsReport analyze_sweep(const persist::SweepData& data) {
   return report;
 }
 
+namespace {
+
+/// Text tables combine the CI bounds into one "[low,high]" column; the
+/// CSV/JSON emitters below split them so consumers get plain numbers.
+Cell ci_cell(const WilsonInterval& ci) {
+  return table::interval_cell(ci.low, ci.high);
+}
+
+}  // namespace
+
 std::string StatsReport::to_text() const {
   std::string out;
   out += "== per-cell distributions (" + std::to_string(cells.size()) +
@@ -212,39 +194,105 @@ std::string StatsReport::to_text() const {
     out += ", " + std::to_string(orphan_trials) + " orphan trials excluded";
   }
   out += ") ==\n";
-  out +=
-      "index  defense          model            delay_s  scrub_Bps  trials"
-      "  success        ci95          denials  p50_psnr  p90_psnr  p99_psnr\n";
+  Table cell_table{{{"index", Align::kLeft},
+                    {"defense", Align::kLeft},
+                    {"model", Align::kLeft},
+                    {"delay_s", Align::kRight},
+                    {"scrub_Bps", Align::kRight},
+                    {"trials", Align::kRight},
+                    {"success", Align::kRight},
+                    {"ci95", Align::kRight},
+                    {"denials", Align::kRight},
+                    {"p50_psnr", Align::kRight},
+                    {"p90_psnr", Align::kRight},
+                    {"p99_psnr", Align::kRight}}};
   for (const CellDistribution& c : cells) {
-    out += pad_right(std::to_string(c.index), 5) + "  ";
-    out += pad_right(c.defense, 15) + "  ";
-    out += pad_right(c.model, 15) + "  ";
-    out += pad(format_double(c.attack_delay_s), 7) + "  ";
-    out += pad(format_double(c.scrubber_bytes_per_s), 9) + "  ";
-    out += pad(std::to_string(c.trials), 6) + "  ";
-    out += pad(fixed(c.success_rate, 3), 7) + "  ";
-    out += "[" + fixed(c.success_ci.low, 3) + "," +
-           fixed(c.success_ci.high, 3) + "]  ";
-    out += pad(std::to_string(c.denials), 7) + "  ";
-    out += pad(fixed(c.p50_psnr, 2), 8) + "  ";
-    out += pad(fixed(c.p90_psnr, 2), 8) + "  ";
-    out += pad(fixed(c.p99_psnr, 2), 8) + "\n";
+    cell_table.add_row({count_cell(c.index), str_cell(c.defense),
+                        str_cell(c.model), num_cell(c.attack_delay_s),
+                        num_cell(c.scrubber_bytes_per_s),
+                        count_cell(c.trials),
+                        num_cell(c.success_rate, 3), ci_cell(c.success_ci),
+                        count_cell(c.denials), num_cell(c.p50_psnr, 2),
+                        num_cell(c.p90_psnr, 2), num_cell(c.p99_psnr, 2)});
   }
+  out += cell_table.to_text();
 
   out += "\n== per-axis marginals ==\n";
-  out +=
-      "axis          value            trials  success        ci95        "
-      "  denials  mean_psnr\n";
+  Table marginal_table{{{"axis", Align::kLeft},
+                        {"value", Align::kLeft},
+                        {"trials", Align::kRight},
+                        {"success", Align::kRight},
+                        {"ci95", Align::kRight},
+                        {"denials", Align::kRight},
+                        {"mean_psnr", Align::kRight}}};
   for (const AxisMarginal& m : marginals) {
-    out += pad_right(m.axis, 12) + "  ";
-    out += pad_right(m.value, 15) + "  ";
-    out += pad(std::to_string(m.trials), 6) + "  ";
-    out += pad(fixed(m.success_rate, 3), 7) + "  ";
-    out += "[" + fixed(m.success_ci.low, 3) + "," +
-           fixed(m.success_ci.high, 3) + "]  ";
-    out += pad(std::to_string(m.denials), 7) + "  ";
-    out += pad(fixed(m.mean_psnr, 2), 9) + "\n";
+    marginal_table.add_row({str_cell(m.axis), str_cell(m.value),
+                            count_cell(m.trials), num_cell(m.success_rate, 3),
+                            ci_cell(m.success_ci), count_cell(m.denials),
+                            num_cell(m.mean_psnr, 2)});
   }
+  out += marginal_table.to_text();
+  return out;
+}
+
+std::string StatsReport::to_csv() const {
+  Table t{{{"section"},      {"index"},       {"defense"},
+           {"model"},        {"delay_s"},     {"scrubber_Bps"},
+           {"axis"},         {"value"},       {"trials"},
+           {"successes"},    {"denials"},     {"success_rate"},
+           {"ci95_low"},     {"ci95_high"},   {"p50_psnr"},
+           {"p90_psnr"},     {"p99_psnr"},    {"mean_psnr"}}};
+  for (const CellDistribution& c : cells) {
+    t.add_row({str_cell("cell"), count_cell(c.index), str_cell(c.defense),
+               str_cell(c.model), num_cell(c.attack_delay_s),
+               num_cell(c.scrubber_bytes_per_s), empty_cell(), empty_cell(),
+               count_cell(c.trials), count_cell(c.successes),
+               count_cell(c.denials), num_cell(c.success_rate),
+               num_cell(c.success_ci.low), num_cell(c.success_ci.high),
+               num_cell(c.p50_psnr), num_cell(c.p90_psnr),
+               num_cell(c.p99_psnr), empty_cell()});
+  }
+  for (const AxisMarginal& m : marginals) {
+    t.add_row({str_cell("marginal"), empty_cell(), empty_cell(), empty_cell(),
+               empty_cell(), empty_cell(), str_cell(m.axis), str_cell(m.value),
+               count_cell(m.trials), count_cell(m.successes),
+               count_cell(m.denials), num_cell(m.success_rate),
+               num_cell(m.success_ci.low), num_cell(m.success_ci.high),
+               empty_cell(), empty_cell(), empty_cell(), num_cell(m.mean_psnr)});
+  }
+  return t.to_csv();
+}
+
+std::string StatsReport::to_json() const {
+  Table cell_table{{{"index"},        {"defense"},   {"model"},
+                    {"delay_s"},      {"scrubber_Bps"}, {"trials"},
+                    {"successes"},    {"denials"},   {"success_rate"},
+                    {"ci95_low"},     {"ci95_high"}, {"p50_psnr"},
+                    {"p90_psnr"},     {"p99_psnr"}}};
+  for (const CellDistribution& c : cells) {
+    cell_table.add_row(
+        {count_cell(c.index), str_cell(c.defense), str_cell(c.model),
+         num_cell(c.attack_delay_s), num_cell(c.scrubber_bytes_per_s),
+         count_cell(c.trials), count_cell(c.successes), count_cell(c.denials),
+         num_cell(c.success_rate), num_cell(c.success_ci.low),
+         num_cell(c.success_ci.high), num_cell(c.p50_psnr),
+         num_cell(c.p90_psnr), num_cell(c.p99_psnr)});
+  }
+  Table marginal_table{{{"axis"},         {"value"},    {"trials"},
+                        {"successes"},    {"denials"},  {"success_rate"},
+                        {"ci95_low"},     {"ci95_high"}, {"mean_psnr"}}};
+  for (const AxisMarginal& m : marginals) {
+    marginal_table.add_row(
+        {str_cell(m.axis), str_cell(m.value), count_cell(m.trials),
+         count_cell(m.successes), count_cell(m.denials),
+         num_cell(m.success_rate), num_cell(m.success_ci.low),
+         num_cell(m.success_ci.high), num_cell(m.mean_psnr)});
+  }
+  std::string out = "{\"trials_analyzed\":" + std::to_string(trials_analyzed);
+  out += ",\"orphan_trials\":" + std::to_string(orphan_trials);
+  out += ",\"cells\":" + cell_table.to_json();
+  out += ",\"marginals\":" + marginal_table.to_json();
+  out += '}';
   return out;
 }
 

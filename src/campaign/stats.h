@@ -44,7 +44,7 @@ struct CellDistribution {
   double scrubber_bytes_per_s = 0.0;
 
   std::size_t trials = 0;
-  std::size_t successes = 0;  ///< full successes (id'd + pixel_match>0.999)
+  std::size_t successes = 0;  ///< full successes (attack::is_full_success)
   std::size_t denials = 0;
   double p50_psnr = 0.0;
   double p90_psnr = 0.0;
@@ -73,8 +73,16 @@ struct StatsReport {
   std::vector<CellDistribution> cells;
   std::vector<AxisMarginal> marginals;
 
-  /// Fixed-layout text tables (cells, then marginals).
+  /// Aligned text tables (cells, then marginals).
   [[nodiscard]] std::string to_text() const;
+  /// One strict CSV table: a `section` column discriminates cell rows
+  /// from marginal rows; columns the other section does not populate are
+  /// empty. Doubles are round-trip exact (table::format_double).
+  [[nodiscard]] std::string to_csv() const;
+  /// {"trials_analyzed":..,"orphan_trials":..,"cells":[..],
+  ///  "marginals":[..]} — doubles round-trip exact, infinities as the
+  /// +/-1e999 sentinels, NaN as null.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Computes the report from loaded store data. Only completed cells are

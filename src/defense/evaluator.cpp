@@ -24,7 +24,7 @@ DefenseOutcome DefenseEvaluator::evaluate(const DefensePreset& preset,
       continue;
     }
     if (r.model_identified_correctly) ++out.model_identified;
-    if (r.pixel_match > 0.999) ++out.image_recovered;
+    if (r.pixel_match > attack::kFullSuccessPixelMatch) ++out.image_recovered;
     match_sum += r.pixel_match;
     psnr_sum += r.psnr > 0 ? r.psnr : 0.0;
     ++scored;

@@ -19,7 +19,7 @@ struct DefenseOutcome {
   std::size_t trials = 0;
   std::size_t denied = 0;              ///< attack blocked before scraping
   std::size_t model_identified = 0;    ///< correct string identification
-  std::size_t image_recovered = 0;     ///< pixel_match > 0.999
+  std::size_t image_recovered = 0;  ///< pixel_match > attack::kFullSuccessPixelMatch
   double mean_pixel_match = 0.0;
   double mean_psnr = 0.0;
 

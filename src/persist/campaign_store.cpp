@@ -454,6 +454,29 @@ SweepData load_sweep(const std::vector<std::string>& paths) {
   return out;
 }
 
+std::vector<std::string> list_store_files(const std::string& dir) {
+  std::vector<std::string> stores;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".store") {
+      stores.push_back(entry.path().string());
+    }
+  }
+  std::sort(stores.begin(), stores.end());
+  return stores;
+}
+
+SweepData load_sweep_path(const std::string& path) {
+  if (std::filesystem::is_directory(path)) {
+    const std::vector<std::string> stores = list_store_files(path);
+    if (stores.empty()) {
+      throw std::runtime_error("persist: no *.store files in " + path);
+    }
+    return load_sweep(stores);
+  }
+  return load_sweep({path});
+}
+
 campaign::SweepReport merge_worker_stores(const std::vector<std::string>& paths) {
   SweepData data = load_sweep(paths);
   if (data.cells.size() != data.manifest.grid_cells) {

@@ -192,6 +192,17 @@ struct SweepData {
 };
 [[nodiscard]] SweepData load_sweep(const std::vector<std::string>& paths);
 
+/// Every "*.store" file directly under `dir`, sorted by path — the
+/// worker-store enumeration shared by merge/stats/diff tooling.
+[[nodiscard]] std::vector<std::string> list_store_files(const std::string& dir);
+
+/// Loads one analysis input by path: a directory means "every *.store
+/// inside" (a lease-mode workers dir), anything else a single store
+/// file. Throws std::runtime_error when a directory holds no stores —
+/// and this is the loader `campaign_sweep diff` uses per side, so each
+/// side of a comparison can independently be a file or a directory.
+[[nodiscard]] SweepData load_sweep_path(const std::string& path);
+
 /// Lease-mode merge: load_sweep over the worker stores plus the full-
 /// coverage check, yielding the report in grid order — byte-identical to
 /// the single-process run. Throws std::runtime_error when cells are

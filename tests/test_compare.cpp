@@ -1,0 +1,366 @@
+// Cross-sweep diff tests: Newcombe interval properties, axis-value
+// alignment (index-permuted stores pair up; disjoint grids report every
+// cell unmatched), the self-diff-is-exactly-zero contract, and the
+// text/CSV/JSON emitters' determinism.
+#include "campaign/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "campaign/stats.h"
+#include "persist/campaign_store.h"
+
+namespace msa::campaign {
+namespace {
+
+using persist::CampaignStore;
+using persist::StoreManifest;
+using persist::SweepData;
+using persist::TrialRecord;
+
+TEST(NewcombeInterval, ContainsDeltaAndStaysInRange) {
+  // 8/10 vs 4/10: delta -0.4; composing the Wilson intervals pinned in
+  // test_stats gives approximately [-0.6726, 0.0226] — overlapping
+  // zero, so NOT significant at these trial counts.
+  const DeltaInterval ci = newcombe_interval(8, 10, 4, 10);
+  EXPECT_NEAR(ci.low, -0.6726, 1e-3);
+  EXPECT_NEAR(ci.high, 0.0226, 1e-3);
+  EXPECT_FALSE(ci.excludes_zero());
+  EXPECT_LE(ci.low, -0.4);
+  EXPECT_GE(ci.high, -0.4);
+  EXPECT_GE(ci.low, -1.0);
+  EXPECT_LE(ci.high, 1.0);
+}
+
+TEST(NewcombeInterval, AntisymmetricUnderSideSwap) {
+  const DeltaInterval ab = newcombe_interval(7, 9, 2, 11);
+  const DeltaInterval ba = newcombe_interval(2, 11, 7, 9);
+  EXPECT_DOUBLE_EQ(ab.low, -ba.high);
+  EXPECT_DOUBLE_EQ(ab.high, -ba.low);
+}
+
+TEST(NewcombeInterval, ExtremesAndDegenerateCounts) {
+  // 0/n vs n/n: a full-swing difference is significant even at n = 10.
+  const DeltaInterval swing = newcombe_interval(0, 10, 10, 10);
+  EXPECT_GT(swing.low, 0.0);
+  EXPECT_LE(swing.high, 1.0);
+  EXPECT_TRUE(swing.excludes_zero());
+
+  // Identical counts: the interval straddles zero symmetrically.
+  const DeltaInterval same = newcombe_interval(3, 5, 3, 5);
+  EXPECT_DOUBLE_EQ(same.low, -same.high);
+  EXPECT_FALSE(same.excludes_zero());
+
+  // A side with no trials contributes the no-information interval; the
+  // result can never exclude zero.
+  const DeltaInterval no_info = newcombe_interval(0, 0, 5, 5);
+  EXPECT_FALSE(no_info.excludes_zero());
+  EXPECT_GE(no_info.low, -1.0);
+  EXPECT_LE(no_info.high, 1.0);
+}
+
+CellDistribution make_cell(std::uint64_t index, const std::string& defense,
+                           const std::string& model, double delay,
+                           double scrubber, std::size_t trials,
+                           std::size_t successes, std::size_t denials,
+                           double p50, double p90, double p99) {
+  CellDistribution c;
+  c.index = index;
+  c.defense = defense;
+  c.model = model;
+  c.attack_delay_s = delay;
+  c.scrubber_bytes_per_s = scrubber;
+  c.trials = trials;
+  c.successes = successes;
+  c.denials = denials;
+  c.p50_psnr = p50;
+  c.p90_psnr = p90;
+  c.p99_psnr = p99;
+  c.success_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(successes) / static_cast<double>(trials);
+  c.success_ci = wilson_interval(successes, trials);
+  return c;
+}
+
+AxisMarginal make_marginal(const std::string& axis, const std::string& value,
+                           std::size_t trials, std::size_t successes,
+                           std::size_t denials, double mean_psnr) {
+  AxisMarginal m;
+  m.axis = axis;
+  m.value = value;
+  m.trials = trials;
+  m.successes = successes;
+  m.denials = denials;
+  m.success_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(successes) / static_cast<double>(trials);
+  m.success_ci = wilson_interval(successes, trials);
+  m.mean_psnr = mean_psnr;
+  return m;
+}
+
+StatsReport two_cell_report() {
+  StatsReport r;
+  r.cells.push_back(
+      make_cell(0, "baseline", "m", 0.0, 0.0, 5, 4, 0, 90.0, 95.0, 99.0));
+  r.cells.push_back(
+      make_cell(1, "zero_on_free", "m", 0.0, 0.0, 5, 1, 2, 10.0, 20.0, 30.0));
+  r.trials_analyzed = 10;
+  r.marginals.push_back(make_marginal("defense", "baseline", 5, 4, 0, 92.0));
+  r.marginals.push_back(make_marginal("defense", "zero_on_free", 5, 1, 2, 15.0));
+  r.marginals.push_back(make_marginal("model", "m", 10, 5, 2, 53.5));
+  return r;
+}
+
+TEST(DiffSweeps, SelfDiffIsExactlyZero) {
+  const StatsReport r = two_cell_report();
+  const DiffReport diff = diff_sweeps(r, r);
+
+  ASSERT_EQ(diff.cells.size(), 2u);
+  EXPECT_TRUE(diff.only_in_a.empty());
+  EXPECT_TRUE(diff.only_in_b.empty());
+  EXPECT_EQ(diff.significant_cells, 0u);
+  for (const CellDelta& d : diff.cells) {
+    EXPECT_EQ(d.success_delta, 0.0);  // exactly, not approximately
+    EXPECT_EQ(d.denial_delta, 0.0);
+    EXPECT_EQ(d.p50_shift, 0.0);
+    EXPECT_EQ(d.p90_shift, 0.0);
+    EXPECT_EQ(d.p99_shift, 0.0);
+    EXPECT_FALSE(d.significant);
+    EXPECT_LE(d.success_delta_ci.low, 0.0);
+    EXPECT_GE(d.success_delta_ci.high, 0.0);
+    EXPECT_EQ(d.trials_a, d.trials_b);
+    EXPECT_EQ(d.index_a, d.index_b);
+  }
+  ASSERT_EQ(diff.marginals.size(), 3u);
+  for (const AxisDelta& d : diff.marginals) {
+    EXPECT_EQ(d.success_delta, 0.0);
+    EXPECT_EQ(d.denial_delta, 0.0);
+    EXPECT_EQ(d.mean_psnr_shift, 0.0);
+    EXPECT_FALSE(d.significant);
+  }
+}
+
+TEST(DiffSweeps, MatchedCellsOrderedByAxisNotIndex) {
+  StatsReport a = two_cell_report();
+  // Side B enumerates the same axis combinations under reversed indices
+  // and with different outcomes.
+  StatsReport b;
+  b.cells.push_back(
+      make_cell(7, "zero_on_free", "m", 0.0, 0.0, 5, 0, 5, 1.0, 2.0, 3.0));
+  b.cells.push_back(
+      make_cell(3, "baseline", "m", 0.0, 0.0, 5, 5, 0, 95.0, 97.0, 99.0));
+  b.marginals.push_back(make_marginal("defense", "baseline", 5, 5, 0, 97.0));
+
+  const DiffReport diff = diff_sweeps(a, b);
+  ASSERT_EQ(diff.cells.size(), 2u);
+  // Output ascends by axis key: "baseline" sorts before "zero_on_free".
+  EXPECT_EQ(diff.cells[0].key.defense, "baseline");
+  EXPECT_EQ(diff.cells[0].index_a, 0u);
+  EXPECT_EQ(diff.cells[0].index_b, 3u);
+  EXPECT_DOUBLE_EQ(diff.cells[0].success_delta, 1.0 - 0.8);
+  EXPECT_EQ(diff.cells[1].key.defense, "zero_on_free");
+  EXPECT_EQ(diff.cells[1].index_b, 7u);
+  EXPECT_DOUBLE_EQ(diff.cells[1].success_delta, 0.0 - 0.2);
+  EXPECT_DOUBLE_EQ(diff.cells[1].denial_delta, 1.0 - 0.4);
+  EXPECT_DOUBLE_EQ(diff.cells[1].p50_shift, 1.0 - 10.0);
+
+  // Marginal deltas exist only for (axis, value) pairs present on both
+  // sides — here just defense=baseline.
+  ASSERT_EQ(diff.marginals.size(), 1u);
+  EXPECT_EQ(diff.marginals[0].axis, "defense");
+  EXPECT_EQ(diff.marginals[0].value, "baseline");
+}
+
+TEST(DiffSweeps, DisjointGridsReportEveryCellUnmatched) {
+  StatsReport a;
+  a.cells.push_back(
+      make_cell(0, "baseline", "m1", 0.0, 0.0, 3, 3, 0, 99.0, 99.0, 99.0));
+  a.marginals.push_back(make_marginal("defense", "baseline", 3, 3, 0, 99.0));
+  StatsReport b;
+  b.cells.push_back(
+      make_cell(0, "physical_aslr", "m2", 5.0, 64.0, 3, 0, 3, 1.0, 1.0, 1.0));
+  b.marginals.push_back(make_marginal("defense", "physical_aslr", 3, 0, 3, 1.0));
+
+  const DiffReport diff = diff_sweeps(a, b);
+  EXPECT_TRUE(diff.cells.empty());
+  EXPECT_TRUE(diff.marginals.empty());
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0].defense, "baseline");
+  EXPECT_EQ(diff.only_in_b[0].defense, "physical_aslr");
+}
+
+TEST(DiffSweeps, DisjointCellsCanStillShareMarginalAxes) {
+  // The paper's cross-family question: defense families disjoint, delay
+  // axis shared. No cell matches, but per-delay marginals still diff.
+  StatsReport a;
+  a.cells.push_back(
+      make_cell(0, "familyA", "m", 5.0, 0.0, 4, 4, 0, 90.0, 90.0, 90.0));
+  a.marginals.push_back(make_marginal("defense", "familyA", 4, 4, 0, 90.0));
+  a.marginals.push_back(make_marginal("delay_s", "5", 4, 4, 0, 90.0));
+  StatsReport b;
+  b.cells.push_back(
+      make_cell(0, "familyB", "m", 5.0, 0.0, 4, 1, 0, 30.0, 30.0, 30.0));
+  b.marginals.push_back(make_marginal("defense", "familyB", 4, 1, 0, 30.0));
+  b.marginals.push_back(make_marginal("delay_s", "5", 4, 1, 0, 30.0));
+
+  const DiffReport diff = diff_sweeps(a, b);
+  EXPECT_TRUE(diff.cells.empty());
+  ASSERT_EQ(diff.marginals.size(), 1u);
+  EXPECT_EQ(diff.marginals[0].axis, "delay_s");
+  EXPECT_DOUBLE_EQ(diff.marginals[0].success_delta, 0.25 - 1.0);
+  EXPECT_DOUBLE_EQ(diff.marginals[0].mean_psnr_shift, -60.0);
+}
+
+TEST(DiffSweeps, NonFiniteAxisValuesAreRejected) {
+  // A store written before the CLI validated --delays/--scrubbers can
+  // carry NaN/inf axes; a NaN key would break the alignment map's
+  // ordering, so diff refuses it with a clear error instead.
+  StatsReport a = two_cell_report();
+  a.cells[1].attack_delay_s = std::nan("");
+  EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
+  EXPECT_THROW((void)diff_sweeps(two_cell_report(), a), std::runtime_error);
+  a.cells[1].attack_delay_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
+}
+
+TEST(DiffSweeps, DuplicateAxisKeyIsRejected) {
+  StatsReport a = two_cell_report();
+  a.cells.push_back(a.cells[0]);  // same axis values at another slot
+  a.cells.back().index = 99;
+  EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
+  EXPECT_THROW((void)diff_sweeps(two_cell_report(), a), std::runtime_error);
+}
+
+TEST(DiffSweeps, EmittersAreDeterministicAndLabelled) {
+  const StatsReport a = two_cell_report();
+  StatsReport b = two_cell_report();
+  b.cells[0].successes = 0;
+  b.cells[0].success_rate = 0.0;
+  b.cells[0].success_ci = wilson_interval(0, 5);
+  const DiffReport diff = diff_sweeps(a, b);
+
+  const std::string text = diff.to_text();
+  EXPECT_NE(text.find("cross-sweep diff (B minus A)"), std::string::npos);
+  EXPECT_NE(text.find("unmatched cells (A only: 0)"), std::string::npos);
+  EXPECT_NE(text.find("per-axis marginal deltas"), std::string::npos);
+  EXPECT_EQ(text, diff.to_text());
+
+  const std::string csv = diff.to_csv();
+  // Strict rectangle: every line has the header's field count (no field
+  // here carries an embedded comma).
+  const std::string header = csv.substr(0, csv.find('\n'));
+  const std::size_t header_commas = static_cast<std::size_t>(
+      std::count(header.begin(), header.end(), ','));
+  std::size_t line_start = 0;
+  while (line_start < csv.size()) {
+    const std::size_t line_end = csv.find('\n', line_start);
+    const std::string line = csv.substr(line_start, line_end - line_start);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(line.begin(), line.end(), ',')),
+              header_commas)
+        << line;
+    line_start = line_end + 1;
+  }
+  EXPECT_EQ(csv, diff.to_csv());
+
+  const std::string json = diff.to_json();
+  EXPECT_NE(json.find("\"matched_cells\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cells\":["), std::string::npos);
+  EXPECT_NE(json.find("\"only_in_a\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"marginals\":["), std::string::npos);
+  EXPECT_EQ(json, diff.to_json());
+}
+
+TEST(DiffSweeps, IndexPermutedStoreCopyDiffsToAllZero) {
+  // The acceptance contract at store level: write a sweep, copy its
+  // records into a second store under permuted cell indices, and the
+  // diff must align every cell by axis values with every delta exactly
+  // zero — index order never enters the pairing.
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  GridBuilder grid{cfg};
+  grid.defenses({"baseline", "zero_on_free"}).attack_delays_s({0.0, 5.0});
+
+  CampaignOptions options;
+  options.threads = 2;
+  options.trials_per_cell = 2;
+
+  StoreManifest manifest;
+  manifest.grid_fingerprint = grid.fingerprint();
+  manifest.grid_cells = grid.full_size();
+  manifest.trials_per_cell = options.trials_per_cell;
+  manifest.trial_salt = options.trial_salt;
+
+  const auto dir = std::filesystem::temp_directory_path() / "msa_compare_tests";
+  std::filesystem::create_directories(dir);
+  const std::string path_a = (dir / "orig.store").string();
+  const std::string path_b = (dir / "permuted.store").string();
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+  {
+    CampaignRunner runner{options};
+    CampaignStore store{path_a, manifest, CampaignStore::Mode::kCreate};
+    (void)runner.run(grid, store);
+  }
+
+  const SweepData data_a = persist::load_sweep({path_a});
+  ASSERT_EQ(data_a.cells.size(), 4u);
+  const std::uint64_t top = manifest.grid_cells - 1;
+  {
+    CampaignStore store{path_b, manifest, CampaignStore::Mode::kCreate};
+    // Reverse the index space; axis labels travel with their cells.
+    for (const CellStats& cell : data_a.cells) {
+      for (const TrialRecord& t : data_a.trials) {
+        if (t.cell_index != cell.index) continue;
+        TrialRecord moved = t;
+        moved.cell_index = top - t.cell_index;
+        store.append_trial(moved);
+      }
+      CellStats moved = cell;
+      moved.index = top - cell.index;
+      store.complete_cell(moved);
+    }
+  }
+
+  const StatsReport a = analyze_sweep(data_a);
+  const StatsReport b = analyze_sweep(persist::load_sweep({path_b}));
+  const DiffReport diff = diff_sweeps(a, b);
+
+  ASSERT_EQ(diff.cells.size(), 4u);
+  EXPECT_TRUE(diff.only_in_a.empty());
+  EXPECT_TRUE(diff.only_in_b.empty());
+  EXPECT_EQ(diff.significant_cells, 0u);
+  bool some_index_moved = false;
+  for (const CellDelta& d : diff.cells) {
+    EXPECT_EQ(d.success_delta, 0.0);
+    EXPECT_EQ(d.denial_delta, 0.0);
+    EXPECT_EQ(d.p50_shift, 0.0);
+    EXPECT_EQ(d.p90_shift, 0.0);
+    EXPECT_EQ(d.p99_shift, 0.0);
+    EXPECT_FALSE(d.significant);
+    EXPECT_EQ(d.index_b, top - d.index_a);
+    if (d.index_a != d.index_b) some_index_moved = true;
+  }
+  EXPECT_TRUE(some_index_moved);
+  for (const AxisDelta& d : diff.marginals) {
+    EXPECT_EQ(d.success_delta, 0.0);
+    EXPECT_EQ(d.mean_psnr_shift, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace msa::campaign

@@ -41,6 +41,18 @@ TEST(WilsonInterval, MatchesKnownValues) {
   // Symmetry of the complementary counts.
   EXPECT_NEAR(all.low, 1.0 - none.high, 1e-12);
 
+  // The single-trial extremes stay sane too: 0/1 and 1/1 give wide but
+  // proper subintervals of [0, 1], never the degenerate point the
+  // normal approximation collapses to.
+  const WilsonInterval zero_of_one = wilson_interval(0, 1);
+  EXPECT_EQ(zero_of_one.low, 0.0);
+  EXPECT_GT(zero_of_one.high, 0.5);
+  EXPECT_LT(zero_of_one.high, 1.0);
+  const WilsonInterval one_of_one = wilson_interval(1, 1);
+  EXPECT_EQ(one_of_one.high, 1.0);
+  EXPECT_LT(one_of_one.low, 0.5);
+  EXPECT_GT(one_of_one.low, 0.0);
+
   // No data: the no-information interval.
   const WilsonInterval empty = wilson_interval(0, 0);
   EXPECT_EQ(empty.low, 0.0);
@@ -174,6 +186,103 @@ TEST(AnalyzeSweep, OrphanTrialsOfIncompleteCellsExcluded) {
   // A completed cell with no trial stream at all is a broken store.
   data.trials.clear();
   EXPECT_THROW((void)analyze_sweep(data), std::runtime_error);
+}
+
+TEST(AnalyzeSweep, SingleTrialCellCollapsesPercentiles) {
+  SweepData data;
+  data.manifest.grid_cells = 1;
+  CellStats cell;
+  cell.index = 0;
+  cell.defense = "baseline";
+  cell.model = "m";
+  cell.trials = 1;
+  data.cells.push_back(cell);
+  TrialRecord t;
+  t.cell_index = 0;
+  t.trial = 0;
+  t.model_identified = true;
+  t.pixel_match = 1.0;
+  t.psnr = 42.25;
+  data.trials.push_back(t);
+
+  const StatsReport report = analyze_sweep(data);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CellDistribution& c = report.cells[0];
+  EXPECT_EQ(c.trials, 1u);
+  // One sample: every order statistic IS that sample.
+  EXPECT_EQ(c.p50_psnr, 42.25);
+  EXPECT_EQ(c.p90_psnr, 42.25);
+  EXPECT_EQ(c.p99_psnr, 42.25);
+  EXPECT_EQ(c.successes, 1u);
+  EXPECT_EQ(c.success_rate, 1.0);
+  EXPECT_EQ(c.success_ci.high, 1.0);
+  EXPECT_GT(c.success_ci.low, 0.0);
+}
+
+TEST(AnalyzeSweep, OrphanOnlyStoreYieldsEmptyReport) {
+  // Every trial belongs to a never-completed cell (a store whose worker
+  // was killed before its first complete_cell): nothing to analyze, but
+  // the orphans are counted and every emitter still renders.
+  SweepData data;
+  data.manifest.grid_cells = 8;
+  TrialRecord t;
+  t.cell_index = 2;
+  t.trial = 0;
+  t.psnr = 10.0;
+  data.trials.push_back(t);
+  t.cell_index = 5;
+  data.trials.push_back(t);
+
+  const StatsReport report = analyze_sweep(data);
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_TRUE(report.marginals.empty());
+  EXPECT_EQ(report.trials_analyzed, 0u);
+  EXPECT_EQ(report.orphan_trials, 2u);
+  EXPECT_NE(report.to_text().find("0 cells, 0 trials, 2 orphan trials"),
+            std::string::npos);
+  EXPECT_NE(report.to_csv().find("section"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"orphan_trials\":2"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"cells\":[]"), std::string::npos);
+}
+
+TEST(StatsReport, CsvAndJsonAreByteStableAndStrict) {
+  SweepData data;
+  data.manifest.grid_cells = 2;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    CellStats cell;
+    cell.index = i;
+    cell.defense = i == 0 ? "baseline" : "zero,on\rfree";  // exercises quoting
+    cell.model = "m";
+    cell.attack_delay_s = 5.0 * static_cast<double>(i);
+    cell.trials = 2;
+    data.cells.push_back(cell);
+    for (std::uint32_t trial = 0; trial < 2; ++trial) {
+      TrialRecord t;
+      t.cell_index = i;
+      t.trial = trial;
+      t.model_identified = i == 0;
+      t.pixel_match = i == 0 ? 1.0 : 0.25;
+      t.psnr = 10.0 + static_cast<double>(trial);
+      data.trials.push_back(t);
+    }
+  }
+
+  const StatsReport report = analyze_sweep(data);
+  const std::string csv = report.to_csv();
+  EXPECT_EQ(csv, analyze_sweep(data).to_csv());
+  // The axis value with a comma and CR must arrive quoted.
+  EXPECT_NE(csv.find("\"zero,on\rfree\""), std::string::npos);
+  // Cell rows and marginal rows share one strict header.
+  EXPECT_EQ(csv.rfind("section,index,defense,model,", 0), 0u);
+  EXPECT_NE(csv.find("\nmarginal,"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json, analyze_sweep(data).to_json());
+  EXPECT_EQ(json.rfind("{\"trials_analyzed\":4,\"orphan_trials\":0,", 0), 0u);
+  EXPECT_NE(json.find("\"marginals\":["), std::string::npos);
+  // The CR inside the defense label is escaped, never raw, in JSON.
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_NE(json.find("zero,on\\u000dfree"), std::string::npos);
 }
 
 }  // namespace
