@@ -6,6 +6,7 @@
 //   campaign_sweep [--threads N] [--trials N]
 //                  [--defenses a,b,...] [--models a,b,...]
 //                  [--delays s1,s2,...] [--scrubbers r1,r2,...]
+//                  [--axis NAME=v1,v2,...]...
 //                  [--no-profile-cache] [--fsync-every K]
 //                  [--store PATH [--resume]] [--shard I/N]
 //                  [--cell-budget K]
@@ -18,6 +19,15 @@
 //                  [--workers-dir DIR | STORE...]
 //   campaign_sweep diff [--format text|csv|json] A B
 //   campaign_sweep compact STORE...
+//   campaign_sweep axes
+//
+// --axis sweeps ANY registered scenario knob (see `campaign_sweep axes`
+// for the registry): each occurrence adds one grid dimension (or
+// replaces the value list of a legacy axis named again), so
+// `--axis power_cycled=0,1 --axis corrupt_fraction=0.5,1.0` crosses the
+// default grid with a power-cycle axis and a corruption axis. Values are
+// validated against the axis's type and range at parse time; an unknown
+// axis name or a bad value exits 2.
 //
 // With --store, every finished trial and completed cell is streamed to a
 // crash-safe on-disk record store; an interrupted sweep is continued with
@@ -44,9 +54,10 @@
 // raced sweep leaves behind.
 //
 // `diff A B` compares two sweeps: each side is a store file or a
-// workers directory, cells are aligned by AXIS VALUES (defense, model,
-// delay, scrubber — never by index, so reordered or partially
-// overlapping grids still pair up), and every matched cell gets its
+// workers directory, cells are aligned by AXIS VALUES on the axes the
+// two sweeps share (never by index, so reordered, partially overlapping,
+// or differently-dimensioned grids — a v1 four-axis store against a v2
+// superset included — still pair up), and every matched cell gets its
 // success-rate delta (B minus A) with a Newcombe/Wilson 95% CI, PSNR
 // percentile shifts, and denial-rate change; unmatched cells are listed
 // per side.
@@ -69,6 +80,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/axis.h"
 #include "campaign/compare.h"
 #include "campaign/grid.h"
 #include "campaign/report.h"
@@ -86,7 +98,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N] [--trials N] [--defenses a,b] [--models a,b]\n"
-      "          [--delays s1,s2] [--scrubbers r1,r2] [--no-profile-cache]\n"
+      "          [--delays s1,s2] [--scrubbers r1,r2]\n"
+      "          [--axis NAME=v1,v2,...]... [--no-profile-cache]\n"
       "          [--store PATH [--resume]] [--shard I/N] [--cell-budget K]\n"
       "          [--workers-dir DIR --worker-id ID [--expiry-scans K]\n"
       "           [--idle-backoff-ms M]] [--fsync-every K]\n"
@@ -97,14 +110,36 @@ int usage(const char* argv0) {
       "       %s diff [--format text|csv|json] A B\n"
       "                (A and B are each a store file or a workers dir)\n"
       "       %s compact STORE...\n"
+      "       %s axes\n"
       "  --threads/--trials/--cell-budget/--fsync-every/--expiry-scans/\n"
       "  --idle-backoff-ms take positive integers; --delays/--scrubbers\n"
       "  take comma-separated finite non-negative reals\n"
+      "  --axis sweeps any registered scenario knob (list them with the\n"
+      "  `axes` subcommand); values are typed and validated per axis\n"
       "  --workers-dir is work-stealing mode (one process per --worker-id,\n"
       "  any number of machines over a shared filesystem); it excludes\n"
       "  --store/--resume/--shard/--cell-budget\n",
-      argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// `campaign_sweep axes`: the sweepable-knob registry, one line per axis.
+int run_axes() {
+  for (const msa::campaign::AxisDescriptor& axis :
+       msa::campaign::axis_registry()) {
+    std::string kind = msa::campaign::axis_kind_name(axis.kind);
+    if (!axis.enum_labels.empty()) {
+      kind += '{';
+      for (std::size_t i = 0; i < axis.enum_labels.size(); ++i) {
+        if (i > 0) kind += '|';
+        kind += axis.enum_labels[i];
+      }
+      kind += '}';
+    }
+    std::printf("%-22s %-10s %s\n", axis.name.c_str(), kind.c_str(),
+                axis.description.c_str());
+  }
+  return 0;
 }
 
 /// All "*.store" files under a workers directory, sorted for stable
@@ -421,6 +456,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "compact") == 0) {
     return run_compact(argv[0], argc - 2, argv + 2);
   }
+  if (argc > 1 && std::strcmp(argv[1], "axes") == 0) {
+    return argc == 2 ? run_axes() : usage(argv[0]);
+  }
 
   unsigned threads = 0;  // 0 = hardware concurrency (flag rejects 0)
   unsigned trials = 1;
@@ -444,6 +482,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> models{"resnet50_pt", "squeezenet_pt"};
   std::vector<double> delays{0.0, 5.0, 60.0};
   std::vector<double> scrubbers{0.0, 4.0 * 1024 * 1024};
+  // --axis occurrences, validated at parse time, applied to the grid
+  // after the legacy flags (so `--axis delay_s=...` overrides --delays).
+  std::vector<std::pair<std::string, std::vector<campaign::AxisValue>>>
+      axis_flags;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -474,6 +516,44 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       scrubbers = parse_doubles(argv[0], "--scrubbers", v);
+    } else if (arg == "--axis") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const std::string spec = v;
+      const auto eq = spec.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--axis wants NAME=v1,v2,... (got '%s')\n",
+                     spec.c_str());
+        return usage(argv[0]);
+      }
+      const std::string name = spec.substr(0, eq);
+      const campaign::AxisDescriptor* axis = campaign::find_axis(name);
+      if (axis == nullptr) {
+        std::fprintf(stderr,
+                     "--axis: unknown axis '%s' (list the registry with "
+                     "`%s axes`)\n",
+                     name.c_str(), argv[0]);
+        return usage(argv[0]);
+      }
+      std::vector<campaign::AxisValue> values;
+      for (const auto& piece : util::split(spec.substr(eq + 1), ',')) {
+        try {
+          values.push_back(campaign::parse_axis_value(*axis, piece));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "--axis: %s\n", e.what());
+          return usage(argv[0]);
+        }
+        // Catch duplicates here for a clean exit 2; GridBuilder would
+        // reject them at build() time (exit 1) otherwise.
+        for (std::size_t j = 0; j + 1 < values.size(); ++j) {
+          if (values[j] == values.back()) {
+            std::fprintf(stderr, "--axis: axis '%s' repeats value '%s'\n",
+                         name.c_str(), values.back().label().c_str());
+            return usage(argv[0]);
+          }
+        }
+      }
+      axis_flags.emplace_back(name, std::move(values));
     } else if (arg == "--store") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -554,6 +634,9 @@ int main(int argc, char** argv) {
   campaign::GridBuilder grid{base};
   grid.defenses(defenses).models(models).attack_delays_s(delays).scrubber_rates(
       scrubbers);
+  for (auto& [axis_name, axis_values] : axis_flags) {
+    grid.axis(axis_name, std::move(axis_values));
+  }
   if (shard_count > 1) grid.shard(shard_index, shard_count);
 
   campaign::CampaignOptions options;
@@ -590,6 +673,7 @@ int main(int argc, char** argv) {
       manifest.grid_cells = grid.full_size();
       manifest.trials_per_cell = trials;
       manifest.trial_salt = options.trial_salt;
+      manifest.axes = grid.axis_schema();
       std::filesystem::create_directories(workers_dir);
       persist::CampaignStore store{
           persist::LeaseScheduler::store_path(workers_dir, worker_id),
@@ -631,6 +715,7 @@ int main(int argc, char** argv) {
       manifest.trial_salt = options.trial_salt;
       manifest.shard_index = shard_index;
       manifest.shard_count = shard_count;
+      manifest.axes = grid.axis_schema();
       persist::CampaignStore store{store_path, manifest,
                                    resume
                                        ? persist::CampaignStore::Mode::kResume

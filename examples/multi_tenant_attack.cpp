@@ -3,6 +3,14 @@
 // the figure-style artifacts (ps listings, maps, virtual_to_physical,
 // devmem, grep) along the way. Demonstrates the staged orchestrator API
 // rather than the one-call scenario driver.
+//
+// Several knobs this example hard-codes are registered campaign axes
+// (`campaign_sweep axes` lists them all): the victim model, the image
+// seed/dimensions, and — were a delay inserted between victim exit and
+// scrape — delay_s, power_cycled, and scrubber_Bps. To measure how any
+// of them shifts the success rate instead of eyeballing one run, sweep
+// it, e.g. `campaign_sweep --models resnet50_pt,inception_v1_tf --axis
+// image_seed=7001,7002 --axis power_cycled=0,1`.
 #include <cstdio>
 
 #include "attack/orchestrator.h"

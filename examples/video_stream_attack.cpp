@@ -3,6 +3,14 @@
 // After the pipeline exits, the attacker scrapes the residue and recovers
 // not one image but the last `ring` frames the camera saw — each located
 // by its own surviving DPU descriptor, no offline profiling needed.
+//
+// The residue-decay knobs this demo leaves at their defaults are all
+// registered campaign axes (`campaign_sweep axes`): delay_s and
+// retention_half_life_s govern how many ring frames survive the wait,
+// power_cycled models a reboot between victim and attacker, and
+// corrupt_image/corrupt_fraction degrade the recovered frames. A sweep
+// like `campaign_sweep --delays 0,5,30 --axis retention_half_life_s=2,8`
+// turns this single anecdote into the paper's retention curves.
 #include <cstdio>
 
 #include "attack/address_resolver.h"

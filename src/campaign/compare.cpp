@@ -1,9 +1,9 @@
 #include "campaign/compare.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
 #include "campaign/table.h"
@@ -16,6 +16,8 @@ using table::Align;
 using table::Cell;
 using table::Column;
 using table::Table;
+using table::axis_text_header;
+using table::axis_value_cell;
 using table::bool_cell;
 using table::count_cell;
 using table::empty_cell;
@@ -28,32 +30,64 @@ double rate(std::size_t numerator, std::size_t denominator) {
                                 static_cast<double>(denominator);
 }
 
-AxisKey key_of(const CellDistribution& c) {
-  return {c.defense, c.model, c.attack_delay_s, c.scrubber_bytes_per_s};
+/// Ordered axis names of an analyzed sweep — the first cell's coordinate
+/// order (every cell of one sweep shares the schema); empty for an empty
+/// sweep.
+std::vector<std::string> schema_of(const StatsReport& r) {
+  std::vector<std::string> axes;
+  if (r.cells.empty()) return axes;
+  axes.reserve(r.cells.front().coords.size());
+  for (const AxisCoordinate& c : r.cells.front().coords) {
+    axes.push_back(c.axis);
+  }
+  return axes;
 }
 
-/// Cells keyed by axis values; a duplicate key makes the cross-sweep
-/// pairing ambiguous and is rejected outright. Non-finite axis values
-/// are rejected too — the CLI no longer produces them, but a store
-/// written by an older binary can still carry them, and a NaN key would
-/// break the map's strict weak ordering.
-std::map<AxisKey, const CellDistribution*> index_cells(const StatsReport& r,
-                                                       const char* side) {
+/// Projects a cell onto the shared axes, in shared order. A cell missing
+/// one of them means the store mixes schemas — alignment is impossible.
+AxisKey project(const CellDistribution& c,
+                const std::vector<std::string>& shared, const char* side) {
+  AxisKey key;
+  key.coords.reserve(shared.size());
+  for (const std::string& axis : shared) {
+    const AxisValue* v = find_coord(c.coords, axis);
+    if (v == nullptr) {
+      throw std::runtime_error(std::string("diff: sweep ") + side + " cell " +
+                               std::to_string(c.index) + " lacks axis '" +
+                               axis + "' (store mixes schemas?)");
+    }
+    key.coords.push_back({axis, *v});
+  }
+  return key;
+}
+
+/// Cells keyed by their shared-axis values; a duplicate key makes the
+/// cross-sweep pairing ambiguous and is rejected outright. Non-finite
+/// numeric axis values are rejected too — the CLI no longer produces
+/// them, but a store written by an older binary can still carry them,
+/// and a NaN key would break the map's strict weak ordering.
+std::map<AxisKey, const CellDistribution*> index_cells(
+    const StatsReport& r, const char* side,
+    const std::vector<std::string>& shared) {
   std::map<AxisKey, const CellDistribution*> out;
   for (const CellDistribution& c : r.cells) {
-    if (!std::isfinite(c.attack_delay_s) ||
-        !std::isfinite(c.scrubber_bytes_per_s)) {
-      throw std::runtime_error(
-          std::string("diff: sweep ") + side + " cell " +
-          std::to_string(c.index) +
-          " has a non-finite axis value (store written by a pre-validation "
-          "tool?) — axis alignment needs finite coordinates");
+    for (const AxisCoordinate& coord : c.coords) {
+      if (coord.value.kind == AxisKind::kDouble &&
+          !std::isfinite(coord.value.num)) {
+        throw std::runtime_error(
+            std::string("diff: sweep ") + side + " cell " +
+            std::to_string(c.index) +
+            " has a non-finite axis value (store written by a pre-validation "
+            "tool?) — axis alignment needs finite coordinates");
+      }
     }
-    const auto [it, inserted] = out.emplace(key_of(c), &c);
+    AxisKey key = project(c, shared, side);
+    const std::string label = key.label();
+    const auto [it, inserted] = out.emplace(std::move(key), &c);
     if (!inserted) {
       throw std::runtime_error(
           std::string("diff: sweep ") + side +
-          " has two cells with the same axis values (" + key_of(c).label() +
+          " has two cells with the same axis values (" + label +
           ") — alignment by axis is ambiguous");
     }
   }
@@ -80,16 +114,19 @@ Cell delta_ci_cell(const DeltaInterval& ci) {
 }  // namespace
 
 bool AxisKey::operator<(const AxisKey& other) const {
-  return std::tie(defense, model, attack_delay_s, scrubber_bytes_per_s) <
-         std::tie(other.defense, other.model, other.attack_delay_s,
-                  other.scrubber_bytes_per_s);
+  const std::size_t n = std::min(coords.size(), other.coords.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (coords[i].axis != other.coords[i].axis) {
+      return coords[i].axis < other.coords[i].axis;
+    }
+    if (!(coords[i].value == other.coords[i].value)) {
+      return coords[i].value < other.coords[i].value;
+    }
+  }
+  return coords.size() < other.coords.size();
 }
 
-std::string AxisKey::label() const {
-  return defense + "/" + model +
-         "/delay=" + table::format_double(attack_delay_s) +
-         "/scrubber=" + table::format_double(scrubber_bytes_per_s);
-}
+std::string AxisKey::label() const { return coords_label(coords); }
 
 DeltaInterval newcombe_interval(std::size_t successes_a, std::size_t trials_a,
                                 std::size_t successes_b, std::size_t trials_b,
@@ -109,53 +146,67 @@ DeltaInterval newcombe_interval(std::size_t successes_a, std::size_t trials_a,
 }
 
 DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
-  const auto cells_a = index_cells(a, "A");
-  const auto cells_b = index_cells(b, "B");
   const auto marginals_a = index_marginals(a, "A");
   const auto marginals_b = index_marginals(b, "B");
 
   DiffReport out;
-  for (const auto& [key, ca] : cells_a) {
-    const auto it = cells_b.find(key);
-    if (it == cells_b.end()) {
-      out.only_in_a.push_back(*ca);
-      continue;
+  const std::vector<std::string> schema_a = schema_of(a);
+  const std::vector<std::string> schema_b = schema_of(b);
+  for (const std::string& axis : schema_a) {
+    if (std::find(schema_b.begin(), schema_b.end(), axis) != schema_b.end()) {
+      out.shared_axes.push_back(axis);
     }
-    const CellDistribution& cb = *it->second;
-
-    CellDelta d;
-    d.key = key;
-    d.index_a = ca->index;
-    d.index_b = cb.index;
-    d.trials_a = ca->trials;
-    d.trials_b = cb.trials;
-    d.successes_a = ca->successes;
-    d.successes_b = cb.successes;
-    d.denials_a = ca->denials;
-    d.denials_b = cb.denials;
-    d.success_rate_a = ca->success_rate;
-    d.success_rate_b = cb.success_rate;
-    d.success_delta = cb.success_rate - ca->success_rate;
-    d.success_delta_ci = newcombe_interval(ca->successes, ca->trials,
-                                           cb.successes, cb.trials);
-    d.significant = d.success_delta_ci.excludes_zero();
-    d.denial_rate_a = rate(ca->denials, ca->trials);
-    d.denial_rate_b = rate(cb.denials, cb.trials);
-    d.denial_delta = d.denial_rate_b - d.denial_rate_a;
-    d.p50_shift = cb.p50_psnr - ca->p50_psnr;
-    d.p90_shift = cb.p90_psnr - ca->p90_psnr;
-    d.p99_shift = cb.p99_psnr - ca->p99_psnr;
-    if (d.significant) ++out.significant_cells;
-    out.cells.push_back(std::move(d));
-  }
-  for (const auto& [key, cb] : cells_b) {
-    if (!cells_a.contains(key)) out.only_in_b.push_back(*cb);
   }
 
-  // Marginals in side A's order (axis blocks fixed, values by side-A
-  // first appearance); side-B-only values have no delta to report and
-  // surface through the unmatched cell lists instead.
-  (void)marginals_a;  // built for its duplicate validation
+  if (out.shared_axes.empty()) {
+    // One side is empty, or the schemas are disjoint: no cell can pair,
+    // so everything lists as one-sided and only the marginals compare.
+    out.only_in_a = a.cells;
+    out.only_in_b = b.cells;
+  } else {
+    const auto cells_a = index_cells(a, "A", out.shared_axes);
+    const auto cells_b = index_cells(b, "B", out.shared_axes);
+    for (const auto& [key, ca] : cells_a) {
+      const auto it = cells_b.find(key);
+      if (it == cells_b.end()) {
+        out.only_in_a.push_back(*ca);
+        continue;
+      }
+      const CellDistribution& cb = *it->second;
+
+      CellDelta d;
+      d.key = key;
+      d.index_a = ca->index;
+      d.index_b = cb.index;
+      d.trials_a = ca->trials;
+      d.trials_b = cb.trials;
+      d.successes_a = ca->successes;
+      d.successes_b = cb.successes;
+      d.denials_a = ca->denials;
+      d.denials_b = cb.denials;
+      d.success_rate_a = ca->success_rate;
+      d.success_rate_b = cb.success_rate;
+      d.success_delta = cb.success_rate - ca->success_rate;
+      d.success_delta_ci = newcombe_interval(ca->successes, ca->trials,
+                                             cb.successes, cb.trials);
+      d.significant = d.success_delta_ci.excludes_zero();
+      d.denial_rate_a = rate(ca->denials, ca->trials);
+      d.denial_rate_b = rate(cb.denials, cb.trials);
+      d.denial_delta = d.denial_rate_b - d.denial_rate_a;
+      d.p50_shift = cb.p50_psnr - ca->p50_psnr;
+      d.p90_shift = cb.p90_psnr - ca->p90_psnr;
+      d.p99_shift = cb.p99_psnr - ca->p99_psnr;
+      if (d.significant) ++out.significant_cells;
+      out.cells.push_back(std::move(d));
+    }
+    for (const auto& [key, cb] : cells_b) {
+      if (!cells_a.contains(key)) out.only_in_b.push_back(*cb);
+    }
+  }
+
+  // Marginals in side A's order (axis blocks in schema order, values by
+  // side-A first appearance); side-B-only values have no delta to report
+  // and surface through the unmatched cell lists instead.
   for (const AxisMarginal& ma : a.marginals) {
     const auto it = marginals_b.find(std::pair{ma.axis, ma.value});
     if (it == marginals_b.end()) continue;
@@ -186,20 +237,61 @@ DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
 
 namespace {
 
+/// Column alignment for an axis: textual values left, numeric right. The
+/// sample coordinate list decides; the registry kind is the fallback for
+/// axes with no sample row (empty tables render headers only, where the
+/// choice is invisible anyway).
+Align axis_align(const std::string& axis,
+                 const std::vector<AxisCoordinate>* sample) {
+  AxisKind kind = AxisKind::kDouble;
+  if (const AxisValue* v = sample ? find_coord(*sample, axis) : nullptr) {
+    kind = v->kind;
+  } else if (const AxisDescriptor* d = find_axis(axis)) {
+    kind = d->kind;
+  }
+  return kind == AxisKind::kString || kind == AxisKind::kEnum ? Align::kLeft
+                                                              : Align::kRight;
+}
+
+/// Axis value of `axis` on `coords`, empty cell when the row lacks it
+/// (a one-sided row in a CSV whose column union spans both schemas).
+Cell coord_cell(const std::vector<AxisCoordinate>& coords,
+                const std::string& axis) {
+  const AxisValue* v = find_coord(coords, axis);
+  return v == nullptr ? empty_cell() : axis_value_cell(*v);
+}
+
+/// Axis columns of one side's unmatched-cell table: that side's own
+/// schema, the legacy four when the side is empty.
+std::vector<std::string> side_axes(const std::vector<CellDistribution>& side) {
+  if (side.empty()) return legacy_axis_names();
+  std::vector<std::string> axes;
+  axes.reserve(side.front().coords.size());
+  for (const AxisCoordinate& c : side.front().coords) axes.push_back(c.axis);
+  return axes;
+}
+
 Table unmatched_table(const std::vector<CellDistribution>& cells) {
-  Table t{{{"index", Align::kLeft},
-           {"defense", Align::kLeft},
-           {"model", Align::kLeft},
-           {"delay_s", Align::kRight},
-           {"scrub_Bps", Align::kRight},
-           {"trials", Align::kRight},
-           {"success", Align::kRight},
-           {"denials", Align::kRight}}};
+  const std::vector<std::string> axes = side_axes(cells);
+  const std::vector<AxisCoordinate>* sample =
+      cells.empty() ? nullptr : &cells.front().coords;
+  std::vector<Column> columns{{"index", Align::kLeft}};
+  for (const std::string& axis : axes) {
+    columns.push_back({axis_text_header(axis), axis_align(axis, sample)});
+  }
+  for (const char* name : {"trials", "success", "denials"}) {
+    columns.push_back({name, Align::kRight});
+  }
+  Table t{std::move(columns)};
   for (const CellDistribution& c : cells) {
-    t.add_row({count_cell(c.index), str_cell(c.defense), str_cell(c.model),
-               num_cell(c.attack_delay_s), num_cell(c.scrubber_bytes_per_s),
-               count_cell(c.trials), num_cell(c.success_rate, 3),
-               count_cell(c.denials)});
+    std::vector<Cell> row{count_cell(c.index)};
+    for (const std::string& axis : axes) {
+      row.push_back(coord_cell(c.coords, axis));
+    }
+    row.push_back(count_cell(c.trials));
+    row.push_back(num_cell(c.success_rate, 3));
+    row.push_back(count_cell(c.denials));
+    t.add_row(std::move(row));
   }
   return t;
 }
@@ -212,31 +304,40 @@ std::string DiffReport::to_text() const {
          " matched cell(s), " + std::to_string(significant_cells) +
          " significant, " + std::to_string(only_in_a.size()) + " A-only, " +
          std::to_string(only_in_b.size()) + " B-only ==\n";
-  Table cell_table{{{"defense", Align::kLeft},
-                    {"model", Align::kLeft},
-                    {"delay_s", Align::kRight},
-                    {"scrub_Bps", Align::kRight},
-                    {"trials_a", Align::kRight},
-                    {"trials_b", Align::kRight},
-                    {"succ_a", Align::kRight},
-                    {"succ_b", Align::kRight},
-                    {"delta", Align::kRight},
-                    {"delta_ci95", Align::kRight},
-                    {"sig", Align::kLeft},
-                    {"den_delta", Align::kRight},
-                    {"p50_shift", Align::kRight},
-                    {"p90_shift", Align::kRight},
-                    {"p99_shift", Align::kRight}}};
+  const std::vector<std::string> matched_axes =
+      shared_axes.empty() ? legacy_axis_names() : shared_axes;
+  const std::vector<AxisCoordinate>* sample =
+      cells.empty() ? nullptr : &cells.front().key.coords;
+  std::vector<Column> cell_columns;
+  for (const std::string& axis : matched_axes) {
+    cell_columns.push_back({axis_text_header(axis), axis_align(axis, sample)});
+  }
+  for (const char* name :
+       {"trials_a", "trials_b", "succ_a", "succ_b", "delta", "delta_ci95"}) {
+    cell_columns.push_back({name, Align::kRight});
+  }
+  cell_columns.push_back({"sig", Align::kLeft});
+  for (const char* name : {"den_delta", "p50_shift", "p90_shift", "p99_shift"}) {
+    cell_columns.push_back({name, Align::kRight});
+  }
+  Table cell_table{std::move(cell_columns)};
   for (const CellDelta& d : cells) {
-    cell_table.add_row(
-        {str_cell(d.key.defense), str_cell(d.key.model),
-         num_cell(d.key.attack_delay_s),
-         num_cell(d.key.scrubber_bytes_per_s), count_cell(d.trials_a),
-         count_cell(d.trials_b), num_cell(d.success_rate_a, 3),
-         num_cell(d.success_rate_b, 3), num_cell(d.success_delta, 3),
-         delta_ci_cell(d.success_delta_ci), bool_cell(d.significant),
-         num_cell(d.denial_delta, 3), num_cell(d.p50_shift, 2),
-         num_cell(d.p90_shift, 2), num_cell(d.p99_shift, 2)});
+    std::vector<Cell> row;
+    for (const std::string& axis : matched_axes) {
+      row.push_back(coord_cell(d.key.coords, axis));
+    }
+    row.push_back(count_cell(d.trials_a));
+    row.push_back(count_cell(d.trials_b));
+    row.push_back(num_cell(d.success_rate_a, 3));
+    row.push_back(num_cell(d.success_rate_b, 3));
+    row.push_back(num_cell(d.success_delta, 3));
+    row.push_back(delta_ci_cell(d.success_delta_ci));
+    row.push_back(bool_cell(d.significant));
+    row.push_back(num_cell(d.denial_delta, 3));
+    row.push_back(num_cell(d.p50_shift, 2));
+    row.push_back(num_cell(d.p90_shift, 2));
+    row.push_back(num_cell(d.p99_shift, 2));
+    cell_table.add_row(std::move(row));
   }
   out += cell_table.to_text();
 
@@ -271,40 +372,84 @@ std::string DiffReport::to_text() const {
   return out;
 }
 
+namespace {
+
+/// Axis-column union for the flat CSV: the shared axes first (side A
+/// order), then any side-only axes in appearance order, the legacy four
+/// when everything is empty. Rows leave the columns their schema lacks
+/// empty.
+std::vector<std::string> csv_axis_union(const DiffReport& r) {
+  std::vector<std::string> axes = r.shared_axes;
+  const auto add_side = [&axes](const std::vector<CellDistribution>& side) {
+    if (side.empty()) return;
+    for (const AxisCoordinate& c : side.front().coords) {
+      if (std::find(axes.begin(), axes.end(), c.axis) == axes.end()) {
+        axes.push_back(c.axis);
+      }
+    }
+  };
+  add_side(r.only_in_a);
+  add_side(r.only_in_b);
+  if (axes.empty()) axes = legacy_axis_names();
+  return axes;
+}
+
+}  // namespace
+
 std::string DiffReport::to_csv() const {
-  Table t{{{"section"},        {"defense"},        {"model"},
-           {"delay_s"},        {"scrubber_Bps"},   {"axis"},
-           {"value"},          {"index_a"},        {"index_b"},
-           {"trials_a"},       {"trials_b"},       {"successes_a"},
-           {"successes_b"},    {"denials_a"},      {"denials_b"},
-           {"success_rate_a"}, {"success_rate_b"}, {"success_delta"},
-           {"delta_ci95_low"}, {"delta_ci95_high"}, {"significant"},
-           {"denial_rate_a"},  {"denial_rate_b"},  {"denial_delta"},
-           {"p50_shift"},      {"p90_shift"},      {"p99_shift"},
-           {"mean_psnr_shift"}}};
+  const std::vector<std::string> axes = csv_axis_union(*this);
+  std::vector<Column> columns{{"section"}};
+  for (const std::string& axis : axes) columns.push_back({axis});
+  for (const char* name :
+       {"axis", "value", "index_a", "index_b", "trials_a", "trials_b",
+        "successes_a", "successes_b", "denials_a", "denials_b",
+        "success_rate_a", "success_rate_b", "success_delta", "delta_ci95_low",
+        "delta_ci95_high", "significant", "denial_rate_a", "denial_rate_b",
+        "denial_delta", "p50_shift", "p90_shift", "p99_shift",
+        "mean_psnr_shift"}) {
+    columns.push_back({name});
+  }
+  Table t{std::move(columns)};
   for (const CellDelta& d : cells) {
-    t.add_row({str_cell("cell"), str_cell(d.key.defense),
-               str_cell(d.key.model), num_cell(d.key.attack_delay_s),
-               num_cell(d.key.scrubber_bytes_per_s), empty_cell(),
-               empty_cell(), count_cell(d.index_a), count_cell(d.index_b),
-               count_cell(d.trials_a), count_cell(d.trials_b),
-               count_cell(d.successes_a), count_cell(d.successes_b),
-               count_cell(d.denials_a), count_cell(d.denials_b),
-               num_cell(d.success_rate_a), num_cell(d.success_rate_b),
-               num_cell(d.success_delta), num_cell(d.success_delta_ci.low),
-               num_cell(d.success_delta_ci.high), bool_cell(d.significant),
-               num_cell(d.denial_rate_a), num_cell(d.denial_rate_b),
-               num_cell(d.denial_delta), num_cell(d.p50_shift),
-               num_cell(d.p90_shift), num_cell(d.p99_shift), empty_cell()});
+    std::vector<Cell> row{str_cell("cell")};
+    for (const std::string& axis : axes) {
+      row.push_back(coord_cell(d.key.coords, axis));
+    }
+    row.push_back(empty_cell());  // axis
+    row.push_back(empty_cell());  // value
+    row.push_back(count_cell(d.index_a));
+    row.push_back(count_cell(d.index_b));
+    row.push_back(count_cell(d.trials_a));
+    row.push_back(count_cell(d.trials_b));
+    row.push_back(count_cell(d.successes_a));
+    row.push_back(count_cell(d.successes_b));
+    row.push_back(count_cell(d.denials_a));
+    row.push_back(count_cell(d.denials_b));
+    row.push_back(num_cell(d.success_rate_a));
+    row.push_back(num_cell(d.success_rate_b));
+    row.push_back(num_cell(d.success_delta));
+    row.push_back(num_cell(d.success_delta_ci.low));
+    row.push_back(num_cell(d.success_delta_ci.high));
+    row.push_back(bool_cell(d.significant));
+    row.push_back(num_cell(d.denial_rate_a));
+    row.push_back(num_cell(d.denial_rate_b));
+    row.push_back(num_cell(d.denial_delta));
+    row.push_back(num_cell(d.p50_shift));
+    row.push_back(num_cell(d.p90_shift));
+    row.push_back(num_cell(d.p99_shift));
+    row.push_back(empty_cell());  // mean_psnr_shift
+    t.add_row(std::move(row));
   }
   auto add_unmatched = [&](const char* section,
                            const std::vector<CellDistribution>& side,
                            bool is_a) {
     for (const CellDistribution& c : side) {
-      std::vector<Cell> row{str_cell(section), str_cell(c.defense),
-                            str_cell(c.model), num_cell(c.attack_delay_s),
-                            num_cell(c.scrubber_bytes_per_s), empty_cell(),
-                            empty_cell()};
+      std::vector<Cell> row{str_cell(section)};
+      for (const std::string& axis : axes) {
+        row.push_back(coord_cell(c.coords, axis));
+      }
+      row.push_back(empty_cell());  // axis
+      row.push_back(empty_cell());  // value
       // index / trials / successes / denials / success_rate land in the
       // matching side's columns; the partner side stays empty.
       auto pair = [&](Cell value) {
@@ -326,67 +471,96 @@ std::string DiffReport::to_csv() const {
   add_unmatched("only_in_a", only_in_a, true);
   add_unmatched("only_in_b", only_in_b, false);
   for (const AxisDelta& d : marginals) {
-    t.add_row({str_cell("axis"), empty_cell(), empty_cell(), empty_cell(),
-               empty_cell(), str_cell(d.axis), str_cell(d.value),
-               empty_cell(), empty_cell(), count_cell(d.trials_a),
-               count_cell(d.trials_b), count_cell(d.successes_a),
-               count_cell(d.successes_b), count_cell(d.denials_a),
-               count_cell(d.denials_b), num_cell(d.success_rate_a),
-               num_cell(d.success_rate_b), num_cell(d.success_delta),
-               num_cell(d.success_delta_ci.low),
-               num_cell(d.success_delta_ci.high), bool_cell(d.significant),
-               empty_cell(), empty_cell(), num_cell(d.denial_delta),
-               empty_cell(), empty_cell(), empty_cell(),
-               num_cell(d.mean_psnr_shift)});
+    std::vector<Cell> row{str_cell("axis")};
+    for (std::size_t i = 0; i < axes.size(); ++i) row.push_back(empty_cell());
+    row.push_back(str_cell(d.axis));
+    row.push_back(str_cell(d.value));
+    row.push_back(empty_cell());  // index_a
+    row.push_back(empty_cell());  // index_b
+    row.push_back(count_cell(d.trials_a));
+    row.push_back(count_cell(d.trials_b));
+    row.push_back(count_cell(d.successes_a));
+    row.push_back(count_cell(d.successes_b));
+    row.push_back(count_cell(d.denials_a));
+    row.push_back(count_cell(d.denials_b));
+    row.push_back(num_cell(d.success_rate_a));
+    row.push_back(num_cell(d.success_rate_b));
+    row.push_back(num_cell(d.success_delta));
+    row.push_back(num_cell(d.success_delta_ci.low));
+    row.push_back(num_cell(d.success_delta_ci.high));
+    row.push_back(bool_cell(d.significant));
+    row.push_back(empty_cell());  // denial_rate_a
+    row.push_back(empty_cell());  // denial_rate_b
+    row.push_back(num_cell(d.denial_delta));
+    row.push_back(empty_cell());  // p50_shift
+    row.push_back(empty_cell());  // p90_shift
+    row.push_back(empty_cell());  // p99_shift
+    row.push_back(num_cell(d.mean_psnr_shift));
+    t.add_row(std::move(row));
   }
   return t.to_csv();
 }
 
 std::string DiffReport::to_json() const {
-  Table cell_table{{{"defense"},        {"model"},
-                    {"delay_s"},        {"scrubber_Bps"},
-                    {"index_a"},        {"index_b"},
-                    {"trials_a"},       {"trials_b"},
-                    {"successes_a"},    {"successes_b"},
-                    {"denials_a"},      {"denials_b"},
-                    {"success_rate_a"}, {"success_rate_b"},
-                    {"success_delta"},  {"delta_ci95_low"},
-                    {"delta_ci95_high"}, {"significant"},
-                    {"denial_rate_a"},  {"denial_rate_b"},
-                    {"denial_delta"},   {"p50_shift"},
-                    {"p90_shift"},      {"p99_shift"}}};
+  const std::vector<std::string> matched_axes =
+      shared_axes.empty() ? legacy_axis_names() : shared_axes;
+  std::vector<Column> cell_columns;
+  for (const std::string& axis : matched_axes) cell_columns.push_back({axis});
+  for (const char* name :
+       {"index_a", "index_b", "trials_a", "trials_b", "successes_a",
+        "successes_b", "denials_a", "denials_b", "success_rate_a",
+        "success_rate_b", "success_delta", "delta_ci95_low", "delta_ci95_high",
+        "significant", "denial_rate_a", "denial_rate_b", "denial_delta",
+        "p50_shift", "p90_shift", "p99_shift"}) {
+    cell_columns.push_back({name});
+  }
+  Table cell_table{std::move(cell_columns)};
   for (const CellDelta& d : cells) {
-    cell_table.add_row(
-        {str_cell(d.key.defense), str_cell(d.key.model),
-         num_cell(d.key.attack_delay_s),
-         num_cell(d.key.scrubber_bytes_per_s), count_cell(d.index_a),
-         count_cell(d.index_b), count_cell(d.trials_a),
-         count_cell(d.trials_b), count_cell(d.successes_a),
-         count_cell(d.successes_b), count_cell(d.denials_a),
-         count_cell(d.denials_b), num_cell(d.success_rate_a),
-         num_cell(d.success_rate_b), num_cell(d.success_delta),
-         num_cell(d.success_delta_ci.low),
-         num_cell(d.success_delta_ci.high), bool_cell(d.significant),
-         num_cell(d.denial_rate_a), num_cell(d.denial_rate_b),
-         num_cell(d.denial_delta), num_cell(d.p50_shift),
-         num_cell(d.p90_shift), num_cell(d.p99_shift)});
+    std::vector<Cell> row;
+    for (const std::string& axis : matched_axes) {
+      row.push_back(coord_cell(d.key.coords, axis));
+    }
+    row.push_back(count_cell(d.index_a));
+    row.push_back(count_cell(d.index_b));
+    row.push_back(count_cell(d.trials_a));
+    row.push_back(count_cell(d.trials_b));
+    row.push_back(count_cell(d.successes_a));
+    row.push_back(count_cell(d.successes_b));
+    row.push_back(count_cell(d.denials_a));
+    row.push_back(count_cell(d.denials_b));
+    row.push_back(num_cell(d.success_rate_a));
+    row.push_back(num_cell(d.success_rate_b));
+    row.push_back(num_cell(d.success_delta));
+    row.push_back(num_cell(d.success_delta_ci.low));
+    row.push_back(num_cell(d.success_delta_ci.high));
+    row.push_back(bool_cell(d.significant));
+    row.push_back(num_cell(d.denial_rate_a));
+    row.push_back(num_cell(d.denial_rate_b));
+    row.push_back(num_cell(d.denial_delta));
+    row.push_back(num_cell(d.p50_shift));
+    row.push_back(num_cell(d.p90_shift));
+    row.push_back(num_cell(d.p99_shift));
+    cell_table.add_row(std::move(row));
   }
   auto side_table = [](const std::vector<CellDistribution>& side) {
-    Table t{{{"index"},
-             {"defense"},
-             {"model"},
-             {"delay_s"},
-             {"scrubber_Bps"},
-             {"trials"},
-             {"successes"},
-             {"denials"},
-             {"success_rate"}}};
+    const std::vector<std::string> axes = side_axes(side);
+    std::vector<Column> columns{{"index"}};
+    for (const std::string& axis : axes) columns.push_back({axis});
+    for (const char* name :
+         {"trials", "successes", "denials", "success_rate"}) {
+      columns.push_back({name});
+    }
+    Table t{std::move(columns)};
     for (const CellDistribution& c : side) {
-      t.add_row({count_cell(c.index), str_cell(c.defense), str_cell(c.model),
-                 num_cell(c.attack_delay_s),
-                 num_cell(c.scrubber_bytes_per_s), count_cell(c.trials),
-                 count_cell(c.successes), count_cell(c.denials),
-                 num_cell(c.success_rate)});
+      std::vector<Cell> row{count_cell(c.index)};
+      for (const std::string& axis : axes) {
+        row.push_back(coord_cell(c.coords, axis));
+      }
+      row.push_back(count_cell(c.trials));
+      row.push_back(count_cell(c.successes));
+      row.push_back(count_cell(c.denials));
+      row.push_back(num_cell(c.success_rate));
+      t.add_row(std::move(row));
     }
     return t;
   };

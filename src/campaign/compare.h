@@ -19,18 +19,17 @@
 
 namespace msa::campaign {
 
-/// Axis coordinates of a cell — the join key for cross-sweep alignment.
-/// Ordered lexicographically (defense, model, delay, scrubber) so diff
-/// output is deterministic regardless of either side's grid order.
+/// Axis coordinates of a cell projected onto the axes both sweeps share
+/// — the schema-driven join key for cross-sweep alignment (any axis set,
+/// not just the legacy four). Ordered lexicographically over the
+/// (axis, value) sequence so diff output is deterministic regardless of
+/// either side's grid order.
 struct AxisKey {
-  std::string defense;
-  std::string model;
-  double attack_delay_s = 0.0;
-  double scrubber_bytes_per_s = 0.0;
+  std::vector<AxisCoordinate> coords;  ///< in shared-axis (side A) order
 
   friend bool operator==(const AxisKey&, const AxisKey&) = default;
   [[nodiscard]] bool operator<(const AxisKey& other) const;
-  /// "defense/model/delay=X/scrubber=Y" for error messages and text rows.
+  /// "axis=value/..." for error messages and text rows.
   [[nodiscard]] std::string label() const;
 };
 
@@ -102,6 +101,10 @@ struct AxisDelta {
 };
 
 struct DiffReport {
+  /// Axes the two sweeps share, in side A's schema order — the
+  /// projection the cell matching ran on (empty only when one side has
+  /// no cells or the schemas are disjoint; then nothing matches).
+  std::vector<std::string> shared_axes;
   /// Matched cells ascending by AxisKey.
   std::vector<CellDelta> cells;
   /// Cells with no axis-value partner on the other side, ascending by
@@ -122,9 +125,14 @@ struct DiffReport {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Aligns two analyzed sweeps. Throws std::runtime_error when one side
-/// carries two cells with the same axis key (duplicate axis values in a
-/// grid make the pairing ambiguous).
+/// Aligns two analyzed sweeps on the axes their schemas share (a v1
+/// store's legacy four against a v2 sweep's superset included). Throws
+/// std::runtime_error when one side carries two cells with the same
+/// projected axis key — duplicate axis values in a grid, or a shared-axis
+/// subset too coarse to separate one side's cells — since either makes
+/// the pairing ambiguous. Sweeps sharing no axes simply match nothing:
+/// every cell lists as one-sided, and only the (axis, value) marginals
+/// compare.
 [[nodiscard]] DiffReport diff_sweeps(const StatsReport& a,
                                      const StatsReport& b);
 

@@ -13,6 +13,31 @@ using table::format_double;
 using table::json_double;
 using table::json_escape;
 
+namespace {
+
+// label() is already the canonical text for numbers/bools; string-kind
+// labels additionally need RFC-4180 quoting.
+std::string csv_value(const AxisValue& v) {
+  return v.kind == AxisKind::kString || v.kind == AxisKind::kEnum
+             ? csv_escape(v.str)
+             : v.label();
+}
+
+std::string json_value(const AxisValue& v) {
+  switch (v.kind) {
+    case AxisKind::kString:
+    case AxisKind::kEnum:
+      return '"' + json_escape(v.str) + '"';
+    case AxisKind::kDouble:
+      return json_double(v.num);
+    case AxisKind::kBool:
+      return v.flag ? "true" : "false";
+  }
+  return "null";
+}
+
+}  // namespace
+
 void CellStats::accumulate(const attack::ScenarioResult& result) {
   ++trials;
   if (result.full_success()) ++full_successes;
@@ -53,17 +78,24 @@ std::size_t SweepReport::total_denials() const noexcept {
 }
 
 std::string SweepReport::to_csv() const {
-  std::string out =
-      "index,defense,model,attack_delay_s,scrubber_bytes_per_s,trials,"
-      "full_successes,model_identified,denials,success_rate,"
+  // Axis columns mirror the sweep's schema (first cell's coordinate
+  // order); an empty report falls back to the legacy four so the header
+  // shape is stable for header-only output.
+  std::string out = "index";
+  if (cells.empty()) {
+    for (const std::string& name : legacy_axis_names()) out += ',' + name;
+  } else {
+    for (const AxisCoordinate& c : cells.front().coords) out += ',' + c.axis;
+  }
+  out +=
+      ",trials,full_successes,model_identified,denials,success_rate,"
       "mean_pixel_match,mean_psnr_db,mean_descriptor_pixel_match,"
       "first_denial_reason\n";
   for (const auto& c : cells) {
     out += std::to_string(c.index);
-    out += ',' + csv_escape(c.defense);
-    out += ',' + csv_escape(c.model);
-    out += ',' + format_double(c.attack_delay_s);
-    out += ',' + format_double(c.scrubber_bytes_per_s);
+    for (const AxisCoordinate& coord : c.coords) {
+      out += ',' + csv_value(coord.value);
+    }
     out += ',' + std::to_string(c.trials);
     out += ',' + std::to_string(c.full_successes);
     out += ',' + std::to_string(c.model_identified);
@@ -85,10 +117,10 @@ std::string SweepReport::to_json() const {
     if (!first) out += ',';
     first = false;
     out += "{\"index\":" + std::to_string(c.index);
-    out += ",\"defense\":\"" + json_escape(c.defense) + '"';
-    out += ",\"model\":\"" + json_escape(c.model) + '"';
-    out += ",\"attack_delay_s\":" + json_double(c.attack_delay_s);
-    out += ",\"scrubber_bytes_per_s\":" + json_double(c.scrubber_bytes_per_s);
+    for (const AxisCoordinate& coord : c.coords) {
+      out += ",\"" + json_escape(coord.axis) +
+             "\":" + json_value(coord.value);
+    }
     out += ",\"trials\":" + std::to_string(c.trials);
     out += ",\"full_successes\":" + std::to_string(c.full_successes);
     out += ",\"model_identified\":" + std::to_string(c.model_identified);

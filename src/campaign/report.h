@@ -14,13 +14,12 @@
 
 namespace msa::campaign {
 
-/// Per-cell aggregate over `trials` independent scenario runs.
+/// Per-cell aggregate over `trials` independent scenario runs. The cell's
+/// identity is its ordered axis coordinates (copied from the CampaignCell
+/// it scored), so reports self-describe whatever axes the sweep used.
 struct CellStats {
   std::size_t index = 0;
-  std::string defense;
-  std::string model;
-  double attack_delay_s = 0.0;
-  double scrubber_bytes_per_s = 0.0;
+  std::vector<AxisCoordinate> coords;
 
   std::size_t trials = 0;
   std::size_t full_successes = 0;  ///< attack::is_full_success per trial
@@ -31,6 +30,13 @@ struct CellStats {
   double mean_descriptor_pixel_match = 0.0;
   /// Denial reason of the earliest denied trial ("" when none denied).
   std::string first_denial_reason;
+
+  /// Value of `axis` on this cell, nullptr when the sweep lacked it.
+  [[nodiscard]] const AxisValue* coord(std::string_view axis) const {
+    return find_coord(coords, axis);
+  }
+  /// Canonical "a=x/b=y" label — error messages, test diagnostics.
+  [[nodiscard]] std::string coords_text() const { return coords_label(coords); }
 
   /// Folds one trial into the aggregate; must be called in trial order.
   void accumulate(const attack::ScenarioResult& result);
@@ -63,10 +69,12 @@ struct SweepReport {
   [[nodiscard]] std::size_t total_full_successes() const noexcept;
   [[nodiscard]] std::size_t total_denials() const noexcept;
 
-  /// RFC-4180-style CSV with a header row; strings are quoted when they
-  /// contain a delimiter or quote.
+  /// RFC-4180-style CSV with a header row; axis columns come from the
+  /// first cell's coordinates (the legacy four when the report is empty);
+  /// strings are quoted when they contain a delimiter or quote.
   [[nodiscard]] std::string to_csv() const;
-  /// Compact JSON: {"cells":[...],"totals":{...}}.
+  /// Compact JSON: {"cells":[...],"totals":{...}} with one member per
+  /// axis coordinate on each cell.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -47,10 +47,7 @@ CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
                                      attack::ProfileCache* profiles) {
   CellStats stats;
   stats.index = cell.index;
-  stats.defense = cell.defense;
-  stats.model = cell.model;
-  stats.attack_delay_s = cell.attack_delay_s;
-  stats.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+  stats.coords = cell.coords;
 
   for (unsigned trial = 0; trial < trials; ++trial) {
     attack::ScenarioConfig cfg = cell.config;

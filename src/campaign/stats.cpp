@@ -87,6 +87,7 @@ StatsReport analyze_sweep(const persist::SweepData& data) {
     if (inserted) it->second.order = marginals.size() - 1;
     return it->second;
   };
+  std::vector<std::string> axis_order;  // first-appearance axis order
 
   report.cells.reserve(data.cells.size());
   for (const CellStats& cell : data.cells) {
@@ -100,10 +101,7 @@ StatsReport analyze_sweep(const persist::SweepData& data) {
 
     CellDistribution dist;
     dist.index = cell.index;
-    dist.defense = cell.defense;
-    dist.model = cell.model;
-    dist.attack_delay_s = cell.attack_delay_s;
-    dist.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+    dist.coords = cell.coords;
     dist.trials = trials.size();
 
     std::vector<double> psnrs;
@@ -123,14 +121,12 @@ StatsReport analyze_sweep(const persist::SweepData& data) {
         static_cast<double>(dist.successes) / static_cast<double>(dist.trials);
     dist.success_ci = wilson_interval(dist.successes, dist.trials);
 
-    const std::pair<const char*, std::string> axes[] = {
-        {"defense", cell.defense},
-        {"model", cell.model},
-        {"delay_s", format_double(cell.attack_delay_s)},
-        {"scrubber_Bps", format_double(cell.scrubber_bytes_per_s)},
-    };
-    for (const auto& [axis, value] : axes) {
-      MarginalAccumulator& acc = marginal(axis, value);
+    for (const AxisCoordinate& coord : cell.coords) {
+      if (std::find(axis_order.begin(), axis_order.end(), coord.axis) ==
+          axis_order.end()) {
+        axis_order.push_back(coord.axis);
+      }
+      MarginalAccumulator& acc = marginal(coord.axis, coord.value.label());
       acc.trials += dist.trials;
       acc.successes += dist.successes;
       acc.denials += dist.denials;
@@ -140,10 +136,10 @@ StatsReport analyze_sweep(const persist::SweepData& data) {
     report.cells.push_back(std::move(dist));
   }
 
-  // Axis blocks in a fixed order; values by first appearance (== grid
-  // order, since cells ascend by index).
-  const char* axis_order[] = {"defense", "model", "delay_s", "scrubber_Bps"};
-  for (const char* axis : axis_order) {
+  // Axis blocks in schema order (first appearance across cells — every
+  // cell of one sweep shares the schema); values by first appearance
+  // (== grid order, since cells ascend by index).
+  for (const std::string& axis : axis_order) {
     std::vector<
         std::pair<std::size_t, std::pair<std::string, MarginalAccumulator>>>
         entries;
@@ -184,6 +180,21 @@ Cell ci_cell(const WilsonInterval& ci) {
   return table::interval_cell(ci.low, ci.high);
 }
 
+/// Axis columns of this report: the first cell's coordinate order, the
+/// legacy four when there are no cells (header-only output keeps its
+/// historical shape).
+std::vector<std::string> axis_columns(
+    const std::vector<CellDistribution>& cells) {
+  if (cells.empty()) return legacy_axis_names();
+  std::vector<std::string> names;
+  names.reserve(cells.front().coords.size());
+  for (const AxisCoordinate& c : cells.front().coords) names.push_back(c.axis);
+  return names;
+}
+
+using table::axis_text_header;
+using table::axis_value_cell;
+
 }  // namespace
 
 std::string StatsReport::to_text() const {
@@ -194,26 +205,35 @@ std::string StatsReport::to_text() const {
     out += ", " + std::to_string(orphan_trials) + " orphan trials excluded";
   }
   out += ") ==\n";
-  Table cell_table{{{"index", Align::kLeft},
-                    {"defense", Align::kLeft},
-                    {"model", Align::kLeft},
-                    {"delay_s", Align::kRight},
-                    {"scrub_Bps", Align::kRight},
-                    {"trials", Align::kRight},
-                    {"success", Align::kRight},
-                    {"ci95", Align::kRight},
-                    {"denials", Align::kRight},
-                    {"p50_psnr", Align::kRight},
-                    {"p90_psnr", Align::kRight},
-                    {"p99_psnr", Align::kRight}}};
+  const std::vector<std::string> axes = axis_columns(cells);
+  std::vector<Column> cell_columns{{"index", Align::kLeft}};
+  for (const std::string& axis : axes) {
+    // String-valued axes read better left-aligned, numeric ones right.
+    const AxisValue* v =
+        cells.empty() ? nullptr : find_coord(cells.front().coords, axis);
+    const bool textual = v != nullptr && (v->kind == AxisKind::kString ||
+                                          v->kind == AxisKind::kEnum);
+    cell_columns.push_back(
+        {axis_text_header(axis), textual ? Align::kLeft : Align::kRight});
+  }
+  for (const char* name : {"trials", "success", "ci95", "denials", "p50_psnr",
+                           "p90_psnr", "p99_psnr"}) {
+    cell_columns.push_back({name, Align::kRight});
+  }
+  Table cell_table{std::move(cell_columns)};
   for (const CellDistribution& c : cells) {
-    cell_table.add_row({count_cell(c.index), str_cell(c.defense),
-                        str_cell(c.model), num_cell(c.attack_delay_s),
-                        num_cell(c.scrubber_bytes_per_s),
-                        count_cell(c.trials),
-                        num_cell(c.success_rate, 3), ci_cell(c.success_ci),
-                        count_cell(c.denials), num_cell(c.p50_psnr, 2),
-                        num_cell(c.p90_psnr, 2), num_cell(c.p99_psnr, 2)});
+    std::vector<Cell> row{count_cell(c.index)};
+    for (const AxisCoordinate& coord : c.coords) {
+      row.push_back(axis_value_cell(coord.value));
+    }
+    row.push_back(count_cell(c.trials));
+    row.push_back(num_cell(c.success_rate, 3));
+    row.push_back(ci_cell(c.success_ci));
+    row.push_back(count_cell(c.denials));
+    row.push_back(num_cell(c.p50_psnr, 2));
+    row.push_back(num_cell(c.p90_psnr, 2));
+    row.push_back(num_cell(c.p99_psnr, 2));
+    cell_table.add_row(std::move(row));
   }
   out += cell_table.to_text();
 
@@ -236,47 +256,80 @@ std::string StatsReport::to_text() const {
 }
 
 std::string StatsReport::to_csv() const {
-  Table t{{{"section"},      {"index"},       {"defense"},
-           {"model"},        {"delay_s"},     {"scrubber_Bps"},
-           {"axis"},         {"value"},       {"trials"},
-           {"successes"},    {"denials"},     {"success_rate"},
-           {"ci95_low"},     {"ci95_high"},   {"p50_psnr"},
-           {"p90_psnr"},     {"p99_psnr"},    {"mean_psnr"}}};
+  const std::vector<std::string> axes = axis_columns(cells);
+  std::vector<Column> columns{{"section"}, {"index"}};
+  for (const std::string& axis : axes) columns.push_back({axis});
+  for (const char* name :
+       {"axis", "value", "trials", "successes", "denials", "success_rate",
+        "ci95_low", "ci95_high", "p50_psnr", "p90_psnr", "p99_psnr",
+        "mean_psnr"}) {
+    columns.push_back({name});
+  }
+  Table t{std::move(columns)};
   for (const CellDistribution& c : cells) {
-    t.add_row({str_cell("cell"), count_cell(c.index), str_cell(c.defense),
-               str_cell(c.model), num_cell(c.attack_delay_s),
-               num_cell(c.scrubber_bytes_per_s), empty_cell(), empty_cell(),
-               count_cell(c.trials), count_cell(c.successes),
-               count_cell(c.denials), num_cell(c.success_rate),
-               num_cell(c.success_ci.low), num_cell(c.success_ci.high),
-               num_cell(c.p50_psnr), num_cell(c.p90_psnr),
-               num_cell(c.p99_psnr), empty_cell()});
+    std::vector<Cell> row{str_cell("cell"), count_cell(c.index)};
+    for (const AxisCoordinate& coord : c.coords) {
+      row.push_back(axis_value_cell(coord.value));
+    }
+    row.push_back(empty_cell());  // axis
+    row.push_back(empty_cell());  // value
+    row.push_back(count_cell(c.trials));
+    row.push_back(count_cell(c.successes));
+    row.push_back(count_cell(c.denials));
+    row.push_back(num_cell(c.success_rate));
+    row.push_back(num_cell(c.success_ci.low));
+    row.push_back(num_cell(c.success_ci.high));
+    row.push_back(num_cell(c.p50_psnr));
+    row.push_back(num_cell(c.p90_psnr));
+    row.push_back(num_cell(c.p99_psnr));
+    row.push_back(empty_cell());  // mean_psnr
+    t.add_row(std::move(row));
   }
   for (const AxisMarginal& m : marginals) {
-    t.add_row({str_cell("marginal"), empty_cell(), empty_cell(), empty_cell(),
-               empty_cell(), empty_cell(), str_cell(m.axis), str_cell(m.value),
-               count_cell(m.trials), count_cell(m.successes),
-               count_cell(m.denials), num_cell(m.success_rate),
-               num_cell(m.success_ci.low), num_cell(m.success_ci.high),
-               empty_cell(), empty_cell(), empty_cell(), num_cell(m.mean_psnr)});
+    std::vector<Cell> row{str_cell("marginal"), empty_cell()};
+    for (std::size_t i = 0; i < axes.size(); ++i) row.push_back(empty_cell());
+    row.push_back(str_cell(m.axis));
+    row.push_back(str_cell(m.value));
+    row.push_back(count_cell(m.trials));
+    row.push_back(count_cell(m.successes));
+    row.push_back(count_cell(m.denials));
+    row.push_back(num_cell(m.success_rate));
+    row.push_back(num_cell(m.success_ci.low));
+    row.push_back(num_cell(m.success_ci.high));
+    row.push_back(empty_cell());  // p50_psnr
+    row.push_back(empty_cell());  // p90_psnr
+    row.push_back(empty_cell());  // p99_psnr
+    row.push_back(num_cell(m.mean_psnr));
+    t.add_row(std::move(row));
   }
   return t.to_csv();
 }
 
 std::string StatsReport::to_json() const {
-  Table cell_table{{{"index"},        {"defense"},   {"model"},
-                    {"delay_s"},      {"scrubber_Bps"}, {"trials"},
-                    {"successes"},    {"denials"},   {"success_rate"},
-                    {"ci95_low"},     {"ci95_high"}, {"p50_psnr"},
-                    {"p90_psnr"},     {"p99_psnr"}}};
+  const std::vector<std::string> axes = axis_columns(cells);
+  std::vector<Column> cell_columns{{"index"}};
+  for (const std::string& axis : axes) cell_columns.push_back({axis});
+  for (const char* name :
+       {"trials", "successes", "denials", "success_rate", "ci95_low",
+        "ci95_high", "p50_psnr", "p90_psnr", "p99_psnr"}) {
+    cell_columns.push_back({name});
+  }
+  Table cell_table{std::move(cell_columns)};
   for (const CellDistribution& c : cells) {
-    cell_table.add_row(
-        {count_cell(c.index), str_cell(c.defense), str_cell(c.model),
-         num_cell(c.attack_delay_s), num_cell(c.scrubber_bytes_per_s),
-         count_cell(c.trials), count_cell(c.successes), count_cell(c.denials),
-         num_cell(c.success_rate), num_cell(c.success_ci.low),
-         num_cell(c.success_ci.high), num_cell(c.p50_psnr),
-         num_cell(c.p90_psnr), num_cell(c.p99_psnr)});
+    std::vector<Cell> row{count_cell(c.index)};
+    for (const AxisCoordinate& coord : c.coords) {
+      row.push_back(axis_value_cell(coord.value));
+    }
+    row.push_back(count_cell(c.trials));
+    row.push_back(count_cell(c.successes));
+    row.push_back(count_cell(c.denials));
+    row.push_back(num_cell(c.success_rate));
+    row.push_back(num_cell(c.success_ci.low));
+    row.push_back(num_cell(c.success_ci.high));
+    row.push_back(num_cell(c.p50_psnr));
+    row.push_back(num_cell(c.p90_psnr));
+    row.push_back(num_cell(c.p99_psnr));
+    cell_table.add_row(std::move(row));
   }
   Table marginal_table{{{"axis"},         {"value"},    {"trials"},
                         {"successes"},    {"denials"},  {"success_rate"},

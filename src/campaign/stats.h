@@ -38,10 +38,9 @@ struct WilsonInterval {
 /// Per-cell distribution over that cell's trial stream.
 struct CellDistribution {
   std::uint64_t index = 0;
-  std::string defense;
-  std::string model;
-  double attack_delay_s = 0.0;
-  double scrubber_bytes_per_s = 0.0;
+  /// Ordered axis coordinates, copied from the stored CellStats (a v1
+  /// store's cells decode with the synthesized legacy four).
+  std::vector<AxisCoordinate> coords;
 
   std::size_t trials = 0;
   std::size_t successes = 0;  ///< full successes (attack::is_full_success)
@@ -55,7 +54,7 @@ struct CellDistribution {
 
 /// One value of one sweep axis, pooled over every cell carrying it.
 struct AxisMarginal {
-  std::string axis;   ///< "defense" | "model" | "delay_s" | "scrubber_Bps"
+  std::string axis;   ///< any swept axis name ("defense", "power_cycled", ...)
   std::string value;  ///< the axis value's label
   std::size_t trials = 0;
   std::size_t successes = 0;

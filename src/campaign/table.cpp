@@ -103,6 +103,24 @@ Cell interval_cell(double low, double high) {
 
 Cell empty_cell() { return {"", "", "null"}; }
 
+Cell axis_value_cell(const AxisValue& v) {
+  switch (v.kind) {
+    case AxisKind::kString:
+    case AxisKind::kEnum:
+      return str_cell(v.str);
+    case AxisKind::kDouble:
+      return num_cell(v.num);
+    case AxisKind::kBool:
+      return Cell{v.flag ? "1" : "0", v.flag ? "1" : "0",
+                  v.flag ? "true" : "false"};
+  }
+  return empty_cell();
+}
+
+std::string axis_text_header(const std::string& axis) {
+  return axis == "scrubber_Bps" ? "scrub_Bps" : axis;
+}
+
 Table::Table(std::vector<Column> columns) : columns_(std::move(columns)) {
   if (columns_.empty()) {
     throw std::invalid_argument("table: a table needs at least one column");

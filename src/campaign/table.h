@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/axis.h"
+
 namespace msa::campaign::table {
 
 /// Shortest round-trip-exact decimal form (std::to_chars), with "inf" /
@@ -60,6 +62,14 @@ struct Cell {
 /// Blank text/CSV field, JSON null — for columns another section of a
 /// flat CSV does not populate.
 [[nodiscard]] Cell empty_cell();
+/// Axis-value cell shared by the stats and diff emitters: canonical
+/// label in text/CSV ("0"/"1" for bools, so cell rows join against
+/// marginal `value` fields verbatim), typed token in JSON.
+[[nodiscard]] Cell axis_value_cell(const AxisValue& v);
+/// Text-table header for an axis column. Text tables have always
+/// abbreviated scrubber_Bps to scrub_Bps for width; keeping the mapping
+/// keeps pre-refactor text output byte-stable.
+[[nodiscard]] std::string axis_text_header(const std::string& axis);
 
 enum class Align : std::uint8_t { kLeft, kRight };
 

@@ -17,9 +17,8 @@ namespace {
 // read so later format additions stay backward-readable.
 constexpr std::uint8_t kRecManifest = 1;
 constexpr std::uint8_t kRecTrial = 2;
-constexpr std::uint8_t kRecCell = 3;
-
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint8_t kRecCell = 3;    ///< v1: four named axis fields
+constexpr std::uint8_t kRecCellV2 = 4;  ///< v2: ordered axis coordinates
 
 constexpr std::uint8_t kTrialDenied = 1u << 0;
 constexpr std::uint8_t kTrialModelIdentified = 1u << 1;
@@ -54,13 +53,41 @@ TrialRecord decode_trial(std::span<const std::uint8_t> payload) {
   return t;
 }
 
-std::vector<std::uint8_t> encode_cell(const campaign::CellStats& c) {
-  ByteWriter w;
-  w.varint(c.index);
-  w.str(c.defense);
-  w.str(c.model);
-  w.f64(c.attack_delay_s);
-  w.f64(c.scrubber_bytes_per_s);
+void encode_axis_value(ByteWriter& w, const campaign::AxisValue& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  switch (v.kind) {
+    case campaign::AxisKind::kString:
+    case campaign::AxisKind::kEnum:
+      w.str(v.str);
+      break;
+    case campaign::AxisKind::kDouble:
+      w.f64(v.num);
+      break;
+    case campaign::AxisKind::kBool:
+      w.u8(v.flag ? 1 : 0);
+      break;
+  }
+}
+
+campaign::AxisValue decode_axis_value(ByteReader& r) {
+  campaign::AxisValue v;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(campaign::AxisKind::kString):
+      return campaign::AxisValue::of_string(r.str());
+    case static_cast<std::uint8_t>(campaign::AxisKind::kEnum):
+      return campaign::AxisValue::of_enum(r.str());
+    case static_cast<std::uint8_t>(campaign::AxisKind::kDouble):
+      return campaign::AxisValue::of_number(r.f64());
+    case static_cast<std::uint8_t>(campaign::AxisKind::kBool):
+      return campaign::AxisValue::of_bool(r.u8() != 0);
+    default:
+      throw std::runtime_error("persist: unknown axis-value kind " +
+                               std::to_string(kind));
+  }
+}
+
+void encode_cell_counters(ByteWriter& w, const campaign::CellStats& c) {
   w.varint(c.trials);
   w.varint(c.full_successes);
   w.varint(c.model_identified);
@@ -69,17 +96,9 @@ std::vector<std::uint8_t> encode_cell(const campaign::CellStats& c) {
   w.f64(c.mean_psnr_db);
   w.f64(c.mean_descriptor_pixel_match);
   w.str(c.first_denial_reason);
-  return {w.bytes().begin(), w.bytes().end()};
 }
 
-campaign::CellStats decode_cell(std::span<const std::uint8_t> payload) {
-  ByteReader r{payload};
-  campaign::CellStats c;
-  c.index = static_cast<std::size_t>(r.varint());
-  c.defense = r.str();
-  c.model = r.str();
-  c.attack_delay_s = r.f64();
-  c.scrubber_bytes_per_s = r.f64();
+void decode_cell_counters(ByteReader& r, campaign::CellStats& c) {
   c.trials = static_cast<std::size_t>(r.varint());
   c.full_successes = static_cast<std::size_t>(r.varint());
   c.model_identified = static_cast<std::size_t>(r.varint());
@@ -88,37 +107,119 @@ campaign::CellStats decode_cell(std::span<const std::uint8_t> payload) {
   c.mean_psnr_db = r.f64();
   c.mean_descriptor_pixel_match = r.f64();
   c.first_denial_reason = r.str();
+}
+
+// v2 cell record: ordered (axis, value) coordinates, then the counters.
+std::vector<std::uint8_t> encode_cell(const campaign::CellStats& c) {
+  ByteWriter w;
+  w.varint(c.index);
+  w.varint(c.coords.size());
+  for (const campaign::AxisCoordinate& coord : c.coords) {
+    w.str(coord.axis);
+    encode_axis_value(w, coord.value);
+  }
+  encode_cell_counters(w, c);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+campaign::CellStats decode_cell_v2(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  campaign::CellStats c;
+  c.index = static_cast<std::size_t>(r.varint());
+  const std::uint64_t coords = r.varint();
+  c.coords.reserve(coords);
+  for (std::uint64_t i = 0; i < coords; ++i) {
+    std::string axis = r.str();
+    campaign::AxisValue value = decode_axis_value(r);
+    c.coords.push_back({std::move(axis), std::move(value)});
+  }
+  decode_cell_counters(r, c);
   return c;
+}
+
+// v1 cell record: the four hard-coded axis fields. Decoding synthesizes
+// the equivalent coordinates so everything downstream of read is
+// version-blind.
+campaign::CellStats decode_cell_v1(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  campaign::CellStats c;
+  c.index = static_cast<std::size_t>(r.varint());
+  c.coords.reserve(4);
+  c.coords.push_back({"defense", campaign::AxisValue::of_string(r.str())});
+  c.coords.push_back({"model", campaign::AxisValue::of_string(r.str())});
+  c.coords.push_back({"delay_s", campaign::AxisValue::of_number(r.f64())});
+  c.coords.push_back(
+      {"scrubber_Bps", campaign::AxisValue::of_number(r.f64())});
+  decode_cell_counters(r, c);
+  return c;
+}
+
+/// The schema a v1 writer implicitly used: the legacy four axes. Value
+/// lists stay empty — v1 manifests never recorded them; the cells carry
+/// the actual values.
+std::vector<campaign::AxisSpec> legacy_axis_schema() {
+  return {{"defense", campaign::AxisKind::kString, {}},
+          {"model", campaign::AxisKind::kString, {}},
+          {"delay_s", campaign::AxisKind::kDouble, {}},
+          {"scrubber_Bps", campaign::AxisKind::kDouble, {}}};
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode_store_manifest(const StoreManifest& m) {
+  // Always writes the CURRENT format — re-encoding a v1-loaded manifest
+  // (compaction) upgrades the file to v2 with the synthesized schema.
   ByteWriter w;
-  w.u32(kFormatVersion);
+  w.u32(kStoreFormatVersion);
   w.u64(m.grid_fingerprint);
   w.u64(m.grid_cells);
   w.u32(m.trials_per_cell);
   w.u64(m.trial_salt);
   w.u32(m.shard_index);
   w.u32(m.shard_count);
+  w.varint(m.axes.size());
+  for (const campaign::AxisSpec& axis : m.axes) {
+    w.str(axis.name);
+    w.u8(static_cast<std::uint8_t>(axis.kind));
+    w.varint(axis.values.size());
+    for (const campaign::AxisValue& v : axis.values) encode_axis_value(w, v);
+  }
   return {w.bytes().begin(), w.bytes().end()};
 }
 
 StoreManifest decode_store_manifest(std::span<const std::uint8_t> payload) {
   ByteReader r{payload};
   const std::uint32_t version = r.u32();
-  if (version != kFormatVersion) {
+  if (version == 0 || version > kStoreFormatVersion) {
     throw std::runtime_error("persist: unsupported store format version " +
                              std::to_string(version));
   }
   StoreManifest m;
+  m.version = version;
   m.grid_fingerprint = r.u64();
   m.grid_cells = r.u64();
   m.trials_per_cell = r.u32();
   m.trial_salt = r.u64();
   m.shard_index = r.u32();
   m.shard_count = r.u32();
+  if (version == 1) {
+    // v1 manifests end here; the four-axis schema was implicit.
+    m.axes = legacy_axis_schema();
+    return m;
+  }
+  const std::uint64_t axes = r.varint();
+  m.axes.reserve(axes);
+  for (std::uint64_t i = 0; i < axes; ++i) {
+    campaign::AxisSpec spec;
+    spec.name = r.str();
+    spec.kind = static_cast<campaign::AxisKind>(r.u8());
+    const std::uint64_t values = r.varint();
+    spec.values.reserve(values);
+    for (std::uint64_t j = 0; j < values; ++j) {
+      spec.values.push_back(decode_axis_value(r));
+    }
+    m.axes.push_back(std::move(spec));
+  }
   return m;
 }
 
@@ -132,12 +233,25 @@ std::string describe_manifest_mismatch(const StoreManifest& have,
              std::to_string(b);
     }
   };
+  field("version", have.version, want.version);
   field("grid_fingerprint", have.grid_fingerprint, want.grid_fingerprint);
   field("grid_cells", have.grid_cells, want.grid_cells);
   field("trials_per_cell", have.trials_per_cell, want.trials_per_cell);
   field("trial_salt", have.trial_salt, want.trial_salt);
   field("shard_index", have.shard_index, want.shard_index);
   field("shard_count", have.shard_count, want.shard_count);
+  if (!(have.axes == want.axes)) {
+    if (!out.empty()) out += ", ";
+    auto schema = [](const StoreManifest& m) {
+      std::string s;
+      for (const campaign::AxisSpec& axis : m.axes) {
+        if (!s.empty()) s += '/';
+        s += axis.name;
+      }
+      return s.empty() ? std::string("<none>") : s;
+    };
+    out += "axis schema [" + schema(have) + "] != [" + schema(want) + "]";
+  }
   return out;
 }
 
@@ -213,8 +327,10 @@ std::uint64_t CampaignStore::scan_existing() {
             "persist: store belongs to a different sweep (" +
             describe_manifest_mismatch(on_disk, manifest_) + "): " + path_);
       }
-    } else if (rec->type == kRecCell) {
-      campaign::CellStats cell = decode_cell(rec->payload);
+    } else if (rec->type == kRecCell || rec->type == kRecCellV2) {
+      campaign::CellStats cell = rec->type == kRecCellV2
+                                     ? decode_cell_v2(rec->payload)
+                                     : decode_cell_v1(rec->payload);
       const std::uint64_t index = cell.index;
       completed_[index] = std::move(cell);
     }
@@ -236,7 +352,7 @@ void CampaignStore::append_trial(const TrialRecord& trial) {
 
 void CampaignStore::complete_cell(const campaign::CellStats& stats) {
   const std::lock_guard lock{mutex_};
-  writer_.append(kRecCell, encode_cell(stats));
+  writer_.append(kRecCellV2, encode_cell(stats));
   if (options_.fsync_every != 0 && ++cells_since_sync_ >= options_.fsync_every) {
     writer_.sync();
     cells_since_sync_ = 0;
@@ -298,7 +414,12 @@ StoreContents read_store(const std::string& path) {
         break;
       }
       case kRecCell: {
-        campaign::CellStats c = decode_cell(rec->payload);
+        campaign::CellStats c = decode_cell_v1(rec->payload);
+        cells[c.index] = std::move(c);
+        break;
+      }
+      case kRecCellV2: {
+        campaign::CellStats c = decode_cell_v2(rec->payload);
         cells[c.index] = std::move(c);
         break;
       }
@@ -525,7 +646,14 @@ CompactionResult compact_store(const std::string& path) {
         }
         case kRecCell: {
           ++cell_records;
-          campaign::CellStats c = decode_cell(rec->payload);
+          campaign::CellStats c = decode_cell_v1(rec->payload);
+          const std::uint64_t index = c.index;
+          cells[index] = std::move(c);
+          break;
+        }
+        case kRecCellV2: {
+          ++cell_records;
+          campaign::CellStats c = decode_cell_v2(rec->payload);
           const std::uint64_t index = c.index;
           cells[index] = std::move(c);
           break;
@@ -562,8 +690,10 @@ CompactionResult compact_store(const std::string& path) {
     for (const auto& [key, trial] : trials) {
       writer.append(kRecTrial, encode_trial(trial));
     }
+    // Cells rewrite as v2 records (and the manifest re-encodes as v2
+    // above): compacting a v1 store upgrades it in place.
     for (const auto& [index, cell] : cells) {
-      writer.append(kRecCell, encode_cell(cell));
+      writer.append(kRecCellV2, encode_cell(cell));
     }
     for (const Record& rec : unknown) {
       writer.append(rec.type, rec.payload);

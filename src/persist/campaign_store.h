@@ -29,14 +29,25 @@ struct ScenarioResult;
 
 namespace msa::persist {
 
+/// Current store format. v2 added the serialized axis schema to the
+/// manifest and the coordinate-carrying cell record (kRecCellV2); v1
+/// stores remain readable — decode synthesizes the legacy four-axis
+/// schema for them — but cannot be resumed by a v2 writer.
+inline constexpr std::uint32_t kStoreFormatVersion = 2;
+
 /// Identity of the sweep a store file belongs to.
 struct StoreManifest {
+  std::uint32_t version = kStoreFormatVersion;  ///< format the file was written in
   std::uint64_t grid_fingerprint = 0;  ///< campaign::GridBuilder::fingerprint
   std::uint64_t grid_cells = 0;        ///< FULL (unsharded) grid size
   std::uint32_t trials_per_cell = 0;
   std::uint64_t trial_salt = 0;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  /// Ordered swept-axis schema (GridBuilder::axis_schema). For a v1
+  /// store this is synthesized: the legacy four axes with empty value
+  /// lists (v1 never recorded the values; cells still carry them).
+  std::vector<campaign::AxisSpec> axes;
 
   friend bool operator==(const StoreManifest&, const StoreManifest&) = default;
 };

@@ -32,6 +32,13 @@ CampaignOptions make_options(unsigned threads, unsigned trials = 1) {
   return options;
 }
 
+/// Canonical label of one axis value on a cell ("<missing>" when the
+/// grid did not sweep that axis) — keeps the assertions readable.
+std::string coord_label(const CampaignCell& cell, std::string_view axis) {
+  const AxisValue* v = cell.coord(axis);
+  return v == nullptr ? "<missing>" : v->label();
+}
+
 /// 2 defenses x 2 models x 2 delays x 1 scrubber = 8 cells mixing clear
 /// successes (baseline) with scrub-defeated scrapes (zero_on_free).
 GridBuilder small_grid() {
@@ -51,13 +58,14 @@ TEST(CampaignGrid, SizeAndDeterministicOrder) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(cells[i].index, i);
   }
-  // Nested order: defense > model > delay > scrubber.
-  EXPECT_EQ(cells[0].defense, "baseline");
-  EXPECT_EQ(cells[0].model, "resnet50_pt");
-  EXPECT_EQ(cells[0].attack_delay_s, 0.0);
-  EXPECT_EQ(cells[1].attack_delay_s, 5.0);
-  EXPECT_EQ(cells[2].model, "squeezenet_pt");
-  EXPECT_EQ(cells[4].defense, "zero_on_free");
+  // Nested order: defense > model > delay > scrubber (first axis
+  // outermost, last fastest).
+  EXPECT_EQ(coord_label(cells[0], "defense"), "baseline");
+  EXPECT_EQ(coord_label(cells[0], "model"), "resnet50_pt");
+  EXPECT_EQ(coord_label(cells[0], "delay_s"), "0");
+  EXPECT_EQ(coord_label(cells[1], "delay_s"), "5");
+  EXPECT_EQ(coord_label(cells[2], "model"), "squeezenet_pt");
+  EXPECT_EQ(coord_label(cells[4], "defense"), "zero_on_free");
   // Axis coordinates are folded into the cell's config.
   EXPECT_EQ(cells[1].config.attack_delay_s, 5.0);
   EXPECT_EQ(cells[2].config.model_name, "squeezenet_pt");
@@ -69,8 +77,8 @@ TEST(CampaignGrid, DefaultBuilderIsOneBaselineCell) {
   EXPECT_EQ(grid.size(), 1u);
   const auto cells = grid.build();
   ASSERT_EQ(cells.size(), 1u);
-  EXPECT_EQ(cells[0].defense, "baseline");
-  EXPECT_EQ(cells[0].model, "resnet50_pt");
+  EXPECT_EQ(coord_label(cells[0], "defense"), "baseline");
+  EXPECT_EQ(coord_label(cells[0], "model"), "resnet50_pt");
 }
 
 TEST(CampaignGrid, UnknownNamesThrow) {
@@ -122,11 +130,11 @@ TEST(CampaignRunner, DenialHeavyGridCountsDenialsNotSuccesses) {
   const SweepReport report = runner.run(grid);
   ASSERT_EQ(report.cells.size(), 3u);
   for (const CellStats& cell : report.cells) {
-    EXPECT_EQ(cell.trials, 2u) << cell.defense;
-    EXPECT_EQ(cell.denials, 2u) << cell.defense;
-    EXPECT_EQ(cell.full_successes, 0u) << cell.defense;
-    EXPECT_FALSE(cell.first_denial_reason.empty()) << cell.defense;
-    EXPECT_DOUBLE_EQ(cell.mean_pixel_match, 0.0) << cell.defense;
+    EXPECT_EQ(cell.trials, 2u) << cell.coords_text();
+    EXPECT_EQ(cell.denials, 2u) << cell.coords_text();
+    EXPECT_EQ(cell.full_successes, 0u) << cell.coords_text();
+    EXPECT_FALSE(cell.first_denial_reason.empty()) << cell.coords_text();
+    EXPECT_DOUBLE_EQ(cell.mean_pixel_match, 0.0) << cell.coords_text();
   }
   EXPECT_EQ(report.total_denials(), 6u);
   EXPECT_EQ(report.total_full_successes(), 0u);

@@ -70,6 +70,7 @@ StoreManifest manifest_for(const GridBuilder& grid,
   m.trial_salt = options.trial_salt;
   m.shard_index = shard_index;
   m.shard_count = shard_count;
+  m.axes = grid.axis_schema();
   return m;
 }
 
@@ -100,8 +101,7 @@ TEST(GridShard, PartitionIsDisjointAndComplete) {
   GridBuilder s1 = small_grid();
   const auto slice = s1.shard(1, 3).build();
   for (const CampaignCell& cell : slice) {
-    EXPECT_EQ(cell.defense, all[cell.index].defense);
-    EXPECT_EQ(cell.attack_delay_s, all[cell.index].attack_delay_s);
+    EXPECT_EQ(cell.coords, all[cell.index].coords);
   }
 }
 
@@ -165,10 +165,7 @@ TEST(CampaignStore, TrialStreamReconstructsCellAggregates) {
   for (const CellStats& cell : contents.cells) {
     CellStats rebuilt;
     rebuilt.index = cell.index;
-    rebuilt.defense = cell.defense;
-    rebuilt.model = cell.model;
-    rebuilt.attack_delay_s = cell.attack_delay_s;
-    rebuilt.scrubber_bytes_per_s = cell.scrubber_bytes_per_s;
+    rebuilt.coords = cell.coords;
     for (const TrialRecord& t : contents.trials) {
       if (t.cell_index != cell.index) continue;
       attack::ScenarioResult result;
@@ -501,8 +498,8 @@ TEST(CampaignStore, LoadSweepDeduplicatesIdenticalCopiesOnly) {
     // Hand-write a conflicting completed cell for index 0.
     CellStats fake;
     fake.index = 0;
-    fake.defense = "baseline";
-    fake.model = "resnet50_pt";
+    fake.coords = {{"defense", campaign::AxisValue::of_string("baseline")},
+                   {"model", campaign::AxisValue::of_string("resnet50_pt")}};
     fake.trials = 1;
     fake.mean_psnr_db = -1.0;  // cannot match the real cell
     store.complete_cell(fake);

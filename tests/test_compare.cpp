@@ -75,10 +75,10 @@ CellDistribution make_cell(std::uint64_t index, const std::string& defense,
                            double p50, double p90, double p99) {
   CellDistribution c;
   c.index = index;
-  c.defense = defense;
-  c.model = model;
-  c.attack_delay_s = delay;
-  c.scrubber_bytes_per_s = scrubber;
+  c.coords = {{"defense", AxisValue::of_string(defense)},
+              {"model", AxisValue::of_string(model)},
+              {"delay_s", AxisValue::of_number(delay)},
+              {"scrubber_Bps", AxisValue::of_number(scrubber)}};
   c.trials = trials;
   c.successes = successes;
   c.denials = denials;
@@ -90,6 +90,14 @@ CellDistribution make_cell(std::uint64_t index, const std::string& defense,
                   : static_cast<double>(successes) / static_cast<double>(trials);
   c.success_ci = wilson_interval(successes, trials);
   return c;
+}
+
+/// Label of one axis value on a coordinate list ("<missing>" when the
+/// list lacks the axis).
+std::string coord_label(const std::vector<AxisCoordinate>& coords,
+                        std::string_view axis) {
+  const AxisValue* v = find_coord(coords, axis);
+  return v == nullptr ? "<missing>" : v->label();
 }
 
 AxisMarginal make_marginal(const std::string& axis, const std::string& value,
@@ -165,11 +173,11 @@ TEST(DiffSweeps, MatchedCellsOrderedByAxisNotIndex) {
   const DiffReport diff = diff_sweeps(a, b);
   ASSERT_EQ(diff.cells.size(), 2u);
   // Output ascends by axis key: "baseline" sorts before "zero_on_free".
-  EXPECT_EQ(diff.cells[0].key.defense, "baseline");
+  EXPECT_EQ(coord_label(diff.cells[0].key.coords, "defense"), "baseline");
   EXPECT_EQ(diff.cells[0].index_a, 0u);
   EXPECT_EQ(diff.cells[0].index_b, 3u);
   EXPECT_DOUBLE_EQ(diff.cells[0].success_delta, 1.0 - 0.8);
-  EXPECT_EQ(diff.cells[1].key.defense, "zero_on_free");
+  EXPECT_EQ(coord_label(diff.cells[1].key.coords, "defense"), "zero_on_free");
   EXPECT_EQ(diff.cells[1].index_b, 7u);
   EXPECT_DOUBLE_EQ(diff.cells[1].success_delta, 0.0 - 0.2);
   EXPECT_DOUBLE_EQ(diff.cells[1].denial_delta, 1.0 - 0.4);
@@ -197,8 +205,8 @@ TEST(DiffSweeps, DisjointGridsReportEveryCellUnmatched) {
   EXPECT_TRUE(diff.marginals.empty());
   ASSERT_EQ(diff.only_in_a.size(), 1u);
   ASSERT_EQ(diff.only_in_b.size(), 1u);
-  EXPECT_EQ(diff.only_in_a[0].defense, "baseline");
-  EXPECT_EQ(diff.only_in_b[0].defense, "physical_aslr");
+  EXPECT_EQ(coord_label(diff.only_in_a[0].coords, "defense"), "baseline");
+  EXPECT_EQ(coord_label(diff.only_in_b[0].coords, "defense"), "physical_aslr");
 }
 
 TEST(DiffSweeps, DisjointCellsCanStillShareMarginalAxes) {
@@ -223,15 +231,69 @@ TEST(DiffSweeps, DisjointCellsCanStillShareMarginalAxes) {
   EXPECT_DOUBLE_EQ(diff.marginals[0].mean_psnr_shift, -60.0);
 }
 
+TEST(DiffSweeps, SchemaSupersetAlignsOnSharedAxes) {
+  // Side A is a legacy four-axis sweep (the v1-store shape); side B swept
+  // the same four axes PLUS power_cycled at a single value. The shared
+  // axes are the legacy four, so every cell still pairs.
+  const StatsReport a = two_cell_report();
+  StatsReport b = two_cell_report();
+  for (CellDistribution& c : b.cells) {
+    c.coords.push_back({"power_cycled", AxisValue::of_bool(false)});
+  }
+
+  const DiffReport diff = diff_sweeps(a, b);
+  EXPECT_EQ(diff.shared_axes,
+            (std::vector<std::string>{"defense", "model", "delay_s",
+                                      "scrubber_Bps"}));
+  ASSERT_EQ(diff.cells.size(), 2u);
+  EXPECT_TRUE(diff.only_in_a.empty());
+  EXPECT_TRUE(diff.only_in_b.empty());
+  for (const CellDelta& d : diff.cells) {
+    EXPECT_EQ(d.success_delta, 0.0);
+    // The join key carries only the shared axes.
+    EXPECT_EQ(find_coord(d.key.coords, "power_cycled"), nullptr);
+  }
+
+  // Two B cells that differ ONLY on the extra axis project onto the same
+  // shared key — ambiguous, so diff refuses.
+  StatsReport b_dup = b;
+  b_dup.cells.push_back(b_dup.cells[0]);
+  b_dup.cells.back().index = 9;
+  b_dup.cells.back().coords.back().value = AxisValue::of_bool(true);
+  EXPECT_THROW((void)diff_sweeps(a, b_dup), std::runtime_error);
+}
+
+TEST(DiffSweeps, DisjointSchemasMatchNothing) {
+  StatsReport a;
+  a.cells.push_back(make_cell(0, "baseline", "m", 0.0, 0.0, 3, 3, 0, 99.0,
+                              99.0, 99.0));
+  StatsReport b;
+  CellDistribution odd;
+  odd.index = 0;
+  odd.coords = {{"power_cycled", AxisValue::of_bool(true)}};
+  odd.trials = 3;
+  b.cells.push_back(odd);
+
+  const DiffReport diff = diff_sweeps(a, b);
+  EXPECT_TRUE(diff.shared_axes.empty());
+  EXPECT_TRUE(diff.cells.empty());
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0].index, 0u);
+  EXPECT_EQ(diff.only_in_b[0].index, 0u);
+}
+
 TEST(DiffSweeps, NonFiniteAxisValuesAreRejected) {
   // A store written before the CLI validated --delays/--scrubbers can
   // carry NaN/inf axes; a NaN key would break the alignment map's
   // ordering, so diff refuses it with a clear error instead.
   StatsReport a = two_cell_report();
-  a.cells[1].attack_delay_s = std::nan("");
+  ASSERT_EQ(a.cells[1].coords[2].axis, "delay_s");
+  a.cells[1].coords[2].value = AxisValue::of_number(std::nan(""));
   EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
   EXPECT_THROW((void)diff_sweeps(two_cell_report(), a), std::runtime_error);
-  a.cells[1].attack_delay_s = std::numeric_limits<double>::infinity();
+  a.cells[1].coords[2].value =
+      AxisValue::of_number(std::numeric_limits<double>::infinity());
   EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
 }
 
@@ -304,6 +366,7 @@ TEST(DiffSweeps, IndexPermutedStoreCopyDiffsToAllZero) {
   manifest.grid_cells = grid.full_size();
   manifest.trials_per_cell = options.trials_per_cell;
   manifest.trial_salt = options.trial_salt;
+  manifest.axes = grid.axis_schema();
 
   const auto dir = std::filesystem::temp_directory_path() / "msa_compare_tests";
   std::filesystem::create_directories(dir);

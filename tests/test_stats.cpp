@@ -90,6 +90,7 @@ TEST(AnalyzeSweep, CellsAndMarginalsFromRealStore) {
   manifest.grid_cells = grid.full_size();
   manifest.trials_per_cell = options.trials_per_cell;
   manifest.trial_salt = options.trial_salt;
+  manifest.axes = grid.axis_schema();
 
   const auto dir = std::filesystem::temp_directory_path() / "msa_stats_tests";
   std::filesystem::create_directories(dir);
@@ -154,8 +155,8 @@ TEST(AnalyzeSweep, OrphanTrialsOfIncompleteCellsExcluded) {
   data.manifest.grid_cells = 4;
   CellStats cell;
   cell.index = 1;
-  cell.defense = "baseline";
-  cell.model = "m";
+  cell.coords = {{"defense", AxisValue::of_string("baseline")},
+                 {"model", AxisValue::of_string("m")}};
   cell.trials = 2;
   cell.full_successes = 1;
   data.cells.push_back(cell);
@@ -193,8 +194,8 @@ TEST(AnalyzeSweep, SingleTrialCellCollapsesPercentiles) {
   data.manifest.grid_cells = 1;
   CellStats cell;
   cell.index = 0;
-  cell.defense = "baseline";
-  cell.model = "m";
+  cell.coords = {{"defense", AxisValue::of_string("baseline")},
+                 {"model", AxisValue::of_string("m")}};
   cell.trials = 1;
   data.cells.push_back(cell);
   TrialRecord t;
@@ -251,9 +252,12 @@ TEST(StatsReport, CsvAndJsonAreByteStableAndStrict) {
   for (std::uint64_t i = 0; i < 2; ++i) {
     CellStats cell;
     cell.index = i;
-    cell.defense = i == 0 ? "baseline" : "zero,on\rfree";  // exercises quoting
-    cell.model = "m";
-    cell.attack_delay_s = 5.0 * static_cast<double>(i);
+    cell.coords = {
+        // The comma-and-CR label exercises CSV quoting end to end.
+        {"defense",
+         AxisValue::of_string(i == 0 ? "baseline" : "zero,on\rfree")},
+        {"model", AxisValue::of_string("m")},
+        {"delay_s", AxisValue::of_number(5.0 * static_cast<double>(i))}};
     cell.trials = 2;
     data.cells.push_back(cell);
     for (std::uint32_t trial = 0; trial < 2; ++trial) {

@@ -54,8 +54,8 @@ TEST(CsvEscape, CarriageReturnInDenialReasonKeepsReportRowIntact) {
   // "\r\n" must not add a row to SweepReport CSV.
   CellStats cell;
   cell.index = 0;
-  cell.defense = "baseline";
-  cell.model = "m";
+  cell.coords = {{"defense", AxisValue::of_string("baseline")},
+                 {"model", AxisValue::of_string("m")}};
   cell.trials = 1;
   cell.denials = 1;
   cell.first_denial_reason = "firewall\r\nblocked";
