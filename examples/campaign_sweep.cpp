@@ -12,6 +12,7 @@
 //                  [--cell-budget K]
 //                  [--workers-dir DIR --worker-id ID
 //                   [--expiry-scans K] [--idle-backoff-ms M]]
+//                  [--trace-out trace.json]
 //                  [--csv out.csv] [--json out.json] [--quiet]
 //   campaign_sweep merge [--workers-dir DIR | STORE...]
 //                  [--csv out.csv] [--json out.json] [--quiet]
@@ -19,6 +20,8 @@
 //                  [--workers-dir DIR | STORE...]
 //   campaign_sweep diff [--format text|csv|json] A B
 //   campaign_sweep compact STORE...
+//   campaign_sweep metrics [--format text|csv|json] [sweep flags...]
+//   campaign_sweep progress --workers-dir DIR [--once] [--interval-ms M]
 //   campaign_sweep axes
 //
 // --axis sweeps ANY registered scenario knob (see `campaign_sweep axes`
@@ -62,6 +65,16 @@
 // percentile shifts, and denial-rate change; unmatched cells are listed
 // per side.
 //
+// --trace-out enables the obs span recorder for the sweep and writes the
+// collected spans as Chrome trace-event JSON (open it in Perfetto or
+// chrome://tracing) when the sweep finishes. `metrics` runs the same
+// sweep but prints the process metrics registry to stdout instead of the
+// report CSV (the report still goes to --csv/--json files when asked);
+// `progress` is a read-only live view over a work-stealing workers
+// directory — per-worker claim/completion state, cells/s, and an ETA —
+// that polls incrementally and exits when the grid is complete (--once
+// renders a single deterministic snapshot instead).
+//
 // The offline-profiling phase is cached across cells and trials by
 // default (reports are byte-identical either way; the cache only changes
 // cells/second). --no-profile-cache re-profiles a fresh twin board per
@@ -77,8 +90,12 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "campaign/axis.h"
 #include "campaign/compare.h"
@@ -87,8 +104,12 @@
 #include "campaign/runner.h"
 #include "campaign/stats.h"
 #include "defense/presets.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "persist/campaign_store.h"
 #include "persist/lease_log.h"
+#include "util/monotime.h"
 #include "util/strings.h"
 #include "vitis/model_zoo.h"
 
@@ -103,13 +124,15 @@ int usage(const char* argv0) {
       "          [--store PATH [--resume]] [--shard I/N] [--cell-budget K]\n"
       "          [--workers-dir DIR --worker-id ID [--expiry-scans K]\n"
       "           [--idle-backoff-ms M]] [--fsync-every K]\n"
-      "          [--csv PATH] [--json PATH] [--quiet]\n"
+      "          [--trace-out FILE] [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s merge [--workers-dir DIR | STORE...]\n"
       "                [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s stats [--format text|csv|json] [--workers-dir DIR | STORE...]\n"
       "       %s diff [--format text|csv|json] A B\n"
       "                (A and B are each a store file or a workers dir)\n"
       "       %s compact STORE...\n"
+      "       %s metrics [--format text|csv|json] [sweep flags...]\n"
+      "       %s progress --workers-dir DIR [--once] [--interval-ms M]\n"
       "       %s axes\n"
       "  --threads/--trials/--cell-budget/--fsync-every/--expiry-scans/\n"
       "  --idle-backoff-ms take positive integers; --delays/--scrubbers\n"
@@ -118,8 +141,11 @@ int usage(const char* argv0) {
       "  `axes` subcommand); values are typed and validated per axis\n"
       "  --workers-dir is work-stealing mode (one process per --worker-id,\n"
       "  any number of machines over a shared filesystem); it excludes\n"
-      "  --store/--resume/--shard/--cell-budget\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "  --store/--resume/--shard/--cell-budget\n"
+      "  --trace-out records trial-pipeline spans for the sweep and writes\n"
+      "  Chrome trace-event JSON; `metrics` sweeps then prints the metrics\n"
+      "  registry; `progress` watches a workers dir without writing to it\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -439,27 +465,99 @@ int run_compact(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
+/// `campaign_sweep progress`: read-only live view over a work-stealing
+/// workers directory. Exits 0 once the grid is complete (immediately
+/// with --once), 2 when --workers-dir is missing or points at nothing
+/// observable.
+int run_progress(const char* argv0, int argc, char** argv) {
+  std::string workers_dir;
+  bool once = false;
+  unsigned interval_ms = 1000;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers-dir") {
+      const char* v = next();
+      if (!v) {
+        std::fprintf(stderr, "--workers-dir wants a directory\n");
+        return usage(argv0);
+      }
+      workers_dir = v;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (!v) return usage(argv0);
+      interval_ms = parse_positive(argv0, "--interval-ms", v);
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (workers_dir.empty()) {
+    std::fprintf(stderr, "progress wants --workers-dir DIR\n");
+    return usage(argv0);
+  }
 
-int main(int argc, char** argv) {
+  // Construction failure (missing directory, no lease log yet) is a
+  // usage-shaped error: --workers-dir pointed at nothing observable.
+  std::optional<msa::obs::ProgressView> view;
+  try {
+    view.emplace(workers_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--workers-dir %s: %s\n", workers_dir.c_str(),
+                 e.what());
+    return usage(argv0);
+  }
+
+  try {
+    if (once) {
+      std::fputs(msa::obs::ProgressView::render(view->poll(), -1.0).c_str(),
+                 stdout);
+      return 0;
+    }
+    const bool tty = isatty(STDOUT_FILENO) != 0;
+    const std::uint64_t start_ns = msa::util::monotonic_ns();
+    std::uint64_t baseline = 0;
+    bool have_baseline = false;
+    for (;;) {
+      const msa::obs::ProgressSnapshot snapshot = view->poll();
+      if (!have_baseline) {
+        baseline = snapshot.completed_cells;
+        have_baseline = true;
+      }
+      // Rate over this observer's own window: cells completed since the
+      // first poll, not since the sweep began (a late-joining watcher
+      // would otherwise report a stale, inflated rate).
+      const std::uint64_t elapsed = msa::util::monotonic_ns() - start_ns;
+      double cells_per_s = -1.0;
+      if (elapsed > 0 && snapshot.completed_cells > baseline) {
+        cells_per_s = static_cast<double>(snapshot.completed_cells - baseline) *
+                      1e9 / static_cast<double>(elapsed);
+      }
+      if (tty) std::fputs("\x1b[H\x1b[J", stdout);
+      std::fputs(msa::obs::ProgressView::render(snapshot, cells_per_s).c_str(),
+                 stdout);
+      std::fflush(stdout);
+      if (snapshot.complete()) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds{interval_ms});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "progress failed: %s\n", e.what());
+  }
+  return 1;
+}
+
+/// The sweep driver behind both the default invocation and the `metrics`
+/// subcommand (`metrics_mode` swaps the stdout report CSV for a
+/// metrics-registry snapshot; --csv/--json still write the report).
+/// argv[0] is the program name; flags start at argv[1].
+int run_sweep(int argc, char** argv, bool metrics_mode) {
   using namespace msa;
 
-  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
-    return run_merge(argv[0], argc - 2, argv + 2);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
-    return run_stats(argv[0], argc - 2, argv + 2);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
-    return run_diff(argv[0], argc - 2, argv + 2);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "compact") == 0) {
-    return run_compact(argv[0], argc - 2, argv + 2);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "axes") == 0) {
-    return argc == 2 ? run_axes() : usage(argv[0]);
-  }
-
+  OutputFormat metrics_format = OutputFormat::kText;
+  std::string trace_out;
   unsigned threads = 0;  // 0 = hardware concurrency (flag rejects 0)
   unsigned trials = 1;
   unsigned shard_index = 0;
@@ -600,6 +698,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       json_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) {
+        std::fprintf(stderr, "--trace-out wants a file path\n");
+        return usage(argv[0]);
+      }
+      trace_out = v;
+    } else if (metrics_mode && arg == "--format") {
+      const char* v = next();
+      if (!v || !parse_format(v, &metrics_format)) {
+        std::fprintf(stderr, "metrics --format wants text|csv|json (got '%s')\n",
+                     v ? v : "");
+        return usage(argv[0]);
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -626,6 +738,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--worker-id must match [A-Za-z0-9_-]+\n");
     return usage(argv[0]);
   }
+
+  // Recording starts before the runner exists so every pool thread's
+  // ring is live from its first span; export happens after run() joins.
+  if (!trace_out.empty()) obs::Trace::enable();
 
   attack::ScenarioConfig base;
   base.image_width = 96;
@@ -745,6 +861,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(report.twin_boards_reused));
   }
 
+  // The trace is written even when the cell budget cuts the sweep short:
+  // a bounded invocation's spans are exactly what a CI drill inspects.
+  if (!trace_out.empty() &&
+      !write_file(trace_out, obs::Trace::chrome_json())) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
+  }
+
   if (completed < shard_cells) {
     std::fprintf(stderr,
                  "[campaign] cell budget reached: %zu/%zu cells persisted; "
@@ -752,5 +876,53 @@ int main(int argc, char** argv) {
                  completed, shard_cells);
     return 3;
   }
+  if (metrics_mode) {
+    if (!csv_path.empty() && !write_file(csv_path, report.to_csv())) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    if (!json_path.empty() && !write_file(json_path, report.to_json())) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const obs::MetricsFormat fmt =
+        metrics_format == OutputFormat::kText  ? obs::MetricsFormat::kText
+        : metrics_format == OutputFormat::kCsv ? obs::MetricsFormat::kCsv
+                                               : obs::MetricsFormat::kJson;
+    std::fputs(obs::render_metrics(fmt).c_str(), stdout);
+    return 0;
+  }
   return emit_report(report, csv_path, json_path, quiet);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return run_merge(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return run_stats(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
+    return run_diff(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "compact") == 0) {
+    return run_compact(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "progress") == 0) {
+    return run_progress(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "axes") == 0) {
+    return argc == 2 ? run_axes() : usage(argv[0]);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "metrics") == 0) {
+    // Reuse the sweep parser with the subcommand word spliced out, so
+    // `metrics` accepts every sweep flag unchanged.
+    std::vector<char*> shifted;
+    shifted.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i) shifted.push_back(argv[i]);
+    return run_sweep(static_cast<int>(shifted.size()), shifted.data(), true);
+  }
+  return run_sweep(argc, argv, false);
 }

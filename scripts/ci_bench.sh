@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# CI bench-smoke: run the campaign-scaling ablation with machine-readable
-# JSON output — the seed of the BENCH_*.json perf trajectory tracked as a
+# CI bench-smoke: run one ablation benchmark with machine-readable JSON
+# output — the seed of the BENCH_*.json perf trajectory tracked as a
 # workflow artifact per push.
 #
-#   ci_bench.sh path/to/build-dir [out.json]
+#   ci_bench.sh path/to/build-dir [out.json] [bench-name] [grep...]
 #
 # The human-readable console report still goes to the job log; the JSON
-# (benchmark names, real/cpu time, items_per_second) goes to the artifact
-# so regressions in cells/second — including the cached-vs-uncached
-# profile series — are diffable across commits.
+# (benchmark names, real/cpu time, counters) goes to the artifact so
+# regressions — cells/second, per-stage trial breakdowns — are diffable
+# across commits. Extra args are fixed strings the JSON must contain,
+# sanity-checked before publishing.
 set -euo pipefail
 
-BUILD_DIR=${1:?usage: ci_bench.sh path/to/build-dir [out.json]}
+BUILD_DIR=${1:?usage: ci_bench.sh path/to/build-dir [out.json] [bench-name] [grep...]}
 OUT=${2:-BENCH_campaign_scaling.json}
-BIN="$BUILD_DIR/bench/abl_campaign_scaling"
+BENCH=${3:-abl_campaign_scaling}
+shift $(( $# > 3 ? 3 : $# ))
+EXPECT=("$@")
+if [ "${#EXPECT[@]}" -eq 0 ] && [ "$BENCH" = "abl_campaign_scaling" ]; then
+  EXPECT=(BM_SweepProfileCache BM_SweepThreads)
+fi
+
+BIN="$BUILD_DIR/bench/$BENCH"
 if [ ! -x "$BIN" ]; then
   echo "ci_bench.sh: missing bench binary $BIN" >&2
   exit 1
@@ -23,15 +31,16 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
 # A wedged benchmark must fail the job fast instead of stalling the
-# runner until the 6-hour job limit (the full run takes well under a
+# runner until the 6-hour job limit (each full run takes well under a
 # minute on an idle machine).
 timeout 600 "$BIN" \
   --benchmark_out="$tmp/bench.json" --benchmark_out_format=json
 
 # Sanity-check before publishing: the artifact must actually contain the
-# benchmark entries, including the profile-cache series.
+# expected benchmark entries (and counters, for the per-stage series).
 grep -q '"benchmarks"' "$tmp/bench.json"
-grep -q 'BM_SweepProfileCache' "$tmp/bench.json"
-grep -q 'BM_SweepThreads' "$tmp/bench.json"
+for pattern in "${EXPECT[@]}"; do
+  grep -qF "$pattern" "$tmp/bench.json"
+done
 mv "$tmp/bench.json" "$OUT"
 echo "ci_bench.sh: wrote $OUT"

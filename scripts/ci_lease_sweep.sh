@@ -4,7 +4,11 @@
 # SIGKILLed mid-sweep, and the survivors must finish the whole grid with
 # the merged report byte-identical to an uninterrupted single-process
 # run. Also smoke-tests the `stats` and `compact` subcommands over the
-# surviving stores (compaction must not change the merged report).
+# surviving stores (compaction must not change the merged report), and
+# the observability surface: one survivor runs with --trace-out and the
+# exported Chrome trace must strict-parse with the complete-event schema
+# (copied to ./trace_lease_sweep.json for artifact upload), and a
+# `metrics --format json` sweep must emit a parseable registry dump.
 set -euo pipefail
 
 BIN=${1:?usage: ci_lease_sweep.sh path/to/campaign_sweep}
@@ -63,7 +67,8 @@ fi
 echo "[lease drill] victim SIGKILLed mid-sweep"
 
 timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${lease[@]}" --threads 1 \
-  --worker-id live-a --csv "$tmp/a.csv" 2> /dev/null &
+  --worker-id live-a --csv "$tmp/a.csv" --trace-out "$tmp/trace_a.json" \
+  2> /dev/null &
 a_pid=$!
 timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${lease[@]}" --threads 1 \
   --worker-id live-b --csv "$tmp/b.csv" 2> /dev/null &
@@ -96,6 +101,34 @@ timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json "$tmp/wd" "$tmp/wd" \
   > "$tmp/selfdiff.json"
 python3 -m json.tool "$tmp/selfdiff.json" > /dev/null
 grep -q '"significant_cells":0' "$tmp/selfdiff.json"
+
+# live-a ran with --trace-out: the export must strict-parse as Chrome
+# trace-event JSON with the complete-event schema, and must contain the
+# campaign-layer spans. Kept as a per-push artifact (chrome://tracing /
+# Perfetto will open it directly off the CI run).
+python3 - "$tmp/trace_a.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    assert e["ph"] == "X", e
+    for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+        assert key in e, (key, e)
+cats = {e["cat"] for e in events}
+assert "campaign" in cats, cats
+print(f"[lease drill] trace_a.json: {len(events)} complete events")
+PY
+cp "$tmp/trace_a.json" trace_lease_sweep.json
+
+# The metrics subcommand sweeps and dumps the registry; the JSON form
+# must survive a strict parser and carry the campaign counters.
+timeout "$SWEEP_TIMEOUT" "$BIN" metrics --format json \
+  --trials 1 --delays 0 --quiet > "$tmp/metrics.json"
+python3 -m json.tool "$tmp/metrics.json" > /dev/null
+grep -q '"campaign.cells"' "$tmp/metrics.json"
+grep -q '"campaign.trials"' "$tmp/metrics.json"
 
 # Compaction drops the kill's leftovers without changing the report.
 for store in "$tmp"/wd/*.store; do

@@ -2,6 +2,8 @@
 
 #include "attack/descriptor_scan.h"
 #include "attack/hexdump_analyzer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace msa::attack {
@@ -31,7 +33,12 @@ bool AttackOrchestrator::victim_terminated(os::Pid pid) {
 AttackReport AttackOrchestrator::attack_after_termination(
     const ResolvedTarget& target) {
   MemoryScraper scraper{debugger_};
-  AttackReport report = analyze(scraper.scrape(target));
+  ScrapedDump dump = [&] {
+    TRACE_SPAN("trial", "scrape");
+    return scraper.scrape(target);
+  }();
+  obs::counter("trial.scraped_bytes").add(dump.bytes.size());
+  AttackReport report = analyze(std::move(dump));
   report.victim_pid = target.pid;
 
   std::string t;
@@ -55,7 +62,11 @@ AttackReport AttackOrchestrator::attack_after_termination(
 AttackReport AttackOrchestrator::attack_physical_scan(dram::PhysAddr base,
                                                       std::uint64_t len) {
   MemoryScraper scraper{debugger_};
-  ScrapedDump scan = scraper.scrape_physical_range(base, len);
+  ScrapedDump scan = [&] {
+    TRACE_SPAN("trial", "scrape");
+    return scraper.scrape_physical_range(base, len);
+  }();
+  obs::counter("trial.scraped_bytes").add(scan.bytes.size());
 
   AttackReport report;
   report.devmem_reads = scan.devmem_reads;
@@ -70,6 +81,7 @@ AttackReport AttackOrchestrator::attack_physical_scan(dram::PhysAddr base,
 
   if (report.model_identified()) {
     if (const auto profile = profiles_.find(report.identified_model)) {
+      TRACE_SPAN("trial", "reconstruct");
       report.reconstructed_image =
           ImageReconstructor::reconstruct_from_scan(scan, *profile);
     }
@@ -92,17 +104,20 @@ AttackReport AttackOrchestrator::analyze(ScrapedDump dump) {
   }
   report.deep_match = SignatureDb::identify_deep(dump.bytes);
 
-  if (report.model_identified()) {
-    if (const auto profile = profiles_.find(report.identified_model)) {
-      report.reconstructed_image =
-          ImageReconstructor::reconstruct(dump, *profile);
+  {
+    TRACE_SPAN("trial", "reconstruct");
+    if (report.model_identified()) {
+      if (const auto profile = profiles_.find(report.identified_model)) {
+        report.reconstructed_image =
+            ImageReconstructor::reconstruct(dump, *profile);
+      }
     }
-  }
 
-  // Profile-free extension: a surviving DPU descriptor names the input
-  // buffer and the output tensor outright.
-  report.descriptor_image = reconstruct_via_descriptor(dump);
-  report.recovered_scores = recover_output_scores(dump);
+    // Profile-free extension: a surviving DPU descriptor names the input
+    // buffer and the output tensor outright.
+    report.descriptor_image = reconstruct_via_descriptor(dump);
+    report.recovered_scores = recover_output_scores(dump);
+  }
   return report;
 }
 

@@ -4,8 +4,30 @@
 
 #include "attack/profiler.h"
 #include "mem/frame_allocator.h"
+#include "obs/metrics.h"
 
 namespace msa::attack {
+
+namespace {
+
+obs::Counter& hits_metric() {
+  static obs::Counter& c = obs::counter("cache.profile_hits");
+  return c;
+}
+obs::Counter& misses_metric() {
+  static obs::Counter& c = obs::counter("cache.profile_misses");
+  return c;
+}
+obs::Counter& built_metric() {
+  static obs::Counter& c = obs::counter("cache.twin_boards_built");
+  return c;
+}
+obs::Counter& reused_metric() {
+  static obs::Counter& c = obs::counter("cache.twin_boards_reused");
+  return c;
+}
+
+}  // namespace
 
 TwinBoardKey TwinBoardKey::from_config(const ScenarioConfig& config) {
   const os::SystemConfig& sys = config.system;
@@ -48,14 +70,14 @@ std::unique_ptr<TwinBoardPool::Board> TwinBoardPool::acquire(
     if (it != idle_.end() && !it->second.empty()) {
       std::unique_ptr<Board> board = std::move(it->second.back());
       it->second.pop_back();
-      reused_.fetch_add(1, std::memory_order_relaxed);
+      reused_metric().add();
       return board;
     }
   }
   // Build outside the lock: distinct-key misses construct concurrently.
   auto board = std::make_unique<Board>(twin_system_config(config),
                                        config.attacker_uid);
-  built_.fetch_add(1, std::memory_order_relaxed);
+  built_metric().add();
   return board;
 }
 
@@ -90,7 +112,7 @@ ModelProfile ProfileCache::get_or_profile(const ScenarioConfig& config) {
     // no other thread ever will, even after we drop the entry lock.
     entry->claimed = true;
     lock.unlock();
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric().add();
 
     ModelProfile profile;
     std::exception_ptr error;
@@ -118,18 +140,9 @@ ModelProfile ProfileCache::get_or_profile(const ScenarioConfig& config) {
 
   // Hit: either already published or in flight on another thread.
   entry->ready_cv.wait(lock, [&] { return entry->ready; });
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_metric().add();
   if (entry->error) std::rethrow_exception(entry->error);
   return entry->profile;
-}
-
-ProfileCacheStats ProfileCache::stats() const {
-  ProfileCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.boards_built = pool_.boards_built();
-  s.boards_reused = pool_.boards_reused();
-  return s;
 }
 
 std::size_t ProfileCache::size() const {

@@ -24,9 +24,13 @@
 // (dirty free frames zeroed) on release so a reused board is
 // byte-equivalent to a fresh one for the next profile; a board whose
 // profile threw is discarded instead of parked.
+// Cache observability lives on the obs metrics registry: the counters
+// cache.profile_hits / cache.profile_misses / cache.twin_boards_built /
+// cache.twin_boards_reused aggregate process-wide, and the campaign
+// runner snapshots per-sweep deltas into SweepReport's never-serialized
+// telemetry fields.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -96,26 +100,9 @@ class TwinBoardPool {
   /// pointer instead after an exception.
   void release(const ScenarioConfig& config, std::unique_ptr<Board> board);
 
-  [[nodiscard]] std::uint64_t boards_built() const noexcept {
-    return built_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t boards_reused() const noexcept {
-    return reused_.load(std::memory_order_relaxed);
-  }
-
  private:
   std::mutex mutex_;
   std::map<TwinBoardKey, std::vector<std::unique_ptr<Board>>> idle_;
-  std::atomic<std::uint64_t> built_{0};
-  std::atomic<std::uint64_t> reused_{0};
-};
-
-/// Counters snapshot; deltas over a sweep are surfaced in SweepReport.
-struct ProfileCacheStats {
-  std::uint64_t hits = 0;           ///< lookups served from the cache
-  std::uint64_t misses = 0;         ///< lookups that ran the profiler
-  std::uint64_t boards_built = 0;   ///< twin boards constructed
-  std::uint64_t boards_reused = 0;  ///< misses served by a parked board
 };
 
 /// Thread-safe memo of profile_on_twin_board. One instance is shared
@@ -126,8 +113,6 @@ class ProfileCache {
   /// twin board on first use. Rethrows a cached profiling failure on
   /// every lookup of the failed key.
   [[nodiscard]] ModelProfile get_or_profile(const ScenarioConfig& config);
-
-  [[nodiscard]] ProfileCacheStats stats() const;
 
   /// Distinct keys ever looked up (including failed ones).
   [[nodiscard]] std::size_t size() const;
@@ -145,8 +130,6 @@ class ProfileCache {
   TwinBoardPool pool_;
   mutable std::mutex mutex_;
   std::map<ProfileKey, std::shared_ptr<Entry>> entries_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace msa::attack

@@ -4,6 +4,8 @@
 
 #include "attack/profile_cache.h"
 #include "dram/remanence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/scrubber.h"
 #include "util/log.h"
 
@@ -18,6 +20,7 @@ namespace {
 void apply_post_termination(os::PetaLinuxSystem& board,
                             const ScenarioConfig& cfg) {
   if (cfg.attack_delay_s <= 0.0) return;
+  TRACE_SPAN("trial", "residue_decay");
   board.advance_time(static_cast<std::uint64_t>(cfg.attack_delay_s));
 
   if (cfg.scrubber_bytes_per_s > 0.0) {
@@ -75,12 +78,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             ProfileCache* profile_cache) {
   ScenarioResult result;
+  obs::counter("trial.runs").add();
 
   // ---- offline phase (attacker's twin board) -----------------------------
   ProfileDb profiles;
-  profiles.add(profile_cache != nullptr
-                   ? profile_cache->get_or_profile(config)
-                   : profile_on_twin_board(config));
+  {
+    TRACE_SPAN("trial", "profile");
+    profiles.add(profile_cache != nullptr
+                     ? profile_cache->get_or_profile(config)
+                     : profile_on_twin_board(config));
+  }
 
   // ---- victim board -------------------------------------------------------
   os::PetaLinuxSystem board{config.system};
@@ -123,6 +130,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       if (!entry) {
         result.denied = true;
         result.denial_reason = "victim not visible in ps";
+        obs::counter("trial.denials").add();
         return result;
       }
       // Step 2: resolve while alive.
@@ -140,14 +148,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   } catch (const dbg::DebuggerAccessDenied& e) {
     result.denied = true;
     result.denial_reason = e.what();
+    obs::counter("trial.denials").add();
     return result;
   } catch (const os::PermissionError& e) {
     result.denied = true;
     result.denial_reason = e.what();
+    obs::counter("trial.denials").add();
     return result;
   }
 
   // ---- scoring ---------------------------------------------------------------
+  TRACE_SPAN("trial", "score");
   result.model_identified_correctly =
       result.report.identified_model == config.model_name;
   if (result.report.reconstructed_image) {

@@ -3,10 +3,38 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/campaign_store.h"
+#include "util/monotime.h"
 #include "util/prng.h"
 
 namespace msa::campaign {
+
+namespace {
+
+// Pool metrics (obs/metrics.h references are stable for the process).
+// Updates are relaxed atomics plus two clock reads per cell — nothing
+// here feeds back into results, so reports stay byte-identical whether
+// anyone reads the registry or not.
+obs::Counter& cells_metric() {
+  static obs::Counter& c = obs::counter("campaign.cells");
+  return c;
+}
+obs::Counter& trials_metric() {
+  static obs::Counter& c = obs::counter("campaign.trials");
+  return c;
+}
+obs::Histogram& queue_wait_metric() {
+  static obs::Histogram& h = obs::histogram("campaign.queue_wait_ns");
+  return h;
+}
+obs::Histogram& cell_duration_metric() {
+  static obs::Histogram& h = obs::histogram("campaign.cell_ns");
+  return h;
+}
+
+}  // namespace
 
 CampaignRunner::CampaignRunner(CampaignOptions options)
     : threads_{options.threads != 0 ? options.threads
@@ -50,6 +78,8 @@ CellStats CampaignRunner::score_cell(const CampaignCell& cell, unsigned trials,
   stats.coords = cell.coords;
 
   for (unsigned trial = 0; trial < trials; ++trial) {
+    TRACE_SPAN("campaign", "trial");
+    trials_metric().add();
     attack::ScenarioConfig cfg = cell.config;
     if (trial > 0) {
       // Fresh board layout and input per trial, derived only from
@@ -77,9 +107,22 @@ SweepReport CampaignRunner::run(const GridBuilder& grid,
   return run(grid.build(), store, max_new_cells);
 }
 
-void CampaignRunner::fill_cache_stats(
-    SweepReport& report, const attack::ProfileCacheStats& before) const {
-  const attack::ProfileCacheStats now = profile_cache_.stats();
+CampaignRunner::CacheCounterSnapshot CampaignRunner::cache_counters() {
+  // The profile cache publishes onto the process-wide metrics registry
+  // (attack/profile_cache.cpp); per-run report telemetry is the delta
+  // across a run() call. Reading relaxed counters while quiescent (run()
+  // snapshots before workers start and after they drain) is exact.
+  return CacheCounterSnapshot{
+      obs::counter("cache.profile_hits").value(),
+      obs::counter("cache.profile_misses").value(),
+      obs::counter("cache.twin_boards_built").value(),
+      obs::counter("cache.twin_boards_reused").value(),
+  };
+}
+
+void CampaignRunner::fill_cache_stats(SweepReport& report,
+                                      const CacheCounterSnapshot& before) {
+  const CacheCounterSnapshot now = cache_counters();
   report.profile_cache_hits = now.hits - before.hits;
   report.profile_cache_misses = now.misses - before.misses;
   report.twin_boards_built = now.boards_built - before.boards_built;
@@ -88,7 +131,7 @@ void CampaignRunner::fill_cache_stats(
 
 SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
   SweepReport report;
-  const attack::ProfileCacheStats before = profile_cache_.stats();
+  const CacheCounterSnapshot before = cache_counters();
   StaticCellSource source{cells};
   report.cells = execute(source, nullptr);
   fill_cache_stats(report, before);
@@ -97,7 +140,7 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells) {
 
 SweepReport CampaignRunner::run(CellSource& source) {
   SweepReport report;
-  const attack::ProfileCacheStats before = profile_cache_.stats();
+  const CacheCounterSnapshot before = cache_counters();
   report.cells = execute(source, nullptr);
   fill_cache_stats(report, before);
   std::sort(report.cells.begin(), report.cells.end(),
@@ -117,7 +160,7 @@ SweepReport CampaignRunner::run(CellSource& source,
         "runner");
   }
   SweepReport report;
-  const attack::ProfileCacheStats before = profile_cache_.stats();
+  const CacheCounterSnapshot before = cache_counters();
   report.cells = execute(source, &store);
   fill_cache_stats(report, before);
   std::sort(report.cells.begin(), report.cells.end(),
@@ -164,7 +207,7 @@ SweepReport CampaignRunner::run(const std::vector<CampaignCell>& cells,
     pending_pos.resize(max_new_cells);
   }
 
-  const attack::ProfileCacheStats before = profile_cache_.stats();
+  const CacheCounterSnapshot before = cache_counters();
   StaticCellSource source{pending};
   std::vector<CellStats> stats = execute(source, &store);
   fill_cache_stats(report, before);
@@ -230,10 +273,19 @@ void CampaignRunner::worker_loop() {
       CellStats stats;
       std::exception_ptr error;
       try {
-        // May block on a dynamic source (lease endgame); abort() — from
-        // an error elsewhere or the destructor path — unblocks it.
-        claim = source->acquire();
+        {
+          // Queue wait: how long this thread sat inside the source —
+          // instant on a static batch, scan/backoff time on a lease.
+          TRACE_SPAN("campaign", "acquire");
+          const std::uint64_t wait_start = util::monotonic_ns();
+          // May block on a dynamic source (lease endgame); abort() — from
+          // an error elsewhere or the destructor path — unblocks it.
+          claim = source->acquire();
+          queue_wait_metric().record(util::monotonic_ns() - wait_start);
+        }
         if (claim.has_value()) {
+          TRACE_SPAN("campaign", "cell");
+          const std::uint64_t cell_start = util::monotonic_ns();
           attack::ProfileCache* profiles =
               options_.share_profiles ? &profile_cache_ : nullptr;
           const CampaignCell& cell = claim->cell;
@@ -258,6 +310,8 @@ void CampaignRunner::worker_loop() {
           (void)source->commit(*claim, stats, [&] {
             if (store != nullptr) store->complete_cell(stats);
           });
+          cell_duration_metric().record(util::monotonic_ns() - cell_start);
+          cells_metric().add();
         }
       } catch (...) {
         error = std::current_exception();

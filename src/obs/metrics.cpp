@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "campaign/table.h"
+
+namespace msa::obs {
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  // Gate on count, not on the UINT64_MAX init sentinel: a histogram
+  // whose one recorded value IS UINT64_MAX must report it, not 0.
+  if (count_.load(std::memory_order_relaxed) == 0) return 0;
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo_clamp = static_cast<double>(min());
+  const double hi_clamp = static_cast<double>(max());
+  if (p <= 0.0) return lo_clamp;
+  if (p >= 100.0) return hi_clamp;
+  const double rank = p / 100.0 * static_cast<double>(n);
+  double cum = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const auto c =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (c <= 0.0) continue;
+    if (cum + c >= rank) {
+      const double lo = (b == 0) ? 0.0 : std::ldexp(1.0, b - 1);
+      const double hi = (b == 0) ? 0.0 : std::ldexp(1.0, b) - 1.0;
+      const double frac = (rank - cum) / c;
+      return std::clamp(lo + frac * (hi - lo), lo_clamp, hi_clamp);
+    }
+    cum += c;
+  }
+  return hi_clamp;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct Entry {
+  Kind kind = Kind::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+std::mutex g_registry_mutex;
+
+// Leaked deliberately: cached Counter& references in other translation
+// units may be touched during static destruction; the registry must
+// outlive them all.
+std::map<std::string, Entry>& registry() {
+  static auto* r = new std::map<std::string, Entry>;
+  return *r;
+}
+
+Entry& find_or_create(std::string_view name, Kind kind) {
+  const std::lock_guard lock{g_registry_mutex};
+  auto [it, inserted] = registry().try_emplace(std::string(name));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else if (entry.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  return entry;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return *find_or_create(name, Kind::kCounter).counter;
+}
+
+Gauge& gauge(std::string_view name) {
+  return *find_or_create(name, Kind::kGauge).gauge;
+}
+
+Histogram& histogram(std::string_view name) {
+  return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+void reset_metrics() {
+  const std::lock_guard lock{g_registry_mutex};
+  for (auto& [name, entry] : registry()) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::string render_metrics(MetricsFormat format) {
+  namespace tbl = campaign::table;
+  tbl::Table t{{
+      {"metric", tbl::Align::kLeft},
+      {"kind", tbl::Align::kLeft},
+      {"value"},
+      {"count"},
+      {"min"},
+      {"p50"},
+      {"p90"},
+      {"p99"},
+      {"max"},
+      {"sum"},
+  }};
+  const std::lock_guard lock{g_registry_mutex};
+  for (const auto& [name, entry] : registry()) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        t.add_row({tbl::str_cell(name), tbl::str_cell("counter"),
+                   tbl::count_cell(entry.counter->value()), tbl::empty_cell(),
+                   tbl::empty_cell(), tbl::empty_cell(), tbl::empty_cell(),
+                   tbl::empty_cell(), tbl::empty_cell(), tbl::empty_cell()});
+        break;
+      case Kind::kGauge:
+        t.add_row({tbl::str_cell(name), tbl::str_cell("gauge"),
+                   tbl::num_cell(static_cast<double>(entry.gauge->value())),
+                   tbl::empty_cell(), tbl::empty_cell(), tbl::empty_cell(),
+                   tbl::empty_cell(), tbl::empty_cell(), tbl::empty_cell(),
+                   tbl::empty_cell()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        t.add_row({tbl::str_cell(name), tbl::str_cell("histogram"),
+                   tbl::empty_cell(), tbl::count_cell(h.count()),
+                   tbl::count_cell(h.min()), tbl::num_cell(h.percentile(50), 1),
+                   tbl::num_cell(h.percentile(90), 1),
+                   tbl::num_cell(h.percentile(99), 1), tbl::count_cell(h.max()),
+                   tbl::count_cell(h.sum())});
+        break;
+      }
+    }
+  }
+  switch (format) {
+    case MetricsFormat::kText: return t.to_text();
+    case MetricsFormat::kCsv: return t.to_csv();
+    case MetricsFormat::kJson: return "{\"metrics\":" + t.to_json() + "}\n";
+  }
+  return {};
+}
+
+}  // namespace msa::obs

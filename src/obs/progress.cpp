@@ -1,0 +1,141 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "campaign/table.h"
+
+namespace msa::obs {
+
+namespace {
+
+persist::StoreManifest discover_manifest(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> lease_files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().filename().string().ends_with(".lease")) {
+      lease_files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw std::runtime_error("obs: cannot list workers dir: " + dir + ": " +
+                             ec.message());
+  }
+  std::sort(lease_files.begin(), lease_files.end());
+  for (const std::string& path : lease_files) {
+    if (const auto manifest = persist::read_lease_manifest(path)) {
+      return *manifest;
+    }
+  }
+  throw std::runtime_error("obs: no readable lease log in workers dir: " + dir);
+}
+
+std::string worker_id_of(const std::string& lease_file_name) {
+  constexpr std::string_view kSuffix = ".lease";
+  return lease_file_name.substr(0, lease_file_name.size() - kSuffix.size());
+}
+
+}  // namespace
+
+ProgressView::ProgressView(const std::string& dir)
+    : dir_{dir},
+      manifest_{discover_manifest(dir)},
+      scanner_{dir, /*skip=*/"", manifest_} {}
+
+ProgressSnapshot ProgressView::poll() {
+  scanner_.refresh(/*idle=*/false);
+
+  ProgressSnapshot snapshot;
+  snapshot.total_cells = manifest_.grid_cells;
+  snapshot.trials_per_cell = manifest_.trials_per_cell;
+
+  std::set<std::uint64_t> completed;
+  std::set<std::uint64_t> claimed;
+  // std::map iteration is name-sorted, so workers land sorted by id.
+  for (const auto& [name, state] : scanner_.workers()) {
+    WorkerProgress wp;
+    wp.id = worker_id_of(name);
+    wp.claimed = state.claimed.size();
+    wp.completed = state.completed.size();
+    completed.insert(state.completed.begin(), state.completed.end());
+    claimed.insert(state.claimed.begin(), state.claimed.end());
+
+    auto [tailer, first_time] = tailers_.try_emplace(
+        wp.id, persist::LeaseScheduler::store_path(dir_, wp.id));
+    (void)first_time;
+    const persist::StoreTailer::Counts counts = tailer->second.poll();
+    wp.trials = counts.trials;
+    snapshot.trials_done += counts.trials;
+
+    const std::uint64_t store_records = counts.trials + counts.cells;
+    wp.advanced = state.frames > last_lease_frames_[wp.id] ||
+                  store_records > last_store_records_[wp.id];
+    last_lease_frames_[wp.id] = state.frames;
+    last_store_records_[wp.id] = store_records;
+
+    snapshot.workers.push_back(std::move(wp));
+  }
+  // A cell both claimed (by a slow worker) and completed (by the one
+  // that won) counts as completed only.
+  for (const std::uint64_t cell : completed) claimed.erase(cell);
+  snapshot.completed_cells = completed.size();
+  snapshot.claimed_cells = claimed.size();
+  return snapshot;
+}
+
+std::string ProgressView::render(const ProgressSnapshot& snapshot,
+                                 double cells_per_s) {
+  namespace tbl = campaign::table;
+  std::string out;
+  char line[192];
+
+  const double pct =
+      snapshot.total_cells == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(snapshot.completed_cells) /
+                static_cast<double>(snapshot.total_cells);
+  std::snprintf(line, sizeof(line),
+                "sweep: %" PRIu64 "/%" PRIu64 " cells (%s%%), %" PRIu64
+                " trials, %" PRIu64 " claimed, %zu worker(s)\n",
+                snapshot.completed_cells, snapshot.total_cells,
+                tbl::fixed(pct, 1).c_str(), snapshot.trials_done,
+                snapshot.claimed_cells, snapshot.workers.size());
+  out += line;
+
+  if (snapshot.complete()) {
+    out += "rate:  complete\n";
+  } else if (cells_per_s < 0.0) {
+    out += "rate:  - cells/s, eta -\n";
+  } else {
+    const auto remaining = static_cast<double>(snapshot.total_cells -
+                                               snapshot.completed_cells);
+    std::string eta = "-";
+    if (cells_per_s > 0.0) eta = tbl::fixed(remaining / cells_per_s, 0) + "s";
+    std::snprintf(line, sizeof(line), "rate:  %s cells/s, eta %s\n",
+                  tbl::fixed(cells_per_s, 2).c_str(), eta.c_str());
+    out += line;
+  }
+
+  tbl::Table t{{
+      {"worker", tbl::Align::kLeft},
+      {"state", tbl::Align::kLeft},
+      {"claimed"},
+      {"completed"},
+      {"trials"},
+  }};
+  for (const WorkerProgress& wp : snapshot.workers) {
+    t.add_row({tbl::str_cell(wp.id),
+               tbl::str_cell(wp.claimed > 0 ? "working" : "idle"),
+               tbl::count_cell(wp.claimed), tbl::count_cell(wp.completed),
+               tbl::count_cell(wp.trials)});
+  }
+  out += t.to_text();
+  return out;
+}
+
+}  // namespace msa::obs

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "campaign/table.h"
+
+namespace msa::obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+// Writable only by its owner thread; head is the release point readers
+// synchronize on. Rings are never destroyed once created so a cached
+// thread_local pointer can never dangle, and threads that exit before
+// export still contribute their spans.
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::size_t capacity = 0;
+  std::vector<TraceSpan> slots;
+  std::atomic<std::uint64_t> head{0};  ///< spans ever recorded
+};
+
+namespace {
+
+std::mutex g_rings_mutex;
+std::vector<std::unique_ptr<ThreadRing>>& rings() {
+  static std::vector<std::unique_ptr<ThreadRing>> r;
+  return r;
+}
+std::atomic<std::size_t> g_capacity{Trace::kDefaultCapacity};
+
+}  // namespace
+
+ThreadRing* ring_for_this_thread() {
+  thread_local ThreadRing* ring = [] {
+    auto owned = std::make_unique<ThreadRing>();
+    owned->tid = util::thread_ordinal();
+    owned->capacity = std::max<std::size_t>(1, g_capacity.load(std::memory_order_relaxed));
+    owned->slots.resize(owned->capacity);
+    ThreadRing* raw = owned.get();
+    const std::lock_guard lock{g_rings_mutex};
+    rings().push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+void record(ThreadRing* ring, const char* category, const char* name,
+            std::uint64_t start_ns, std::uint64_t dur_ns) noexcept {
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  TraceSpan& slot = ring->slots[static_cast<std::size_t>(h % ring->capacity)];
+  slot.category = category;
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void Trace::enable(std::size_t per_thread_capacity) {
+  internal::g_capacity.store(std::max<std::size_t>(1, per_thread_capacity),
+                             std::memory_order_relaxed);
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() noexcept {
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Trace::clear() noexcept {
+  const std::lock_guard lock{internal::g_rings_mutex};
+  for (auto& ring : internal::rings()) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ThreadTrace> Trace::snapshot() {
+  std::vector<ThreadTrace> out;
+  const std::lock_guard lock{internal::g_rings_mutex};
+  for (const auto& ring : internal::rings()) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    ThreadTrace trace;
+    trace.tid = ring->tid;
+    const std::uint64_t kept = std::min<std::uint64_t>(head, ring->capacity);
+    trace.dropped = head - kept;
+    trace.spans.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = head - kept; i < head; ++i) {
+      trace.spans.push_back(
+          ring->slots[static_cast<std::size_t>(i % ring->capacity)]);
+    }
+    if (!trace.spans.empty()) out.push_back(std::move(trace));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) { return a.tid < b.tid; });
+  return out;
+}
+
+namespace {
+
+// µs with three decimals from ns — Chrome trace-event timestamps are
+// microseconds; keeping the sub-µs digits keeps short spans nonzero.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Trace::chrome_json() {
+  const std::vector<ThreadTrace> traces = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTrace& trace : traces) {
+    for (const TraceSpan& span : trace.spans) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += campaign::table::json_escape(span.name);
+      out += "\",\"cat\":\"";
+      out += campaign::table::json_escape(span.category);
+      out += "\",\"ph\":\"X\",\"ts\":";
+      append_us(out, span.start_ns);
+      out += ",\"dur\":";
+      append_us(out, span.dur_ns);
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(trace.tid);
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace msa::obs

@@ -575,6 +575,26 @@ SweepData load_sweep(const std::vector<std::string>& paths) {
   return out;
 }
 
+StoreTailer::Counts StoreTailer::poll() {
+  if (!record_file_usable(path_)) return counts_;
+  try {
+    RecordReader reader{path_, offset_};
+    while (const auto rec = reader.next()) {
+      switch (rec->type) {
+        case kRecTrial: ++counts_.trials; break;
+        case kRecCell:
+        case kRecCellV2: ++counts_.cells; break;
+        default: break;  // manifest / future record types
+      }
+    }
+    offset_ = reader.valid_bytes();
+  } catch (const std::runtime_error&) {
+    // Mid-creation file (magic in flight) or transient I/O hiccup: a
+    // progress view reports nothing new and retries next poll.
+  }
+  return counts_;
+}
+
 std::vector<std::string> list_store_files(const std::string& dir) {
   std::vector<std::string> stores;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {

@@ -203,6 +203,30 @@ struct SweepData {
 };
 [[nodiscard]] SweepData load_sweep(const std::vector<std::string>& paths);
 
+/// Incremental tail reader over one store file for progress views: each
+/// poll() parses only the bytes appended since the previous poll and
+/// counts trial / completed-cell records. Tolerates a file that does not
+/// exist yet and torn tails (both simply yield no new records until the
+/// writer catches up — the same heal-on-reparse strategy as
+/// LeaseDirScanner). Read-only; safe to point at a live worker's store.
+class StoreTailer {
+ public:
+  explicit StoreTailer(std::string path) : path_{std::move(path)} {}
+
+  struct Counts {
+    std::uint64_t trials = 0;  ///< trial records seen (duplicates included)
+    std::uint64_t cells = 0;   ///< completed-cell records seen
+  };
+
+  /// Cumulative counts after tailing any newly appended records.
+  [[nodiscard]] Counts poll();
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;  ///< last intact frame boundary
+  Counts counts_;
+};
+
 /// Every "*.store" file directly under `dir`, sorted by path — the
 /// worker-store enumeration shared by merge/stats/diff tooling.
 [[nodiscard]] std::vector<std::string> list_store_files(const std::string& dir);

@@ -3,12 +3,46 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "persist/encoding.h"
 #include "util/prng.h"
 
 namespace msa::persist {
 
 namespace {
+
+// Scheduler metrics, registered once (obs/metrics.h returns stable
+// references). These mirror LeaseScheduler::Telemetry but aggregate
+// process-wide and add the idle/expiry signals the in-struct counters
+// never carried.
+obs::Counter& claims_metric() {
+  static obs::Counter& c = obs::counter("lease.claims");
+  return c;
+}
+obs::Counter& renews_metric() {
+  static obs::Counter& c = obs::counter("lease.renews");
+  return c;
+}
+obs::Counter& steals_metric() {
+  static obs::Counter& c = obs::counter("lease.steals");
+  return c;
+}
+obs::Counter& forfeits_metric() {
+  static obs::Counter& c = obs::counter("lease.forfeits");
+  return c;
+}
+obs::Counter& scans_metric() {
+  static obs::Counter& c = obs::counter("lease.scans");
+  return c;
+}
+obs::Counter& idle_sleeps_metric() {
+  static obs::Counter& c = obs::counter("lease.idle_sleeps");
+  return c;
+}
+obs::Counter& peer_expiries_metric() {
+  static obs::Counter& c = obs::counter("lease.peer_expiries");
+  return c;
+}
 
 // Lease-log record types. Deliberately disjoint from the campaign-store
 // types (1..3) so a lease file can never be misread as a store: read_store
@@ -121,6 +155,18 @@ void LeaseLog::complete(std::uint64_t cell_index) {
   writer_.append(kRecLeaseComplete, encode_cell_index(cell_index));
   writer_.flush();
   completed_.insert(cell_index);
+}
+
+std::optional<StoreManifest> read_lease_manifest(const std::string& path) {
+  if (!record_file_usable(path)) return std::nullopt;
+  try {
+    RecordReader reader{path};
+    const std::optional<Record> rec = reader.next();
+    if (!rec.has_value() || rec->type != kRecLeaseManifest) return std::nullopt;
+    return decode_store_manifest(rec->payload);
+  } catch (const std::exception&) {
+    return std::nullopt;  // bad magic, torn manifest, unreadable file
+  }
 }
 
 // --------------------------------------------------------- LeaseDirScanner
@@ -264,6 +310,7 @@ LeaseScheduler::LeaseScheduler(const std::string& dir,
   const std::lock_guard lock{mutex_};
   scanner_.refresh(/*idle=*/false);
   ++telemetry_.scans;
+  scans_metric().add();
   for (const campaign::CampaignCell& cell : cells_) {
     if (!is_completed_locked(cell.index)) ++planned_;
   }
@@ -331,6 +378,7 @@ std::optional<campaign::ClaimedCell> LeaseScheduler::acquire() {
     if (!idle_round || aging.held) {
       scanner_.refresh(idle_round && aging.held);
       ++telemetry_.scans;
+      scans_metric().add();
     }
     if (all_complete_locked()) return std::nullopt;
 
@@ -352,6 +400,7 @@ std::optional<campaign::ClaimedCell> LeaseScheduler::acquire() {
         if (!worker.claimed.contains(index)) continue;
         if (worker.stale_scans >= options_.expiry_scans) {
           expired_claim = true;
+          if (expired_peers_.insert(name).second) peer_expiries_metric().add();
         } else {
           live_claim = true;
           break;
@@ -371,7 +420,11 @@ std::optional<campaign::ClaimedCell> LeaseScheduler::acquire() {
       log_.claim(index);
       own_inflight_.insert(index);
       ++telemetry_.claims;
-      if (!fresh_pos.has_value()) ++telemetry_.steals;
+      claims_metric().add();
+      if (!fresh_pos.has_value()) {
+        ++telemetry_.steals;
+        steals_metric().add();
+      }
       return campaign::ClaimedCell{cells_[*pick], next_slot_++};
     }
 
@@ -382,6 +435,7 @@ std::optional<campaign::ClaimedCell> LeaseScheduler::acquire() {
     // matter how many pool threads are parked here.
     aging.grab(&idle_ager_active_);
     idle_round = true;
+    idle_sleeps_metric().add();
     wake_.wait_for(lock, options_.idle_backoff, [this] { return aborted_; });
   }
 }
@@ -395,12 +449,14 @@ bool LeaseScheduler::commit(const campaign::ClaimedCell& claim,
     const std::lock_guard lock{mutex_};
     scanner_.refresh(/*idle=*/false);
     ++telemetry_.scans;
+    scans_metric().add();
     if (scanner_.completed_elsewhere(index)) {
       // Lost the race: our lease was presumed expired, a peer re-ran and
       // completed the cell. The stale completion must NOT be persisted —
       // the peer's store already owns the bytes.
       own_inflight_.erase(index);
       ++telemetry_.forfeits;
+      forfeits_metric().add();
       return false;
     }
     // The cell stays in own_inflight_ across the unlock below, so our
@@ -425,6 +481,7 @@ void LeaseScheduler::renew(const campaign::ClaimedCell& claim) {
   const std::lock_guard lock{mutex_};
   if (aborted_) return;
   log_.renew(claim.cell.index);
+  renews_metric().add();
 }
 
 void LeaseScheduler::abort() {

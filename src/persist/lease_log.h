@@ -95,6 +95,14 @@ class LeaseLog {
   RecordWriter writer_;  // last: see scan_existing()
 };
 
+/// Decodes the manifest record a lease log opens with, without loading
+/// the rest of the file — how a read-only observer (`campaign_sweep
+/// progress`) discovers the sweep identity from a workers directory it
+/// did not create. nullopt when the file is missing, empty, torn before
+/// the manifest, or not a lease log at all.
+[[nodiscard]] std::optional<StoreManifest> read_lease_manifest(
+    const std::string& path);
+
 /// Incremental poller over every "*.lease" file in a store directory.
 /// Each refresh() re-lists the directory (new workers join mid-sweep),
 /// reads only the bytes appended since the previous refresh, and updates
@@ -194,6 +202,9 @@ class LeaseScheduler final : public campaign::CellSource {
   LeaseDirScanner scanner_;
   std::set<std::uint64_t> own_inflight_;   ///< claimed here, uncommitted
   std::set<std::uint64_t> own_completed_;  ///< committed here or resumed
+  /// Peers this scheduler has ever presumed expired — each first
+  /// sighting bumps the lease.peer_expiries metric exactly once.
+  std::set<std::string> expired_peers_;
   /// A single pool thread holds the "aging" token while idle-waiting:
   /// only ITS scan rounds advance peers' stale_scans, so the expiry
   /// window stays expiry_scans x idle_backoff regardless of how many

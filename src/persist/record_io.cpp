@@ -9,12 +9,37 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
 #include "persist/encoding.h"
 #include "util/crc32.h"
+#include "util/monotime.h"
 
 namespace msa::persist {
 
 namespace {
+
+// Registry lookups hashed once; the references stay valid for the
+// process (obs/metrics.h).
+obs::Counter& records_written_counter() {
+  static obs::Counter& c = obs::counter("persist.records_written");
+  return c;
+}
+obs::Counter& bytes_written_counter() {
+  static obs::Counter& c = obs::counter("persist.bytes_written");
+  return c;
+}
+obs::Counter& fsync_counter() {
+  static obs::Counter& c = obs::counter("persist.fsyncs");
+  return c;
+}
+obs::Histogram& fsync_histogram() {
+  static obs::Histogram& h = obs::histogram("persist.fsync_ns");
+  return h;
+}
+obs::Counter& crc_failure_counter() {
+  static obs::Counter& c = obs::counter("persist.crc_frame_failures");
+  return c;
+}
 
 [[noreturn]] void io_error(const std::string& what, const std::string& path) {
   throw std::runtime_error("persist: " + what + ": " + path + ": " +
@@ -86,6 +111,7 @@ std::optional<Record> RecordReader::next() {
   if (!read_exact(file_, path_, header.data(), header.size(), &got)) {
     done_ = true;
     truncated_ = got != 0;  // a partial header is a torn frame
+    if (truncated_) crc_failure_counter().add();
     return std::nullopt;
   }
   ByteReader hr{header};
@@ -94,6 +120,7 @@ std::optional<Record> RecordReader::next() {
   if (body_len == 0 || body_len > kMaxRecordBody) {
     done_ = true;
     truncated_ = true;
+    crc_failure_counter().add();
     return std::nullopt;
   }
 
@@ -101,11 +128,13 @@ std::optional<Record> RecordReader::next() {
   if (!read_exact(file_, path_, body.data(), body.size())) {
     done_ = true;
     truncated_ = true;
+    crc_failure_counter().add();
     return std::nullopt;
   }
   if (util::crc32(std::span<const std::uint8_t>{body}) != stored_crc) {
     done_ = true;
     truncated_ = true;
+    crc_failure_counter().add();
     return std::nullopt;
   }
 
@@ -184,6 +213,8 @@ void RecordWriter::append(std::uint8_t type,
            payload.size())) {
     io_error("short write", path_);
   }
+  records_written_counter().add();
+  bytes_written_counter().add(header.size() + 1 + payload.size());
 }
 
 void RecordWriter::flush() {
@@ -192,12 +223,15 @@ void RecordWriter::flush() {
 
 void RecordWriter::sync() {
   flush();
+  const std::uint64_t start_ns = util::monotonic_ns();
 #if defined(_WIN32)
   // No fsync on the MSVC runtime's stdio handle without _commit; flush
   // is the best available there.
 #else
   if (::fsync(fileno(file_)) != 0) io_error("fsync failed", path_);
 #endif
+  fsync_counter().add();
+  fsync_histogram().record(util::monotonic_ns() - start_ns);
 }
 
 }  // namespace msa::persist

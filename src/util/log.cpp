@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/monotime.h"
+
 namespace msa::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_plain{false};
 
 // Guards g_sink — both replacement and invocation. Invoking under the
 // lock also serializes concurrent writes, so sinks (and stderr lines)
@@ -17,9 +20,19 @@ std::mutex g_sink_mutex;
 Log::Sink g_sink;
 
 void default_sink(LogLevel level, std::string_view message) {
-  std::fprintf(stderr, "[%.*s] %.*s\n",
-               static_cast<int>(to_string(level).size()), to_string(level).data(),
-               static_cast<int>(message.size()), message.data());
+  if (g_plain.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(message.size()),
+                 message.data());
+    return;
+  }
+  const std::uint64_t ns = monotonic_ns();
+  std::fprintf(stderr, "[%8.3fs t%02u] [%.*s] %.*s\n",
+               static_cast<double>(ns) / 1e9, thread_ordinal(),
+               static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()),
+               message.data());
 }
 
 }  // namespace
@@ -47,6 +60,12 @@ void Log::set_sink(Sink sink) {
   const std::lock_guard lock{g_sink_mutex};
   g_sink = std::move(sink);
 }
+
+void Log::set_plain(bool plain) noexcept {
+  g_plain.store(plain, std::memory_order_relaxed);
+}
+
+bool Log::plain() noexcept { return g_plain.load(std::memory_order_relaxed); }
 
 void Log::write(LogLevel level, std::string_view message) {
   const LogLevel threshold = g_level.load(std::memory_order_relaxed);

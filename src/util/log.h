@@ -28,6 +28,16 @@ class Log {
   /// the default sink.
   static void set_sink(Sink sink);
 
+  /// The default stderr sink prefixes each line with monotonic elapsed
+  /// seconds since process start and the writer's dense thread ordinal —
+  /// "[  12.345s t03] [info] ..." — using the same clock anchor and
+  /// thread ids as obs/trace.h, so transcripts correlate with exported
+  /// trace spans. set_plain(true) restores the bare "[info] ..." form
+  /// (custom sinks installed via set_sink are never prefixed either
+  /// way).
+  static void set_plain(bool plain = true) noexcept;
+  [[nodiscard]] static bool plain() noexcept;
+
   static void write(LogLevel level, std::string_view message);
 
   static void debug(std::string_view m) { write(LogLevel::kDebug, m); }

@@ -1,0 +1,31 @@
+#include "util/monotime.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace msa::util {
+
+namespace {
+
+std::chrono::steady_clock::time_point anchor() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - anchor();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace msa::util

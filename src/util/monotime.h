@@ -1,0 +1,22 @@
+// Process-wide monotonic time anchor and dense thread ordinals. The
+// tracer (obs/trace.h) and the default log sink both stamp against the
+// same steady-clock origin, so a `[  12.345s t03]` log line lines up
+// with span timestamps in an exported trace, and the small sequential
+// thread ids match between the two as well.
+#pragma once
+
+#include <cstdint>
+
+namespace msa::util {
+
+/// Nanoseconds since the process's monotonic anchor. The anchor is the
+/// steady-clock reading taken on the first call in the process, so
+/// values start near zero and never go backwards.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Small dense id for the calling thread: the first thread that asks
+/// gets 1, the next 2, and so on. Stable for the thread's lifetime and
+/// never reused within a process.
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept;
+
+}  // namespace msa::util

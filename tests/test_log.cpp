@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
 #include <vector>
 
 namespace msa::util {
@@ -78,6 +80,48 @@ TEST(Log, SinkReceivesExactMessage) {
   Log::info("spawn pid=1391 cmd=./resnet50_pt");
   ASSERT_EQ(cap.lines.size(), 1u);
   EXPECT_EQ(cap.lines[0].second, "spawn pid=1391 cmd=./resnet50_pt");
+}
+
+TEST(Log, DefaultSinkPrefixesElapsedTimeAndThread) {
+  // The default stderr sink carries "[<seconds>s t<ordinal>] [level]";
+  // custom sinks (everything LogCapture sees) never do. Capture stderr
+  // around a default-sink write to pin the prefix shape.
+  const bool saved_plain = Log::plain();
+  Log::set_sink(nullptr);
+  Log::set_plain(false);
+  {
+    ScopedLogLevel scoped{LogLevel::kInfo};
+    testing::internal::CaptureStderr();
+    Log::info("prefixed line");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(std::regex_match(
+        out, std::regex{R"(\[ *\d+\.\d{3}s t\d{2,}\] \[info\] prefixed line\n)"}))
+        << out;
+  }
+  Log::set_plain(saved_plain);
+}
+
+TEST(Log, SetPlainRestoresBarePrefix) {
+  const bool saved_plain = Log::plain();
+  Log::set_sink(nullptr);
+  Log::set_plain();
+  EXPECT_TRUE(Log::plain());
+  {
+    ScopedLogLevel scoped{LogLevel::kInfo};
+    testing::internal::CaptureStderr();
+    Log::info("plain line");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "[info] plain line\n");
+  }
+  Log::set_plain(saved_plain);
+}
+
+TEST(Log, CustomSinkIsNeverPrefixed) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kInfo);
+  Log::set_plain(false);
+  Log::info("raw");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.lines[0].second, "raw");
 }
 
 }  // namespace

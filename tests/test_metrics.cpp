@@ -1,0 +1,159 @@
+// Metrics-registry tests: find-or-create identity, kind-mismatch
+// rejection, histogram percentile edge cases (empty, single-valued,
+// out-of-range p), and the three render formats.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msa::obs {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  Counter& a = counter("test.registry.counter");
+  a.reset();
+  Counter& b = counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Gauge& g = gauge("test.registry.gauge");
+  g.set(-7);
+  EXPECT_EQ(gauge("test.registry.gauge").value(), -7);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  (void)counter("test.registry.kind_clash");
+  EXPECT_THROW((void)gauge("test.registry.kind_clash"), std::logic_error);
+  EXPECT_THROW((void)histogram("test.registry.kind_clash"), std::logic_error);
+}
+
+TEST(MetricsRegistry, CountersAreThreadSafe) {
+  Counter& c = counter("test.registry.concurrent");
+  c.reset();
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (unsigned i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t{kThreads} * kAdds);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  Histogram& h = histogram("test.hist.empty");
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, SingleValueReportsItselfAtEveryPercentile) {
+  Histogram& h = histogram("test.hist.single");
+  h.reset();
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1234u);
+  EXPECT_EQ(h.min(), 1234u);
+  EXPECT_EQ(h.max(), 1234u);
+  // Bucket interpolation would smear a lone sample across its power-of-
+  // two bucket; the [min, max] clamp must pin every percentile to it.
+  for (const double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1234.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, OutOfRangePercentilesClampToMinAndMax) {
+  Histogram& h = histogram("test.hist.range");
+  h.reset();
+  h.record(10);
+  h.record(1000);
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), 1000.0);
+}
+
+TEST(Histogram, ZeroIsItsOwnBucket) {
+  Histogram& h = histogram("test.hist.zero");
+  h.reset();
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndWithinRange) {
+  Histogram& h = histogram("test.hist.monotone");
+  h.reset();
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  double previous = 0.0;
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, previous) << "p=" << p;
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+    previous = v;
+  }
+  // The median of 1..1000 lands in bucket [512, 1023]; interpolation
+  // should put it in the neighbourhood of 500, not at a bucket edge.
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 260.0);
+}
+
+TEST(Histogram, MaxValueDoesNotOverflowBuckets) {
+  Histogram& h = histogram("test.hist.max64");
+  h.reset();
+  h.record(UINT64_MAX);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), static_cast<double>(UINT64_MAX));
+}
+
+TEST(RenderMetrics, TextAndCsvAndJsonAgreeOnValues) {
+  Counter& c = counter("test.render.counter");
+  c.reset();
+  c.add(42);
+  Histogram& h = histogram("test.render.hist");
+  h.reset();
+  h.record(7);
+
+  const std::string text = render_metrics(MetricsFormat::kText);
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("test.render.hist"), std::string::npos);
+
+  const std::string csv = render_metrics(MetricsFormat::kCsv);
+  EXPECT_EQ(csv.find("metric,kind,value,count,min,p50,p90,p99,max,sum"), 0u);
+  EXPECT_NE(csv.find("test.render.counter,counter,42"), std::string::npos);
+
+  const std::string json = render_metrics(MetricsFormat::kJson);
+  EXPECT_EQ(json.find("{\"metrics\":["), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"metric\":\"test.render.counter\""),
+            std::string::npos);
+}
+
+TEST(RenderMetrics, RowsAreSortedByName) {
+  (void)counter("test.sorted.a");
+  (void)counter("test.sorted.b");
+  const std::string csv = render_metrics(MetricsFormat::kCsv);
+  const auto a = csv.find("test.sorted.a");
+  const auto b = csv.find("test.sorted.b");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace msa::obs

@@ -2,19 +2,48 @@
 // concurrency, twin-board-pool reuse purity (a reused board must yield
 // the same profile a fresh board would), seed invariance (the property
 // that makes caching across reseeded trials sound), and failure caching.
+//
+// Cache observability lives on the process-wide obs metrics registry, so
+// these tests assert DELTAS of the cache.* counters around each
+// operation rather than absolute values (gtest runs tests in one binary
+// sequentially, so a snapshot-before/delta-after window is race-free).
 #include "attack/profile_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "attack/profiler.h"
 #include "defense/presets.h"
+#include "obs/metrics.h"
 
 namespace msa::attack {
 namespace {
+
+/// Snapshot of the four cache.* registry counters; subtract two
+/// snapshots to get the traffic a code region generated.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t boards_built = 0;
+  std::uint64_t boards_reused = 0;
+
+  static CacheCounters now() {
+    return CacheCounters{obs::counter("cache.profile_hits").value(),
+                         obs::counter("cache.profile_misses").value(),
+                         obs::counter("cache.twin_boards_built").value(),
+                         obs::counter("cache.twin_boards_reused").value()};
+  }
+
+  [[nodiscard]] CacheCounters operator-(const CacheCounters& base) const {
+    return CacheCounters{hits - base.hits, misses - base.misses,
+                         boards_built - base.boards_built,
+                         boards_reused - base.boards_reused};
+  }
+};
 
 ScenarioConfig small_config() {
   ScenarioConfig cfg;
@@ -81,13 +110,14 @@ TEST(ProfileCache, HitReturnsTheProfiledValue) {
   ProfileCache cache;
   const ScenarioConfig cfg = small_config();
   const ModelProfile direct = profile_on_twin_board(cfg);
+  const CacheCounters before = CacheCounters::now();
   const ModelProfile first = cache.get_or_profile(cfg);
   const ModelProfile second = cache.get_or_profile(cfg);
   expect_same_profile(first, direct);
   expect_same_profile(second, direct);
-  const ProfileCacheStats stats = cache.stats();
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.hits, 1u);
+  const CacheCounters delta = CacheCounters::now() - before;
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.hits, 1u);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -97,15 +127,17 @@ TEST(ProfileCache, SeedChangesHitTheSameEntry) {
   // measured itself.
   ProfileCache cache;
   ScenarioConfig cfg = small_config();
+  const CacheCounters before = CacheCounters::now();
   (void)cache.get_or_profile(cfg);
 
   ScenarioConfig reseeded = cfg;
   reseeded.system.seed ^= 0x1234567890ULL;
   reseeded.image_seed ^= 0x42ULL;
   const ModelProfile cached = cache.get_or_profile(reseeded);
+  const CacheCounters delta = CacheCounters::now() - before;
   expect_same_profile(cached, profile_on_twin_board(reseeded));
-  EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.hits, 1u);
 }
 
 TEST(ProfileCache, RandomizedPlacementProfileIsSeedInvariant) {
@@ -137,6 +169,7 @@ TEST(ProfileCache, ConcurrentMissesOnOneKeyProfileExactlyOnce) {
   std::vector<ModelProfile> results(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
+  const CacheCounters before = CacheCounters::now();
   for (unsigned t = 0; t < kThreads; ++t) {
     threads.emplace_back(
         [&, t] { results[t] = cache.get_or_profile(cfg); });
@@ -144,11 +177,11 @@ TEST(ProfileCache, ConcurrentMissesOnOneKeyProfileExactlyOnce) {
   for (auto& t : threads) t.join();
 
   for (const ModelProfile& p : results) expect_same_profile(p, direct);
-  const ProfileCacheStats stats = cache.stats();
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.hits, kThreads - 1);
-  EXPECT_EQ(stats.boards_built, 1u);
-  EXPECT_EQ(stats.boards_reused, 0u);
+  const CacheCounters delta = CacheCounters::now() - before;
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.hits, kThreads - 1);
+  EXPECT_EQ(delta.boards_built, 1u);
+  EXPECT_EQ(delta.boards_reused, 0u);
 }
 
 TEST(ProfileCache, DistinctModelsMissSeparatelyAndReuseBoards) {
@@ -157,18 +190,19 @@ TEST(ProfileCache, DistinctModelsMissSeparatelyAndReuseBoards) {
   // fresh-board profile bit for bit — the pool-reuse purity property.
   ProfileCache cache;
   ScenarioConfig cfg = small_config();
+  const CacheCounters before = CacheCounters::now();
   (void)cache.get_or_profile(cfg);
 
   ScenarioConfig other = cfg;
   other.model_name = "squeezenet_pt";
   const ModelProfile reused_board = cache.get_or_profile(other);
+  const CacheCounters delta = CacheCounters::now() - before;
   expect_same_profile(reused_board, profile_on_twin_board(other));
 
-  const ProfileCacheStats stats = cache.stats();
-  EXPECT_EQ(stats.misses, 2u);
-  EXPECT_EQ(stats.hits, 0u);
-  EXPECT_EQ(stats.boards_built, 1u);
-  EXPECT_EQ(stats.boards_reused, 1u);
+  EXPECT_EQ(delta.misses, 2u);
+  EXPECT_EQ(delta.hits, 0u);
+  EXPECT_EQ(delta.boards_built, 1u);
+  EXPECT_EQ(delta.boards_reused, 1u);
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -177,12 +211,13 @@ TEST(ProfileCache, DifferentPlacementNeverSharesBoards) {
   ScenarioConfig sequential = small_config();
   ScenarioConfig randomized =
       defense::preset("physical_aslr").apply(small_config());
+  const CacheCounters before = CacheCounters::now();
   (void)cache.get_or_profile(sequential);
   (void)cache.get_or_profile(randomized);
-  const ProfileCacheStats stats = cache.stats();
-  EXPECT_EQ(stats.misses, 2u);
-  EXPECT_EQ(stats.boards_built, 2u);
-  EXPECT_EQ(stats.boards_reused, 0u);
+  const CacheCounters delta = CacheCounters::now() - before;
+  EXPECT_EQ(delta.misses, 2u);
+  EXPECT_EQ(delta.boards_built, 2u);
+  EXPECT_EQ(delta.boards_reused, 0u);
 }
 
 TEST(ProfileCache, ProfilingFailureIsCachedAndRethrown) {
@@ -193,14 +228,15 @@ TEST(ProfileCache, ProfilingFailureIsCachedAndRethrown) {
   ProfileCache cache;
   ScenarioConfig cfg = small_config();
   cfg.model_name = "no_such_model";
+  const CacheCounters before = CacheCounters::now();
   EXPECT_THROW((void)cache.get_or_profile(cfg), std::invalid_argument);
   EXPECT_THROW((void)cache.get_or_profile(cfg), std::invalid_argument);
-  const ProfileCacheStats stats = cache.stats();
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.hits, 1u);
+  const CacheCounters delta = CacheCounters::now() - before;
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.hits, 1u);
   // The half-profiled board was discarded, not parked.
-  EXPECT_EQ(stats.boards_built, 1u);
-  EXPECT_EQ(stats.boards_reused, 0u);
+  EXPECT_EQ(delta.boards_built, 1u);
+  EXPECT_EQ(delta.boards_reused, 0u);
 
   // A healthy key still works after a failed one.
   ScenarioConfig good = small_config();

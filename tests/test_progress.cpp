@@ -1,0 +1,200 @@
+// Progress-view tests over crafted workers directories: snapshot
+// arithmetic on a half-completed store (the `progress --once` path,
+// pinned byte-exact), cross-worker dedup of completed cells, and the
+// nothing-to-observe failure mode.
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "persist/lease_log.h"
+
+namespace msa::obs {
+namespace {
+
+using campaign::CampaignCell;
+using campaign::CampaignOptions;
+using campaign::CellStats;
+using campaign::GridBuilder;
+using persist::CampaignStore;
+using persist::LeaseLog;
+using persist::LeaseScheduler;
+using persist::StoreManifest;
+using persist::TrialRecord;
+
+std::string tmp_dir(const char* name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "msa_progress_tests" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+attack::ScenarioConfig small_base() {
+  attack::ScenarioConfig cfg;
+  cfg.system = os::SystemConfig::test_small();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  return cfg;
+}
+
+/// 2 defenses x 2 models x 2 delays = 8 cells.
+GridBuilder small_grid() {
+  GridBuilder grid{small_base()};
+  grid.defenses({"baseline", "zero_on_free"})
+      .models({"resnet50_pt", "squeezenet_pt"})
+      .attack_delays_s({0.0, 5.0});
+  return grid;
+}
+
+StoreManifest manifest_for(const GridBuilder& grid, unsigned trials = 1) {
+  StoreManifest m;
+  m.grid_fingerprint = grid.fingerprint();
+  m.grid_cells = grid.full_size();
+  m.trials_per_cell = trials;
+  m.trial_salt = CampaignOptions{}.trial_salt;
+  m.axes = grid.axis_schema();
+  return m;
+}
+
+/// Completes `cell` in both the worker's store and its lease log, with
+/// one fabricated trial record per completion (progress counts records,
+/// it never interprets trial results).
+void complete_cell(CampaignStore& store, LeaseLog& lease,
+                   const CampaignCell& cell) {
+  lease.claim(cell.index);
+  TrialRecord trial;
+  trial.cell_index = cell.index;
+  trial.trial = 0;
+  trial.pixel_match = 1.0;
+  store.append_trial(trial);
+  CellStats stats;
+  stats.index = cell.index;
+  stats.coords = cell.coords;
+  stats.trials = 1;
+  store.complete_cell(stats);
+  lease.complete(cell.index);
+}
+
+TEST(ProgressView, HalfCompletedStoreRendersExactly) {
+  const std::string dir = tmp_dir("half");
+  const GridBuilder grid = small_grid();
+  const std::vector<CampaignCell> cells = grid.build();
+  const StoreManifest m = manifest_for(grid);
+  CampaignStore store{LeaseScheduler::store_path(dir, "w0"), m,
+                      CampaignStore::Mode::kCreate};
+  LeaseLog lease{LeaseScheduler::lease_path(dir, "w0"), m};
+  for (std::size_t i = 0; i < 4; ++i) complete_cell(store, lease, cells[i]);
+  lease.claim(cells[4].index);  // in flight, never completed
+
+  ProgressView view{dir};
+  EXPECT_EQ(view.manifest().grid_cells, 8u);
+  const ProgressSnapshot snapshot = view.poll();
+  EXPECT_EQ(snapshot.total_cells, 8u);
+  EXPECT_EQ(snapshot.completed_cells, 4u);
+  EXPECT_EQ(snapshot.claimed_cells, 1u);
+  EXPECT_EQ(snapshot.trials_done, 4u);
+  ASSERT_EQ(snapshot.workers.size(), 1u);
+  EXPECT_EQ(snapshot.workers[0].id, "w0");
+  EXPECT_FALSE(snapshot.complete());
+
+  // The `progress --once` rendering, byte for byte.
+  EXPECT_EQ(ProgressView::render(snapshot, -1.0),
+            "sweep: 4/8 cells (50.0%), 4 trials, 1 claimed, 1 worker(s)\n"
+            "rate:  - cells/s, eta -\n"
+            "worker  state    claimed  completed  trials\n"
+            "w0      working        1          4       4\n");
+}
+
+TEST(ProgressView, RateAndEtaRenderWhenKnown) {
+  ProgressSnapshot snapshot;
+  snapshot.total_cells = 10;
+  snapshot.completed_cells = 4;
+  snapshot.trials_done = 4;
+  WorkerProgress wp;
+  wp.id = "w0";
+  wp.completed = 4;
+  wp.trials = 4;
+  snapshot.workers.push_back(wp);
+  const std::string text = ProgressView::render(snapshot, 2.0);
+  EXPECT_NE(text.find("rate:  2.00 cells/s, eta 3s\n"), std::string::npos);
+  // Zero rate: remaining cells but no progress in the window -> no ETA.
+  EXPECT_NE(ProgressView::render(snapshot, 0.0).find("eta -"),
+            std::string::npos);
+}
+
+TEST(ProgressView, CompletedCellsAreDeduplicatedAcrossWorkers) {
+  // w0 and w1 both completed cell 1 (a legal lease race): the union must
+  // count it once, and the per-worker rows keep their own tallies.
+  const std::string dir = tmp_dir("dedup");
+  const GridBuilder grid = small_grid();
+  const std::vector<CampaignCell> cells = grid.build();
+  const StoreManifest m = manifest_for(grid);
+  {
+    CampaignStore s0{LeaseScheduler::store_path(dir, "w0"), m,
+                     CampaignStore::Mode::kCreate};
+    LeaseLog l0{LeaseScheduler::lease_path(dir, "w0"), m};
+    complete_cell(s0, l0, cells[0]);
+    complete_cell(s0, l0, cells[1]);
+    CampaignStore s1{LeaseScheduler::store_path(dir, "w1"), m,
+                     CampaignStore::Mode::kCreate};
+    LeaseLog l1{LeaseScheduler::lease_path(dir, "w1"), m};
+    complete_cell(s1, l1, cells[1]);
+    complete_cell(s1, l1, cells[2]);
+  }
+
+  ProgressView view{dir};
+  const ProgressSnapshot snapshot = view.poll();
+  EXPECT_EQ(snapshot.completed_cells, 3u);
+  EXPECT_EQ(snapshot.trials_done, 4u);
+  ASSERT_EQ(snapshot.workers.size(), 2u);
+  EXPECT_EQ(snapshot.workers[0].id, "w0");
+  EXPECT_EQ(snapshot.workers[1].id, "w1");
+  EXPECT_EQ(snapshot.workers[0].completed, 2u);
+  EXPECT_EQ(snapshot.workers[1].completed, 2u);
+}
+
+TEST(ProgressView, PollIsIncrementalAndSeesNewRecords) {
+  const std::string dir = tmp_dir("incremental");
+  const GridBuilder grid = small_grid();
+  const std::vector<CampaignCell> cells = grid.build();
+  const StoreManifest m = manifest_for(grid);
+  CampaignStore store{LeaseScheduler::store_path(dir, "w0"), m,
+                      CampaignStore::Mode::kCreate};
+  LeaseLog lease{LeaseScheduler::lease_path(dir, "w0"), m};
+  complete_cell(store, lease, cells[0]);
+
+  ProgressView view{dir};
+  ProgressSnapshot snapshot = view.poll();
+  EXPECT_EQ(snapshot.completed_cells, 1u);
+  EXPECT_TRUE(snapshot.workers[0].advanced);  // first sighting counts
+
+  snapshot = view.poll();
+  EXPECT_FALSE(snapshot.workers[0].advanced);  // nothing new appended
+
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    complete_cell(store, lease, cells[i]);
+  }
+  snapshot = view.poll();
+  EXPECT_EQ(snapshot.completed_cells, 8u);
+  EXPECT_TRUE(snapshot.workers[0].advanced);
+  EXPECT_TRUE(snapshot.complete());
+  EXPECT_NE(ProgressView::render(snapshot, -1.0).find("rate:  complete\n"),
+            std::string::npos);
+}
+
+TEST(ProgressView, EmptyDirectoryIsNotObservable) {
+  const std::string dir = tmp_dir("empty");
+  EXPECT_THROW((void)ProgressView{dir}, std::runtime_error);
+  EXPECT_THROW((void)ProgressView{dir + "/missing"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msa::obs

@@ -1,0 +1,165 @@
+// Trace-recorder tests: the disabled path records nothing, spans land
+// in close order with sane timestamps, a span straddling disable() is
+// dropped, full rings overwrite oldest-first and count the loss, and
+// the Chrome trace-event export is structurally sound.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace msa::obs {
+namespace {
+
+/// Every test leaves the recorder disabled and empty for the next one
+/// (the recorder is process-global).
+struct TraceTest : testing::Test {
+  void SetUp() override {
+    Trace::disable();
+    Trace::clear();
+  }
+  void TearDown() override {
+    Trace::disable();
+    Trace::clear();
+  }
+};
+
+std::size_t total_spans(const std::vector<ThreadTrace>& threads) {
+  std::size_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.spans.size();
+  return n;
+}
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(Trace::enabled());
+  {
+    TRACE_SPAN("test", "ignored");
+  }
+  EXPECT_EQ(total_spans(Trace::snapshot()), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansInCloseOrder) {
+  Trace::enable();
+  {
+    TRACE_SPAN("test", "outer");
+    {
+      TRACE_SPAN("test", "inner");
+    }
+  }
+  Trace::disable();
+
+  const std::vector<ThreadTrace> threads = Trace::snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  const ThreadTrace& t = threads[0];
+  EXPECT_GT(t.tid, 0u);
+  EXPECT_EQ(t.dropped, 0u);
+  ASSERT_EQ(t.spans.size(), 2u);
+  // Close order: inner closes first.
+  EXPECT_STREQ(t.spans[0].name, "inner");
+  EXPECT_STREQ(t.spans[1].name, "outer");
+  EXPECT_STREQ(t.spans[0].category, "test");
+  // Inner is contained within outer.
+  const TraceSpan& inner = t.spans[0];
+  const TraceSpan& outer = t.spans[1];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST_F(TraceTest, SpanStraddlingDisableIsDropped) {
+  Trace::enable();
+  {
+    TRACE_SPAN("test", "straddler");
+    Trace::disable();
+  }
+  EXPECT_EQ(total_spans(Trace::snapshot()), 0u);
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledStaysDropped) {
+  // The complementary straddle: enabling mid-span must not record a
+  // span whose start was never captured.
+  {
+    TRACE_SPAN("test", "latecomer");
+    Trace::enable();
+  }
+  Trace::disable();
+  EXPECT_EQ(total_spans(Trace::snapshot()), 0u);
+}
+
+TEST_F(TraceTest, ClearEmptiesEveryRing) {
+  Trace::enable();
+  {
+    TRACE_SPAN("test", "a");
+  }
+  ASSERT_EQ(total_spans(Trace::snapshot()), 1u);
+  Trace::clear();
+  EXPECT_EQ(total_spans(Trace::snapshot()), 0u);
+  EXPECT_TRUE(Trace::enabled());
+}
+
+TEST_F(TraceTest, FullRingOverwritesOldestAndCountsDropped) {
+  // Capacity applies to rings created after enable(); a fresh thread
+  // guarantees a fresh ring.
+  Trace::enable(4);
+  std::thread recorder{[] {
+    for (int i = 0; i < 10; ++i) {
+      TRACE_SPAN("test", "burst");
+    }
+  }};
+  recorder.join();
+  Trace::disable();
+
+  const std::vector<ThreadTrace> threads = Trace::snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].spans.size(), 4u);
+  EXPECT_EQ(threads[0].dropped, 6u);
+  // The retained spans are the NEWEST four, still in close order.
+  for (std::size_t i = 1; i < threads[0].spans.size(); ++i) {
+    EXPECT_GE(threads[0].spans[i].start_ns, threads[0].spans[i - 1].start_ns);
+  }
+}
+
+TEST_F(TraceTest, SnapshotSortsThreadsByOrdinal) {
+  Trace::enable();
+  std::thread a{[] { TRACE_SPAN("test", "a"); }};
+  a.join();
+  std::thread b{[] { TRACE_SPAN("test", "b"); }};
+  b.join();
+  {
+    TRACE_SPAN("test", "main");
+  }
+  Trace::disable();
+
+  const std::vector<ThreadTrace> threads = Trace::snapshot();
+  ASSERT_EQ(threads.size(), 3u);
+  for (std::size_t i = 1; i < threads.size(); ++i) {
+    EXPECT_LT(threads[i - 1].tid, threads[i].tid);
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonHasEventStructure) {
+  Trace::enable();
+  {
+    TRACE_SPAN("cat\"egory", "na\\me");  // exercises JSON escaping
+  }
+  Trace::disable();
+
+  const std::string json = Trace::chrome_json();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Escaped forms of the hostile literals, never the raw bytes.
+  EXPECT_NE(json.find("cat\\\"egory"), std::string::npos);
+  EXPECT_NE(json.find("na\\\\me"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeJsonOfEmptyTraceIsAnEmptyArray) {
+  EXPECT_EQ(Trace::chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+}  // namespace
+}  // namespace msa::obs
