@@ -18,7 +18,9 @@
 //                  [--csv out.csv] [--json out.json] [--quiet]
 //   campaign_sweep stats [--format text|csv|json]
 //                  [--workers-dir DIR | STORE...]
-//   campaign_sweep diff [--format text|csv|json] A B
+//   campaign_sweep diff [--format text|csv|json]
+//                  [--exit-on-significant [--metric M] [--direction D]
+//                   [--alpha A] [--min-effect E] [--permutations N]] A B
 //   campaign_sweep compact STORE...
 //   campaign_sweep metrics [--format text|csv|json] [sweep flags...]
 //   campaign_sweep progress --workers-dir DIR [--once] [--interval-ms M]
@@ -61,9 +63,20 @@
 // two sweeps share (never by index, so reordered, partially overlapping,
 // or differently-dimensioned grids — a v1 four-axis store against a v2
 // superset included — still pair up), and every matched cell gets its
-// success-rate delta (B minus A) with a Newcombe/Wilson 95% CI, PSNR
-// percentile shifts, and denial-rate change; unmatched cells are listed
-// per side.
+// success-rate delta (B minus A) with a Newcombe/Wilson 95% CI and
+// p-value (plus its Benjamini-Hochberg FDR adjustment over the matched
+// cells), PSNR percentile shifts, and denial-rate change; unmatched
+// cells are listed per side.
+//
+// `diff --exit-on-significant` turns the diff into a CI regression gate:
+// a whole-grid paired sign-flip permutation test over the matched cells
+// (seeded from the two stores' grid fingerprints — deterministic for a
+// given pair of artifacts regardless of sweep thread count or shard
+// layout) plus the per-cell FDR flags, evaluated against --metric
+// (success_rate|denial|psnr_p50), --direction (regress|improve|any),
+// --alpha, and --min-effect. A one-line verdict naming the offending
+// cells goes to stderr and the process exits 4 when the gate trips; the
+// requested diff output still goes to stdout either way.
 //
 // --trace-out enables the obs span recorder for the sweep and writes the
 // collected spans as Chrome trace-event JSON (open it in Perfetto or
@@ -80,7 +93,8 @@
 // cells/second). --no-profile-cache re-profiles a fresh twin board per
 // trial — the escape hatch for A/B-ing the cache itself.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 sweep incomplete.
+// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 sweep incomplete
+// (cell budget reached), 4 regression gate tripped.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -99,6 +113,7 @@
 
 #include "campaign/axis.h"
 #include "campaign/compare.h"
+#include "campaign/gate.h"
 #include "campaign/grid.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
@@ -128,7 +143,9 @@ int usage(const char* argv0) {
       "       %s merge [--workers-dir DIR | STORE...]\n"
       "                [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s stats [--format text|csv|json] [--workers-dir DIR | STORE...]\n"
-      "       %s diff [--format text|csv|json] A B\n"
+      "       %s diff [--format text|csv|json]\n"
+      "               [--exit-on-significant [--metric M] [--direction D]\n"
+      "                [--alpha A] [--min-effect E] [--permutations N]] A B\n"
       "                (A and B are each a store file or a workers dir)\n"
       "       %s compact STORE...\n"
       "       %s metrics [--format text|csv|json] [sweep flags...]\n"
@@ -144,7 +161,16 @@ int usage(const char* argv0) {
       "  --store/--resume/--shard/--cell-budget\n"
       "  --trace-out records trial-pipeline spans for the sweep and writes\n"
       "  Chrome trace-event JSON; `metrics` sweeps then prints the metrics\n"
-      "  registry; `progress` watches a workers dir without writing to it\n",
+      "  registry; `progress` watches a workers dir without writing to it\n"
+      "  diff --exit-on-significant gates on a whole-grid paired\n"
+      "  permutation test plus per-cell FDR flags: --metric\n"
+      "  success_rate|denial|psnr_p50 (default success_rate), --direction\n"
+      "  regress|improve|any (default regress), --alpha in (0,1) (default\n"
+      "  0.05), --min-effect >= 0 (default 0), --permutations a positive\n"
+      "  resample count (default 10000)\n"
+      "  exit codes: 0 success/gate clean, 1 runtime failure, 2 usage\n"
+      "  error, 3 sweep incomplete (cell budget reached), 4 regression\n"
+      "  gate tripped\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -395,6 +421,9 @@ int run_stats(const char* argv0, int argc, char** argv) {
 
 int run_diff(const char* argv0, int argc, char** argv) {
   OutputFormat format = OutputFormat::kText;
+  bool gate_enabled = false;
+  bool gate_flag_seen = false;  // any of the gate-tuning flags
+  msa::campaign::GateSpec spec;
   std::vector<std::string> sides;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -404,6 +433,48 @@ int run_diff(const char* argv0, int argc, char** argv) {
     if (arg == "--format") {
       const char* v = next();
       if (!v || !parse_format(v, &format)) return usage(argv0);
+    } else if (arg == "--exit-on-significant") {
+      gate_enabled = true;
+    } else if (arg == "--metric") {
+      const char* v = next();
+      gate_flag_seen = true;
+      if (!v || !msa::campaign::parse_diff_metric(v, &spec.metric)) {
+        std::fprintf(stderr,
+                     "--metric wants success_rate|denial|psnr_p50 (got '%s')\n",
+                     v ? v : "");
+        return usage(argv0);
+      }
+    } else if (arg == "--direction") {
+      const char* v = next();
+      gate_flag_seen = true;
+      if (!v || !msa::campaign::parse_gate_direction(v, &spec.direction)) {
+        std::fprintf(stderr,
+                     "--direction wants regress|improve|any (got '%s')\n",
+                     v ? v : "");
+        return usage(argv0);
+      }
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      gate_flag_seen = true;
+      if (!v) return usage(argv0);
+      // A significance level is strictly inside (0,1): 0 can never trip
+      // and 1 always trips, both configuration mistakes.
+      char* end = nullptr;
+      spec.alpha = std::strtod(v, &end);
+      if (*v == '\0' || *end != '\0' || !std::isfinite(spec.alpha) ||
+          spec.alpha <= 0.0 || spec.alpha >= 1.0) {
+        bad_number(argv0, "--alpha", v);
+      }
+    } else if (arg == "--min-effect") {
+      const char* v = next();
+      gate_flag_seen = true;
+      if (!v) return usage(argv0);
+      spec.min_effect = parse_double(argv0, "--min-effect", v);
+    } else if (arg == "--permutations") {
+      const char* v = next();
+      gate_flag_seen = true;
+      if (!v) return usage(argv0);
+      spec.iterations = parse_positive(argv0, "--permutations", v);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv0);
     } else {
@@ -411,6 +482,12 @@ int run_diff(const char* argv0, int argc, char** argv) {
     }
   }
   if (sides.size() != 2) return usage(argv0);
+  if (gate_flag_seen && !gate_enabled) {
+    std::fprintf(stderr,
+                 "--metric/--direction/--alpha/--min-effect/--permutations "
+                 "require --exit-on-significant\n");
+    return usage(argv0);
+  }
 
   try {
     const msa::persist::SweepData a = msa::persist::load_sweep_path(sides[0]);
@@ -430,6 +507,14 @@ int run_diff(const char* argv0, int argc, char** argv) {
                                                            : report.to_json();
     std::fputs(out.c_str(), stdout);
     if (format == OutputFormat::kJson) std::fputc('\n', stdout);
+    if (gate_enabled) {
+      const msa::campaign::GateResult gate = msa::campaign::evaluate_gate(
+          report, spec,
+          msa::campaign::gate_seed(a.manifest.grid_fingerprint,
+                                   b.manifest.grid_fingerprint));
+      std::fprintf(stderr, "[campaign] %s\n", gate.verdict_line().c_str());
+      if (gate.tripped()) return 4;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "diff failed: %s\n", e.what());
     return 1;

@@ -10,7 +10,8 @@
 # regressions — cells/second, per-stage trial breakdowns — are diffable
 # across commits. Extra args are fixed strings the JSON must contain,
 # sanity-checked before publishing.
-set -euo pipefail
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
 
 BUILD_DIR=${1:?usage: ci_bench.sh path/to/build-dir [out.json] [bench-name] [grep...]}
 OUT=${2:-BENCH_campaign_scaling.json}
@@ -22,13 +23,7 @@ if [ "${#EXPECT[@]}" -eq 0 ] && [ "$BENCH" = "abl_campaign_scaling" ]; then
 fi
 
 BIN="$BUILD_DIR/bench/$BENCH"
-if [ ! -x "$BIN" ]; then
-  echo "ci_bench.sh: missing bench binary $BIN" >&2
-  exit 1
-fi
-
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT INT TERM
+ci_require_bin "$BIN"
 
 # A wedged benchmark must fail the job fast instead of stalling the
 # runner until the 6-hour job limit (each full run takes well under a

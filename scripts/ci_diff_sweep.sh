@@ -7,14 +7,11 @@
 # stats, and diff with thread-count-invariant bytes, the checked-in v1
 # golden store must diff against a fresh v2 twin to exactly zero, and
 # the grid-axis flags must reject non-finite/negative/unknown values.
-set -euo pipefail
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
 
 BIN=${1:?usage: ci_diff_sweep.sh path/to/campaign_sweep}
-REPO=$(cd "$(dirname "$0")/.." && pwd)
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT INT TERM
-
-SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+ci_require_bin "$BIN"
 
 # Small but non-trivial grid: 2 defenses x 2 models x 2 delays = 8 cells.
 axes=(--defenses baseline,zero_on_free --delays 0,5 --scrubbers 0)

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Golden-baseline regression gate + gate-engine drill for
+# `campaign_sweep diff --exit-on-significant`.
+#
+#   ci_gate_sweep.sh path/to/campaign_sweep            # gate + drill
+#   ci_gate_sweep.sh path/to/campaign_sweep --regen    # rebless baseline
+#
+# Gate: sweep the blessed grid at HEAD and diff it against the
+# checked-in golden store (tests/data/golden_gate_baseline.store) with
+# --exit-on-significant --direction regress. A statistically significant
+# attack-favoring shift fails the job with exit 4 and a one-line verdict
+# naming the offending cells; the diff JSON is copied to
+# ./diff_gate_sweep.json for artifact upload either way. After an
+# INTENDED simulator change, rebless with --regen and commit the new
+# store alongside the change that explains it.
+#
+# Drill: the gate engine itself is exercised against a deliberately
+# weakened defense — the same grid swept with --axis power_cycled=1
+# (power-cycling kills remanence at these delays) as side A and the
+# normal sweep as side B, so success rates rise A->B across every cell
+# and the regress gate MUST trip (exit 4). A self-diff must stay clean
+# (permutation p exactly 1), the gate verdict and diff JSON must be
+# byte-identical whether the stores were swept on 1 thread, 8 threads,
+# or as 3 shard files (the permutation seed comes from the stores' grid
+# fingerprints, not from any runtime layout), and the gate flags must
+# reject bad values with usage exit 2.
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
+
+BIN=${1:?usage: ci_gate_sweep.sh path/to/campaign_sweep [--regen]}
+ci_require_bin "$BIN"
+GOLDEN="$REPO/tests/data/golden_gate_baseline.store"
+
+# The blessed gate grid: 2 defenses x 2 models x 2 delays x 1 scrubber
+# = 8 cells spanning "attack wins" (baseline) to "defense holds"
+# (zero_on_free), 5 trials each so single-cell flips are resolvable.
+gate_grid=(--defenses baseline,zero_on_free --models resnet50_pt,squeezenet_pt
+           --delays 0,5 --scrubbers 0 --trials 5)
+
+if [ "${2:-}" = "--regen" ]; then
+  rm -f "$GOLDEN"
+  timeout "$SWEEP_TIMEOUT" "$BIN" "${gate_grid[@]}" --threads 2 --quiet \
+    --store "$GOLDEN" > /dev/null
+  echo "ci_gate_sweep.sh: reblessed $GOLDEN"
+  exit 0
+fi
+if [ ! -f "$GOLDEN" ]; then
+  echo "ci_gate_sweep.sh: $GOLDEN missing; bless one with --regen" >&2
+  exit 1
+fi
+
+# --- the gate: HEAD vs the checked-in golden baseline -----------------
+timeout "$SWEEP_TIMEOUT" "$BIN" "${gate_grid[@]}" --threads 2 --quiet \
+  --store "$tmp/head.store" > /dev/null
+rc=0
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json --exit-on-significant \
+  --direction regress "$GOLDEN" "$tmp/head.store" \
+  > "$tmp/diff_gate.json" 2> "$tmp/gate_verdict.txt" || rc=$?
+cp "$tmp/diff_gate.json" diff_gate_sweep.json
+cat "$tmp/gate_verdict.txt" >&2
+if [ "$rc" -ne 0 ]; then
+  echo "regression gate failed (exit $rc) against the golden baseline;" \
+       "if the simulator change is intended, rebless with --regen" >&2
+  exit "$rc"
+fi
+python3 -m json.tool diff_gate_sweep.json > /dev/null
+grep -q "gate clean" "$tmp/gate_verdict.txt"
+
+# --- self-diff of the golden store: exactly no evidence ---------------
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --exit-on-significant \
+  "$GOLDEN" "$GOLDEN" > /dev/null 2> "$tmp/self_verdict.txt"
+grep -q "permutation p=1 " "$tmp/self_verdict.txt"
+
+# --- drill: a weakened defense must trip the gate ---------------------
+# 6 cells (baseline x 2 models x 3 delays) where the attack always wins;
+# power-cycling (side A) kills every one of them, so the A->B success
+# deltas are +1 across the grid: permutation p ~= 1/64 < 0.05 and every
+# cell is individually FDR-significant.
+drill_grid=(--defenses baseline --models resnet50_pt,squeezenet_pt
+            --delays 5,10,20 --scrubbers 0 --trials 5)
+timeout "$SWEEP_TIMEOUT" "$BIN" "${drill_grid[@]}" --threads 2 --quiet \
+  --store "$tmp/normal.store" > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${drill_grid[@]}" --threads 2 --quiet \
+  --axis power_cycled=1 --store "$tmp/weak.store" > /dev/null
+rc=0
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json --exit-on-significant \
+  --direction regress "$tmp/weak.store" "$tmp/normal.store" \
+  > "$tmp/drill.json" 2> "$tmp/drill_verdict.txt" || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "weakened-defense drill exited $rc, expected gate trip 4" >&2
+  cat "$tmp/drill_verdict.txt" >&2
+  exit 1
+fi
+grep -q "regression gate TRIPPED" "$tmp/drill_verdict.txt"
+grep -q "defense=baseline" "$tmp/drill_verdict.txt"
+# The movement is attack-favoring only: the improve gate stays clean.
+timeout "$SWEEP_TIMEOUT" "$BIN" diff --exit-on-significant \
+  --direction improve "$tmp/weak.store" "$tmp/normal.store" > /dev/null \
+  2> "$tmp/improve_verdict.txt"
+grep -q "gate clean" "$tmp/improve_verdict.txt"
+
+# --- determinism: the verdict is a function of the artifacts ----------
+# The same drill grid swept on 1 thread and as 3 shard stores must gate
+# to byte-identical diff JSON and verdict lines: the permutation seed
+# derives from the grid fingerprints and pairs are consumed in AxisKey
+# order, so thread counts and shard layouts cannot move the p-value.
+timeout "$SWEEP_TIMEOUT" "$BIN" "${drill_grid[@]}" --threads 1 --quiet \
+  --store "$tmp/normal_t1.store" > /dev/null
+mkdir "$tmp/normal_shards"
+for i in 0 1 2; do
+  timeout "$SWEEP_TIMEOUT" "$BIN" "${drill_grid[@]}" --threads 2 --quiet \
+    --shard "$i/3" --store "$tmp/normal_shards/s$i.store" > /dev/null
+done
+for b in "$tmp/normal_t1.store" "$tmp/normal_shards"; do
+  rc=0
+  timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json --exit-on-significant \
+    --direction regress "$tmp/weak.store" "$b" \
+    > "$tmp/drill_alt.json" 2> "$tmp/drill_alt_verdict.txt" || rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "gate against $b exited $rc, expected 4" >&2
+    exit 1
+  fi
+  cmp "$tmp/drill.json" "$tmp/drill_alt.json"
+  cmp "$tmp/drill_verdict.txt" "$tmp/drill_alt_verdict.txt"
+done
+
+# --- gate flags: bad values are usage errors naming the flag ----------
+for bad_alpha in 0 1 1.5 nan -0.05 ""; do
+  rc=0
+  "$BIN" diff --exit-on-significant --alpha "$bad_alpha" \
+    "$GOLDEN" "$GOLDEN" > /dev/null 2> "$tmp/bad.txt" || rc=$?
+  if [ "$rc" -ne 2 ] || ! grep -q -- "--alpha" "$tmp/bad.txt"; then
+    echo "--alpha '$bad_alpha' exited $rc, expected usage error 2" >&2
+    exit 1
+  fi
+done
+for bad_dir in sideways "" regress,improve; do
+  rc=0
+  "$BIN" diff --exit-on-significant --direction "$bad_dir" \
+    "$GOLDEN" "$GOLDEN" > /dev/null 2> "$tmp/bad.txt" || rc=$?
+  if [ "$rc" -ne 2 ] || ! grep -q -- "--direction" "$tmp/bad.txt"; then
+    echo "--direction '$bad_dir' exited $rc, expected usage error 2" >&2
+    exit 1
+  fi
+done
+rc=0
+"$BIN" diff --exit-on-significant --metric psnr_p99 "$GOLDEN" "$GOLDEN" \
+  > /dev/null 2> "$tmp/bad.txt" || rc=$?
+if [ "$rc" -ne 2 ] || ! grep -q -- "--metric" "$tmp/bad.txt"; then
+  echo "--metric psnr_p99 exited $rc, expected usage error 2" >&2
+  exit 1
+fi
+rc=0
+"$BIN" diff --alpha 0.01 "$GOLDEN" "$GOLDEN" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "gate flag without --exit-on-significant exited $rc, expected 2" >&2
+  exit 1
+fi
+
+echo "golden gate clean; weakened-defense drill trips exit 4;" \
+     "verdict byte-stable across threads and shards"

@@ -9,15 +9,11 @@
 # exported Chrome trace must strict-parse with the complete-event schema
 # (copied to ./trace_lease_sweep.json for artifact upload), and a
 # `metrics --format json` sweep must emit a parseable registry dump.
-set -euo pipefail
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
 
 BIN=${1:?usage: ci_lease_sweep.sh path/to/campaign_sweep}
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT INT TERM
-
-# A worker that hangs (deadlocked scheduler, wedged lease scan) must
-# fail the job fast, not stall it for hours.
-SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+ci_require_bin "$BIN"
 
 # Enough cells x trials that the victim is still mid-sweep when killed;
 # delays include 60s so cell costs are heterogeneous like a real matrix.

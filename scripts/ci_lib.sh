@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Shared preamble for the scripts/ci_*.sh drills: strict mode, the repo
+# root, a self-cleaning scratch directory, and the hang timeout every
+# sweep invocation is wrapped in. Source it right after the header
+# comment:
+#
+#   # shellcheck source=scripts/ci_lib.sh
+#   . "$(dirname "$0")/ci_lib.sh"
+#
+# Sourcing (not executing) is what makes `set -euo pipefail` and the
+# cleanup trap land in the calling drill's shell.
+set -euo pipefail
+
+# Repo root, derived from this library's own location (scripts/..), so
+# every drill works from any working directory.
+# shellcheck disable=SC2034  # consumed by the sourcing drills
+REPO=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
+
+# Self-cleaning scratch directory.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# Each sweep finishes in seconds; one that hangs (deadlocked pool,
+# wedged store flush, stuck lease scan) must fail the job fast, not
+# stall the runner until the job limit.
+SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+
+# ci_require_bin PATH: fail fast with a readable message when the
+# binary under test is missing or not executable.
+ci_require_bin() {
+  if [ ! -x "$1" ]; then
+    echo "${0##*/}: missing binary $1" >&2
+    exit 1
+  fi
+}

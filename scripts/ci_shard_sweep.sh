@@ -3,15 +3,11 @@
 # two shard processes, "crash" shard 1 mid-sweep via the cell budget,
 # resume it, merge both stores, and require the merged CSV/JSON to be
 # byte-identical to an uninterrupted single-process sweep.
-set -euo pipefail
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
 
 BIN=${1:?usage: ci_shard_sweep.sh path/to/campaign_sweep}
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT INT TERM
-
-# Each sweep finishes in seconds; a shard that hangs (deadlocked pool,
-# wedged store flush) must fail the job fast, not stall it for hours.
-SWEEP_TIMEOUT=${SWEEP_TIMEOUT:-300}
+ci_require_bin "$BIN"
 
 common=(--trials 2 --delays 0,5 --quiet)
 

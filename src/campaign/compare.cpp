@@ -128,6 +128,57 @@ bool AxisKey::operator<(const AxisKey& other) const {
 
 std::string AxisKey::label() const { return coords_label(coords); }
 
+double newcombe_p_value(std::size_t successes_a, std::size_t trials_a,
+                        std::size_t successes_b, std::size_t trials_b) {
+  if (trials_a == 0 || trials_b == 0) return 1.0;  // no information
+  const auto excludes_zero_at = [&](double z) {
+    return newcombe_interval(successes_a, trials_a, successes_b, trials_b, z)
+        .excludes_zero();
+  };
+  // The interval width grows monotonically in z (both Wilson intervals
+  // widen), so "excludes zero" flips exactly once. Bisect for the
+  // crossing z* and map it through the two-sided normal tail. At z -> 0
+  // the interval collapses onto the observed delta, so a zero delta
+  // never excludes zero and yields p = 1.
+  double lo = 1e-8;
+  double hi = 40.0;  // erfc(40/sqrt2) underflows to 0 — effectively p=0
+  if (!excludes_zero_at(lo)) return 1.0;
+  if (excludes_zero_at(hi)) return 0.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (excludes_zero_at(mid) ? lo : hi) = mid;
+  }
+  return std::erfc(0.5 * (lo + hi) / std::sqrt(2.0));
+}
+
+std::vector<double> benjamini_hochberg(const std::vector<double>& p_values) {
+  for (const double p : p_values) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("benjamini_hochberg: p-value " +
+                                  std::to_string(p) + " outside [0, 1]");
+    }
+  }
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  // Ties broken by original position so the adjustment is deterministic.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] != p_values[b] ? p_values[a] < p_values[b] : a < b;
+  });
+  // Step-up from the largest p: q_(i) = min(q_(i+1), p_(i) * m / i),
+  // clamped to 1. Every q >= its raw p because m / rank >= 1.
+  std::vector<double> adjusted(m);
+  double running = 1.0;
+  for (std::size_t r = m; r > 0; --r) {
+    const std::size_t idx = order[r - 1];
+    running = std::min(
+        running, std::min(1.0, p_values[idx] * static_cast<double>(m) /
+                                   static_cast<double>(r)));
+    adjusted[idx] = running;
+  }
+  return adjusted;
+}
+
 DeltaInterval newcombe_interval(std::size_t successes_a, std::size_t trials_a,
                                 std::size_t successes_b, std::size_t trials_b,
                                 double z) {
@@ -190,6 +241,8 @@ DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
       d.success_delta_ci = newcombe_interval(ca->successes, ca->trials,
                                              cb.successes, cb.trials);
       d.significant = d.success_delta_ci.excludes_zero();
+      d.p_value = newcombe_p_value(ca->successes, ca->trials, cb.successes,
+                                   cb.trials);
       d.denial_rate_a = rate(ca->denials, ca->trials);
       d.denial_rate_b = rate(cb.denials, cb.trials);
       d.denial_delta = d.denial_rate_b - d.denial_rate_a;
@@ -201,6 +254,24 @@ DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
     }
     for (const auto& [key, cb] : cells_b) {
       if (!cells_a.contains(key)) out.only_in_b.push_back(*cb);
+    }
+  }
+
+  // FDR correction over the whole matched family: the per-cell Newcombe
+  // flags each run at 5%, so on a big matrix several "significant" cells
+  // are expected by chance alone; BH bounds the expected fraction of
+  // false flags among the flagged at 5% instead.
+  if (!out.cells.empty()) {
+    std::vector<double> p_values;
+    p_values.reserve(out.cells.size());
+    for (const CellDelta& d : out.cells) p_values.push_back(d.p_value);
+    const std::vector<double> adjusted = benjamini_hochberg(p_values);
+    for (std::size_t i = 0; i < out.cells.size(); ++i) {
+      CellDelta& d = out.cells[i];
+      d.p_value_fdr = adjusted[i];
+      d.significant_fdr =
+          d.significant && d.p_value_fdr <= kSignificanceAlpha;
+      if (d.significant_fdr) ++out.significant_cells_fdr;
     }
   }
 
@@ -233,6 +304,41 @@ DiffReport diff_sweeps(const StatsReport& a, const StatsReport& b) {
   }
 
   return out;
+}
+
+const char* diff_metric_name(DiffMetric metric) noexcept {
+  switch (metric) {
+    case DiffMetric::kSuccessRate: return "success_rate";
+    case DiffMetric::kDenialRate: return "denial";
+    case DiffMetric::kPsnrP50: return "psnr_p50";
+  }
+  return "?";
+}
+
+bool parse_diff_metric(std::string_view name, DiffMetric* metric) noexcept {
+  if (name == "success_rate") *metric = DiffMetric::kSuccessRate;
+  else if (name == "denial") *metric = DiffMetric::kDenialRate;
+  else if (name == "psnr_p50") *metric = DiffMetric::kPsnrP50;
+  else return false;
+  return true;
+}
+
+double cell_metric_delta(const CellDelta& cell, DiffMetric metric) noexcept {
+  switch (metric) {
+    case DiffMetric::kSuccessRate: return cell.success_delta;
+    case DiffMetric::kDenialRate: return cell.denial_delta;
+    case DiffMetric::kPsnrP50: return cell.p50_shift;
+  }
+  return 0.0;
+}
+
+std::vector<double> paired_deltas(const DiffReport& diff, DiffMetric metric) {
+  std::vector<double> deltas;
+  deltas.reserve(diff.cells.size());
+  for (const CellDelta& d : diff.cells) {
+    deltas.push_back(cell_metric_delta(d, metric));
+  }
+  return deltas;
 }
 
 namespace {
@@ -302,7 +408,8 @@ std::string DiffReport::to_text() const {
   std::string out;
   out += "== cross-sweep diff (B minus A): " + std::to_string(cells.size()) +
          " matched cell(s), " + std::to_string(significant_cells) +
-         " significant, " + std::to_string(only_in_a.size()) + " A-only, " +
+         " significant (" + std::to_string(significant_cells_fdr) +
+         " after FDR), " + std::to_string(only_in_a.size()) + " A-only, " +
          std::to_string(only_in_b.size()) + " B-only ==\n";
   const std::vector<std::string> matched_axes =
       shared_axes.empty() ? legacy_axis_names() : shared_axes;
@@ -317,6 +424,8 @@ std::string DiffReport::to_text() const {
     cell_columns.push_back({name, Align::kRight});
   }
   cell_columns.push_back({"sig", Align::kLeft});
+  cell_columns.push_back({"p_fdr", Align::kRight});
+  cell_columns.push_back({"sig_fdr", Align::kLeft});
   for (const char* name : {"den_delta", "p50_shift", "p90_shift", "p99_shift"}) {
     cell_columns.push_back({name, Align::kRight});
   }
@@ -333,6 +442,8 @@ std::string DiffReport::to_text() const {
     row.push_back(num_cell(d.success_delta, 3));
     row.push_back(delta_ci_cell(d.success_delta_ci));
     row.push_back(bool_cell(d.significant));
+    row.push_back(table::pvalue_cell(d.p_value_fdr));
+    row.push_back(bool_cell(d.significant_fdr));
     row.push_back(num_cell(d.denial_delta, 3));
     row.push_back(num_cell(d.p50_shift, 2));
     row.push_back(num_cell(d.p90_shift, 2));
@@ -404,9 +515,9 @@ std::string DiffReport::to_csv() const {
        {"axis", "value", "index_a", "index_b", "trials_a", "trials_b",
         "successes_a", "successes_b", "denials_a", "denials_b",
         "success_rate_a", "success_rate_b", "success_delta", "delta_ci95_low",
-        "delta_ci95_high", "significant", "denial_rate_a", "denial_rate_b",
-        "denial_delta", "p50_shift", "p90_shift", "p99_shift",
-        "mean_psnr_shift"}) {
+        "delta_ci95_high", "significant", "p_value", "p_value_fdr",
+        "significant_fdr", "denial_rate_a", "denial_rate_b", "denial_delta",
+        "p50_shift", "p90_shift", "p99_shift", "mean_psnr_shift"}) {
     columns.push_back({name});
   }
   Table t{std::move(columns)};
@@ -431,6 +542,9 @@ std::string DiffReport::to_csv() const {
     row.push_back(num_cell(d.success_delta_ci.low));
     row.push_back(num_cell(d.success_delta_ci.high));
     row.push_back(bool_cell(d.significant));
+    row.push_back(num_cell(d.p_value));
+    row.push_back(num_cell(d.p_value_fdr));
+    row.push_back(bool_cell(d.significant_fdr));
     row.push_back(num_cell(d.denial_rate_a));
     row.push_back(num_cell(d.denial_rate_b));
     row.push_back(num_cell(d.denial_delta));
@@ -461,8 +575,8 @@ std::string DiffReport::to_csv() const {
       pair(count_cell(c.successes));
       pair(count_cell(c.denials));
       pair(num_cell(c.success_rate));
-      // No delta columns for a one-sided cell.
-      for (int i = 0; i < 4; ++i) row.push_back(empty_cell());
+      // No delta / significance columns for a one-sided cell.
+      for (int i = 0; i < 7; ++i) row.push_back(empty_cell());
       pair(num_cell(rate(c.denials, c.trials)));
       for (int i = 0; i < 5; ++i) row.push_back(empty_cell());
       t.add_row(std::move(row));
@@ -489,6 +603,12 @@ std::string DiffReport::to_csv() const {
     row.push_back(num_cell(d.success_delta_ci.low));
     row.push_back(num_cell(d.success_delta_ci.high));
     row.push_back(bool_cell(d.significant));
+    // Marginals carry only the raw flag: FDR is corrected over the cell
+    // family, and mixing the pooled marginal tests into it would change
+    // what "the family" means.
+    row.push_back(empty_cell());  // p_value
+    row.push_back(empty_cell());  // p_value_fdr
+    row.push_back(empty_cell());  // significant_fdr
     row.push_back(empty_cell());  // denial_rate_a
     row.push_back(empty_cell());  // denial_rate_b
     row.push_back(num_cell(d.denial_delta));
@@ -510,8 +630,9 @@ std::string DiffReport::to_json() const {
        {"index_a", "index_b", "trials_a", "trials_b", "successes_a",
         "successes_b", "denials_a", "denials_b", "success_rate_a",
         "success_rate_b", "success_delta", "delta_ci95_low", "delta_ci95_high",
-        "significant", "denial_rate_a", "denial_rate_b", "denial_delta",
-        "p50_shift", "p90_shift", "p99_shift"}) {
+        "significant", "p_value", "p_value_fdr", "significant_fdr",
+        "denial_rate_a", "denial_rate_b", "denial_delta", "p50_shift",
+        "p90_shift", "p99_shift"}) {
     cell_columns.push_back({name});
   }
   Table cell_table{std::move(cell_columns)};
@@ -534,6 +655,9 @@ std::string DiffReport::to_json() const {
     row.push_back(num_cell(d.success_delta_ci.low));
     row.push_back(num_cell(d.success_delta_ci.high));
     row.push_back(bool_cell(d.significant));
+    row.push_back(num_cell(d.p_value));
+    row.push_back(num_cell(d.p_value_fdr));
+    row.push_back(bool_cell(d.significant_fdr));
     row.push_back(num_cell(d.denial_rate_a));
     row.push_back(num_cell(d.denial_rate_b));
     row.push_back(num_cell(d.denial_delta));
@@ -586,6 +710,7 @@ std::string DiffReport::to_json() const {
 
   std::string out = "{\"matched_cells\":" + std::to_string(cells.size());
   out += ",\"significant_cells\":" + std::to_string(significant_cells);
+  out += ",\"significant_cells_fdr\":" + std::to_string(significant_cells_fdr);
   out += ",\"cells\":" + cell_table.to_json();
   out += ",\"only_in_a\":" + side_table(only_in_a).to_json();
   out += ",\"only_in_b\":" + side_table(only_in_b).to_json();

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/stats.h"
@@ -54,6 +55,35 @@ struct DeltaInterval {
                                               std::size_t trials_b,
                                               double z = 1.959964);
 
+/// Significance level the per-cell flags are computed at: the two-sided
+/// level matching the z = 1.959964 default of the Newcombe/Wilson
+/// intervals. The gate engine takes its own --alpha; the emitted columns
+/// are fixed here so diff output stays byte-stable.
+inline constexpr double kSignificanceAlpha = 0.05;
+
+/// Two-sided p-value for "the two proportions differ", obtained by
+/// inverting the Newcombe interval: the largest z at which the interval
+/// on p_b - p_a still excludes zero maps to p = 2 (1 - Phi(z)). This is
+/// exactly consistent with the `significant` flag — p < alpha iff the
+/// interval at alpha's z excludes zero — which is what makes
+/// Benjamini–Hochberg over these p-values a pure tightening of the raw
+/// flags. A side with zero trials (no information) yields 1, as does a
+/// zero observed delta.
+[[nodiscard]] double newcombe_p_value(std::size_t successes_a,
+                                      std::size_t trials_a,
+                                      std::size_t successes_b,
+                                      std::size_t trials_b);
+
+/// Benjamini–Hochberg step-up adjustment: returns the adjusted p-values
+/// (q-values) in the input's order. Flagging q <= alpha controls the
+/// false-discovery rate at alpha over the whole family — the
+/// multiple-comparison correction a per-cell CI column on a big diff
+/// matrix needs. Monotone by construction: every adjusted value is >=
+/// its raw input and <= 1. Throws std::invalid_argument on a p-value
+/// outside [0, 1] or NaN.
+[[nodiscard]] std::vector<double> benjamini_hochberg(
+    const std::vector<double>& p_values);
+
 /// One axis-matched cell pair. Every delta is B minus A, so a positive
 /// success_delta means the attack succeeds MORE under sweep B.
 struct CellDelta {
@@ -68,7 +98,16 @@ struct CellDelta {
   double success_rate_a = 0.0, success_rate_b = 0.0;
   double success_delta = 0.0;       ///< rate_b - rate_a (exactly 0 on self)
   DeltaInterval success_delta_ci;   ///< Newcombe 95% on the delta
-  bool significant = false;         ///< CI excludes zero
+  bool significant = false;         ///< CI excludes zero (per-cell, raw)
+  /// Two-sided Newcombe-inversion p-value for the success-rate delta.
+  double p_value = 1.0;
+  /// Benjamini–Hochberg adjusted p over this diff's matched cells.
+  double p_value_fdr = 1.0;
+  /// FDR-corrected flag: raw-significant AND adjusted p <= 0.05. The
+  /// conjunction makes "FDR flags are a subset of the raw flags" exact
+  /// instead of subject to quantile rounding; BH can only withdraw
+  /// significance a raw CI granted, never add it.
+  bool significant_fdr = false;
 
   double denial_rate_a = 0.0, denial_rate_b = 0.0;
   double denial_delta = 0.0;
@@ -115,6 +154,9 @@ struct DiffReport {
   /// blocks fixed, values by side-A first appearance).
   std::vector<AxisDelta> marginals;
   std::size_t significant_cells = 0;  ///< cells whose CI excludes zero
+  /// Cells still significant after Benjamini–Hochberg FDR correction —
+  /// the honest discovery count on a many-cell matrix.
+  std::size_t significant_cells_fdr = 0;
 
   [[nodiscard]] std::string to_text() const;
   /// One strict CSV table; `section` is cell | axis | only_in_a |
@@ -135,5 +177,32 @@ struct DiffReport {
 /// compare.
 [[nodiscard]] DiffReport diff_sweeps(const StatsReport& a,
                                      const StatsReport& b);
+
+/// The comparable scalar metrics of a matched cell pair — what the gate
+/// engine's whole-grid permutation test and per-cell thresholds run on.
+enum class DiffMetric : std::uint8_t {
+  kSuccessRate = 0,  ///< full-success rate (the paper's headline number)
+  kDenialRate = 1,   ///< denial-of-service rate
+  kPsnrP50 = 2,      ///< median reconstruction PSNR (dB)
+};
+
+/// "success_rate" | "denial" | "psnr_p50" — CLI spelling.
+[[nodiscard]] const char* diff_metric_name(DiffMetric metric) noexcept;
+
+/// Parses the CLI spelling; false on an unknown name.
+[[nodiscard]] bool parse_diff_metric(std::string_view name,
+                                     DiffMetric* metric) noexcept;
+
+/// B-minus-A delta of one metric on one matched cell.
+[[nodiscard]] double cell_metric_delta(const CellDelta& cell,
+                                       DiffMetric metric) noexcept;
+
+/// The paired per-cell deltas of `metric`, in the diff's matched-cell
+/// order (ascending AxisKey — deterministic regardless of either store's
+/// enumeration order, shard layout, or thread count). This is the input
+/// to the whole-grid paired permutation test: one value per shared cell,
+/// pairing by axis values having already been done by diff_sweeps.
+[[nodiscard]] std::vector<double> paired_deltas(const DiffReport& diff,
+                                                DiffMetric metric);
 
 }  // namespace msa::campaign

@@ -1,0 +1,146 @@
+// Statistical regression gating: turns a cross-sweep diff into a CI
+// pass/fail verdict. Two independent detectors feed one gate:
+//
+//  1. A whole-grid PAIRED PERMUTATION TEST over the matched cells. The
+//     per-cell deltas are paired by axis values (diff_sweeps already did
+//     the same-structure pairing — the discipline of comparing against a
+//     partner with identical structure, varying only the thing under
+//     study), and under the null hypothesis "the code change moved
+//     nothing" each pair's sign is exchangeable. Randomly sign-flipping
+//     the deltas therefore samples the null distribution of the mean
+//     delta exactly, with no normality assumption and no per-cell
+//     trial-count minimum. One campaign-level p-value answers "did the
+//     success rate move at all", which single-cell CIs cannot: twenty
+//     cells each drifting +3% is invisible per cell and glaring in the
+//     grid statistic.
+//
+//  2. Per-cell Benjamini–Hochberg FDR flags (computed by diff_sweeps)
+//     thresholded at the gate's alpha, for the opposite failure shape:
+//     one cell swinging hard while the rest of the grid is flat.
+//
+// Everything is deterministic: the permutation PRNG is seeded from the
+// two stores' grid fingerprints (gate_seed), the deltas are consumed in
+// matched-cell order (ascending AxisKey), and the loop is single-
+// threaded — so the same two stores yield byte-identical p-values
+// regardless of sweep thread counts or shard layout, and a CI failure
+// reproduces locally from the same artifacts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/compare.h"
+
+namespace msa::campaign {
+
+/// Which movement trips the gate. Directions are phrased in DEFENSE
+/// terms and metric_orientation() maps them onto each metric's sign:
+/// "regress" means the attack gained ground (success rate up, PSNR up,
+/// denial rate down), the thing a defense CI must never let through.
+enum class GateDirection : std::uint8_t {
+  kRegress = 0,  ///< attack-favoring movement only (one-sided)
+  kImprove = 1,  ///< defense-favoring movement only (one-sided)
+  kAny = 2,      ///< movement in either direction (two-sided)
+};
+
+/// "regress" | "improve" | "any" — CLI spelling.
+[[nodiscard]] const char* gate_direction_name(GateDirection d) noexcept;
+
+/// Parses the CLI spelling; false on an unknown name.
+[[nodiscard]] bool parse_gate_direction(std::string_view name,
+                                        GateDirection* direction) noexcept;
+
+/// +1 when a larger metric value favors the ATTACK (success rate,
+/// reconstruction PSNR), -1 when it favors the defense (denial rate).
+/// Oriented delta = orientation * (B - A): positive always means "the
+/// defense regressed from A to B", whatever the metric.
+[[nodiscard]] double metric_orientation(DiffMetric metric) noexcept;
+
+/// What a `campaign_sweep diff --exit-on-significant` invocation gates
+/// on. alpha doubles as the per-cell FDR level and the whole-grid
+/// permutation threshold; min_effect is a practical-significance floor
+/// (in the metric's own units) that both detectors must clear, so a
+/// statistically-resolvable-but-tiny drift on a million-trial store
+/// cannot fail the build.
+struct GateSpec {
+  DiffMetric metric = DiffMetric::kSuccessRate;
+  GateDirection direction = GateDirection::kRegress;
+  double alpha = kSignificanceAlpha;
+  double min_effect = 0.0;
+  std::uint64_t iterations = 10000;  ///< permutation resamples
+};
+
+/// Outcome of the whole-grid paired permutation test.
+struct PermutationResult {
+  std::size_t paired_cells = 0;
+  /// Mean oriented delta over the paired cells — the observed statistic,
+  /// already direction-adjusted so "large positive" always means "in the
+  /// gated direction".
+  double observed_stat = 0.0;
+  std::uint64_t iterations = 0;
+  /// Resamples whose statistic was at least as extreme as observed.
+  std::uint64_t at_least_as_extreme = 0;
+  /// (at_least_as_extreme + 1) / (iterations + 1) — the add-one rule
+  /// keeps the estimate valid (never exactly 0) at finite iterations.
+  double p_value = 1.0;
+};
+
+/// Sign-flip permutation test over paired deltas: statistic = mean
+/// delta; each resample flips every pair's sign independently. One-sided
+/// (two_sided = false) counts resamples with stat >= observed; two-sided
+/// compares |stat| >= |observed|. Deterministic for a given (deltas,
+/// seed, iterations) triple — single-threaded, fixed summation order.
+/// No pairs or zero iterations yield the no-evidence p of 1.
+[[nodiscard]] PermutationResult paired_permutation_test(
+    const std::vector<double>& deltas, std::uint64_t seed,
+    std::uint64_t iterations, bool two_sided);
+
+/// Permutation seed derived from the two stores' grid fingerprints —
+/// reproducible by anyone holding the same artifacts, different for
+/// different experiment pairs, no wall clock anywhere.
+[[nodiscard]] std::uint64_t gate_seed(std::uint64_t fingerprint_a,
+                                      std::uint64_t fingerprint_b) noexcept;
+
+/// One offending cell of a tripped gate.
+struct GateCellVerdict {
+  AxisKey key;
+  double delta = 0.0;        ///< raw B - A delta of the gated metric
+  double p_value_fdr = 1.0;  ///< BH-adjusted p (proportion metrics)
+};
+
+struct GateResult {
+  GateSpec spec;
+  std::uint64_t seed = 0;
+  PermutationResult permutation;
+  /// Whole-grid detector: permutation p <= alpha, observed statistic in
+  /// the gated direction and >= min_effect.
+  bool grid_tripped = false;
+  /// Per-cell detector: cells FDR-significant at alpha whose delta is in
+  /// the gated direction with |delta| >= min_effect, ascending AxisKey.
+  /// Empty for the PSNR metric, which has no per-cell test — the
+  /// permutation covers it.
+  std::vector<GateCellVerdict> tripped_cells;
+
+  [[nodiscard]] bool tripped() const noexcept {
+    return grid_tripped || !tripped_cells.empty();
+  }
+  /// The one-line verdict `--exit-on-significant` prints: gate state,
+  /// spec, grid p-value, and the offending cells by axis values (first
+  /// few, then a count).
+  [[nodiscard]] std::string verdict_line() const;
+};
+
+/// Evaluates `spec` over an axis-aligned diff. Per-cell p-values for the
+/// success-rate metric reuse the diff's own Newcombe/BH columns; the
+/// denial metric runs the same machinery over the denial counts; the
+/// PSNR metric gates on the permutation test alone. A diff with no
+/// matched cells trips nothing (p = 1) — CI should treat "the grids
+/// don't overlap" as a configuration error upstream, not a regression.
+[[nodiscard]] GateResult evaluate_gate(const DiffReport& diff,
+                                       const GateSpec& spec,
+                                       std::uint64_t seed);
+
+}  // namespace msa::campaign

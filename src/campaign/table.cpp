@@ -101,6 +101,8 @@ Cell interval_cell(double low, double high) {
   return str_cell(s);
 }
 
+Cell pvalue_cell(double p) { return num_cell(p, 4); }
+
 Cell empty_cell() { return {"", "", "null"}; }
 
 Cell axis_value_cell(const AxisValue& v) {

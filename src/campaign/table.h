@@ -59,6 +59,10 @@ struct Cell {
 /// interval every text table shares (CSV/JSON split the bounds into
 /// numeric columns instead).
 [[nodiscard]] Cell interval_cell(double low, double high);
+/// P-value cell shared by the diff and gate surfaces: fixed 4 decimals
+/// in text (a human reads "0.0317"; more digits is noise), round-trip
+/// exact in CSV/JSON so thresholds can be re-applied downstream.
+[[nodiscard]] Cell pvalue_cell(double p);
 /// Blank text/CSV field, JSON null — for columns another section of a
 /// flat CSV does not populate.
 [[nodiscard]] Cell empty_cell();

@@ -68,6 +68,71 @@ TEST(NewcombeInterval, ExtremesAndDegenerateCounts) {
   EXPECT_LE(no_info.high, 1.0);
 }
 
+TEST(NewcombePValue, ConsistentWithIntervalFlagAtAlpha) {
+  // The inverted p-value must agree with the 95% interval's verdict:
+  // p < 0.05 exactly when the interval excludes zero. Spot-check count
+  // pairs on both sides of the boundary.
+  const struct {
+    std::size_t sa, ta, sb, tb;
+  } cases[] = {{0, 10, 10, 10}, {8, 10, 4, 10}, {10, 20, 20, 20},
+               {3, 5, 3, 5},    {14, 20, 20, 20}, {0, 20, 20, 20}};
+  for (const auto& c : cases) {
+    const double p = newcombe_p_value(c.sa, c.ta, c.sb, c.tb);
+    const bool excludes =
+        newcombe_interval(c.sa, c.ta, c.sb, c.tb).excludes_zero();
+    EXPECT_EQ(p < kSignificanceAlpha, excludes)
+        << c.sa << "/" << c.ta << " vs " << c.sb << "/" << c.tb << " p=" << p;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Symmetric under side swap, like the interval.
+  EXPECT_DOUBLE_EQ(newcombe_p_value(7, 9, 2, 11), newcombe_p_value(2, 11, 7, 9));
+  // No-information sides can never reach significance.
+  EXPECT_EQ(newcombe_p_value(0, 0, 5, 5), 1.0);
+  EXPECT_EQ(newcombe_p_value(5, 5, 0, 0), 1.0);
+  // Identical proportions carry no evidence at all.
+  EXPECT_EQ(newcombe_p_value(3, 5, 3, 5), 1.0);
+  // A full swing at decent n is significant far past alpha.
+  EXPECT_LT(newcombe_p_value(0, 20, 20, 20), 1e-6);
+}
+
+TEST(BenjaminiHochberg, MatchesHandComputedAdjustment) {
+  // Textbook example, m = 5: adjusted q_(i) = min over j >= i of
+  // p_(j) * m / j, clamped to 1.
+  const std::vector<double> p{0.001, 0.01, 0.02, 0.04, 0.5};
+  const std::vector<double> q = benjamini_hochberg(p);
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_DOUBLE_EQ(q[0], 0.005);
+  EXPECT_DOUBLE_EQ(q[1], 0.025);
+  EXPECT_DOUBLE_EQ(q[2], 0.02 * 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q[3], 0.05);
+  EXPECT_DOUBLE_EQ(q[4], 0.5);
+}
+
+TEST(BenjaminiHochberg, OrderAgnosticAndConservative) {
+  // Shuffled input: each position gets the same adjusted value its
+  // p-value received in sorted order.
+  const std::vector<double> p{0.5, 0.02, 0.001, 0.04, 0.01};
+  const std::vector<double> q = benjamini_hochberg(p);
+  EXPECT_DOUBLE_EQ(q[0], 0.5);
+  EXPECT_DOUBLE_EQ(q[2], 0.005);
+  EXPECT_DOUBLE_EQ(q[4], 0.025);
+  // Adjustment never helps a p-value and never exceeds 1.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(q[i], p[i]);
+    EXPECT_LE(q[i], 1.0);
+  }
+  // Ties share one adjusted value.
+  const std::vector<double> tied = benjamini_hochberg({0.03, 0.03});
+  EXPECT_DOUBLE_EQ(tied[0], tied[1]);
+  EXPECT_DOUBLE_EQ(tied[0], 0.03);
+
+  EXPECT_TRUE(benjamini_hochberg({}).empty());
+  EXPECT_THROW((void)benjamini_hochberg({-0.1}), std::invalid_argument);
+  EXPECT_THROW((void)benjamini_hochberg({1.1}), std::invalid_argument);
+  EXPECT_THROW((void)benjamini_hochberg({std::nan("")}), std::invalid_argument);
+}
+
 CellDistribution make_cell(std::uint64_t index, const std::string& defense,
                            const std::string& model, double delay,
                            double scrubber, std::size_t trials,
@@ -303,6 +368,76 @@ TEST(DiffSweeps, DuplicateAxisKeyIsRejected) {
   a.cells.back().index = 99;
   EXPECT_THROW((void)diff_sweeps(a, two_cell_report()), std::runtime_error);
   EXPECT_THROW((void)diff_sweeps(two_cell_report(), a), std::runtime_error);
+}
+
+TEST(DiffSweeps, FdrFlagsAreASubsetOfRawSignificance) {
+  // Four cells: one hard regression (0/5 -> 5/5), one mild shift, two
+  // unchanged. The FDR-adjusted p is never smaller than the raw p, and
+  // significant_fdr is by construction a subset of the raw flag.
+  StatsReport a = two_cell_report();
+  a.cells.push_back(
+      make_cell(2, "baseline", "m", 5.0, 0.0, 5, 0, 0, 1.0, 2.0, 3.0));
+  a.cells.push_back(
+      make_cell(3, "zero_on_free", "m", 5.0, 0.0, 5, 2, 1, 4.0, 5.0, 6.0));
+  StatsReport b = a;
+  b.cells[2].successes = 5;
+  b.cells[2].success_rate = 1.0;
+  b.cells[2].success_ci = wilson_interval(5, 5);
+  b.cells[3].successes = 3;
+  b.cells[3].success_rate = 0.6;
+  b.cells[3].success_ci = wilson_interval(3, 5);
+
+  const DiffReport diff = diff_sweeps(a, b);
+  ASSERT_EQ(diff.cells.size(), 4u);
+  std::size_t raw = 0;
+  std::size_t fdr = 0;
+  for (const CellDelta& d : diff.cells) {
+    EXPECT_GE(d.p_value, 0.0);
+    EXPECT_LE(d.p_value, 1.0);
+    EXPECT_GE(d.p_value_fdr, d.p_value);  // adjustment never helps
+    // The p-value agrees with the interval verdict it inverts.
+    EXPECT_EQ(d.p_value < kSignificanceAlpha, d.significant);
+    if (d.significant) ++raw;
+    if (d.significant_fdr) {
+      ++fdr;
+      EXPECT_TRUE(d.significant);  // subset, never a superset
+      EXPECT_LE(d.p_value_fdr, kSignificanceAlpha);
+    }
+    if (d.success_delta == 0.0) {
+      EXPECT_EQ(d.p_value, 1.0);
+      EXPECT_EQ(d.p_value_fdr, 1.0);
+    }
+  }
+  EXPECT_EQ(diff.significant_cells, raw);
+  EXPECT_EQ(diff.significant_cells_fdr, fdr);
+  // The hard swing survives the correction; only it.
+  EXPECT_EQ(fdr, 1u);
+}
+
+TEST(DiffSweeps, EmittersCarryPValueAndFdrColumns) {
+  StatsReport a = two_cell_report();
+  StatsReport b = two_cell_report();
+  b.cells[0].successes = 0;
+  b.cells[0].success_rate = 0.0;
+  b.cells[0].success_ci = wilson_interval(0, 5);
+  const DiffReport diff = diff_sweeps(a, b);
+
+  const std::string text = diff.to_text();
+  EXPECT_NE(text.find("p_fdr"), std::string::npos);
+  EXPECT_NE(text.find("sig_fdr"), std::string::npos);
+  EXPECT_NE(text.find("after FDR"), std::string::npos);
+
+  const std::string csv = diff.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_NE(header.find("p_value"), std::string::npos);
+  EXPECT_NE(header.find("p_value_fdr"), std::string::npos);
+  EXPECT_NE(header.find("significant_fdr"), std::string::npos);
+
+  const std::string json = diff.to_json();
+  EXPECT_NE(json.find("\"p_value\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p_value_fdr\":"), std::string::npos);
+  EXPECT_NE(json.find("\"significant_fdr\":"), std::string::npos);
+  EXPECT_NE(json.find("\"significant_cells_fdr\":"), std::string::npos);
 }
 
 TEST(DiffSweeps, EmittersAreDeterministicAndLabelled) {
