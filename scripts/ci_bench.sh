@@ -10,6 +10,11 @@
 # regressions — cells/second, per-stage trial breakdowns — are diffable
 # across commits. Extra args are fixed strings the JSON must contain,
 # sanity-checked before publishing.
+#
+# One bench can publish under several artifact names — bench-smoke runs
+# abl_trial_hotpath from a SIMD build as BENCH_trial_hotpath.json and
+# from a -DMSA_ENABLE_SIMD=OFF build as BENCH_trial_hotpath_scalar.json,
+# keeping the two dispatch modes' series separate per commit.
 # shellcheck source=scripts/ci_lib.sh
 . "$(dirname "$0")/ci_lib.sh"
 

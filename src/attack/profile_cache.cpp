@@ -26,6 +26,22 @@ obs::Counter& reused_metric() {
   static obs::Counter& c = obs::counter("cache.twin_boards_reused");
   return c;
 }
+obs::Counter& victim_built_metric() {
+  static obs::Counter& c = obs::counter("cache.victim_boards_built");
+  return c;
+}
+obs::Counter& victim_reused_metric() {
+  static obs::Counter& c = obs::counter("cache.victim_boards_reused");
+  return c;
+}
+obs::Counter& input_built_metric() {
+  static obs::Counter& c = obs::counter("cache.victim_inputs_built");
+  return c;
+}
+obs::Counter& input_reused_metric() {
+  static obs::Counter& c = obs::counter("cache.victim_inputs_reused");
+  return c;
+}
 
 }  // namespace
 
@@ -95,6 +111,78 @@ void TwinBoardPool::release(const ScenarioConfig& config,
   }
   const std::lock_guard lock{mutex_};
   idle_[TwinBoardKey::from_config(config)].push_back(std::move(board));
+}
+
+VictimBoardKey VictimBoardKey::from_config(const ScenarioConfig& config) {
+  const os::SystemConfig& sys = config.system;
+  VictimBoardKey key;
+  key.board_name = sys.board.board_name;
+  key.dram_base = sys.board.base;
+  key.dram_size = sys.board.size;
+  key.pool_first_pfn = sys.pool_first_pfn;
+  key.pool_frames = sys.pool_frames;
+  return key;
+}
+
+std::unique_ptr<VictimBoardPool::Board> VictimBoardPool::acquire(
+    const ScenarioConfig& config) {
+  std::unique_ptr<Board> board;
+  {
+    const std::lock_guard lock{mutex_};
+    const auto it = idle_.find(VictimBoardKey::from_config(config));
+    if (it != idle_.end() && !it->second.empty()) {
+      board = std::move(it->second.back());
+      it->second.pop_back();
+    }
+  }
+  if (board) {
+    // Reboot outside the lock; this reapplies every config field the
+    // bucket key leaves out (seed, placement, sanitize, clock, ...).
+    board->system.reset(config.system);
+    victim_reused_metric().add();
+    return board;
+  }
+  board = std::make_unique<Board>(config.system);
+  victim_built_metric().add();
+  return board;
+}
+
+void VictimBoardPool::release(const ScenarioConfig& config,
+                              std::unique_ptr<Board> board) {
+  const std::lock_guard lock{mutex_};
+  idle_[VictimBoardKey::from_config(config)].push_back(std::move(board));
+}
+
+std::shared_ptr<const img::Image> ProfileCache::victim_input(
+    const ScenarioConfig& config) {
+  // corrupt_fraction only matters when corruption is on; normalize it out
+  // of the key so uncorrupted lookups share one entry per geometry/seed.
+  const InputKey key{config.image_width, config.image_height,
+                     config.image_seed, config.corrupt_image,
+                     config.corrupt_image ? config.corrupt_fraction : 0.0};
+  {
+    const std::lock_guard lock{input_mutex_};
+    const auto it = input_index_.find(key);
+    if (it != input_index_.end()) {
+      input_lru_.splice(input_lru_.begin(), input_lru_, it->second);
+      input_reused_metric().add();
+      return it->second->second;
+    }
+  }
+  // Generate outside the lock; a racing duplicate generation is harmless
+  // because both threads produce the identical image.
+  auto image = std::make_shared<const img::Image>(make_victim_input(config));
+  input_built_metric().add();
+  const std::lock_guard lock{input_mutex_};
+  auto [it, inserted] = input_index_.try_emplace(key);
+  if (!inserted) return it->second->second;
+  input_lru_.emplace_front(key, image);
+  it->second = input_lru_.begin();
+  if (input_lru_.size() > kInputCacheCap) {
+    input_index_.erase(input_lru_.back().first);
+    input_lru_.pop_back();
+  }
+  return image;
 }
 
 ModelProfile ProfileCache::get_or_profile(const ScenarioConfig& config) {

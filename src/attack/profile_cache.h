@@ -33,6 +33,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,14 +106,76 @@ class TwinBoardPool {
   std::map<TwinBoardKey, std::vector<std::unique_ptr<Board>>> idle_;
 };
 
+/// Bucket identity for pooled victim boards: only the shape fields that
+/// size the board's tables (DRAM window + frame pool). Everything else —
+/// seed, placement, sanitize, clock — is reapplied by
+/// PetaLinuxSystem::reset() on acquire, so a stale-state reuse is
+/// impossible; bucketing merely keeps storage reuse on same-sized
+/// boards.
+struct VictimBoardKey {
+  std::string board_name;
+  dram::PhysAddr dram_base = 0;
+  std::uint64_t dram_size = 0;
+  mem::Pfn pool_first_pfn = 0;
+  std::uint64_t pool_frames = 0;
+
+  [[nodiscard]] static VictimBoardKey from_config(const ScenarioConfig& config);
+  auto operator<=>(const VictimBoardKey&) const = default;
+};
+
+/// Pool of victim boards for run_scenario: the dominant per-trial
+/// allocations (sparse DRAM block map, frame table, free list) are
+/// reused across trials, and keeping the VitisAiRuntime alongside its
+/// board keeps the deserialized XModel cache warm across trials too.
+/// Unlike TwinBoardPool there is no scrub-on-release contract: acquire()
+/// reboots the board via reset(), which reproduces a fresh construction
+/// byte for byte, so boards may be parked in any state.
+class VictimBoardPool {
+ public:
+  struct Board {
+    os::PetaLinuxSystem system;
+    vitis::VitisAiRuntime runtime;
+
+    explicit Board(const os::SystemConfig& config)
+        : system{config}, runtime{system} {}
+  };
+
+  /// Returns a board in exactly the state `PetaLinuxSystem{config.system}`
+  /// would construct (per-trial seeding included), reusing a parked
+  /// board's storage when the shape matches.
+  [[nodiscard]] std::unique_ptr<Board> acquire(const ScenarioConfig& config);
+
+  /// Parks the board for reuse, in whatever state the trial left it.
+  void release(const ScenarioConfig& config, std::unique_ptr<Board> board);
+
+ private:
+  std::mutex mutex_;
+  std::map<VictimBoardKey, std::vector<std::unique_ptr<Board>>> idle_;
+};
+
 /// Thread-safe memo of profile_on_twin_board. One instance is shared
-/// across every cell and trial of a campaign sweep.
+/// across every cell and trial of a campaign sweep; it also carries the
+/// victim-side trial caches (board pool + input memo) so everything the
+/// runner shares across trials lives behind one pointer.
 class ProfileCache {
  public:
   /// Returns the profile for this config's key, profiling it on a pooled
   /// twin board on first use. Rethrows a cached profiling failure on
   /// every lookup of the failed key.
   [[nodiscard]] ModelProfile get_or_profile(const ScenarioConfig& config);
+
+  /// Memoized victim input (make_test_image + optional corruption) keyed
+  /// by (width, height, seed, corrupt knobs). Bounded LRU: trial
+  /// reseeding makes most image seeds unique, so the memo pays off on
+  /// the repeated trial-0 / same-cell lookups without growing with the
+  /// grid.
+  [[nodiscard]] std::shared_ptr<const img::Image> victim_input(
+      const ScenarioConfig& config);
+
+  /// Pooled victim-board allocations shared across trials.
+  [[nodiscard]] VictimBoardPool& victim_boards() noexcept {
+    return victim_pool_;
+  }
 
   /// Distinct keys ever looked up (including failed ones).
   [[nodiscard]] std::size_t size() const;
@@ -127,9 +190,29 @@ class ProfileCache {
     std::exception_ptr error;
   };
 
+  struct InputKey {
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::uint64_t seed = 0;
+    bool corrupt = false;
+    double corrupt_fraction = 0.0;
+
+    auto operator<=>(const InputKey&) const = default;
+  };
+  static constexpr std::size_t kInputCacheCap = 64;
+
   TwinBoardPool pool_;
+  VictimBoardPool victim_pool_;
   mutable std::mutex mutex_;
   std::map<ProfileKey, std::shared_ptr<Entry>> entries_;
+
+  std::mutex input_mutex_;
+  /// LRU list (front = most recent) + index into it.
+  std::list<std::pair<InputKey, std::shared_ptr<const img::Image>>> input_lru_;
+  std::map<InputKey,
+           std::list<std::pair<InputKey,
+                               std::shared_ptr<const img::Image>>>::iterator>
+      input_index_;
 };
 
 }  // namespace msa::attack

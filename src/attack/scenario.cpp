@@ -1,5 +1,7 @@
 #include "attack/scenario.h"
 
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "attack/profile_cache.h"
@@ -34,21 +36,16 @@ void apply_post_termination(os::PetaLinuxSystem& board,
         .retention_half_life_s = cfg.retention_half_life_s}};
     util::Prng prng{cfg.system.seed ^ 0xDEC4FULL};
     // Decay acts on the whole board; applying it to the victim's former
-    // frames covers everything the scrape will read.
+    // frames covers everything the scrape will read. One scratch across
+    // the loop keeps the bulk-generated PRNG words flowing page to page;
+    // the prng is local and drawn from nowhere else, so the batched
+    // overload's run-ahead is unobservable.
+    dram::RemanenceScratch scratch;
     for (const dram::PhysAddr pa : board.terminated().back().heap_frames) {
       remanence.apply(board.dram(), pa, mem::kPageSize, cfg.attack_delay_s,
-                      prng);
+                      prng, scratch);
     }
   }
-}
-
-img::Image make_victim_input(const ScenarioConfig& cfg) {
-  img::Image input =
-      img::make_test_image(cfg.image_width, cfg.image_height, cfg.image_seed);
-  if (cfg.corrupt_image) {
-    input.fill_region(img::kCorruptPixel, cfg.corrupt_fraction);
-  }
-  return input;
 }
 
 }  // namespace
@@ -58,6 +55,16 @@ os::SystemConfig twin_system_config(const ScenarioConfig& config) {
   twin.sanitize = mem::SanitizePolicy::kNone;
   twin.proc_access = os::ProcAccessPolicy::kWorldReadable;
   return twin;
+}
+
+img::Image make_victim_input(const ScenarioConfig& config) {
+  img::Image input = img::make_test_image(config.image_width,
+                                          config.image_height,
+                                          config.image_seed);
+  if (config.corrupt_image) {
+    input.fill_region(img::kCorruptPixel, config.corrupt_fraction);
+  }
+  return input;
 }
 
 ModelProfile profile_on_twin_board(const ScenarioConfig& config) {
@@ -90,12 +97,38 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   }
 
   // ---- victim board -------------------------------------------------------
-  os::PetaLinuxSystem board{config.system};
+  // Campaign runs (profile_cache set) draw the board from the shared pool:
+  // acquire() reboots a parked board to the exact state the fresh
+  // construction below would produce, reusing its DRAM-block, frame-table
+  // and XModel-cache storage across trials.
+  std::unique_ptr<VictimBoardPool::Board> pooled;
+  std::optional<os::PetaLinuxSystem> local_board;
+  std::optional<vitis::VitisAiRuntime> local_runtime;
+  if (profile_cache != nullptr) {
+    pooled = profile_cache->victim_boards().acquire(config);
+  } else {
+    local_board.emplace(config.system);
+    local_runtime.emplace(*local_board);
+  }
+  os::PetaLinuxSystem& board = pooled ? pooled->system : *local_board;
+  vitis::VitisAiRuntime& runtime = pooled ? pooled->runtime : *local_runtime;
+  // Park the pooled board on every exit path — early denial returns and
+  // exceptions included. Any parked state is fine; acquire() reboots.
+  struct ParkBoard {
+    ProfileCache* cache;
+    const ScenarioConfig& config;
+    std::unique_ptr<VictimBoardPool::Board>& board;
+    ~ParkBoard() {
+      if (board) cache->victim_boards().release(config, std::move(board));
+    }
+  } park{profile_cache, config, pooled};
+
   board.add_user(config.victim_uid, "victim");
   board.add_user(config.attacker_uid, "attacker");
-  vitis::VitisAiRuntime runtime{board};
 
-  result.victim_input = make_victim_input(config);
+  result.victim_input = profile_cache != nullptr
+                            ? *profile_cache->victim_input(config)
+                            : make_victim_input(config);
 
   board.advance_time(8 * 3600 + 43 * 60);  // paper: victim starts at 12:33
   const vitis::VictimRun victim = runtime.launch(
@@ -162,13 +195,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   result.model_identified_correctly =
       result.report.identified_model == config.model_name;
   if (result.report.reconstructed_image) {
-    result.pixel_match =
-        img::pixel_match_fraction(*result.report.reconstructed_image,
-                                  result.victim_input);
-    result.psnr =
-        img::psnr_db(*result.report.reconstructed_image, result.victim_input);
+    {
+      TRACE_SPAN("trial", "score/pixel_match");
+      result.pixel_match =
+          img::pixel_match_fraction(*result.report.reconstructed_image,
+                                    result.victim_input);
+    }
+    {
+      TRACE_SPAN("trial", "score/psnr");
+      result.psnr =
+          img::psnr_db(*result.report.reconstructed_image, result.victim_input);
+    }
   }
   if (result.report.descriptor_image) {
+    TRACE_SPAN("trial", "score/pixel_match");
     result.descriptor_pixel_match = img::pixel_match_fraction(
         *result.report.descriptor_image, result.victim_input);
   }

@@ -113,4 +113,10 @@ class ProfileCache;
 /// the attacker owns that board). Shared by run_scenario and the examples.
 [[nodiscard]] ModelProfile profile_on_twin_board(const ScenarioConfig& config);
 
+/// The victim's ground-truth input for this config: the deterministic test
+/// image, optionally corrupted per the corrupt knobs. Pure in
+/// (image_width, image_height, image_seed, corrupt_image, corrupt_fraction),
+/// which is what lets ProfileCache memoize it across trials.
+[[nodiscard]] img::Image make_victim_input(const ScenarioConfig& config);
+
 }  // namespace msa::attack

@@ -2,6 +2,23 @@
 
 namespace msa::attack {
 
+namespace {
+
+/// Appends `len` bytes read from `pa` via the debugger's bulk devmem
+/// path. Byte content, stats and firewall/ACL behaviour are identical to
+/// the historical word-at-a-time loop (see devmem_block's contract);
+/// devmem_reads advances by the same ceil(len/4).
+void scrape_range_into(dbg::SystemDebugger& debugger, ScrapedDump& dump,
+                       dram::PhysAddr pa, std::uint64_t len) {
+  const std::size_t old = dump.bytes.size();
+  dump.bytes.resize(old + static_cast<std::size_t>(len));
+  debugger.devmem_block(pa, {dump.bytes.data() + old,
+                             static_cast<std::size_t>(len)});
+  dump.devmem_reads += (len + 3) / 4;
+}
+
+}  // namespace
+
 ScrapedDump MemoryScraper::scrape(const ResolvedTarget& target) {
   ScrapedDump dump;
   dump.pid = target.pid;
@@ -18,15 +35,7 @@ ScrapedDump MemoryScraper::scrape(const ResolvedTarget& target) {
       ++dump.pages_unmapped;
       continue;
     }
-    const dram::PhysAddr pa = *target.page_pa[page];
-    for (std::uint64_t off = 0; off < page_remaining; off += 4) {
-      const std::uint32_t w = debugger_.devmem32(pa + off);
-      ++dump.devmem_reads;
-      const std::uint64_t take = std::min<std::uint64_t>(4, page_remaining - off);
-      for (std::uint64_t b = 0; b < take; ++b) {
-        dump.bytes.push_back(static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF));
-      }
-    }
+    scrape_range_into(debugger_, dump, *target.page_pa[page], page_remaining);
   }
   return dump;
 }
@@ -35,14 +44,7 @@ ScrapedDump MemoryScraper::scrape_physical_range(dram::PhysAddr base,
                                                  std::uint64_t len) {
   ScrapedDump dump;
   dump.bytes.reserve(static_cast<std::size_t>(len));
-  for (std::uint64_t off = 0; off < len; off += 4) {
-    const std::uint32_t w = debugger_.devmem32(base + off);
-    ++dump.devmem_reads;
-    const std::uint64_t take = std::min<std::uint64_t>(4, len - off);
-    for (std::uint64_t b = 0; b < take; ++b) {
-      dump.bytes.push_back(static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF));
-    }
-  }
+  scrape_range_into(debugger_, dump, base, len);
   return dump;
 }
 

@@ -4,7 +4,10 @@
 // page list with devmem, one aligned 32-bit word at a time (exactly the
 // paper's automated loop over "devmem <pa>"), reassembling the heap image
 // in VA order. Pages the pagemap reported absent read as zeros, keeping
-// offsets stable.
+// offsets stable. The simulator issues each page through the debugger's
+// bulk devmem path, which preserves the word loop's accounting (one
+// devmem_read per 32-bit word) and per-word firewall semantics while
+// copying in blocks.
 //
 // A second mode, scrape_physical_range(), models the post-mortem variant:
 // the attacker missed the live window and sweeps a raw physical region

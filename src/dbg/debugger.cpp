@@ -80,6 +80,38 @@ std::uint32_t SystemDebugger::devmem32(dram::PhysAddr addr) {
   return system_.devmem_read32(addr);
 }
 
+void SystemDebugger::devmem_block(dram::PhysAddr addr,
+                                  std::span<std::uint8_t> out) {
+  if (out.empty()) return;
+  check_physical();
+  const std::uint64_t words = (out.size() + 3) / 4;
+  if (firewall_) {
+    for (std::uint64_t i = 0; i < words; ++i) {
+      if (!firewall_->allows(uid_, addr + 4 * i)) {
+        // The word loop had already read (and counted) i words before
+        // hitting the denied one.
+        stats_.devmem_reads += i;
+        ++stats_.denials;
+        throw DebuggerAccessDenied("memory firewall: uid " +
+                                   std::to_string(uid_) +
+                                   " denied devmem at " +
+                                   util::hex_0x(addr + 4 * i));
+      }
+    }
+  }
+  stats_.devmem_reads += words;
+  const std::size_t aligned = out.size() & ~std::size_t{3};
+  if (aligned != 0) system_.dram().read_block(addr, out.first(aligned));
+  if (aligned != out.size()) {
+    // Tail: the loop reads a full word at the last aligned offset (with
+    // that word's range check) and keeps only the remaining bytes.
+    const std::uint32_t w = system_.devmem_read32(addr + aligned);
+    for (std::size_t b = 0; aligned + b < out.size(); ++b) {
+      out[aligned + b] = static_cast<std::uint8_t>((w >> (8 * b)) & 0xFF);
+    }
+  }
+}
+
 std::string SystemDebugger::devmem_command(dram::PhysAddr addr) {
   const std::uint32_t value = devmem32(addr);
   return "devmem " + util::hex_0x(addr) + "\n" + util::hex_0x(value, 8) + "\n";

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -113,6 +114,16 @@ class SystemDebugger {
 
   /// "devmem <addr>": 32-bit read of physical DRAM (ACL-checked).
   [[nodiscard]] std::uint32_t devmem32(dram::PhysAddr addr);
+
+  /// Bulk devmem: fills `out` with the bytes the word loop
+  /// `devmem32(addr), devmem32(addr+4), ...` would assemble
+  /// (little-endian, the tail read as a full word), in one DRAM block
+  /// read instead of one bus transaction per word. Observable behaviour
+  /// is identical to the loop: same ACL check, the firewall consulted
+  /// per 32-bit word (a denial counts the words already read, then
+  /// throws the loop's exact message naming the denied word's address),
+  /// and devmem_reads advances by ceil(out.size()/4).
+  void devmem_block(dram::PhysAddr addr, std::span<std::uint8_t> out);
 
   /// Text transcript form of devmem32, matching the paper's Fig. 10
   /// ("devmem 0x61c6d730" -> "0x00000000").

@@ -14,6 +14,7 @@
 // initialization and keeps test fixtures cheap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -39,6 +40,12 @@ class DramModel {
   [[nodiscard]] const DramConfig& config() const noexcept { return config_; }
   [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
+
+  /// Drops all content and stats and adopts `config`: the model is
+  /// byte-equivalent to a freshly constructed one (absent blocks read as
+  /// zero). Block storage is parked on a bounded spare list so a pooled
+  /// board's next life re-touches pages without allocating.
+  void reset(DramConfig config);
 
   // --- word accessors (devmem semantics: aligned loads/stores) ----------
   [[nodiscard]] std::uint8_t read8(PhysAddr addr) const;
@@ -70,17 +77,44 @@ class DramModel {
     return blocks_.size();
   }
 
+  /// Visits [addr, addr+len) block by block, in address order, without
+  /// copying: calls v(offset_from_addr, chunk_len, data) where data
+  /// points at the resident bytes in place, or is nullptr for an
+  /// untouched (all-zero) stretch. Each chunk stays within one 4 KiB
+  /// block. Does not count toward DramStats — callers that model a read
+  /// account for it themselves.
+  template <typename Visitor>
+  void visit_blocks(PhysAddr addr, std::uint64_t len, Visitor&& v) const {
+    check_range(addr, len);
+    std::uint64_t off = addr - config_.base;
+    std::uint64_t done = 0;
+    while (done < len) {
+      const std::uint64_t block_index = off / kBlockSize;
+      const std::uint64_t in_block = off % kBlockSize;
+      const std::uint64_t chunk = std::min(kBlockSize - in_block, len - done);
+      const Block* b = find_block(block_index);
+      v(done, static_cast<std::size_t>(chunk),
+        b ? b->data() + in_block : nullptr);
+      done += chunk;
+      off += chunk;
+    }
+  }
+
  private:
   static constexpr std::uint64_t kBlockSize = 4096;
+  /// Spare-list cap: 4 MiB of parked block storage per model.
+  static constexpr std::size_t kSpareBlocks = 1024;
 
   using Block = std::vector<std::uint8_t>;
 
   void check_range(PhysAddr addr, std::uint64_t len) const;
   [[nodiscard]] const Block* find_block(std::uint64_t index) const noexcept;
   [[nodiscard]] Block& touch_block(std::uint64_t index);
+  void recycle(Block&& block);
 
   DramConfig config_;
   std::unordered_map<std::uint64_t, Block> blocks_;
+  std::vector<Block> spare_;
   mutable DramStats stats_;
 };
 

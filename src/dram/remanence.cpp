@@ -1,9 +1,135 @@
 #include "dram/remanence.h"
 
+#include <bit>
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace msa::dram {
+
+namespace {
+
+constexpr std::uint64_t kChunk = 1 << 16;
+constexpr std::size_t kWordBatch = 4096;  // 32 KiB of buffered draws
+
+// uniform01 on a raw xoshiro word — must stay bit-identical to
+// util::Prng::uniform01 so buffered draws decide exactly as live ones.
+inline double to_u01(std::uint64_t w) noexcept {
+  return static_cast<double>(w >> 11) * 0x1.0p-53;
+}
+
+// Decays one chunk in place, consuming draws from `draw` (a callable
+// returning raw u64 PRNG words) in the same data-dependent per-bit
+// order as the original loop: an anti-cell draw per bit iff
+// 0 < f < 1, then a flip draw iff the stored bit differs from its
+// discharge value and p < 1. Flips are applied as 64-bit XOR masks,
+// eight data bytes at a time.
+template <typename DrawU64>
+std::uint64_t decay_chunk(std::uint8_t* data, std::size_t n, double p,
+                          double f, bool& dirty, DrawU64&& draw) {
+  const bool anti_all0 = f <= 0.0;
+  const bool anti_all1 = f >= 1.0;
+  const bool p_certain = p >= 1.0;
+  std::uint64_t flipped = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+    }
+    // No anti draws and every cell discharges to 0: an all-zero word
+    // consumes nothing and flips nothing.
+    if (anti_all0 && word == 0) continue;
+    std::uint64_t mask = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      bool anti;
+      if (anti_all0) {
+        anti = false;
+      } else if (anti_all1) {
+        anti = true;
+      } else {
+        anti = to_u01(draw()) < f;
+      }
+      const unsigned current = static_cast<unsigned>(word >> bit) & 1u;
+      if (current != (anti ? 1u : 0u)) {
+        if (p_certain || to_u01(draw()) < p) mask |= 1ULL << bit;
+      }
+    }
+    if (mask != 0) {
+      word ^= mask;
+      for (int b = 0; b < 8; ++b) {
+        data[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+      flipped += static_cast<std::uint64_t>(std::popcount(mask));
+      dirty = true;
+    }
+  }
+  for (; i < n; ++i) {
+    std::uint8_t byte = data[i];
+    if (anti_all0 && byte == 0) continue;
+    std::uint8_t mask = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      bool anti;
+      if (anti_all0) {
+        anti = false;
+      } else if (anti_all1) {
+        anti = true;
+      } else {
+        anti = to_u01(draw()) < f;
+      }
+      const unsigned current = static_cast<unsigned>(byte >> bit) & 1u;
+      if (current != (anti ? 1u : 0u)) {
+        if (p_certain || to_u01(draw()) < p) {
+          mask = static_cast<std::uint8_t>(mask | (1u << bit));
+        }
+      }
+    }
+    if (mask != 0) {
+      data[i] = static_cast<std::uint8_t>(byte ^ mask);
+      flipped += static_cast<std::uint64_t>(std::popcount(mask));
+      dirty = true;
+    }
+  }
+  return flipped;
+}
+
+// A chunk with no discharge-to-1 cells and no nonzero data draws and
+// flips nothing; skipping it whole keeps the draw stream aligned.
+bool chunk_skippable(const std::uint8_t* data, std::size_t n,
+                     double f) noexcept {
+  if (f > 0.0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+template <typename DrawU64>
+std::uint64_t apply_chunked(DramModel& dram, PhysAddr addr, std::uint64_t len,
+                            double p, double f,
+                            std::vector<std::uint8_t>& buf, DrawU64&& draw) {
+  std::uint64_t flipped = 0;
+  PhysAddr p_addr = addr;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(remaining < kChunk ? remaining : kChunk);
+    if (buf.size() < chunk) buf.resize(chunk);
+    const std::span<std::uint8_t> view{buf.data(), chunk};
+    dram.read_block(p_addr, view);
+    bool dirty = false;
+    if (!chunk_skippable(view.data(), chunk, f)) {
+      flipped += decay_chunk(view.data(), chunk, p, f, dirty, draw);
+    }
+    if (dirty) dram.write_block(p_addr, view);
+    p_addr += chunk;
+    remaining -= chunk;
+  }
+  return flipped;
+}
+
+}  // namespace
 
 double RemanenceModel::decay_probability(double elapsed_s) const noexcept {
   if (params_.refresh_active || elapsed_s <= 0.0) return 0.0;
@@ -16,37 +142,34 @@ std::uint64_t RemanenceModel::apply(DramModel& dram, PhysAddr addr,
                                     util::Prng& prng) const {
   const double p = decay_probability(elapsed_s);
   if (p <= 0.0) return 0;
-
-  std::uint64_t flipped = 0;
   std::vector<std::uint8_t> buf;
-  constexpr std::uint64_t kChunk = 1 << 16;
-  PhysAddr p_addr = addr;
-  std::uint64_t remaining = len;
-  while (remaining > 0) {
-    const std::size_t chunk =
-        static_cast<std::size_t>(remaining < kChunk ? remaining : kChunk);
-    buf.resize(chunk);
-    dram.read_block(p_addr, buf);
-    bool dirty = false;
-    for (auto& byte : buf) {
-      for (int bit = 0; bit < 8; ++bit) {
-        // Decide the discharge value of this cell, then flip toward it
-        // with probability p if the stored value differs.
-        const bool anti = prng.chance(params_.anti_cell_fraction);
-        const std::uint8_t discharge = anti ? 1 : 0;
-        const std::uint8_t current = (byte >> bit) & 1u;
-        if (current != discharge && prng.chance(p)) {
-          byte = static_cast<std::uint8_t>(byte ^ (1u << bit));
-          ++flipped;
-          dirty = true;
-        }
-      }
-    }
-    if (dirty) dram.write_block(p_addr, buf);
-    p_addr += chunk;
-    remaining -= chunk;
+  // Draw live from the caller's prng: its end state matches the
+  // original per-bit loop exactly.
+  return apply_chunked(dram, addr, len, p, params_.anti_cell_fraction, buf,
+                       [&prng] { return prng(); });
+}
+
+std::uint64_t RemanenceModel::apply(DramModel& dram, PhysAddr addr,
+                                    std::uint64_t len, double elapsed_s,
+                                    util::Prng& prng,
+                                    RemanenceScratch& scratch) const {
+  if (scratch.p_elapsed_s != elapsed_s) {
+    scratch.p = decay_probability(elapsed_s);
+    scratch.p_elapsed_s = elapsed_s;
   }
-  return flipped;
+  const double p = scratch.p;
+  if (p <= 0.0) return 0;
+  auto draw = [&scratch, &prng]() -> std::uint64_t {
+    if (scratch.next_word == scratch.words.size()) {
+      TRACE_SPAN("trial", "residue_decay/prng_fill");
+      scratch.words.resize(kWordBatch);
+      for (auto& w : scratch.words) w = prng();
+      scratch.next_word = 0;
+    }
+    return scratch.words[scratch.next_word++];
+  };
+  return apply_chunked(dram, addr, len, p, params_.anti_cell_fraction,
+                       scratch.bytes, draw);
 }
 
 }  // namespace msa::dram

@@ -12,11 +12,28 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dram/dram_model.h"
 #include "util/prng.h"
 
 namespace msa::dram {
+
+/// Reusable buffers for the batched decay path: the 64 KiB chunk staging
+/// buffer (hoisted out of the per-chunk resize) and a block of raw PRNG
+/// words pre-drawn from the caller's generator. Buffered words persist
+/// across apply() calls that share the same scratch + prng, so a loop
+/// over many pages consumes the generator's stream in exactly the same
+/// draw order as the unbatched path; do not interleave other draws from
+/// that prng between such calls.
+struct RemanenceScratch {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint64_t> words;
+  std::size_t next_word = 0;
+  /// decay_probability memo (elapsed -> p), hoisted across same-delay calls.
+  double p_elapsed_s = -1.0;
+  double p = 0.0;
+};
 
 struct RemanenceParams {
   /// True on a powered, refreshed board (the paper's setting): no decay.
@@ -40,9 +57,22 @@ class RemanenceModel {
   [[nodiscard]] double decay_probability(double elapsed_s) const noexcept;
 
   /// Applies decay in place to [addr, addr+len). No-op when refresh is
-  /// active. Returns the number of bits flipped.
+  /// active. Returns the number of bits flipped. Leaves `prng` in
+  /// exactly the state the per-bit draw loop would: flips are
+  /// bit-identical to the batched overload below.
   std::uint64_t apply(DramModel& dram, PhysAddr addr, std::uint64_t len,
                       double elapsed_s, util::Prng& prng) const;
+
+  /// Batched variant: PRNG words are bulk-drawn into `scratch` and
+  /// consumed in the same data-dependent per-bit order, flips are
+  /// applied with word-at-a-time XOR masks, and the chunk buffer is
+  /// reused across calls. The prng runs ahead of the draws actually
+  /// consumed (the surplus sits buffered in scratch), so callers that
+  /// keep drawing from the same prng afterwards must use the unbatched
+  /// overload instead.
+  std::uint64_t apply(DramModel& dram, PhysAddr addr, std::uint64_t len,
+                      double elapsed_s, util::Prng& prng,
+                      RemanenceScratch& scratch) const;
 
  private:
   RemanenceParams params_;

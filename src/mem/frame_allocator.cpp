@@ -8,6 +8,10 @@ namespace msa::mem {
 PageFrameAllocator::PageFrameAllocator(dram::DramModel& dram,
                                        FrameAllocatorConfig config)
     : dram_{dram}, config_{config}, prng_{config.seed} {
+  init();
+}
+
+void PageFrameAllocator::init() {
   if (config_.frame_count == 0) {
     throw std::invalid_argument("PageFrameAllocator: empty pool");
   }
@@ -18,12 +22,20 @@ PageFrameAllocator::PageFrameAllocator(dram::DramModel& dram,
     throw std::invalid_argument("PageFrameAllocator: pool outside DRAM window");
   }
   frames_.assign(config_.frame_count, FrameInfo{});
+  free_list_.clear();
   free_list_.reserve(config_.frame_count);
   // Push descending so LIFO pop_back hands out ascending PFNs first — the
   // deterministic low-to-high layout the paper's profiling step relies on.
   for (std::uint64_t i = config_.frame_count; i-- > 0;) {
     free_list_.push_back(config_.first_pfn + i);
   }
+  stats_ = {};
+}
+
+void PageFrameAllocator::reset(FrameAllocatorConfig config) {
+  config_ = config;
+  prng_ = util::Prng{config.seed};
+  init();
 }
 
 std::size_t PageFrameAllocator::index_of(Pfn pfn) const {

@@ -63,6 +63,12 @@ class PageFrameAllocator {
   /// it; the reference must outlive the allocator.
   PageFrameAllocator(dram::DramModel& dram, FrameAllocatorConfig config);
 
+  /// Reinitializes in place to exactly the state a freshly constructed
+  /// allocator over the same DRAM would have (frame table, free-list
+  /// order, PRNG, stats), reusing vector storage — the board-pooling
+  /// fast path for same-shape reuse.
+  void reset(FrameAllocatorConfig config);
+
   [[nodiscard]] const FrameAllocatorConfig& config() const noexcept {
     return config_;
   }
@@ -99,6 +105,7 @@ class PageFrameAllocator {
   }
 
  private:
+  void init();
   [[nodiscard]] std::size_t index_of(Pfn pfn) const;
   void scrub(Pfn pfn);
 

@@ -40,6 +40,24 @@ PetaLinuxSystem::PetaLinuxSystem(SystemConfig config)
   add_user(0, "root");
 }
 
+void PetaLinuxSystem::reset(SystemConfig config) {
+  config_ = std::move(config);
+  dram_.reset(config_.board);
+  alloc_.reset(
+      mem::FrameAllocatorConfig{.first_pfn = config_.pool_first_pfn,
+                                .frame_count = config_.pool_frames,
+                                .sanitize = config_.sanitize,
+                                .placement = config_.placement,
+                                .seed = config_.seed});
+  procs_.clear();
+  users_.clear();
+  terminated_.clear();
+  next_pid_ = 1000;
+  now_s_ = config_.boot_seconds_of_day;
+  prng_ = util::Prng{config_.seed ^ 0x9d8f00dULL};
+  add_user(0, "root");
+}
+
 void PetaLinuxSystem::add_user(Uid uid, std::string name) {
   users_[uid] = std::move(name);
 }

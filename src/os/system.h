@@ -95,6 +95,14 @@ class PetaLinuxSystem {
  public:
   explicit PetaLinuxSystem(SystemConfig config = SystemConfig::zcu104());
 
+  /// Reboots the board in place to exactly the state
+  /// `PetaLinuxSystem{config}` would construct — DRAM content, frame
+  /// tables, process table, users, clock, and PRNG all reinitialized —
+  /// while reusing block and table storage. This is what makes victim
+  /// boards poolable across trials: reset + reuse is indistinguishable
+  /// from a fresh construction.
+  void reset(SystemConfig config);
+
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] dram::DramModel& dram() noexcept { return dram_; }
   [[nodiscard]] const dram::DramModel& dram() const noexcept { return dram_; }

@@ -66,17 +66,42 @@ class Prng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). bound must be nonzero.
-  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+  /// Uniform integer in [0, bound). bound must be nonzero. Defined
+  /// inline: the frame allocator, image generators, and remanence model
+  /// call this tens of millions of times per sweep, so the call must
+  /// fold into the caller's loop.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method with rejection to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      // 128-bit multiply-high to map r into [0, bound) without modulo.
+      const unsigned __int128 m = static_cast<unsigned __int128>(r) *
+                                  static_cast<unsigned __int128>(bound);
+      const auto low = static_cast<std::uint64_t>(m);
+      if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (lo >= hi) return lo;
+    return lo + below(hi - lo + 1);
+  }
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform01() noexcept;
+  [[nodiscard]] double uniform01() noexcept {
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
-  /// Bernoulli draw with probability p of returning true.
-  [[nodiscard]] bool chance(double p) noexcept;
+  /// Bernoulli draw with probability p of returning true. Consumes no
+  /// state when the outcome is certain (p <= 0 or p >= 1).
+  [[nodiscard]] bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
 
   /// Forks an independent stream (for per-component generators derived
   /// from one master seed).

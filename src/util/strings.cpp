@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <stdexcept>
 
 namespace msa::util {
@@ -80,12 +81,17 @@ std::vector<std::size_t> find_all(std::span<const std::uint8_t> haystack,
   std::vector<std::size_t> hits;
   if (needle.empty() || haystack.size() < needle.size()) return hits;
   const auto* n = reinterpret_cast<const std::uint8_t*>(needle.data());
+  const std::uint8_t* base = haystack.data();
   const std::size_t last = haystack.size() - needle.size();
-  for (std::size_t i = 0; i <= last; ++i) {
-    if (haystack[i] == n[0] &&
-        std::equal(n, n + needle.size(), haystack.data() + i)) {
-      hits.push_back(i);
-    }
+  // memchr skips runs without the lead byte at word speed; scraped dumps
+  // are mostly zeros or weight noise, so this dominates the scan.
+  std::size_t i = 0;
+  while (i <= last) {
+    const void* hit = std::memchr(base + i, n[0], last - i + 1);
+    if (hit == nullptr) break;
+    i = static_cast<std::size_t>(static_cast<const std::uint8_t*>(hit) - base);
+    if (std::equal(n, n + needle.size(), base + i)) hits.push_back(i);
+    ++i;
   }
   return hits;
 }

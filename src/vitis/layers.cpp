@@ -70,38 +70,73 @@ TensorShape Conv2d::output_shape(const TensorShape& in) const {
 }
 
 Tensor Conv2d::forward(const Tensor& in) const {
+  // Accumulator-plane formulation: for each (ic, ky, kx) tap, add the
+  // scalar-weighted input row into a reused int32 plane, then requantize
+  // the plane once per output channel. int32 addition is associative and
+  // commutative, so every output pixel receives exactly the same sum as
+  // the per-pixel gather loop — just in tap order instead of pixel order
+  // — while the inner loop becomes a dense multiply-accumulate the
+  // compiler can vectorize (no bounds checks, no out-of-line calls).
   const TensorShape os = output_shape(in.shape());
   Tensor out{os};
   const auto& ish = in.shape();
+  const std::int8_t* src = in.data().data();
+  std::int8_t* dst = out.data().data();
+  const std::size_t in_plane = static_cast<std::size_t>(ish.h) * ish.w;
+  const std::size_t out_plane = static_cast<std::size_t>(os.h) * os.w;
+  std::vector<std::int32_t> acc(out_plane);
   for (std::uint32_t oc = 0; oc < out_c_; ++oc) {
-    for (std::uint32_t oy = 0; oy < os.h; ++oy) {
-      for (std::uint32_t ox = 0; ox < os.w; ++ox) {
-        std::int32_t acc = bias_[oc];
-        for (std::uint32_t ic = 0; ic < in_c_; ++ic) {
-          for (std::uint32_t ky = 0; ky < k_; ++ky) {
-            const std::int64_t iy =
-                static_cast<std::int64_t>(oy) * stride_ + ky - pad_;
-            if (iy < 0 || iy >= ish.h) continue;
-            for (std::uint32_t kx = 0; kx < k_; ++kx) {
-              const std::int64_t ix =
-                  static_cast<std::int64_t>(ox) * stride_ + kx - pad_;
-              if (ix < 0 || ix >= ish.w) continue;
-              const std::int32_t w = weights_[((static_cast<std::size_t>(oc) *
-                                                    in_c_ +
-                                                ic) *
-                                                   k_ +
-                                               ky) *
-                                                  k_ +
-                                              kx];
-              acc += w * in.at(ic, static_cast<std::uint32_t>(iy),
-                               static_cast<std::uint32_t>(ix));
+    std::fill(acc.begin(), acc.end(), bias_[oc]);
+    const std::int8_t* wbase =
+        weights_.data() + static_cast<std::size_t>(oc) * in_c_ * k_ * k_;
+    for (std::uint32_t ic = 0; ic < in_c_; ++ic) {
+      const std::int8_t* plane = src + static_cast<std::size_t>(ic) * in_plane;
+      for (std::uint32_t ky = 0; ky < k_; ++ky) {
+        // iy = oy*stride + ky - pad must land in [0, ish.h); solve for
+        // the valid [oy0, oy1] range once instead of testing per pixel.
+        const std::int64_t off_y = static_cast<std::int64_t>(ky) - pad_;
+        const std::int64_t max_y = static_cast<std::int64_t>(ish.h) - 1 - off_y;
+        if (max_y < 0) continue;
+        const std::uint32_t oy0 =
+            off_y < 0 ? static_cast<std::uint32_t>((-off_y + stride_ - 1) /
+                                                   stride_)
+                      : 0;
+        const std::uint32_t oy1 = std::min(
+            static_cast<std::uint32_t>(max_y / stride_), os.h - 1);
+        for (std::uint32_t kx = 0; kx < k_; ++kx) {
+          const std::int64_t off_x = static_cast<std::int64_t>(kx) - pad_;
+          const std::int64_t max_x =
+              static_cast<std::int64_t>(ish.w) - 1 - off_x;
+          if (max_x < 0) continue;
+          const std::uint32_t ox0 =
+              off_x < 0 ? static_cast<std::uint32_t>((-off_x + stride_ - 1) /
+                                                     stride_)
+                        : 0;
+          const std::uint32_t ox1 = std::min(
+              static_cast<std::uint32_t>(max_x / stride_), os.w - 1);
+          if (ox0 > ox1 || oy0 > oy1) continue;
+          const std::int32_t w =
+              wbase[(static_cast<std::size_t>(ic) * k_ + ky) * k_ + kx];
+          if (w == 0) continue;
+          for (std::uint32_t oy = oy0; oy <= oy1; ++oy) {
+            const std::int8_t* in_row =
+                plane + (static_cast<std::int64_t>(oy) * stride_ + off_y) *
+                            ish.w;
+            std::int32_t* acc_row = acc.data() + static_cast<std::size_t>(oy) *
+                                                     os.w;
+            for (std::uint32_t ox = ox0; ox <= ox1; ++ox) {
+              acc_row[ox] +=
+                  w * in_row[static_cast<std::int64_t>(ox) * stride_ + off_x];
             }
           }
         }
-        std::int8_t v = requantize(acc, requant_shift_);
-        if (relu_ && v < 0) v = 0;
-        out.set(oc, oy, ox, v);
       }
+    }
+    std::int8_t* out_row = dst + static_cast<std::size_t>(oc) * out_plane;
+    for (std::size_t i = 0; i < out_plane; ++i) {
+      std::int8_t v = requantize(acc[i], requant_shift_);
+      if (relu_ && v < 0) v = 0;
+      out_row[i] = v;
     }
   }
   return out;
@@ -151,16 +186,28 @@ TensorShape MaxPool2d::output_shape(const TensorShape& in) const {
 Tensor MaxPool2d::forward(const Tensor& in) const {
   const TensorShape os = output_shape(in.shape());
   Tensor out{os};
+  const auto& ish = in.shape();
+  const std::int8_t* src = in.data().data();
+  std::int8_t* dst = out.data().data();
+  const std::size_t in_plane = static_cast<std::size_t>(ish.h) * ish.w;
+  const std::size_t out_plane = static_cast<std::size_t>(os.h) * os.w;
   for (std::uint32_t c = 0; c < os.c; ++c) {
+    const std::int8_t* plane = src + static_cast<std::size_t>(c) * in_plane;
+    std::int8_t* out_plane_p = dst + static_cast<std::size_t>(c) * out_plane;
     for (std::uint32_t oy = 0; oy < os.h; ++oy) {
+      std::int8_t* out_row = out_plane_p + static_cast<std::size_t>(oy) * os.w;
       for (std::uint32_t ox = 0; ox < os.w; ++ox) {
+        const std::int8_t* win =
+            plane + static_cast<std::size_t>(oy) * stride_ * ish.w +
+            static_cast<std::size_t>(ox) * stride_;
         std::int8_t best = -128;
         for (std::uint32_t ky = 0; ky < k_; ++ky) {
+          const std::int8_t* row = win + static_cast<std::size_t>(ky) * ish.w;
           for (std::uint32_t kx = 0; kx < k_; ++kx) {
-            best = std::max(best, in.at(c, oy * stride_ + ky, ox * stride_ + kx));
+            best = std::max(best, row[kx]);
           }
         }
-        out.set(c, oy, ox, best);
+        out_row[ox] = best;
       }
     }
   }
@@ -183,11 +230,12 @@ Tensor GlobalAvgPool::forward(const Tensor& in) const {
   const auto& ish = in.shape();
   Tensor out{TensorShape{ish.c, 1, 1}};
   const std::int64_t area = static_cast<std::int64_t>(ish.h) * ish.w;
+  const std::int8_t* src = in.data().data();
+  const std::size_t plane = static_cast<std::size_t>(ish.h) * ish.w;
   for (std::uint32_t c = 0; c < ish.c; ++c) {
+    const std::int8_t* p = src + static_cast<std::size_t>(c) * plane;
     std::int64_t sum = 0;
-    for (std::uint32_t y = 0; y < ish.h; ++y) {
-      for (std::uint32_t x = 0; x < ish.w; ++x) sum += in.at(c, y, x);
-    }
+    for (std::size_t i = 0; i < plane; ++i) sum += p[i];
     out.set(c, 0, 0, static_cast<std::int8_t>(sum / area));
   }
   return out;

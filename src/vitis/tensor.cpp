@@ -9,30 +9,19 @@ Tensor::Tensor(TensorShape shape, std::int8_t fill) : shape_{shape} {
   data_.assign(shape.volume(), fill);
 }
 
-std::int8_t Tensor::at(std::uint32_t c, std::uint32_t y, std::uint32_t x) const {
-  if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
-    throw std::out_of_range("Tensor::at");
-  }
-  return data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x];
-}
-
-void Tensor::set(std::uint32_t c, std::uint32_t y, std::uint32_t x,
-                 std::int8_t v) {
-  if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
-    throw std::out_of_range("Tensor::set");
-  }
-  data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x] = v;
-}
-
 Tensor tensor_from_image(const img::Image& image) {
-  Tensor t{TensorShape{3, image.height(), image.width()}};
-  for (std::uint32_t y = 0; y < image.height(); ++y) {
-    for (std::uint32_t x = 0; x < image.width(); ++x) {
-      const img::Rgb p = image.at(x, y);
-      t.set(0, y, x, static_cast<std::int8_t>(static_cast<int>(p.r) - 128));
-      t.set(1, y, x, static_cast<std::int8_t>(static_cast<int>(p.g) - 128));
-      t.set(2, y, x, static_cast<std::int8_t>(static_cast<int>(p.b) - 128));
-    }
+  const std::uint32_t h = image.height();
+  const std::uint32_t w = image.width();
+  Tensor t{TensorShape{3, h, w}};
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const img::Rgb* src = image.pixels().data();
+  std::int8_t* r = t.data().data();
+  std::int8_t* g = r + plane;
+  std::int8_t* b = g + plane;
+  for (std::size_t i = 0; i < plane; ++i) {
+    r[i] = static_cast<std::int8_t>(static_cast<int>(src[i].r) - 128);
+    g[i] = static_cast<std::int8_t>(static_cast<int>(src[i].g) - 128);
+    b[i] = static_cast<std::int8_t>(static_cast<int>(src[i].b) - 128);
   }
   return t;
 }

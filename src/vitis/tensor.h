@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "img/image.h"
@@ -30,9 +31,22 @@ class Tensor {
   [[nodiscard]] const TensorShape& shape() const noexcept { return shape_; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
 
+  // at/set stay bounds-checked but live in the header: inference kernels
+  // used to spend a double-digit share of a trial on out-of-line calls
+  // to these two accessors (billions of calls per sweep).
   [[nodiscard]] std::int8_t at(std::uint32_t c, std::uint32_t y,
-                               std::uint32_t x) const;
-  void set(std::uint32_t c, std::uint32_t y, std::uint32_t x, std::int8_t v);
+                               std::uint32_t x) const {
+    if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
+      throw std::out_of_range("Tensor::at");
+    }
+    return data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x];
+  }
+  void set(std::uint32_t c, std::uint32_t y, std::uint32_t x, std::int8_t v) {
+    if (c >= shape_.c || y >= shape_.h || x >= shape_.w) {
+      throw std::out_of_range("Tensor::set");
+    }
+    data_[(static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x] = v;
+  }
 
   [[nodiscard]] const std::vector<std::int8_t>& data() const noexcept {
     return data_;
