@@ -99,12 +99,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -142,12 +144,13 @@ int usage(const char* argv0) {
       "          [--trace-out FILE] [--csv PATH] [--json PATH] [--quiet]\n"
       "       %s merge [--workers-dir DIR | STORE...]\n"
       "                [--csv PATH] [--json PATH] [--quiet]\n"
-      "       %s stats [--format text|csv|json] [--workers-dir DIR | STORE...]\n"
-      "       %s diff [--format text|csv|json]\n"
+      "       %s stats [--format text|csv|json] [--cells AXIS=V1[,V2...]]...\n"
+      "                [--workers-dir DIR | STORE...]\n"
+      "       %s diff [--format text|csv|json] [--cells AXIS=V1[,V2...]]...\n"
       "               [--exit-on-significant [--metric M] [--direction D]\n"
       "                [--alpha A] [--min-effect E] [--permutations N]] A B\n"
       "                (A and B are each a store file or a workers dir)\n"
-      "       %s compact STORE...\n"
+      "       %s compact [--max-level-bytes N] STORE...\n"
       "       %s metrics [--format text|csv|json] [sweep flags...]\n"
       "       %s progress --workers-dir DIR [--once] [--interval-ms M]\n"
       "       %s axes\n"
@@ -156,6 +159,12 @@ int usage(const char* argv0) {
       "  take comma-separated finite non-negative reals\n"
       "  --axis sweeps any registered scenario knob (list them with the\n"
       "  `axes` subcommand); values are typed and validated per axis\n"
+      "  --cells restricts stats/diff to cells matching every given\n"
+      "  AXIS=VALUE[,VALUE...] clause (values by canonical label; on a\n"
+      "  compacted store only the matching blocks are read)\n"
+      "  compact rewrites stores into sorted block-indexed segments; the\n"
+      "  default merges everything into one segment, --max-level-bytes N\n"
+      "  keeps a tiered shape where levels over N bytes merge downward\n"
       "  --workers-dir is work-stealing mode (one process per --worker-id,\n"
       "  any number of machines over a shared filesystem); it excludes\n"
       "  --store/--resume/--shard/--cell-budget\n"
@@ -255,6 +264,33 @@ unsigned parse_positive(const char* argv0, const char* flag,
   const unsigned v = parse_unsigned(argv0, flag, s);
   if (v == 0) bad_number(argv0, flag, s);
   return v;
+}
+
+/// Byte counts (--max-level-bytes) go beyond unsigned range.
+std::uint64_t parse_u64(const char* argv0, const char* flag,
+                        const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    bad_number(argv0, flag, s);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    bad_number(argv0, flag, s);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// One "--cells AXIS=V1[,V2...]" occurrence; repeats AND together.
+bool parse_cells_clause(const std::string& spec,
+                        msa::persist::CellFilter* filter) {
+  try {
+    filter->clauses.push_back(msa::persist::CellFilter::parse_clause(spec));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--cells: %s\n", e.what());
+    return false;
+  }
+  return true;
 }
 
 std::vector<double> parse_doubles(const char* argv0, const char* flag,
@@ -371,6 +407,7 @@ int run_stats(const char* argv0, int argc, char** argv) {
   OutputFormat format = OutputFormat::kText;
   std::string workers_dir;
   std::vector<std::string> stores;
+  msa::persist::CellFilter filter;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -383,6 +420,9 @@ int run_stats(const char* argv0, int argc, char** argv) {
     } else if (arg == "--format") {
       const char* v = next();
       if (!v || !parse_format(v, &format)) return usage(argv0);
+    } else if (arg == "--cells") {
+      const char* v = next();
+      if (!v || !parse_cells_clause(v, &filter)) return usage(argv0);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv0);
     } else {
@@ -400,7 +440,8 @@ int run_stats(const char* argv0, int argc, char** argv) {
         return 1;
       }
     }
-    const msa::persist::SweepData data = msa::persist::load_sweep(stores);
+    const msa::persist::SweepData data =
+        msa::persist::load_sweep(stores, filter);
     const msa::campaign::StatsReport report = msa::campaign::analyze_sweep(data);
     const std::string out = format == OutputFormat::kText ? report.to_text()
                             : format == OutputFormat::kCsv ? report.to_csv()
@@ -424,6 +465,7 @@ int run_diff(const char* argv0, int argc, char** argv) {
   bool gate_enabled = false;
   bool gate_flag_seen = false;  // any of the gate-tuning flags
   msa::campaign::GateSpec spec;
+  msa::persist::CellFilter filter;
   std::vector<std::string> sides;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -433,6 +475,9 @@ int run_diff(const char* argv0, int argc, char** argv) {
     if (arg == "--format") {
       const char* v = next();
       if (!v || !parse_format(v, &format)) return usage(argv0);
+    } else if (arg == "--cells") {
+      const char* v = next();
+      if (!v || !parse_cells_clause(v, &filter)) return usage(argv0);
     } else if (arg == "--exit-on-significant") {
       gate_enabled = true;
     } else if (arg == "--metric") {
@@ -490,8 +535,10 @@ int run_diff(const char* argv0, int argc, char** argv) {
   }
 
   try {
-    const msa::persist::SweepData a = msa::persist::load_sweep_path(sides[0]);
-    const msa::persist::SweepData b = msa::persist::load_sweep_path(sides[1]);
+    const msa::persist::SweepData a =
+        msa::persist::load_sweep_path(sides[0], filter);
+    const msa::persist::SweepData b =
+        msa::persist::load_sweep_path(sides[1], filter);
     for (std::size_t side = 0; side < 2; ++side) {
       if ((side == 0 ? a : b).truncated_tail) {
         std::fprintf(stderr,
@@ -523,25 +570,35 @@ int run_diff(const char* argv0, int argc, char** argv) {
 }
 
 int run_compact(const char* argv0, int argc, char** argv) {
+  msa::persist::CompactOptions options;
   std::vector<std::string> stores;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (!arg.empty() && arg[0] == '-') return usage(argv0);
-    stores.push_back(arg);
+    if (arg == "--max-level-bytes") {
+      const char* v = i + 1 < argc ? argv[++i] : nullptr;
+      if (!v) return usage(argv0);
+      options.max_level_bytes = parse_u64(argv0, "--max-level-bytes", v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv0);
+    } else {
+      stores.push_back(arg);
+    }
   }
   if (stores.empty()) return usage(argv0);
 
   for (const std::string& path : stores) {
     try {
       const msa::persist::CompactionResult result =
-          msa::persist::compact_store(path);
+          msa::persist::compact_store(path, options);
       std::fprintf(stderr,
-                   "[campaign] compacted %s: %llu -> %llu bytes "
-                   "(%zu trial record(s), %zu cell record(s) dropped)\n",
+                   "[campaign] compacted %s: %llu -> %llu bytes, "
+                   "%zu segment(s) (%zu trial record(s), %zu cell "
+                   "record(s) dropped)\n",
                    path.c_str(),
                    static_cast<unsigned long long>(result.bytes_before),
                    static_cast<unsigned long long>(result.bytes_after),
-                   result.trials_dropped, result.cells_dropped);
+                   result.segments_live, result.trials_dropped,
+                   result.cells_dropped);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "compact failed: %s\n", e.what());
       return 1;

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Segmented-compaction byte-identity drill for `campaign_sweep compact`.
+#
+#   ci_compact_sweep.sh path/to/campaign_sweep
+#
+# The store contract this drill pins: compaction may rewrite the log
+# into sorted block-indexed segments, but every analysis artifact must
+# come out byte-identical afterwards. Concretely:
+#
+#  - stats/diff in all three formats (text/CSV/JSON), plus a --cells
+#    slice of each, are captured from flat stores, the stores are
+#    compacted (side A default, side B with a tiny --max-level-bytes to
+#    force the tiered merge path), and every artifact is re-captured
+#    and cmp'd byte for byte.
+#  - the regression gate replays against the segmented stores with the
+#    same exit code, verdict line, and diff JSON as the flat originals.
+#  - a shard-0 sweep compacted mid-campaign, then resumed with shard 1
+#    and compacted again under a generous level cap, keeps multiple
+#    live segments AND still renders the exact single-process stats.
+#  - a copy of the checked-in v1 golden store upgraded through
+#    compaction still emits the pre-refactor golden stats bytes, and a
+#    second compact of it is a no-op (bytes_before == bytes_after).
+# shellcheck source=scripts/ci_lib.sh
+. "$(dirname "$0")/ci_lib.sh"
+
+BIN=${1:?usage: ci_compact_sweep.sh path/to/campaign_sweep}
+ci_require_bin "$BIN"
+
+# 2 defenses x 2 models x 3 delays = 12 cells; enough for --cells to
+# carve a real sub-grid and for the gate drill to resolve a trip.
+axes=(--defenses baseline,zero_on_free --models resnet50_pt,squeezenet_pt
+      --delays 0,5,10 --scrubbers 0)
+common=(--trials 3 --threads 2 --quiet)
+
+# Side A: the normal sweep. Side B: the same grid with power-cycling
+# on, which kills remanence at these delays — so A->B is a guaranteed
+# attack-favoring regression for the gate leg below.
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --store "$tmp/flat_a.store" > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --axis power_cycled=1 --store "$tmp/flat_b.store" > /dev/null
+
+# capture DIR STORE_A STORE_B: every analysis artifact the drill
+# byte-compares — stats and diff in all three formats plus a --cells
+# slice, and the regress-gate verdict/JSON/exit-code triple.
+capture() {
+  local dir=$1 a=$2 b=$3
+  mkdir -p "$dir"
+  local fmt
+  for fmt in text csv json; do
+    timeout "$SWEEP_TIMEOUT" "$BIN" stats --format "$fmt" "$a" \
+      > "$dir/stats.$fmt"
+    timeout "$SWEEP_TIMEOUT" "$BIN" diff --format "$fmt" "$b" "$a" \
+      > "$dir/diff.$fmt"
+  done
+  timeout "$SWEEP_TIMEOUT" "$BIN" stats --cells delay_s=5,10 \
+    --cells defense=baseline "$a" > "$dir/stats_cells.txt"
+  timeout "$SWEEP_TIMEOUT" "$BIN" diff --format csv --cells delay_s=5,10 \
+    "$b" "$a" > "$dir/diff_cells.csv"
+  local rc=0
+  timeout "$SWEEP_TIMEOUT" "$BIN" diff --format json --exit-on-significant \
+    --direction regress "$b" "$a" \
+    > "$dir/gate.json" 2> "$dir/gate_verdict.txt" || rc=$?
+  echo "$rc" > "$dir/gate_rc.txt"
+}
+
+capture "$tmp/before" "$tmp/flat_a.store" "$tmp/flat_b.store"
+# Power-cycling kills every baseline cell, so the gate must have
+# tripped (exit 4) — otherwise the leg proves nothing.
+grep -q '^4$' "$tmp/before/gate_rc.txt"
+grep -q "regression gate TRIPPED" "$tmp/before/gate_verdict.txt"
+
+# --- compact both sides, re-capture, byte-compare ---------------------
+cp "$tmp/flat_a.store" "$tmp/seg_a.store"
+cp "$tmp/flat_b.store" "$tmp/seg_b.store"
+timeout "$SWEEP_TIMEOUT" "$BIN" compact "$tmp/seg_a.store" 2> /dev/null
+# A deliberately tiny level cap drives side B through the tiered-merge
+# path (L0 overflows and cascades) instead of the single-shot flush.
+timeout "$SWEEP_TIMEOUT" "$BIN" compact --max-level-bytes 1024 \
+  "$tmp/seg_b.store" 2> /dev/null
+[ -f "$tmp/seg_a.store.levels" ]
+[ -f "$tmp/seg_b.store.levels" ]
+
+capture "$tmp/after" "$tmp/seg_a.store" "$tmp/seg_b.store"
+for f in stats.text stats.csv stats.json stats_cells.txt \
+         diff.text diff.csv diff.json diff_cells.csv \
+         gate.json gate_verdict.txt gate_rc.txt; do
+  cmp "$tmp/before/$f" "$tmp/after/$f"
+done
+echo "compact byte-identity: 11/11 artifacts identical after compaction"
+
+# --- mid-campaign compaction with a tiered tail -----------------------
+# The first half of the grid (--cell-budget, exit 3 = incomplete) is
+# swept and compacted (segment #1), the sweep resumes to completion and
+# a second compact under a generous cap flushes the new cells as their
+# own L0 segment — the store now answers from two segments plus an
+# empty log tail, and must render the exact single-process stats.
+rc=0
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --cell-budget 6 --store "$tmp/tiered.store" > /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "budgeted sweep exited $rc, expected incomplete 3" >&2
+  exit 1
+fi
+timeout "$SWEEP_TIMEOUT" "$BIN" compact "$tmp/tiered.store" 2> /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" "${common[@]}" "${axes[@]}" \
+  --store "$tmp/tiered.store" --resume > /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" compact \
+  --max-level-bytes $((64 * 1024 * 1024)) "$tmp/tiered.store" \
+  2> "$tmp/tiered_compact.txt"
+grep -q "2 segment(s)" "$tmp/tiered_compact.txt"
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format csv "$tmp/tiered.store" \
+  > "$tmp/tiered_stats.csv"
+cmp "$tmp/before/stats.csv" "$tmp/tiered_stats.csv"
+echo "tiered resume: 2 live segments, stats byte-identical to flat sweep"
+
+# --- v1 golden upgraded through compaction ----------------------------
+# The oldest store format on record must ride through the segmented
+# rewrite and still print the checked-in pre-refactor stats goldens.
+cp "$REPO/tests/data/golden_v1_4axis.store" "$tmp/v1.store"
+timeout "$SWEEP_TIMEOUT" "$BIN" compact "$tmp/v1.store" 2> /dev/null
+timeout "$SWEEP_TIMEOUT" "$BIN" stats "$tmp/v1.store" > "$tmp/v1_stats.txt"
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format csv "$tmp/v1.store" \
+  > "$tmp/v1_stats.csv"
+timeout "$SWEEP_TIMEOUT" "$BIN" stats --format json "$tmp/v1.store" \
+  > "$tmp/v1_stats.json"
+cmp "$REPO/tests/data/golden_v1_stats.txt" "$tmp/v1_stats.txt"
+cmp "$REPO/tests/data/golden_v1_stats.csv" "$tmp/v1_stats.csv"
+cmp "$REPO/tests/data/golden_v1_stats.json" "$tmp/v1_stats.json"
+# Re-compacting the upgraded store is a stable no-op.
+timeout "$SWEEP_TIMEOUT" "$BIN" compact "$tmp/v1.store" \
+  2> "$tmp/v1_recompact.txt"
+python3 - "$tmp/v1_recompact.txt" <<'EOF'
+import re, sys
+line = open(sys.argv[1]).read()
+m = re.search(r"compacted .*: (\d+) -> (\d+) bytes", line)
+assert m, line
+assert m.group(1) == m.group(2), f"re-compact moved bytes: {line}"
+print("v1 golden: upgraded stats match goldens, re-compact is a no-op")
+EOF
+
+echo "ci_compact_sweep.sh: all compaction byte-identity checks passed"

@@ -3,165 +3,27 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
 #include "attack/scenario.h"
+#include "campaign/axis.h"
 #include "persist/encoding.h"
+#include "persist/manifest.h"
+#include "persist/segment.h"
+#include "persist/store_codec.h"
+#include "persist/store_reader.h"
 
 namespace msa::persist {
 
 namespace {
 
-// Record types inside a campaign store. Unknown types are skipped on
-// read so later format additions stay backward-readable.
-constexpr std::uint8_t kRecManifest = 1;
-constexpr std::uint8_t kRecTrial = 2;
-constexpr std::uint8_t kRecCell = 3;    ///< v1: four named axis fields
-constexpr std::uint8_t kRecCellV2 = 4;  ///< v2: ordered axis coordinates
-
-constexpr std::uint8_t kTrialDenied = 1u << 0;
-constexpr std::uint8_t kTrialModelIdentified = 1u << 1;
-
-std::vector<std::uint8_t> encode_trial(const TrialRecord& t) {
-  ByteWriter w;
-  w.varint(t.cell_index);
-  w.varint(t.trial);
-  std::uint8_t flags = 0;
-  if (t.denied) flags |= kTrialDenied;
-  if (t.model_identified) flags |= kTrialModelIdentified;
-  w.u8(flags);
-  w.f64(t.pixel_match);
-  w.f64(t.psnr);
-  w.f64(t.descriptor_pixel_match);
-  w.str(t.denial_reason);
-  return {w.bytes().begin(), w.bytes().end()};
-}
-
-TrialRecord decode_trial(std::span<const std::uint8_t> payload) {
-  ByteReader r{payload};
-  TrialRecord t;
-  t.cell_index = r.varint();
-  t.trial = static_cast<std::uint32_t>(r.varint());
-  const std::uint8_t flags = r.u8();
-  t.denied = (flags & kTrialDenied) != 0;
-  t.model_identified = (flags & kTrialModelIdentified) != 0;
-  t.pixel_match = r.f64();
-  t.psnr = r.f64();
-  t.descriptor_pixel_match = r.f64();
-  t.denial_reason = r.str();
-  return t;
-}
-
-void encode_axis_value(ByteWriter& w, const campaign::AxisValue& v) {
-  w.u8(static_cast<std::uint8_t>(v.kind));
-  switch (v.kind) {
-    case campaign::AxisKind::kString:
-    case campaign::AxisKind::kEnum:
-      w.str(v.str);
-      break;
-    case campaign::AxisKind::kDouble:
-      w.f64(v.num);
-      break;
-    case campaign::AxisKind::kBool:
-      w.u8(v.flag ? 1 : 0);
-      break;
-  }
-}
-
-campaign::AxisValue decode_axis_value(ByteReader& r) {
-  campaign::AxisValue v;
-  const std::uint8_t kind = r.u8();
-  switch (kind) {
-    case static_cast<std::uint8_t>(campaign::AxisKind::kString):
-      return campaign::AxisValue::of_string(r.str());
-    case static_cast<std::uint8_t>(campaign::AxisKind::kEnum):
-      return campaign::AxisValue::of_enum(r.str());
-    case static_cast<std::uint8_t>(campaign::AxisKind::kDouble):
-      return campaign::AxisValue::of_number(r.f64());
-    case static_cast<std::uint8_t>(campaign::AxisKind::kBool):
-      return campaign::AxisValue::of_bool(r.u8() != 0);
-    default:
-      throw std::runtime_error("persist: unknown axis-value kind " +
-                               std::to_string(kind));
-  }
-}
-
-void encode_cell_counters(ByteWriter& w, const campaign::CellStats& c) {
-  w.varint(c.trials);
-  w.varint(c.full_successes);
-  w.varint(c.model_identified);
-  w.varint(c.denials);
-  w.f64(c.mean_pixel_match);
-  w.f64(c.mean_psnr_db);
-  w.f64(c.mean_descriptor_pixel_match);
-  w.str(c.first_denial_reason);
-}
-
-void decode_cell_counters(ByteReader& r, campaign::CellStats& c) {
-  c.trials = static_cast<std::size_t>(r.varint());
-  c.full_successes = static_cast<std::size_t>(r.varint());
-  c.model_identified = static_cast<std::size_t>(r.varint());
-  c.denials = static_cast<std::size_t>(r.varint());
-  c.mean_pixel_match = r.f64();
-  c.mean_psnr_db = r.f64();
-  c.mean_descriptor_pixel_match = r.f64();
-  c.first_denial_reason = r.str();
-}
-
-// v2 cell record: ordered (axis, value) coordinates, then the counters.
-std::vector<std::uint8_t> encode_cell(const campaign::CellStats& c) {
-  ByteWriter w;
-  w.varint(c.index);
-  w.varint(c.coords.size());
-  for (const campaign::AxisCoordinate& coord : c.coords) {
-    w.str(coord.axis);
-    encode_axis_value(w, coord.value);
-  }
-  encode_cell_counters(w, c);
-  return {w.bytes().begin(), w.bytes().end()};
-}
-
-campaign::CellStats decode_cell_v2(std::span<const std::uint8_t> payload) {
-  ByteReader r{payload};
-  campaign::CellStats c;
-  c.index = static_cast<std::size_t>(r.varint());
-  const std::uint64_t coords = r.varint();
-  c.coords.reserve(coords);
-  for (std::uint64_t i = 0; i < coords; ++i) {
-    std::string axis = r.str();
-    campaign::AxisValue value = decode_axis_value(r);
-    c.coords.push_back({std::move(axis), std::move(value)});
-  }
-  decode_cell_counters(r, c);
-  return c;
-}
-
-// v1 cell record: the four hard-coded axis fields. Decoding synthesizes
-// the equivalent coordinates so everything downstream of read is
-// version-blind.
-campaign::CellStats decode_cell_v1(std::span<const std::uint8_t> payload) {
-  ByteReader r{payload};
-  campaign::CellStats c;
-  c.index = static_cast<std::size_t>(r.varint());
-  c.coords.reserve(4);
-  c.coords.push_back({"defense", campaign::AxisValue::of_string(r.str())});
-  c.coords.push_back({"model", campaign::AxisValue::of_string(r.str())});
-  c.coords.push_back({"delay_s", campaign::AxisValue::of_number(r.f64())});
-  c.coords.push_back(
-      {"scrubber_Bps", campaign::AxisValue::of_number(r.f64())});
-  decode_cell_counters(r, c);
-  return c;
-}
-
-/// The schema a v1 writer implicitly used: the legacy four axes. Value
-/// lists stay empty — v1 manifests never recorded them; the cells carry
-/// the actual values.
-std::vector<campaign::AxisSpec> legacy_axis_schema() {
-  return {{"defense", campaign::AxisKind::kString, {}},
-          {"model", campaign::AxisKind::kString, {}},
-          {"delay_s", campaign::AxisKind::kDouble, {}},
-          {"scrubber_Bps", campaign::AxisKind::kDouble, {}}};
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
 }  // namespace
@@ -255,6 +117,46 @@ std::string describe_manifest_mismatch(const StoreManifest& have,
   return out;
 }
 
+bool CellFilter::matches(
+    const std::vector<campaign::AxisCoordinate>& coords) const {
+  for (const Clause& clause : clauses) {
+    const campaign::AxisValue* value =
+        campaign::find_coord(coords, clause.axis);
+    if (value == nullptr) return false;
+    const std::string label = value->label();
+    if (std::find(clause.labels.begin(), clause.labels.end(), label) ==
+        clause.labels.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CellFilter::Clause CellFilter::parse_clause(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument(
+        "cell filter expects AXIS=VALUE[,VALUE...]: " + spec);
+  }
+  Clause clause;
+  clause.axis = spec.substr(0, eq);
+  std::size_t start = eq + 1;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end == start) {
+      throw std::invalid_argument("cell filter has an empty value: " + spec);
+    }
+    clause.labels.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (clause.labels.empty()) {
+    throw std::invalid_argument("cell filter has no values: " + spec);
+  }
+  return clause;
+}
+
 TrialRecord TrialRecord::from_result(std::uint64_t cell_index,
                                      std::uint32_t trial,
                                      const attack::ScenarioResult& result) {
@@ -287,6 +189,16 @@ CampaignStore::CampaignStore(const std::string& path,
         }
         if (mode == Mode::kResume && !usable) {
           throw std::runtime_error("persist: no store to resume: " + path);
+        }
+        if (!usable &&
+            std::filesystem::exists(levels_manifest_path(path))) {
+          // A sidecar without its log is a half-deleted store; writing a
+          // fresh log under it would attach the old segments to a new
+          // sweep. Refuse until the debris is cleared.
+          throw std::runtime_error(
+              "persist: stale levels manifest without its store log "
+              "(remove " +
+              levels_manifest_path(path) + " and its segments): " + path);
         }
         return usable;
       }()},
@@ -342,6 +254,32 @@ std::uint64_t CampaignStore::scan_existing() {
     throw std::runtime_error("persist: store has no manifest record: " +
                              path_);
   }
+
+  // Segmented store: the completed-cell map continues in the segments'
+  // cell blocks — the log was trimmed at the last compaction. Only the
+  // small cell blocks are read; resume never replays segment trial data,
+  // so seeking to the incomplete cells costs O(completed cells), not
+  // O(trials).
+  if (const std::optional<LevelsManifest> levels =
+          read_levels_manifest(path_)) {
+    if (!(levels->identity == manifest_)) {
+      throw std::runtime_error(
+          "persist: levels manifest belongs to a different sweep (" +
+          describe_manifest_mismatch(levels->identity, manifest_) +
+          "): " + path_);
+    }
+    for (const SegmentRef& ref : levels->segments) {
+      const SegmentReader segment{segment_path(path_, ref)};
+      if (!(segment.info().identity == manifest_)) {
+        throw std::runtime_error("persist: segment " + ref.file +
+                                 " belongs to a different sweep: " + path_);
+      }
+      for (campaign::CellStats& cell : segment.cells()) {
+        const std::uint64_t index = cell.index;
+        completed_.emplace(index, std::move(cell));
+      }
+    }
+  }
   return reader.valid_bytes();
 }
 
@@ -395,47 +333,7 @@ void CampaignStore::sync() {
 }
 
 StoreContents read_store(const std::string& path) {
-  StoreContents out;
-  bool saw_manifest = false;
-  std::map<std::uint64_t, campaign::CellStats> cells;
-  std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord> trials;
-
-  RecordReader reader{path};
-  for (std::optional<Record> rec = reader.next(); rec.has_value();
-       rec = reader.next()) {
-    switch (rec->type) {
-      case kRecManifest:
-        out.manifest = decode_store_manifest(rec->payload);
-        saw_manifest = true;
-        break;
-      case kRecTrial: {
-        TrialRecord t = decode_trial(rec->payload);
-        trials[{t.cell_index, t.trial}] = std::move(t);
-        break;
-      }
-      case kRecCell: {
-        campaign::CellStats c = decode_cell_v1(rec->payload);
-        cells[c.index] = std::move(c);
-        break;
-      }
-      case kRecCellV2: {
-        campaign::CellStats c = decode_cell_v2(rec->payload);
-        cells[c.index] = std::move(c);
-        break;
-      }
-      default:
-        break;  // unknown record type: forward-compatible skip
-    }
-  }
-  out.truncated_tail = reader.truncated();
-  if (!saw_manifest) {
-    throw std::runtime_error("persist: store has no manifest record: " + path);
-  }
-  out.cells.reserve(cells.size());
-  for (auto& [index, cell] : cells) out.cells.push_back(std::move(cell));
-  out.trials.reserve(trials.size());
-  for (auto& [key, trial] : trials) out.trials.push_back(std::move(trial));
-  return out;
+  return StoreReader{path}.read_all();
 }
 
 campaign::SweepReport merge_stores(const std::vector<std::string>& paths) {
@@ -494,7 +392,8 @@ campaign::SweepReport merge_stores(const std::vector<std::string>& paths) {
   return report;
 }
 
-SweepData load_sweep(const std::vector<std::string>& paths) {
+SweepData load_sweep(const std::vector<std::string>& paths,
+                     const CellFilter& filter) {
   if (paths.empty()) {
     throw std::runtime_error("persist: load_sweep needs at least one store");
   }
@@ -512,7 +411,7 @@ SweepData load_sweep(const std::vector<std::string>& paths) {
 
   bool first = true;
   for (const std::string& path : paths) {
-    StoreContents contents = read_store(path);
+    StoreContents contents = StoreReader{path}.read_matching(filter);
     if (first) {
       out.manifest = contents.manifest;
       first = false;
@@ -576,23 +475,48 @@ SweepData load_sweep(const std::vector<std::string>& paths) {
 }
 
 StoreTailer::Counts StoreTailer::poll() {
-  if (!record_file_usable(path_)) return counts_;
+  // Segment totals come from the levels manifest alone — no block
+  // reads. A generation bump means a compaction replaced the segment
+  // set and trimmed the log under us: rebase and rescan the (now tiny)
+  // log from the top.
   try {
-    RecordReader reader{path_, offset_};
-    while (const auto rec = reader.next()) {
-      switch (rec->type) {
-        case kRecTrial: ++counts_.trials; break;
-        case kRecCell:
-        case kRecCellV2: ++counts_.cells; break;
-        default: break;  // manifest / future record types
+    const std::optional<LevelsManifest> levels = read_levels_manifest(path_);
+    const std::uint64_t generation = levels ? levels->generation : 0;
+    if (generation != generation_) {
+      generation_ = generation;
+      offset_ = 0;
+      log_counts_ = {};
+      segment_counts_ = {};
+      if (levels.has_value()) {
+        for (const SegmentRef& ref : levels->segments) {
+          segment_counts_.trials += ref.trials;
+          segment_counts_.cells += ref.cells;
+        }
       }
     }
-    offset_ = reader.valid_bytes();
   } catch (const std::runtime_error&) {
-    // Mid-creation file (magic in flight) or transient I/O hiccup: a
-    // progress view reports nothing new and retries next poll.
+    // Sidecar mid-replacement: keep the previous view, retry next poll.
   }
-  return counts_;
+
+  if (record_file_usable(path_)) {
+    try {
+      RecordReader reader{path_, offset_};
+      while (const auto rec = reader.next()) {
+        switch (rec->type) {
+          case kRecTrial: ++log_counts_.trials; break;
+          case kRecCell:
+          case kRecCellV2: ++log_counts_.cells; break;
+          default: break;  // manifest / future record types
+        }
+      }
+      offset_ = reader.valid_bytes();
+    } catch (const std::runtime_error&) {
+      // Mid-creation file (magic in flight) or transient I/O hiccup: a
+      // progress view reports nothing new and retries next poll.
+    }
+  }
+  return {segment_counts_.trials + log_counts_.trials,
+          segment_counts_.cells + log_counts_.cells};
 }
 
 std::vector<std::string> list_store_files(const std::string& dir) {
@@ -607,15 +531,15 @@ std::vector<std::string> list_store_files(const std::string& dir) {
   return stores;
 }
 
-SweepData load_sweep_path(const std::string& path) {
+SweepData load_sweep_path(const std::string& path, const CellFilter& filter) {
   if (std::filesystem::is_directory(path)) {
     const std::vector<std::string> stores = list_store_files(path);
     if (stores.empty()) {
       throw std::runtime_error("persist: no *.store files in " + path);
     }
-    return load_sweep(stores);
+    return load_sweep(stores, filter);
   }
-  return load_sweep({path});
+  return load_sweep({path}, filter);
 }
 
 campaign::SweepReport merge_worker_stores(const std::vector<std::string>& paths) {
@@ -631,18 +555,89 @@ campaign::SweepReport merge_worker_stores(const std::vector<std::string>& paths)
   return report;
 }
 
-CompactionResult compact_store(const std::string& path) {
-  CompactionResult result;
-  result.bytes_before = std::filesystem::file_size(path);
+namespace {
 
-  // Single raw pass: last-wins maps plus the counts the dedupe drops.
+/// In-flight unit of compaction: one live segment (existing or written
+/// this pass) that may still be merged into a deeper level.
+struct CompactUnit {
+  std::string path;
+  std::uint32_t level = 0;
+  std::uint64_t sequence = 0;
+  std::unique_ptr<SegmentReader> reader;
+};
+
+using CellMap = std::map<std::uint64_t, campaign::CellStats>;
+using TrialMap = std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord>;
+
+std::vector<SegmentCell> to_segment_cells(CellMap cells, TrialMap trials) {
+  std::vector<SegmentCell> out;
+  out.reserve(cells.size());
+  for (auto& [index, stats] : cells) {
+    SegmentCell cell;
+    cell.stats = std::move(stats);
+    const auto lo = trials.lower_bound({index, 0});
+    const auto hi = trials.lower_bound({index + 1, 0});
+    for (auto it = lo; it != hi; ++it) {
+      cell.trials.push_back(std::move(it->second));
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+/// Drains `inputs` (ascending sequence = last-wins) into key maps,
+/// returning how many duplicate records the merge collapsed.
+std::pair<std::size_t, std::size_t> drain_units(
+    const std::vector<CompactUnit*>& inputs, CellMap& cells,
+    TrialMap& trials) {
+  std::size_t trial_records = 0;
+  std::size_t cell_records = 0;
+  for (const CompactUnit* unit : inputs) {
+    for (campaign::CellStats& cell : unit->reader->cells()) {
+      ++cell_records;
+      const std::uint64_t index = cell.index;
+      cells[index] = std::move(cell);
+    }
+    unit->reader->for_each_group([&](const SegmentReader::TrialGroup& group) {
+      for (const TrialRecord& t : group.trials) {
+        ++trial_records;
+        trials[{t.cell_index, t.trial}] = t;
+      }
+    });
+  }
+  return {trial_records - trials.size(), cell_records - cells.size()};
+}
+
+}  // namespace
+
+CompactionResult compact_store(const std::string& path,
+                               const CompactOptions& options) {
+  CompactionResult result;
+
+  // ---- Load the current state: sidecar + segments + raw log pass.
+  std::optional<LevelsManifest> levels = read_levels_manifest(path);
+  std::vector<CompactUnit> units;
+  std::uint64_t next_sequence = 0;
+  if (levels.has_value()) {
+    for (const SegmentRef& ref : levels->segments) {
+      CompactUnit unit;
+      unit.path = segment_path(path, ref);
+      unit.level = ref.level;
+      unit.sequence = ref.sequence;
+      unit.reader = std::make_unique<SegmentReader>(unit.path);
+      next_sequence = std::max(next_sequence, ref.sequence);
+      units.push_back(std::move(unit));
+    }
+  }
+
   StoreManifest manifest;
   bool saw_manifest = false;
-  std::map<std::uint64_t, campaign::CellStats> cells;
-  std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord> trials;
+  CellMap log_cells;
+  TrialMap log_trials;
   std::vector<Record> unknown;  // forward-compat: preserved verbatim
   std::size_t trial_records = 0;
   std::size_t cell_records = 0;
+  bool torn_tail = false;
   {
     RecordReader reader{path};
     for (std::optional<Record> rec = reader.next(); rec.has_value();
@@ -661,21 +656,21 @@ CompactionResult compact_store(const std::string& path) {
         case kRecTrial: {
           ++trial_records;
           TrialRecord t = decode_trial(rec->payload);
-          trials[{t.cell_index, t.trial}] = std::move(t);
+          log_trials[{t.cell_index, t.trial}] = std::move(t);
           break;
         }
         case kRecCell: {
           ++cell_records;
           campaign::CellStats c = decode_cell_v1(rec->payload);
           const std::uint64_t index = c.index;
-          cells[index] = std::move(c);
+          log_cells[index] = std::move(c);
           break;
         }
         case kRecCellV2: {
           ++cell_records;
           campaign::CellStats c = decode_cell_v2(rec->payload);
           const std::uint64_t index = c.index;
-          cells[index] = std::move(c);
+          log_cells[index] = std::move(c);
           break;
         }
         default:
@@ -683,45 +678,239 @@ CompactionResult compact_store(const std::string& path) {
           break;
       }
     }
+    torn_tail = reader.truncated();
   }
   if (!saw_manifest) {
     throw std::runtime_error("persist: store has no manifest record: " + path);
   }
+  if (levels.has_value() && !(levels->identity == manifest)) {
+    throw std::runtime_error(
+        "persist: levels manifest does not match store (" +
+        describe_manifest_mismatch(levels->identity, manifest) + "): " + path);
+  }
 
-  // Orphan trials (their cell never completed) are superseded too: a
-  // resume re-runs those cells and re-streams identical trials.
-  for (auto it = trials.begin(); it != trials.end();) {
-    if (!cells.contains(it->first.first)) {
-      it = trials.erase(it);
+  result.bytes_before = file_size_or_zero(path) +
+                        file_size_or_zero(levels_manifest_path(path));
+  for (const CompactUnit& unit : units) {
+    result.bytes_before += unit.reader->file_bytes();
+  }
+
+  // ---- Drop superseded log records. A cell is "completed" if any tier
+  // holds its aggregate; orphan trials (their cell never completed) are
+  // re-run and re-streamed by a resume, so they drop here.
+  std::set<std::uint64_t> completed;
+  CellMap segment_cells;
+  for (const CompactUnit& unit : units) {
+    for (campaign::CellStats& cell : unit.reader->cells()) {
+      const std::uint64_t index = cell.index;
+      completed.insert(index);
+      segment_cells[index] = std::move(cell);
+    }
+  }
+  for (const auto& [index, cell] : log_cells) completed.insert(index);
+  for (auto it = log_trials.begin(); it != log_trials.end();) {
+    if (!completed.contains(it->first.first)) {
+      it = log_trials.erase(it);
     } else {
       ++it;
     }
   }
-  result.trials_dropped = trial_records - trials.size();
-  result.cells_dropped = cell_records - cells.size();
+  result.trials_dropped = trial_records - log_trials.size();
+  result.cells_dropped = cell_records - log_cells.size();
 
-  // Rewrite to a sibling and rename over the original only once the
-  // replacement is durable; a crash mid-compaction leaves the source
-  // untouched (plus at most a stale .compact file the next run clobbers).
-  const std::string tmp = path + ".compact";
-  {
-    RecordWriter writer{tmp, RecordWriter::Mode::kTruncate};
-    writer.append(kRecManifest, encode_store_manifest(manifest));
-    for (const auto& [key, trial] : trials) {
-      writer.append(kRecTrial, encode_trial(trial));
+  const bool log_dirty = trial_records > 0 || cell_records > 0 || torn_tail;
+  bool changed = false;
+
+  // ---- Flush the log's data into a fresh level-0 segment. Trials of a
+  // cell completed in an older segment (crash-window duplicates) flush
+  // under that segment's aggregate — bit-identical, deduped on merge.
+  if (!log_cells.empty() || !log_trials.empty()) {
+    CellMap flush_cells = log_cells;
+    for (const auto& [key, t] : log_trials) {
+      if (!flush_cells.contains(key.first)) {
+        flush_cells[key.first] = segment_cells.at(key.first);
+      }
     }
-    // Cells rewrite as v2 records (and the manifest re-encodes as v2
-    // above): compacting a v1 store upgrades it in place.
-    for (const auto& [index, cell] : cells) {
-      writer.append(kRecCellV2, encode_cell(cell));
-    }
-    for (const Record& rec : unknown) {
-      writer.append(rec.type, rec.payload);
-    }
-    writer.sync();
+    CompactUnit unit;
+    unit.level = 0;
+    unit.sequence = ++next_sequence;
+    unit.path = (std::filesystem::path(path).parent_path() /
+                 segment_file_name(path, unit.sequence))
+                    .string();
+    SegmentWriteOptions write_options;
+    write_options.block_bytes = options.block_bytes;
+    write_segment(unit.path, unit.level, unit.sequence, manifest,
+                  to_segment_cells(std::move(flush_cells),
+                                   std::move(log_trials)),
+                  write_options);
+    unit.reader = std::make_unique<SegmentReader>(unit.path);
+    units.push_back(std::move(unit));
+    ++result.segments_written;
+    changed = true;
   }
-  std::filesystem::rename(tmp, path);
-  result.bytes_after = std::filesystem::file_size(path);
+
+  // ---- Tier merge. Default (cap 0): everything into one sorted
+  // segment. Tiered (cap > 0): any level over the cap merges, together
+  // with the next level down, into a single deeper segment — young
+  // levels stay small and churn, old levels are rewritten rarely.
+  std::vector<std::string> obsolete;
+  const auto merge_into = [&](std::vector<std::size_t> input_indices,
+                              std::uint32_t out_level) {
+    std::vector<CompactUnit*> inputs;
+    inputs.reserve(input_indices.size());
+    for (const std::size_t i : input_indices) inputs.push_back(&units[i]);
+    std::sort(inputs.begin(), inputs.end(),
+              [](const CompactUnit* a, const CompactUnit* b) {
+                return a->sequence < b->sequence;
+              });
+    CellMap cells;
+    TrialMap trials;
+    const auto [dup_trials, dup_cells] = drain_units(inputs, cells, trials);
+    result.trials_dropped += dup_trials;
+    result.cells_dropped += dup_cells;
+
+    CompactUnit unit;
+    unit.level = out_level;
+    unit.sequence = ++next_sequence;
+    unit.path = (std::filesystem::path(path).parent_path() /
+                 segment_file_name(path, unit.sequence))
+                    .string();
+    SegmentWriteOptions write_options;
+    write_options.block_bytes = options.block_bytes;
+    write_segment(unit.path, unit.level, unit.sequence, manifest,
+                  to_segment_cells(std::move(cells), std::move(trials)),
+                  write_options);
+    unit.reader = std::make_unique<SegmentReader>(unit.path);
+    ++result.segments_written;
+    changed = true;
+
+    std::sort(input_indices.begin(), input_indices.end(),
+              std::greater<std::size_t>{});
+    for (const std::size_t i : input_indices) {
+      obsolete.push_back(units[i].path);
+      units.erase(units.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    units.push_back(std::move(unit));
+  };
+
+  if (options.max_level_bytes == 0) {
+    if (units.size() > 1) {
+      std::vector<std::size_t> all(units.size());
+      for (std::size_t i = 0; i < units.size(); ++i) all[i] = i;
+      std::uint32_t deepest = 1;
+      for (const CompactUnit& unit : units) {
+        deepest = std::max(deepest, unit.level);
+      }
+      merge_into(std::move(all), deepest);
+    }
+  } else {
+    for (bool merged = true; merged;) {
+      merged = false;
+      std::map<std::uint32_t, std::vector<std::size_t>> by_level;
+      std::map<std::uint32_t, std::uint64_t> level_bytes;
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        by_level[units[i].level].push_back(i);
+        level_bytes[units[i].level] += units[i].reader->file_bytes();
+      }
+      for (const auto& [level, indices] : by_level) {
+        if (level_bytes[level] <= options.max_level_bytes) continue;
+        std::vector<std::size_t> inputs = indices;
+        const auto next = by_level.find(level + 1);
+        if (next != by_level.end()) {
+          inputs.insert(inputs.end(), next->second.begin(),
+                        next->second.end());
+        }
+        // A single oversized segment with nothing to merge against
+        // would only be relabeled deeper forever — leave it be.
+        if (inputs.size() < 2) continue;
+        merge_into(std::move(inputs), level + 1);
+        merged = true;
+        break;  // unit indices are stale; recompute the level map
+      }
+    }
+  }
+
+  // ---- Publish. No-op when nothing changed and the log is already
+  // clean: repeated compaction must be byte-stable.
+  if (!changed && !log_dirty) {
+    result.bytes_after = result.bytes_before;
+    result.segments_live = units.size();
+    result.generation = levels.has_value() ? levels->generation : 0;
+    return result;
+  }
+
+  if (!units.empty() || levels.has_value()) {
+    LevelsManifest out;
+    out.generation = (levels.has_value() ? levels->generation : 0) + 1;
+    out.identity = manifest;
+    // Round-trip the identity through its encoding so a v1 manifest
+    // upgrades to the version the trimmed log will carry.
+    out.identity = decode_store_manifest(encode_store_manifest(manifest));
+    for (const CompactUnit& unit : units) {
+      SegmentRef ref;
+      ref.file = std::filesystem::path(unit.path).filename().string();
+      ref.level = unit.level;
+      ref.sequence = unit.sequence;
+      ref.bytes = unit.reader->file_bytes();
+      ref.trials = unit.reader->info().trial_count;
+      ref.cells = unit.reader->info().cell_count;
+      out.segments.push_back(std::move(ref));
+    }
+    std::sort(out.segments.begin(), out.segments.end(),
+              [](const SegmentRef& a, const SegmentRef& b) {
+                return a.sequence < b.sequence;
+              });
+    result.generation = out.generation;
+    write_levels_manifest(path, out);
+  }
+
+  // Trim the log to its write-ahead essentials: the manifest record and
+  // any unknown (future-format) records, preserved verbatim. Rename over
+  // the original only once durable; fsync the directory so a crash
+  // cannot resurrect the fat pre-compaction log.
+  {
+    const std::string tmp = path + ".compact";
+    {
+      RecordWriter writer{tmp, RecordWriter::Mode::kTruncate};
+      writer.append(kRecManifest, encode_store_manifest(manifest));
+      for (const Record& rec : unknown) {
+        writer.append(rec.type, rec.payload);
+      }
+      writer.sync();
+    }
+    std::filesystem::rename(tmp, path);
+    fsync_parent_dir(path);
+  }
+
+  // Obsolete segments last: the manifest no longer names them, so a
+  // crash before this point merely leaves invisible debris (cleared by
+  // the stale-file sweep below, next compaction).
+  std::set<std::string> live;
+  for (const CompactUnit& unit : units) {
+    live.insert(std::filesystem::path(unit.path).filename().string());
+  }
+  {
+    const std::filesystem::path store{path};
+    const std::string base = store.filename().string();
+    std::filesystem::path dir = store.parent_path();
+    if (dir.empty()) dir = ".";
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > base.size() && name.starts_with(base) &&
+          name.ends_with(".seg") && !live.contains(name)) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+  fsync_parent_dir(path);
+
+  result.segments_live = units.size();
+  result.bytes_after = file_size_or_zero(path) +
+                       file_size_or_zero(levels_manifest_path(path));
+  for (const CompactUnit& unit : units) {
+    result.bytes_after += unit.reader->file_bytes();
+  }
   return result;
 }
 

@@ -29,11 +29,20 @@ struct ScenarioResult;
 
 namespace msa::persist {
 
-/// Current store format. v2 added the serialized axis schema to the
+/// Current LOG format. v2 added the serialized axis schema to the
 /// manifest and the coordinate-carrying cell record (kRecCellV2); v1
 /// stores remain readable — decode synthesizes the legacy four-axis
 /// schema for them — but cannot be resumed by a v2 writer.
 inline constexpr std::uint32_t kStoreFormatVersion = 2;
+
+/// Effective format of a SEGMENTED store: a v2 write-ahead log plus a
+/// `.levels` sidecar naming sorted block-indexed segments (see
+/// persist/manifest.h). v3 changes no log bytes — the log manifest still
+/// encodes version 2, so flat and segmented stores of one sweep remain
+/// identity-equal and mergeable — which is why this is a separate
+/// constant rather than a bump of kStoreFormatVersion. Readers report it
+/// via StoreContents::format / StoreReader::format_version().
+inline constexpr std::uint32_t kSegmentedStoreFormat = 3;
 
 /// Identity of the sweep a store file belongs to.
 struct StoreManifest {
@@ -158,20 +167,50 @@ class CampaignStore {
   RecordWriter writer_;
 };
 
+/// Cell-coordinate predicate: AND of per-axis allowed-label clauses (a
+/// cell matches when, for every clause, its value on that axis — by
+/// canonical label — is one of the listed labels). Empty filter = match
+/// everything. This is the `--cells AXIS=VALUE[,...]` CLI surface, and
+/// the thing StoreReader turns into indexed block reads on a segmented
+/// store.
+struct CellFilter {
+  struct Clause {
+    std::string axis;
+    std::vector<std::string> labels;
+  };
+  std::vector<Clause> clauses;
+
+  [[nodiscard]] bool empty() const noexcept { return clauses.empty(); }
+  [[nodiscard]] bool matches(
+      const std::vector<campaign::AxisCoordinate>& coords) const;
+
+  /// Parses one "AXIS=V1[,V2...]" spec into a clause; throws
+  /// std::invalid_argument on a malformed spec (no '=', empty axis or
+  /// value list). Repeated flags append clauses (AND).
+  static Clause parse_clause(const std::string& spec);
+};
+
 /// Read-only snapshot of a store file.
 struct StoreContents {
   StoreManifest manifest;
+  /// kSegmentedStoreFormat when a levels sidecar is present, else the
+  /// log manifest's version (1 or 2).
+  std::uint32_t format = 0;
   /// Completed cells sorted by global index (duplicates last-wins).
   std::vector<campaign::CellStats> cells;
   /// Trial stream sorted by (cell index, trial), deduplicated last-wins.
   std::vector<TrialRecord> trials;
-  /// True when a torn/corrupt tail was dropped while reading.
+  /// True when a torn/corrupt tail was dropped while reading the LOG
+  /// (segments are immutable and reject damage instead of healing).
   bool truncated_tail = false;
 };
 
-/// Loads everything readable from a store, stopping cleanly at a torn
-/// tail. Throws std::runtime_error for a missing/misframed file or a
-/// store with no manifest record.
+/// Loads everything readable from a store — log and, for a segmented
+/// store, its blocks — stopping cleanly at a torn log tail. Throws
+/// std::runtime_error for a missing/misframed file, a store with no
+/// manifest record, or a damaged segment/sidecar. (Convenience wrapper
+/// over StoreReader::read_all(); see persist/store_reader.h for the
+/// cell-range interface.)
 [[nodiscard]] StoreContents read_store(const std::string& path);
 
 /// Reassembles shard stores into the single-process sweep report, cells
@@ -201,20 +240,32 @@ struct SweepData {
   std::size_t duplicate_trials = 0;  ///< identical copies dropped
   bool truncated_tail = false;       ///< any store had a torn tail
 };
-[[nodiscard]] SweepData load_sweep(const std::vector<std::string>& paths);
+/// When `filter` is non-empty only matching completed cells (and their
+/// trials) load — on a segmented store via the block index, on a flat
+/// store by scan-and-drop — so filtered flat and segmented views of the
+/// same data are identical. Orphan trials of never-completed cells are
+/// excluded under a filter (their coordinates are unknowable without the
+/// cell record).
+[[nodiscard]] SweepData load_sweep(const std::vector<std::string>& paths,
+                                   const CellFilter& filter = {});
 
 /// Incremental tail reader over one store file for progress views: each
 /// poll() parses only the bytes appended since the previous poll and
 /// counts trial / completed-cell records. Tolerates a file that does not
 /// exist yet and torn tails (both simply yield no new records until the
 /// writer catches up — the same heal-on-reparse strategy as
-/// LeaseDirScanner). Read-only; safe to point at a live worker's store.
+/// LeaseDirScanner). Segment-aware: on a segmented store the per-segment
+/// totals come from the levels manifest (no block reads at all), the log
+/// tail is followed by offset as before, and a generation bump — a
+/// compaction trimming the log under the poller — rebases the counts
+/// instead of double- or under-counting. Read-only; safe to point at a
+/// live worker's store.
 class StoreTailer {
  public:
   explicit StoreTailer(std::string path) : path_{std::move(path)} {}
 
   struct Counts {
-    std::uint64_t trials = 0;  ///< trial records seen (duplicates included)
+    std::uint64_t trials = 0;  ///< trial records seen (log duplicates included)
     std::uint64_t cells = 0;   ///< completed-cell records seen
   };
 
@@ -223,8 +274,10 @@ class StoreTailer {
 
  private:
   std::string path_;
-  std::uint64_t offset_ = 0;  ///< last intact frame boundary
-  Counts counts_;
+  std::uint64_t offset_ = 0;      ///< last intact log frame boundary
+  std::uint64_t generation_ = 0;  ///< levels-manifest generation seen
+  Counts segment_counts_;         ///< totals from the levels manifest
+  Counts log_counts_;             ///< records tailed from the log
 };
 
 /// Every "*.store" file directly under `dir`, sorted by path — the
@@ -236,7 +289,8 @@ class StoreTailer {
 /// file. Throws std::runtime_error when a directory holds no stores —
 /// and this is the loader `campaign_sweep diff` uses per side, so each
 /// side of a comparison can independently be a file or a directory.
-[[nodiscard]] SweepData load_sweep_path(const std::string& path);
+[[nodiscard]] SweepData load_sweep_path(const std::string& path,
+                                        const CellFilter& filter = {});
 
 /// Lease-mode merge: load_sweep over the worker stores plus the full-
 /// coverage check, yielding the report in grid order — byte-identical to
@@ -245,22 +299,49 @@ class StoreTailer {
 [[nodiscard]] campaign::SweepReport merge_worker_stores(
     const std::vector<std::string>& paths);
 
-/// Rewrites a store in place, dropping superseded records a resumed or
-/// raced sweep leaves behind: duplicate trial records (same cell+trial;
-/// last wins), duplicate cell records (last wins), trial records of
-/// cells that never completed (a resume re-runs and re-streams them),
-/// and the torn tail if any. Record framing is unchanged (every rewritten
-/// record is one the store already held, so kMaxRecordBody is respected
-/// by construction). The rewrite goes to `path + ".compact"` and is
-/// renamed over the original only after a flush+fsync — a crash mid-
-/// compaction never harms the source. Do not compact a store a live
-/// worker has open.
+/// Compaction tuning. The default (max_level_bytes = 0) merges the log
+/// and every existing segment into one sorted segment — the smallest,
+/// fastest-to-query store. A nonzero max_level_bytes keeps a tiered
+/// shape instead: the log always flushes to a fresh level-0 segment, and
+/// any level whose total bytes exceed the cap merges into the next level
+/// — repeated compactions of a growing store then rewrite only the
+/// young, small levels instead of the whole history every time.
+struct CompactOptions {
+  std::uint64_t max_level_bytes = 0;
+  /// Segment trial-block target (SegmentWriteOptions::block_bytes).
+  std::size_t block_bytes = 64 * 1024;
+};
+
+/// Compacts a store into segmented (v3) form, dropping superseded
+/// records a resumed or raced sweep leaves behind: duplicate trial
+/// records (same cell+trial; last wins), duplicate cell records (last
+/// wins), trial records of cells that never completed (a resume re-runs
+/// and re-streams them), and the torn log tail if any. The log's
+/// completed cells flush into a sorted block-indexed segment, levels
+/// merge per `options`, and the log is trimmed to its manifest record
+/// (it stays the write-ahead tier for future appends). Unknown record
+/// types are preserved verbatim in the log for forward compatibility.
+///
+/// Crash-safe by write ordering: new segments are fsynced (file and
+/// directory) before the levels manifest names them, the manifest
+/// replacement is atomic, the trimmed log replaces the old one only
+/// after a flush+fsync, and obsolete segment files are deleted last. A
+/// crash at any point leaves a readable store — at worst with invisible
+/// debris or bit-identical log/segment duplicates that the next
+/// compaction clears. Do not compact a store a live worker has open.
+///
+/// Compacting an already-compacted store with nothing new is a no-op
+/// (bytes_after == bytes_before, nothing dropped, generation unchanged).
 struct CompactionResult {
-  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_before = 0;  ///< log + sidecar + segments
   std::uint64_t bytes_after = 0;
   std::size_t trials_dropped = 0;  ///< duplicates + orphans of incomplete cells
   std::size_t cells_dropped = 0;   ///< superseded duplicate cell records
+  std::size_t segments_written = 0;  ///< new segment files this pass
+  std::size_t segments_live = 0;     ///< segment files after compaction
+  std::uint64_t generation = 0;      ///< levels-manifest generation after
 };
-[[nodiscard]] CompactionResult compact_store(const std::string& path);
+[[nodiscard]] CompactionResult compact_store(const std::string& path,
+                                             const CompactOptions& options = {});
 
 }  // namespace msa::persist

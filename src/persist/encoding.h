@@ -58,6 +58,12 @@ class ByteWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Raw bytes, no length prefix — for splicing an already-encoded,
+  /// self-delimiting payload (a segment block entry) into a buffer.
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
   [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
     return buf_;
   }

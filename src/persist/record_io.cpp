@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -59,6 +60,27 @@ bool read_exact(std::FILE* f, const std::string& path, std::uint8_t* out,
 }
 
 }  // namespace
+
+void fsync_parent_dir(const std::string& file_path) {
+#if defined(_WIN32)
+  (void)file_path;  // directory entries cannot be fsynced on Windows
+#else
+  std::filesystem::path dir = std::filesystem::path(file_path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) io_error("cannot open directory for fsync", dir.string());
+  const std::uint64_t start_ns = util::monotonic_ns();
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    io_error("directory fsync failed", dir.string());
+  }
+  ::close(fd);
+  fsync_counter().add();
+  fsync_histogram().record(util::monotonic_ns() - start_ns);
+#endif
+}
 
 bool record_file_usable(const std::string& path) {
   std::error_code ec;

@@ -34,6 +34,15 @@ struct Record {
   std::vector<std::uint8_t> payload;
 };
 
+/// fsync(2) the directory containing `file_path`, making a just-created
+/// or just-renamed directory entry durable. Renaming a compacted store
+/// (or a fresh segment / levels manifest) into place is only crash-proof
+/// once the PARENT directory is synced — without it a power loss can
+/// resurrect the pre-rename file even though the rename "succeeded".
+/// No-op on Windows (directories have no fsync there); throws
+/// std::runtime_error on a genuine I/O failure elsewhere.
+void fsync_parent_dir(const std::string& file_path);
+
 /// True when `path` exists and is at least magic-sized — i.e. worth
 /// opening for append-resume. A shorter file is the debris of a process
 /// killed between creating the file and writing the magic; resuming

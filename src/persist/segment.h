@@ -1,0 +1,148 @@
+// Immutable sorted segments — the SSTable-shaped tier campaign-store
+// compaction writes. A segment holds one store's completed cells and
+// their trials, sorted by (cell axis-key, trial index) and grouped into
+// CRC-framed blocks, with a first-key block index and a fixed-size footer
+// so a reader seeks straight to the blocks of one cell instead of
+// replaying the whole file:
+//
+//   magic | header | trial block ... | cell block ... | index | footer
+//
+// Every piece is a standard RecordWriter frame ([len][crc][type+payload]),
+// so torn writes are detected by the same CRC machinery as the log. The
+// footer frame has a fixed size and sits at EOF; opening a segment reads
+// it first (seek to size-57), then the index it points at. Any truncation
+// or corruption therefore fails loudly at open — a segment is immutable
+// once written, so unlike the append-only log there is no tail to heal:
+// the reader REJECTS a damaged segment with a named error and never
+// serves a partial view of it.
+//
+// Layout invariants:
+//  - trial blocks: groups of whole cells — a cell's trials never split
+//    across blocks, so the block whose first key is the greatest key
+//    <= K is the ONLY block that can hold cell K.
+//  - cell blocks: the per-cell aggregate records, separately from the
+//    (much larger) trial data, so `cells()` — the resume path and every
+//    progress poll — reads a few small blocks and no trial bytes.
+//  - the header pins the owning store's identity manifest; readers refuse
+//    a segment from a different sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/campaign_store.h"
+
+namespace msa::persist {
+
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+
+/// Fixed-size footer frame: 8 (frame header) + 1 (type) + 48 (payload).
+inline constexpr std::uint64_t kSegmentFooterFrameBytes = 57;
+
+/// Identity and totals of one segment, from its header + footer.
+struct SegmentInfo {
+  std::uint32_t format = kSegmentFormatVersion;
+  std::uint32_t level = 0;     ///< compaction tier (0 = freshest flush)
+  std::uint64_t sequence = 0;  ///< global write order; later wins on read
+  StoreManifest identity;      ///< the owning store's manifest
+  std::uint64_t trial_count = 0;
+  std::uint64_t cell_count = 0;
+};
+
+/// Write unit: one completed cell and its trial stream.
+struct SegmentCell {
+  campaign::CellStats stats;
+  std::vector<TrialRecord> trials;
+};
+
+struct SegmentWriteOptions {
+  /// Target block payload size; a block closes at the first whole cell
+  /// that reaches it (one oversized cell still becomes one block).
+  std::size_t block_bytes = 64 * 1024;
+};
+
+/// Writes `cells` as a fresh segment at `path` (clobbering any stale file
+/// from an interrupted compaction), sorted by cell key, then syncs the
+/// file AND its parent directory — once this returns, the segment exists
+/// after power loss. Returns the totals that go into the levels manifest.
+SegmentInfo write_segment(const std::string& path, std::uint32_t level,
+                          std::uint64_t sequence,
+                          const StoreManifest& identity,
+                          std::vector<SegmentCell> cells,
+                          const SegmentWriteOptions& options = {});
+
+/// Random-access reader over one segment. The constructor validates
+/// footer, header and index (throwing "persist: segment ..." errors on
+/// any damage); block reads happen on demand and feed the
+/// persist.segment_bytes_read / persist.segment_blocks_read counters, so
+/// tests and benches can assert an indexed query touched a small
+/// fraction of the file.
+class SegmentReader {
+ public:
+  explicit SegmentReader(std::string path);
+
+  [[nodiscard]] const SegmentInfo& info() const noexcept { return info_; }
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept {
+    return file_bytes_;
+  }
+
+  /// Every completed cell, in key order (decoded from the cell blocks —
+  /// no trial bytes are touched).
+  [[nodiscard]] std::vector<campaign::CellStats> cells() const;
+
+  /// One cell's trials, located via the first-key index: reads exactly
+  /// one trial block. `key` is the encoded cell key (encode_cell_key);
+  /// empty result when the segment holds no such cell.
+  [[nodiscard]] std::vector<TrialRecord> trials_for_key(
+      std::span<const std::uint8_t> key) const;
+
+  /// One cell's aggregate via the cell-block index: reads exactly one
+  /// (small) cell block, nullopt when the segment holds no such cell.
+  [[nodiscard]] std::optional<campaign::CellStats> cell_for_key(
+      std::span<const std::uint8_t> key) const;
+
+  /// Index of the single trial block that can hold `key`, nullopt when
+  /// the key sorts before every block. Lets a caller reading several
+  /// cells read each shared block once.
+  [[nodiscard]] std::optional<std::size_t> trial_block_for(
+      std::span<const std::uint8_t> key) const;
+  [[nodiscard]] std::size_t trial_block_count() const noexcept {
+    return trial_blocks_.size();
+  }
+
+  struct TrialGroup {
+    std::vector<std::uint8_t> key;  ///< encoded cell key
+    std::vector<TrialRecord> trials;
+  };
+  /// Decodes one trial block into its per-cell groups (key order).
+  [[nodiscard]] std::vector<TrialGroup> read_trial_block(
+      std::size_t block) const;
+
+  /// Streams every trial group in key order — the full-merge path.
+  void for_each_group(const std::function<void(const TrialGroup&)>& fn) const;
+
+ private:
+  struct BlockRef {
+    std::vector<std::uint8_t> first_key;          ///< encoded
+    std::vector<campaign::AxisCoordinate> first;  ///< decoded, for ordering
+    std::uint64_t offset = 0;  ///< frame start (RecordReader resume offset)
+    std::uint64_t frame_len = 0;
+    std::uint64_t count = 0;  ///< trials (trial block) or cells (cell block)
+  };
+
+  /// Reads the single frame starting at `offset`, validating its type.
+  [[nodiscard]] std::vector<std::uint8_t> read_frame_at(
+      std::uint64_t offset, std::uint8_t expect_type) const;
+
+  std::string path_;
+  std::uint64_t file_bytes_ = 0;
+  SegmentInfo info_;
+  std::vector<BlockRef> trial_blocks_;
+  std::vector<BlockRef> cell_blocks_;
+};
+
+}  // namespace msa::persist

@@ -1,0 +1,62 @@
+// Shared on-disk codecs for campaign-store records. One encoder per
+// record type, used by the append-only log writer (campaign_store.cpp),
+// the segment writer/reader (segment.cpp), and the merged-view reader
+// (store_reader.cpp) — byte-identical encoding everywhere is what makes
+// the cross-store duplicate check ("same bytes or corruption") and the
+// before/after-compaction byte-identity contract possible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "campaign/report.h"
+#include "persist/campaign_store.h"
+#include "persist/encoding.h"
+
+namespace msa::persist {
+
+// Record types inside a campaign store log. Unknown types are skipped on
+// read (and preserved verbatim by compaction) so later format additions
+// stay backward-readable.
+inline constexpr std::uint8_t kRecManifest = 1;
+inline constexpr std::uint8_t kRecTrial = 2;
+inline constexpr std::uint8_t kRecCell = 3;    ///< v1: four named axis fields
+inline constexpr std::uint8_t kRecCellV2 = 4;  ///< v2: ordered axis coordinates
+
+void encode_axis_value(ByteWriter& w, const campaign::AxisValue& v);
+[[nodiscard]] campaign::AxisValue decode_axis_value(ByteReader& r);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_trial(const TrialRecord& t);
+[[nodiscard]] TrialRecord decode_trial(std::span<const std::uint8_t> payload);
+
+/// v2 cell record: ordered (axis, value) coordinates, then the counters.
+[[nodiscard]] std::vector<std::uint8_t> encode_cell(
+    const campaign::CellStats& c);
+[[nodiscard]] campaign::CellStats decode_cell_v2(
+    std::span<const std::uint8_t> payload);
+/// v1 cell record: the four hard-coded axis fields, decoded into the
+/// equivalent coordinates so everything downstream of read is
+/// version-blind.
+[[nodiscard]] campaign::CellStats decode_cell_v1(
+    std::span<const std::uint8_t> payload);
+
+/// The schema a v1 writer implicitly used: the legacy four axes. Value
+/// lists stay empty — v1 manifests never recorded them; the cells carry
+/// the actual values.
+[[nodiscard]] std::vector<campaign::AxisSpec> legacy_axis_schema();
+
+/// Encoded sort key of a cell: its ordered (axis, value) coordinates.
+/// Encoding is deterministic, so equal keys are equal bytes — segment
+/// lookups compare raw bytes for equality and decode only to ORDER keys
+/// (axis name, then AxisValue's total order), because the semantic order
+/// is not the byte order.
+[[nodiscard]] std::vector<std::uint8_t> encode_cell_key(
+    const std::vector<campaign::AxisCoordinate>& coords);
+[[nodiscard]] std::vector<campaign::AxisCoordinate> decode_cell_key(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] bool cell_key_less(
+    const std::vector<campaign::AxisCoordinate>& a,
+    const std::vector<campaign::AxisCoordinate>& b);
+
+}  // namespace msa::persist

@@ -1,0 +1,213 @@
+#include "persist/store_reader.h"
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "persist/record_io.h"
+#include "persist/store_codec.h"
+
+namespace msa::persist {
+
+namespace {
+
+obs::Counter& log_bytes_read_counter() {
+  static obs::Counter& c = obs::counter("persist.log_bytes_read");
+  return c;
+}
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+}  // namespace
+
+StoreReader::StoreReader(const std::string& path) : path_{path} {
+  // Log pass: manifest + the write-ahead tail (the whole store when no
+  // sidecar exists). Last-wins maps mirror the historical replay order.
+  bool saw_manifest = false;
+  {
+    RecordReader reader{path};
+    for (std::optional<Record> rec = reader.next(); rec.has_value();
+         rec = reader.next()) {
+      switch (rec->type) {
+        case kRecManifest:
+          manifest_ = decode_store_manifest(rec->payload);
+          saw_manifest = true;
+          break;
+        case kRecTrial: {
+          TrialRecord t = decode_trial(rec->payload);
+          const std::pair<std::uint64_t, std::uint32_t> key{t.cell_index,
+                                                            t.trial};
+          log_trials_[key] = std::move(t);
+          break;
+        }
+        case kRecCell: {
+          campaign::CellStats c = decode_cell_v1(rec->payload);
+          const std::uint64_t index = c.index;
+          log_cells_[index] = std::move(c);
+          break;
+        }
+        case kRecCellV2: {
+          campaign::CellStats c = decode_cell_v2(rec->payload);
+          const std::uint64_t index = c.index;
+          log_cells_[index] = std::move(c);
+          break;
+        }
+        default:
+          break;  // unknown record type: forward-compatible skip
+      }
+    }
+    truncated_tail_ = reader.truncated();
+    log_bytes_read_counter().add(reader.valid_bytes());
+    store_bytes_ += file_size_or_zero(path);
+  }
+  if (!saw_manifest) {
+    throw std::runtime_error("persist: store has no manifest record: " + path);
+  }
+
+  levels_ = read_levels_manifest(path);
+  if (!levels_.has_value()) return;
+  store_bytes_ += file_size_or_zero(levels_manifest_path(path));
+  if (!(levels_->identity == manifest_)) {
+    throw std::runtime_error(
+        "persist: levels manifest does not match store (" +
+        describe_manifest_mismatch(levels_->identity, manifest_) +
+        "): " + path);
+  }
+  segments_.reserve(levels_->segments.size());
+  for (const SegmentRef& ref : levels_->segments) {
+    auto seg = std::make_unique<SegmentReader>(segment_path(path, ref));
+    if (seg->info().sequence != ref.sequence) {
+      throw std::runtime_error("persist: segment " + ref.file +
+                               " does not carry its manifest sequence: " +
+                               path);
+    }
+    if (!(seg->info().identity == manifest_)) {
+      throw std::runtime_error(
+          "persist: segment " + ref.file + " is from a different sweep (" +
+          describe_manifest_mismatch(seg->info().identity, manifest_) +
+          "): " + path);
+    }
+    store_bytes_ += seg->file_bytes();
+    segments_.push_back(std::move(seg));
+  }
+}
+
+StoreReader::~StoreReader() = default;
+
+std::vector<campaign::CellStats> StoreReader::cells() const {
+  std::map<std::uint64_t, campaign::CellStats> merged;
+  for (const std::unique_ptr<SegmentReader>& seg : segments_) {
+    for (campaign::CellStats& cell : seg->cells()) {
+      const std::uint64_t index = cell.index;
+      merged[index] = std::move(cell);
+    }
+  }
+  for (const auto& [index, cell] : log_cells_) merged[index] = cell;
+  std::vector<campaign::CellStats> out;
+  out.reserve(merged.size());
+  for (auto& [index, cell] : merged) out.push_back(std::move(cell));
+  return out;
+}
+
+std::optional<StoreReader::CellData> StoreReader::read_cell(
+    const std::vector<campaign::AxisCoordinate>& coords) const {
+  const std::vector<std::uint8_t> key = encode_cell_key(coords);
+  // Indexed lookup: one cell block per segment that can hold the key,
+  // later segments winning, the in-memory log tail on top — never a
+  // full cells() scan.
+  std::optional<campaign::CellStats> stats;
+  for (const std::unique_ptr<SegmentReader>& seg : segments_) {
+    if (std::optional<campaign::CellStats> cell = seg->cell_for_key(key)) {
+      stats = std::move(cell);
+    }
+  }
+  for (const auto& [index, cell] : log_cells_) {
+    if (cell.coords == coords) stats = cell;
+  }
+  if (!stats.has_value()) return std::nullopt;
+
+  std::map<std::uint32_t, TrialRecord> trials;
+  for (const std::unique_ptr<SegmentReader>& seg : segments_) {
+    for (TrialRecord& t : seg->trials_for_key(key)) {
+      const std::uint32_t trial = t.trial;
+      trials[trial] = std::move(t);
+    }
+  }
+  for (const auto& [log_key, t] : log_trials_) {
+    if (log_key.first == stats->index) trials[log_key.second] = t;
+  }
+
+  CellData out;
+  out.stats = std::move(*stats);
+  out.trials.reserve(trials.size());
+  for (auto& [trial, t] : trials) out.trials.push_back(std::move(t));
+  return out;
+}
+
+StoreContents StoreReader::read_matching(const CellFilter& filter) const {
+  StoreContents out;
+  out.manifest = manifest_;
+  out.format = format_version();
+  out.truncated_tail = truncated_tail_;
+
+  std::vector<campaign::CellStats> matched;
+  std::set<std::uint64_t> selected;
+  for (campaign::CellStats& cell : cells()) {
+    if (!filter.empty() && !filter.matches(cell.coords)) continue;
+    selected.insert(cell.index);
+    matched.push_back(std::move(cell));
+  }
+
+  std::map<std::pair<std::uint64_t, std::uint32_t>, TrialRecord> trials;
+  if (filter.empty()) {
+    // Full view: every segment group plus every log trial, orphans
+    // included — byte-equivalent to replaying the original flat log.
+    for (const std::unique_ptr<SegmentReader>& seg : segments_) {
+      seg->for_each_group([&](const SegmentReader::TrialGroup& group) {
+        for (const TrialRecord& t : group.trials) {
+          trials[{t.cell_index, t.trial}] = t;
+        }
+      });
+    }
+    for (const auto& [key, t] : log_trials_) trials[key] = t;
+  } else {
+    // Indexed path: per segment, the set of blocks that can hold any
+    // selected cell — each block read once even when it serves several.
+    std::set<std::vector<std::uint8_t>> keys;
+    for (const campaign::CellStats& cell : matched) {
+      keys.insert(encode_cell_key(cell.coords));
+    }
+    for (const std::unique_ptr<SegmentReader>& seg : segments_) {
+      std::set<std::size_t> blocks;
+      for (const std::vector<std::uint8_t>& key : keys) {
+        const std::optional<std::size_t> block = seg->trial_block_for(key);
+        if (block.has_value()) blocks.insert(*block);
+      }
+      for (const std::size_t block : blocks) {
+        for (SegmentReader::TrialGroup& group : seg->read_trial_block(block)) {
+          if (!keys.contains(group.key)) continue;
+          for (TrialRecord& t : group.trials) {
+            const std::pair<std::uint64_t, std::uint32_t> key{t.cell_index,
+                                                              t.trial};
+            trials[key] = std::move(t);
+          }
+        }
+      }
+    }
+    for (const auto& [key, t] : log_trials_) {
+      if (selected.contains(key.first)) trials[key] = t;
+    }
+  }
+
+  out.cells = std::move(matched);
+  out.trials.reserve(trials.size());
+  for (auto& [key, t] : trials) out.trials.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace msa::persist

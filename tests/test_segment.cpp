@@ -1,0 +1,393 @@
+// Segment-tier tests: the sorted block-indexed format itself (round
+// trip, index behavior, damage rejection), compaction identity at scale
+// (flat vs segmented views byte-identical, tiered shapes included), the
+// indexed read path actually touching only a cell's blocks, and the
+// machinery around it (tailer across a compaction, resume on a
+// segmented store).
+#include "persist/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/axis.h"
+#include "campaign/stats.h"
+#include "obs/metrics.h"
+#include "persist/campaign_store.h"
+#include "persist/manifest.h"
+#include "persist/store_codec.h"
+#include "persist/store_reader.h"
+
+namespace msa::persist {
+namespace {
+
+std::string tmp_path(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "msa_segment_tests";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  remove_segment_files(path.string());
+  return path.string();
+}
+
+/// Synthetic single-axis sweep identity: `cells` values of "delay_s".
+StoreManifest synth_manifest(std::uint64_t cells,
+                             std::uint32_t trials_per_cell) {
+  StoreManifest m;
+  m.grid_fingerprint = 0x5eedf00du;
+  m.grid_cells = cells;
+  m.trials_per_cell = trials_per_cell;
+  m.trial_salt = 42;
+  campaign::AxisSpec axis;
+  axis.name = "delay_s";
+  axis.kind = campaign::AxisKind::kDouble;
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    axis.values.push_back(campaign::AxisValue::of_number(double(i)));
+  }
+  m.axes = {std::move(axis)};
+  return m;
+}
+
+std::vector<campaign::AxisCoordinate> synth_coords(std::uint64_t index) {
+  return {{"delay_s", campaign::AxisValue::of_number(double(index))}};
+}
+
+TrialRecord synth_trial(std::uint64_t cell, std::uint32_t trial) {
+  TrialRecord t;
+  t.cell_index = cell;
+  t.trial = trial;
+  t.denied = (cell + trial) % 3 == 0;
+  t.model_identified = trial % 2 == 0;
+  t.pixel_match = 0.25 + 0.5 * double(trial % 4) / 4.0;
+  t.psnr = 20.0 + double(cell % 50);
+  t.descriptor_pixel_match = 0.125 * double(trial % 8);
+  if (t.denied) t.denial_reason = "firewall";
+  return t;
+}
+
+campaign::CellStats synth_stats(std::uint64_t index,
+                                std::uint32_t trials_per_cell) {
+  campaign::CellStats s;
+  s.index = index;
+  s.coords = synth_coords(index);
+  s.trials = trials_per_cell;
+  for (std::uint32_t t = 0; t < trials_per_cell; ++t) {
+    const TrialRecord trial = synth_trial(index, t);
+    if (trial.denied) {
+      ++s.denials;
+      if (s.first_denial_reason.empty()) s.first_denial_reason = "firewall";
+    }
+    if (trial.model_identified) ++s.model_identified;
+    s.mean_pixel_match += trial.pixel_match;
+    s.mean_psnr_db += trial.psnr;
+    s.mean_descriptor_pixel_match += trial.descriptor_pixel_match;
+  }
+  s.mean_pixel_match /= trials_per_cell;
+  s.mean_psnr_db /= trials_per_cell;
+  s.mean_descriptor_pixel_match /= trials_per_cell;
+  return s;
+}
+
+/// Streams `cells` x `trials_per_cell` synthetic records through a real
+/// CampaignStore writer; `duplicate_every` > 0 re-appends every Nth
+/// cell's trials (the bit-identical duplicates a resume legally leaves).
+void write_synth_store(const std::string& path, std::uint64_t cells,
+                       std::uint32_t trials_per_cell,
+                       std::uint64_t duplicate_every = 0) {
+  CampaignStore store{path, synth_manifest(cells, trials_per_cell),
+                      CampaignStore::Mode::kCreate};
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    for (std::uint32_t t = 0; t < trials_per_cell; ++t) {
+      store.append_trial(synth_trial(c, t));
+    }
+    if (duplicate_every != 0 && c % duplicate_every == 0) {
+      for (std::uint32_t t = 0; t < trials_per_cell; ++t) {
+        store.append_trial(synth_trial(c, t));
+      }
+    }
+    store.complete_cell(synth_stats(c, trials_per_cell));
+  }
+}
+
+std::vector<SegmentCell> synth_segment_cells(std::uint64_t cells,
+                                             std::uint32_t trials_per_cell) {
+  std::vector<SegmentCell> out;
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    SegmentCell cell;
+    cell.stats = synth_stats(c, trials_per_cell);
+    for (std::uint32_t t = 0; t < trials_per_cell; ++t) {
+      cell.trials.push_back(synth_trial(c, t));
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+/// The three stats renderings at once — "byte-identical" means all of
+/// text, CSV and JSON.
+std::string stats_bytes(const std::string& path,
+                        const CellFilter& filter = {}) {
+  const campaign::StatsReport report =
+      campaign::analyze_sweep(load_sweep({path}, filter));
+  return report.to_text() + "\x1e" + report.to_csv() + "\x1e" +
+         report.to_json();
+}
+
+TEST(Segment, RoundTripPreservesEverything) {
+  const std::string path = tmp_path("roundtrip.seg");
+  const StoreManifest identity = synth_manifest(10, 5);
+  const SegmentInfo written =
+      write_segment(path, 2, 7, identity, synth_segment_cells(10, 5));
+  EXPECT_EQ(written.trial_count, 50u);
+  EXPECT_EQ(written.cell_count, 10u);
+
+  const SegmentReader reader{path};
+  EXPECT_EQ(reader.info().level, 2u);
+  EXPECT_EQ(reader.info().sequence, 7u);
+  EXPECT_EQ(reader.info().trial_count, 50u);
+  EXPECT_EQ(reader.info().cell_count, 10u);
+  EXPECT_EQ(reader.info().identity, identity);
+
+  const std::vector<campaign::CellStats> cells = reader.cells();
+  ASSERT_EQ(cells.size(), 10u);
+  for (std::uint64_t c = 0; c < 10; ++c) {
+    // Key order == numeric axis order for a single double axis.
+    EXPECT_EQ(cells[c].index, c);
+    EXPECT_EQ(cells[c].coords, synth_coords(c));
+    const std::vector<TrialRecord> trials =
+        reader.trials_for_key(encode_cell_key(synth_coords(c)));
+    ASSERT_EQ(trials.size(), 5u);
+    for (std::uint32_t t = 0; t < 5; ++t) {
+      EXPECT_EQ(trials[t].trial, t);
+      EXPECT_EQ(trials[t].cell_index, c);
+      EXPECT_EQ(trials[t].psnr, synth_trial(c, t).psnr);
+    }
+  }
+  // A key the segment does not hold reads back empty, not an error.
+  EXPECT_TRUE(reader.trials_for_key(encode_cell_key(synth_coords(99))).empty());
+
+  std::size_t streamed = 0;
+  reader.for_each_group([&](const SegmentReader::TrialGroup& group) {
+    streamed += group.trials.size();
+  });
+  EXPECT_EQ(streamed, 50u);
+}
+
+TEST(Segment, SingleCellQueryReadsOneBlockOfMany) {
+  const std::string path = tmp_path("blocks.seg");
+  SegmentWriteOptions options;
+  options.block_bytes = 512;  // force many small blocks
+  write_segment(path, 0, 1, synth_manifest(64, 8), synth_segment_cells(64, 8),
+                options);
+
+  const SegmentReader reader{path};
+  ASSERT_GT(reader.trial_block_count(), 8u);
+
+  obs::Counter& blocks = obs::counter("persist.segment_blocks_read");
+  obs::Counter& bytes = obs::counter("persist.segment_bytes_read");
+  const std::uint64_t blocks_before = blocks.value();
+  const std::uint64_t bytes_before = bytes.value();
+  const std::vector<TrialRecord> trials =
+      reader.trials_for_key(encode_cell_key(synth_coords(37)));
+  ASSERT_EQ(trials.size(), 8u);
+  EXPECT_EQ(blocks.value() - blocks_before, 1u);
+  // One block out of >8: well under a quarter of the file.
+  EXPECT_LT(bytes.value() - bytes_before, reader.file_bytes() / 4);
+}
+
+TEST(Segment, TruncationAnywhereIsRejectedNotMisread) {
+  const std::string path = tmp_path("torn.seg");
+  SegmentWriteOptions options;
+  options.block_bytes = 512;
+  write_segment(path, 0, 1, synth_manifest(32, 6), synth_segment_cells(32, 6),
+                options);
+  const std::uint64_t size = std::filesystem::file_size(path);
+
+  // Deterministic sample of truncation points across the whole file —
+  // mid-block, mid-index, mid-footer — plus the exact footer boundary.
+  std::mt19937 rng{0xc0ffee};
+  std::vector<std::uint64_t> cuts{0, 1, size - 1, size - kSegmentFooterFrameBytes,
+                                  size - kSegmentFooterFrameBytes - 1};
+  std::uniform_int_distribution<std::uint64_t> dist{2, size - 2};
+  for (int i = 0; i < 40; ++i) cuts.push_back(dist(rng));
+
+  const std::string torn = tmp_path("torn_cut.seg");
+  for (const std::uint64_t cut : cuts) {
+    std::filesystem::copy_file(
+        path, torn, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(torn, cut);
+    try {
+      const SegmentReader reader{torn};
+      // The constructor only validates footer + index; force every
+      // block read too. Any damage must throw — never partial data.
+      (void)reader.cells();
+      reader.for_each_group([](const SegmentReader::TrialGroup&) {});
+      FAIL() << "truncation at " << cut << " of " << size
+             << " was not detected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find("segment"), std::string::npos)
+          << "truncation at " << cut << " threw an unnamed error: "
+          << e.what();
+    }
+  }
+}
+
+TEST(Segment, DamagedLevelsSidecarIsRejectedByName) {
+  const std::string path = tmp_path("sidecar.store");
+  write_synth_store(path, 16, 4);
+  ASSERT_GT(compact_store(path).segments_live, 0u);
+
+  const std::string sidecar = levels_manifest_path(path);
+  const std::uint64_t size = std::filesystem::file_size(sidecar);
+  std::filesystem::resize_file(sidecar, size / 2);
+  try {
+    (void)read_levels_manifest(path);
+    FAIL() << "torn sidecar was not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("levels manifest"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)StoreReader{path}, std::runtime_error);
+}
+
+TEST(Segment, CompactionKeepsStatsByteIdenticalAtScale) {
+  const std::string path = tmp_path("identity.store");
+  write_synth_store(path, 300, 30, /*duplicate_every=*/2);
+  const std::string flat = stats_bytes(path);
+  const std::string flat_filtered =
+      stats_bytes(path, {{CellFilter::parse_clause("delay_s=37,130,299")}});
+
+  // Default compaction: one sorted segment; the duplicated trials drop,
+  // so at this scale the store must actually shrink.
+  const CompactionResult result = compact_store(path);
+  EXPECT_EQ(result.trials_dropped, 150u * 30u);  // every other cell doubled
+  EXPECT_EQ(result.segments_live, 1u);
+  EXPECT_LT(result.bytes_after, result.bytes_before);
+
+  EXPECT_EQ(stats_bytes(path), flat);
+  EXPECT_EQ(stats_bytes(path, {{CellFilter::parse_clause("delay_s=37,130,299")}}),
+            flat_filtered);
+
+  // Re-compacting is byte-stable.
+  const CompactionResult again = compact_store(path);
+  EXPECT_EQ(again.trials_dropped, 0u);
+  EXPECT_EQ(again.bytes_after, again.bytes_before);
+  EXPECT_EQ(again.generation, result.generation);
+  EXPECT_EQ(stats_bytes(path), flat);
+}
+
+TEST(Segment, TieredCompactionKeepsMultipleSegmentsAndIdentity) {
+  const std::string path = tmp_path("tiered.store");
+  const StoreManifest manifest = synth_manifest(120, 10);
+  {
+    CampaignStore store{path, manifest, CampaignStore::Mode::kCreate};
+    for (std::uint64_t c = 0; c < 60; ++c) {
+      for (std::uint32_t t = 0; t < 10; ++t) {
+        store.append_trial(synth_trial(c, t));
+      }
+      store.complete_cell(synth_stats(c, 10));
+    }
+  }
+  // Generous cap: the first flush stays its own level-0 segment.
+  CompactOptions tiered;
+  tiered.max_level_bytes = 64 * 1024 * 1024;
+  EXPECT_EQ(compact_store(path, tiered).segments_live, 1u);
+
+  {  // second half appends through a resume, then compacts again
+    CampaignStore store{path, manifest, CampaignStore::Mode::kResume};
+    EXPECT_EQ(store.completed_count(), 60u);  // seeded from the segment
+    for (std::uint64_t c = 60; c < 120; ++c) {
+      for (std::uint32_t t = 0; t < 10; ++t) {
+        store.append_trial(synth_trial(c, t));
+      }
+      store.complete_cell(synth_stats(c, 10));
+    }
+  }
+  const CompactionResult second = compact_store(path, tiered);
+  EXPECT_EQ(second.segments_live, 2u);  // under the cap: no merge
+
+  // Two live segments + trimmed log must read identically to the same
+  // 120 cells written flat in one go.
+  const std::string flat = tmp_path("tiered_flat.store");
+  write_synth_store(flat, 120, 10);
+  EXPECT_EQ(stats_bytes(path), stats_bytes(flat));
+  const CellFilter filter{{CellFilter::parse_clause("delay_s=5,64,119")}};
+  EXPECT_EQ(stats_bytes(path, filter), stats_bytes(flat, filter));
+
+  // A small cap then merges everything down to one deeper segment.
+  CompactOptions tight;
+  tight.max_level_bytes = 1024;
+  EXPECT_EQ(compact_store(path, tight).segments_live, 1u);
+  EXPECT_EQ(stats_bytes(path), stats_bytes(flat));
+}
+
+TEST(Segment, IndexedCellReadTouchesFractionOfBigStore) {
+  // The acceptance-scale store: 2000 cells x 50 trials = 100k trials.
+  const std::string path = tmp_path("big.store");
+  write_synth_store(path, 2000, 50);
+  ASSERT_EQ(compact_store(path).segments_live, 1u);
+
+  const StoreReader reader{path};
+  ASSERT_GE(reader.store_bytes(), 1u << 21);  // sanity: multi-MB store
+
+  obs::Counter& bytes = obs::counter("persist.segment_bytes_read");
+  const std::uint64_t before = bytes.value();
+  const auto cell = reader.read_cell(synth_coords(1234));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->stats.index, 1234u);
+  ASSERT_EQ(cell->trials.size(), 50u);
+  const std::uint64_t delta = bytes.value() - before;
+  // One cell's blocks, not the store: under 5% of the file. (cells()
+  // scans the aggregate blocks too, which dominate this delta — trial
+  // data, the bulk of the store, stays untouched.)
+  EXPECT_LT(delta * 20, reader.store_bytes());
+}
+
+TEST(Segment, TailerCountsSurviveCompaction) {
+  const std::string path = tmp_path("tailer.store");
+  write_synth_store(path, 50, 6);
+
+  StoreTailer tailer{path};
+  const StoreTailer::Counts before = tailer.poll();
+  EXPECT_EQ(before.trials, 300u);
+  EXPECT_EQ(before.cells, 50u);
+
+  ASSERT_EQ(compact_store(path).segments_live, 1u);
+  const StoreTailer::Counts after = tailer.poll();  // generation rebase
+  EXPECT_EQ(after.trials, 300u);
+  EXPECT_EQ(after.cells, 50u);
+
+  // New appends on top of the trimmed log keep counting incrementally.
+  {
+    CampaignStore store{path, synth_manifest(50, 6),
+                        CampaignStore::Mode::kResume};
+    EXPECT_EQ(store.completed_count(), 50u);
+  }
+  const StoreTailer::Counts resumed = tailer.poll();
+  EXPECT_EQ(resumed.trials, 300u);
+  EXPECT_EQ(resumed.cells, 50u);
+}
+
+TEST(Segment, FreshCreateRefusesStaleSidecar) {
+  const std::string path = tmp_path("stale.store");
+  write_synth_store(path, 8, 2);
+  ASSERT_EQ(compact_store(path).segments_live, 1u);
+  std::filesystem::remove(path);  // log gone, sidecar + segment remain
+
+  EXPECT_THROW((CampaignStore{path, synth_manifest(8, 2),
+                              CampaignStore::Mode::kCreateOrResume}),
+               std::runtime_error);
+  remove_segment_files(path);  // the documented operator remedy
+  CampaignStore store{path, synth_manifest(8, 2),
+                      CampaignStore::Mode::kCreateOrResume};
+  EXPECT_EQ(store.completed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace msa::persist

@@ -23,6 +23,7 @@
 #include "campaign/runner.h"
 #include "campaign/stats.h"
 #include "persist/campaign_store.h"
+#include "persist/manifest.h"
 
 namespace msa::persist {
 namespace {
@@ -42,6 +43,9 @@ std::string tmp_copy_of_golden(const char* name) {
   std::filesystem::create_directories(dir);
   const auto path = dir / name;
   std::filesystem::remove(path);
+  // A previous run may have compacted this copy: drop its levels
+  // sidecar and segments, or the fresh flat copy would mismatch them.
+  remove_segment_files(path.string());
   std::filesystem::copy_file(data_path("golden_v1_4axis.store"), path);
   return path.string();
 }
@@ -173,8 +177,20 @@ TEST(StoreCompat, CompactionUpgradesV1ToCurrentFormat) {
 
   const StoreContents upgraded = read_store(path);
   EXPECT_EQ(upgraded.manifest.version, kStoreFormatVersion);
+  EXPECT_EQ(upgraded.format, kSegmentedStoreFormat);
   ASSERT_EQ(upgraded.cells.size(), 4u);
-  // The rewritten store reads back to the same report bytes.
+  // The rewritten store reads back to the same report bytes — including
+  // the checked-in pre-refactor goldens, so a v1 store upgraded through
+  // segmented compaction still renders the exact historical output.
+  const campaign::StatsReport report =
+      campaign::analyze_sweep(load_sweep({path}));
+  EXPECT_EQ(report.to_csv(), stats_before);
+  EXPECT_EQ(report.to_text(), read_file(data_path("golden_v1_stats.txt")));
+  EXPECT_EQ(report.to_csv(), read_file(data_path("golden_v1_stats.csv")));
+
+  // Compacting the already-segmented upgrade is byte-stable.
+  const CompactionResult again = compact_store(path);
+  EXPECT_EQ(again.bytes_after, again.bytes_before);
   EXPECT_EQ(campaign::analyze_sweep(load_sweep({path})).to_csv(),
             stats_before);
 }
